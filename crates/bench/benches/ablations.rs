@@ -1,0 +1,18 @@
+//! Criterion bench over the ablation studies (how costly each knob sweep is).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("chunk_count_sweep", |b| {
+        b.iter(|| black_box(astra_bench::ablations::chunk_count()))
+    });
+    group.bench_function("congestion_comparison", |b| {
+        b.iter(|| black_box(astra_bench::ablations::congestion()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

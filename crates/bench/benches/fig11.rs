@@ -1,0 +1,20 @@
+//! Criterion bench for the Fig. 11 case study (truncated MoE model so a
+//! sample completes quickly).
+use astra_core::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut model = astra_core::models::moe_1t();
+    model.layers.truncate(4);
+    let trace = experiments::fig11_trace_for(&model);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("moe4layers_three_systems", |b| {
+        b.iter(|| black_box(astra_bench::fig11::run_with_trace(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

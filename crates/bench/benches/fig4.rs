@@ -1,0 +1,24 @@
+//! Criterion bench for the Fig. 4 validation configurations: how fast the
+//! two backends evaluate one 4-NPU ring All-Reduce point.
+use astra_core::{Collective, CollectiveEngine, DataSize, SchedulerPolicy, Topology};
+use astra_garnet::{collective_time, PacketSimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let topo = Topology::parse("R(4)@150").unwrap();
+    let size = DataSize::from_mib(64);
+    let mut group = c.benchmark_group("fig4_validation");
+    group.sample_size(10);
+    group.bench_function("analytical_ring4_64MiB", |b| {
+        let engine = CollectiveEngine::new(1, SchedulerPolicy::Baseline);
+        b.iter(|| black_box(engine.run(Collective::AllReduce, size, topo.dims())))
+    });
+    group.bench_function("packet_ring4_64MiB", |b| {
+        b.iter(|| black_box(collective_time(&topo, size, &PacketSimConfig::fast())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

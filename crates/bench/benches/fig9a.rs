@@ -1,0 +1,28 @@
+//! Criterion bench for a Fig. 9(a) cell: the 1 GB All-Reduce microbenchmark
+//! on Conv-4D under both schedulers.
+use astra_core::{experiments, simulate, SchedulerPolicy, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9a(c: &mut Criterion) {
+    let topo = astra_core::topologies::conv4d();
+    let trace = experiments::all_reduce_trace(topo.npus(), astra_core::DataSize::from_gib(1));
+    let mut group = c.benchmark_group("fig9a");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("conv4d_ar1gb_baseline", SchedulerPolicy::Baseline),
+        ("conv4d_ar1gb_themis", SchedulerPolicy::Themis),
+    ] {
+        group.bench_function(name, |b| {
+            let config = SystemConfig {
+                scheduler: policy,
+                ..SystemConfig::default()
+            };
+            b.iter(|| black_box(simulate(&trace, &topo, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9a);
+criterion_main!(benches);

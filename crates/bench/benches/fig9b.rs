@@ -1,0 +1,24 @@
+//! Criterion bench for Fig. 9(b) scaling points: the 1 GB All-Reduce on
+//! Base-512 vs the 4096-NPU wafer scale-up.
+use astra_core::{experiments, simulate, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b");
+    group.sample_size(10);
+    for sut in experiments::fig9b_systems() {
+        if sut.name != "Base-512" && sut.name != "W-4096" {
+            continue;
+        }
+        let trace =
+            experiments::all_reduce_trace(sut.topology.npus(), astra_core::DataSize::from_gib(1));
+        group.bench_function(format!("ar1gb_{}", sut.name), |b| {
+            b.iter(|| black_box(simulate(&trace, &sut.topology, &SystemConfig::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9b);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the §IV-C speedup experiment: packet-level vs
+//! analytical simulation of a 1 MB All-Reduce on a 4x4x4 torus.
+use astra_core::{Collective, CollectiveEngine, DataSize, SchedulerPolicy, Topology};
+use astra_garnet::{collective_time, PacketSimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_speedup(c: &mut Criterion) {
+    let torus = Topology::parse("R(4)@100_R(4)@100_R(4)@100").unwrap();
+    let size = DataSize::from_mib(1);
+    let mut group = c.benchmark_group("speedup");
+    group.sample_size(10);
+    group.bench_function("analytical_torus64_1MiB", |b| {
+        let engine = CollectiveEngine::new(32, SchedulerPolicy::Baseline);
+        b.iter(|| black_box(engine.run(Collective::AllReduce, size, torus.dims())))
+    });
+    group.bench_function("packet_torus64_1MiB", |b| {
+        b.iter(|| black_box(collective_time(&torus, size, &PacketSimConfig::garnet_like())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

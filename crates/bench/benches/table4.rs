@@ -1,0 +1,15 @@
+//! Criterion bench for the Table IV sweep (all seven scaling systems).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("full_scaling_sweep", |b| {
+        b.iter(|| black_box(astra_bench::table4::run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

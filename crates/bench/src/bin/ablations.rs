@@ -1,0 +1,5 @@
+//! Regenerates the ablation studies (modeling-choice sensitivity).
+fn main() {
+    let rows = astra_bench::ablations::run();
+    astra_bench::ablations::print(&rows);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 11 (disaggregated memory breakdown + sweep).
+fn main() {
+    let trace = astra_core::experiments::fig11_trace();
+    let rows = astra_bench::fig11::run_with_trace(&trace);
+    let points = astra_bench::fig11::sweep(&trace);
+    astra_bench::fig11::print(&rows, &points);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4 (analytical backend validation).
+fn main() {
+    let rows = astra_bench::fig4::run();
+    astra_bench::fig4::print(&rows);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9(a) (wafer vs conventional, baseline vs Themis).
+fn main() {
+    let rows = astra_bench::fig9a::run();
+    astra_bench::fig9a::print(&rows);
+}

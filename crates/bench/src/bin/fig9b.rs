@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9(b) (scale-out vs wafer scale-up).
+fn main() {
+    let rows = astra_bench::fig9b::run();
+    astra_bench::fig9b::print(&rows);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §IV-C simulation-cost comparison.
+fn main() {
+    let rows = astra_bench::speedup::run();
+    astra_bench::speedup::print(&rows);
+}

@@ -1,0 +1,4 @@
+//! Prints Table II (target topologies).
+fn main() {
+    astra_bench::tables::print_table2();
+}

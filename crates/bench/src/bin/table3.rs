@@ -1,0 +1,4 @@
+//! Prints Table III (target workloads).
+fn main() {
+    astra_bench::tables::print_table3();
+}

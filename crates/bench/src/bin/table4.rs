@@ -1,0 +1,5 @@
+//! Regenerates Table IV (scaling message sizes and collective times).
+fn main() {
+    let rows = astra_bench::table4::run();
+    astra_bench::table4::print(&rows);
+}

@@ -1,0 +1,4 @@
+//! Prints Table V (disaggregated memory configurations).
+fn main() {
+    astra_bench::tables::print_table5();
+}

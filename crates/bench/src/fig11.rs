@@ -1,0 +1,116 @@
+//! Fig. 11 — runtime breakdown of disaggregated memory architectures, plus
+//! the §V-B design-space sweep that discovers HierMem(opt).
+
+use astra_core::{experiments, simulate, Breakdown, Time};
+
+/// One Fig. 11 bar: a system's five-way breakdown.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// System name (Table V column).
+    pub system: String,
+    /// The five-way exposed-time breakdown.
+    pub breakdown: Breakdown,
+    /// End-to-end time.
+    pub total: Time,
+}
+
+/// One §V-B sweep point.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// In-node pooled fabric bandwidth (GB/s).
+    pub in_node_gbps: u64,
+    /// Remote memory group bandwidth (GB/s).
+    pub remote_gbps: u64,
+    /// End-to-end time.
+    pub total: Time,
+}
+
+/// Runs the three Table V systems on the MoE-1T training step.
+pub fn run() -> Vec<Row> {
+    run_with_trace(&experiments::fig11_trace())
+}
+
+/// Runs against a custom (e.g. truncated) trace — for tests/quick benches.
+pub fn run_with_trace(trace: &astra_core::ExecutionTrace) -> Vec<Row> {
+    let topo = experiments::fig11_topology();
+    experiments::fig11_systems()
+        .into_iter()
+        .map(|(name, config)| {
+            let report = simulate(trace, &topo, &config).expect("Fig. 11 setup is valid");
+            Row {
+                system: name,
+                breakdown: report.breakdown,
+                total: report.total_time,
+            }
+        })
+        .collect()
+}
+
+/// Runs the design-space sweep and returns all points (the optimum with
+/// least resource provision is the paper's HierMem(opt): 512/500).
+pub fn sweep(trace: &astra_core::ExecutionTrace) -> Vec<SweepPoint> {
+    let topo = experiments::fig11_topology();
+    experiments::fig11_sweep_grid()
+        .into_iter()
+        .map(|(in_node, remote)| {
+            let config = experiments::fig11_sweep_config(in_node, remote);
+            let report = simulate(trace, &topo, &config).expect("sweep setup is valid");
+            SweepPoint {
+                in_node_gbps: in_node,
+                remote_gbps: remote,
+                total: report.total_time,
+            }
+        })
+        .collect()
+}
+
+/// The sweep point with the best performance at the least resource
+/// provision: among all points within `tolerance` of the fastest, the one
+/// with the smallest bandwidth sum.
+pub fn best_least_resource(points: &[SweepPoint], tolerance: f64) -> &SweepPoint {
+    let fastest = points
+        .iter()
+        .map(|p| p.total.as_us_f64())
+        .fold(f64::INFINITY, f64::min);
+    points
+        .iter()
+        .filter(|p| p.total.as_us_f64() <= fastest * (1.0 + tolerance))
+        .min_by_key(|p| p.in_node_gbps + p.remote_gbps)
+        .expect("sweep is non-empty")
+}
+
+/// Prints the figure and sweep summary.
+pub fn print(rows: &[Row], points: &[SweepPoint]) {
+    println!("Fig. 11 — MoE-1T training-step breakdown on disaggregated memory (ms)");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "System", "Compute", "ExpComm", "ExpIdle", "ExpLocal", "ExpRemote", "Total"
+    );
+    for r in rows {
+        let b = &r.breakdown;
+        println!(
+            "{:<20} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            r.system,
+            b.compute.as_ms_f64(),
+            b.exposed_comm.as_ms_f64(),
+            b.exposed_idle.as_ms_f64(),
+            b.exposed_local_mem.as_ms_f64(),
+            b.exposed_remote_mem.as_ms_f64(),
+            r.total.as_ms_f64()
+        );
+    }
+    if rows.len() >= 3 {
+        let zinf = rows[0].total.as_us_f64();
+        let base = rows[1].total.as_us_f64();
+        let opt = rows[2].total.as_us_f64();
+        println!("ZeRO-Infinity vs HierMem(baseline): {:+.2}% (paper: ZeRO-Inf 0.1% better)", (base / zinf - 1.0) * 100.0);
+        println!("HierMem(opt) speedup over baseline: {:.2}x (paper: 4.6x)", base / opt);
+    }
+    if !points.is_empty() {
+        let best = best_least_resource(points, 0.02);
+        println!(
+            "sweep optimum (least resources within 2% of fastest): in-node {} GB/s, remote {} GB/s (paper: 512/500)",
+            best.in_node_gbps, best.remote_gbps
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 9(a) — wafer-scale vs conventional systems, with the baseline and
+//! Themis collective schedulers (§V-A.1).
+//!
+//! For each of the four workloads and six Table II systems, the runtime is
+//! broken into compute + exposed communication and normalized to the
+//! W-1D-500 baseline-scheduler run of that workload (the paper normalizes
+//! per workload).
+
+use astra_core::{
+    experiments::{self, CaseWorkload},
+    simulate, SchedulerPolicy, SystemConfig, Time,
+};
+
+/// One bar of Fig. 9(a).
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload column.
+    pub workload: &'static str,
+    /// System name (Table II).
+    pub system: String,
+    /// Scheduler used.
+    pub scheduler: &'static str,
+    /// Compute portion.
+    pub compute: Time,
+    /// Exposed communication portion.
+    pub exposed_comm: Time,
+    /// End-to-end runtime.
+    pub total: Time,
+    /// Runtime normalized to the workload's W-1D-500/baseline bar.
+    pub normalized: f64,
+}
+
+/// Runs the full Fig. 9(a) grid: 4 workloads × 6 systems × 2 schedulers.
+pub fn run() -> Vec<Row> {
+    run_workloads(&CaseWorkload::ALL)
+}
+
+/// Runs a subset of workload columns (used by tests and quick benches).
+pub fn run_workloads(workloads: &[CaseWorkload]) -> Vec<Row> {
+    let systems = experiments::fig9a_systems();
+    let mut rows = Vec::new();
+    for &workload in workloads {
+        let mut reference = None;
+        for (scheduler, policy) in [
+            ("baseline", SchedulerPolicy::Baseline),
+            ("themis", SchedulerPolicy::Themis),
+        ] {
+            for sut in &systems {
+                let trace = workload.trace(sut.topology.npus());
+                let config = SystemConfig {
+                    scheduler: policy,
+                    ..SystemConfig::default()
+                };
+                let report =
+                    simulate(&trace, &sut.topology, &config).expect("Fig. 9a setup is valid");
+                if reference.is_none() && sut.name == "W-1D-500" {
+                    reference = Some(report.total_time.as_us_f64());
+                }
+                rows.push(Row {
+                    workload: workload.name(),
+                    system: sut.name.clone(),
+                    scheduler,
+                    compute: report.breakdown.compute,
+                    exposed_comm: report.breakdown.exposed_comm,
+                    total: report.total_time,
+                    normalized: 0.0, // filled below
+                });
+            }
+        }
+        let reference = reference.expect("W-1D-500 is among the systems");
+        for row in rows.iter_mut().filter(|r| r.workload == workload.name()) {
+            row.normalized = row.total.as_us_f64() / reference;
+        }
+    }
+    rows
+}
+
+/// Prints the figure as a table (two panels: baseline, then Themis).
+pub fn print(rows: &[Row]) {
+    println!("Fig. 9(a) — normalized runtime (compute + exposed comm), 512 NPUs");
+    for scheduler in ["baseline", "themis"] {
+        println!("\n== {scheduler} collective scheduler ==");
+        println!(
+            "{:<16} {:<10} {:>12} {:>14} {:>12} {:>11}",
+            "Workload", "System", "Compute(us)", "ExpComm(us)", "Total(us)", "Normalized"
+        );
+        for r in rows.iter().filter(|r| r.scheduler == scheduler) {
+            println!(
+                "{:<16} {:<10} {:>12.1} {:>14.1} {:>12.1} {:>11.3}",
+                r.workload,
+                r.system,
+                r.compute.as_us_f64(),
+                r.exposed_comm.as_us_f64(),
+                r.total.as_us_f64(),
+                r.normalized
+            );
+        }
+    }
+}

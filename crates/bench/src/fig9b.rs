@@ -1,0 +1,87 @@
+//! Fig. 9(b) — conventional scale-out vs wafer scale-up (§V-A.2).
+//!
+//! Starting from Base-512 (`2_8_8_4`, Dim 1 at 1000 GB/s), the system
+//! scales to 1K/2K/4K NPUs either by growing the NIC dimension (Conv-*) or
+//! the on-wafer dimension (W-*). Runtimes are normalized per workload to
+//! Base-512.
+
+use astra_core::{
+    experiments::{self, CaseWorkload},
+    simulate, SystemConfig, Time,
+};
+
+/// One bar of Fig. 9(b).
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload column.
+    pub workload: &'static str,
+    /// Scaling point (Base-512, Conv-1024, ..., W-4096).
+    pub system: String,
+    /// Total NPUs at this point.
+    pub npus: usize,
+    /// Compute portion.
+    pub compute: Time,
+    /// Exposed communication portion.
+    pub exposed_comm: Time,
+    /// End-to-end runtime.
+    pub total: Time,
+    /// Runtime normalized to Base-512 for the same workload.
+    pub normalized: f64,
+}
+
+/// Runs the full grid: 4 workloads × 7 scaling points.
+pub fn run() -> Vec<Row> {
+    run_workloads(&CaseWorkload::ALL)
+}
+
+/// Runs a subset of workload columns.
+pub fn run_workloads(workloads: &[CaseWorkload]) -> Vec<Row> {
+    let systems = experiments::fig9b_systems();
+    let mut rows = Vec::new();
+    for &workload in workloads {
+        let mut reference = None;
+        for sut in &systems {
+            let trace = workload.trace(sut.topology.npus());
+            let report = simulate(&trace, &sut.topology, &SystemConfig::default())
+                .expect("Fig. 9b setup is valid");
+            if sut.name == "Base-512" {
+                reference = Some(report.total_time.as_us_f64());
+            }
+            rows.push(Row {
+                workload: workload.name(),
+                system: sut.name.clone(),
+                npus: sut.topology.npus(),
+                compute: report.breakdown.compute,
+                exposed_comm: report.breakdown.exposed_comm,
+                total: report.total_time,
+                normalized: 0.0,
+            });
+        }
+        let reference = reference.expect("Base-512 is among the systems");
+        for row in rows.iter_mut().filter(|r| r.workload == workload.name()) {
+            row.normalized = row.total.as_us_f64() / reference;
+        }
+    }
+    rows
+}
+
+/// Prints the figure as a table.
+pub fn print(rows: &[Row]) {
+    println!("Fig. 9(b) — scale-out vs wafer scale-up, normalized to Base-512");
+    println!(
+        "{:<16} {:<10} {:>6} {:>12} {:>14} {:>12} {:>11}",
+        "Workload", "System", "NPUs", "Compute(us)", "ExpComm(us)", "Total(us)", "Normalized"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:<10} {:>6} {:>12.1} {:>14.1} {:>12.1} {:>11.3}",
+            r.workload,
+            r.system,
+            r.npus,
+            r.compute.as_us_f64(),
+            r.exposed_comm.as_us_f64(),
+            r.total.as_us_f64(),
+            r.normalized
+        );
+    }
+}

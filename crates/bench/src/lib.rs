@@ -1,0 +1,37 @@
+//! Benchmark harness: runners that regenerate every table and figure of
+//! the paper's evaluation (§IV-C validation/speedup, §V case studies).
+//!
+//! Each module owns one experiment: a `run()` producing typed rows and a
+//! `print()` rendering the paper's table/figure series. The `src/bin/*`
+//! binaries are thin wrappers; the Criterion benches in `benches/` measure
+//! the simulator's own performance on the same configurations.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig4`] | Fig. 4 — analytical backend validation |
+//! | [`speedup`] | §IV-C — analytical vs packet-level simulation cost |
+//! | [`tables`] | Tables II / III / V — configuration tables |
+//! | [`fig9a`] | Fig. 9(a) — wafer vs conventional, baseline vs Themis |
+//! | [`fig9b`] | Fig. 9(b) — scale-out vs wafer scale-up |
+//! | [`table4`] | Table IV — per-dimension message sizes & collective time |
+//! | [`fig11`] | Fig. 11 — disaggregated-memory runtime breakdown + sweep |
+//! | [`ablations`] | modeling-choice sensitivity studies (extensions) |
+
+pub mod ablations;
+pub mod fig11;
+pub mod fig4;
+pub mod fig9a;
+pub mod fig9b;
+pub mod speedup;
+pub mod table4;
+pub mod tables;
+
+/// Formats a microsecond quantity for table output.
+pub fn us(t: astra_core::Time) -> String {
+    format!("{:.2}", t.as_us_f64())
+}
+
+/// Formats a millisecond quantity for table output.
+pub fn ms(t: astra_core::Time) -> String {
+    format!("{:.3}", t.as_ms_f64())
+}

@@ -1,0 +1,99 @@
+//! Tables II, III, and V — the configuration tables of the evaluation.
+//!
+//! These tables are inputs rather than results; printing them from the
+//! preset modules proves the presets encode exactly the paper's values.
+
+use astra_core::{experiments, memory_presets, models, PoolArchitecture, RemoteMemory};
+
+/// Prints Table II (target topologies).
+pub fn print_table2() {
+    println!("Table II — target wafer-scale and conventional topologies");
+    println!(
+        "{:<10} {:<42} {:>6} {:>22}",
+        "System", "Shape", "NPUs", "BW (GB/s per dim)"
+    );
+    for sut in experiments::fig9a_systems() {
+        let bws: Vec<String> = sut
+            .topology
+            .dims()
+            .iter()
+            .map(|d| format!("{:.0}", d.bandwidth().as_gbps_f64()))
+            .collect();
+        println!(
+            "{:<10} {:<42} {:>6} {:>22}",
+            sut.name,
+            sut.topology.to_string(),
+            sut.topology.npus(),
+            bws.join("_")
+        );
+    }
+}
+
+/// Prints Table III (target workloads).
+pub fn print_table3() {
+    println!("Table III — target training workloads");
+    println!(
+        "{:<16} {:>14} {:>8} {:>8} {:>8}",
+        "Workload", "Params (B)", "Layers", "MP", "DP"
+    );
+    for model in [models::dlrm_57m(), models::gpt3_175b(), models::transformer_1t()] {
+        println!(
+            "{:<16} {:>14} {:>8} {:>8} {:>8}",
+            model.name,
+            model.total_params().to_string(),
+            model.num_layers(),
+            model.default_mp,
+            model.default_dp
+        );
+    }
+}
+
+/// Prints Table V (disaggregated memory system configurations).
+pub fn print_table5() {
+    println!("Table V — disaggregated memory system configurations");
+    println!(
+        "{:<34} {:>14} {:>16} {:>14}",
+        "Parameter", "ZeRO-Infinity", "HierMem(base)", "HierMem(opt)"
+    );
+    let zinf = memory_presets::zero_infinity();
+    let base = memory_presets::hiermem_baseline();
+    let opt = memory_presets::hiermem_opt();
+    println!(
+        "{:<34} {:>14} {:>16} {:>14}",
+        "GPU peak perf (TFLOPS)", 2048, 2048, 2048
+    );
+    println!(
+        "{:<34} {:>14} {:>16} {:>14}",
+        "GPU local HBM BW (GB/s)", 4096, 4096, 4096
+    );
+    println!(
+        "{:<34} {:>14} {:>16.0} {:>14.0}",
+        "In-node pooled fabric BW (GB/s)",
+        "-",
+        base.config().in_node_bw.as_gbps_f64(),
+        opt.config().in_node_bw.as_gbps_f64()
+    );
+    println!(
+        "{:<34} {:>14} {:>16} {:>14}",
+        "Num out-node switches",
+        "-",
+        base.config().out_switches,
+        opt.config().out_switches
+    );
+    println!(
+        "{:<34} {:>14} {:>16} {:>14}",
+        "Num remote memory groups",
+        zinf.gpus,
+        base.config().remote_groups,
+        opt.config().remote_groups
+    );
+    println!(
+        "{:<34} {:>14.0} {:>16.0} {:>14.0}",
+        "Remote mem group BW (GB/s)",
+        zinf.nvme_bw.as_gbps_f64(),
+        base.config().remote_group_bw.as_gbps_f64(),
+        opt.config().remote_group_bw.as_gbps_f64()
+    );
+    // Sanity: the presets implement the RemoteMemory API.
+    let _ = PoolArchitecture::ZeroInfinity(zinf).name();
+}

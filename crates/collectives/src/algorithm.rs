@@ -1,0 +1,120 @@
+//! Topology-aware basic collective algorithms (paper Table I).
+//!
+//! Each building block was chosen because it has a well-known
+//! *congestion-free* collective algorithm:
+//!
+//! | Building block  | Algorithm        | Steps (k NPUs)  | Hops/step |
+//! |-----------------|------------------|-----------------|-----------|
+//! | Ring            | Ring             | k − 1           | 1         |
+//! | FullyConnected  | Direct           | 1               | 1         |
+//! | Switch          | Halving-Doubling | ⌈log₂ k⌉        | 2         |
+//!
+//! All three move the same bandwidth-optimal `(k−1)/k × data` per NPU for a
+//! Reduce-Scatter or All-Gather phase; they differ in the number of
+//! latency-bearing steps.
+
+use astra_topology::BuildingBlock;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A basic topology-aware collective algorithm.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Ring algorithm: k−1 neighbor exchanges (Chan et al.).
+    Ring,
+    /// Direct algorithm: one simultaneous exchange with every peer
+    /// (Thakur et al., for fully-connected groups).
+    Direct,
+    /// Halving-Doubling: ⌈log₂ k⌉ pairwise exchange rounds through the
+    /// switch fabric (Thakur et al.).
+    HalvingDoubling,
+}
+
+impl Algorithm {
+    /// The Table I mapping from building block to algorithm.
+    pub fn for_block(block: BuildingBlock) -> Algorithm {
+        match block {
+            BuildingBlock::Ring(_) => Algorithm::Ring,
+            BuildingBlock::FullyConnected(_) => Algorithm::Direct,
+            BuildingBlock::Switch(_) => Algorithm::HalvingDoubling,
+        }
+    }
+
+    /// Number of communication steps to run one Reduce-Scatter or
+    /// All-Gather phase over `k` NPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn steps(&self, k: usize) -> u64 {
+        assert!(k >= 2, "collective group needs at least 2 NPUs");
+        match self {
+            Algorithm::Ring => k as u64 - 1,
+            Algorithm::Direct => 1,
+            Algorithm::HalvingDoubling => (usize::BITS - (k - 1).leading_zeros()) as u64,
+        }
+    }
+
+    /// Network hops traversed per step (switch exchanges cross the fabric:
+    /// NPU → switch → NPU).
+    pub fn hops_per_step(&self) -> u64 {
+        match self {
+            Algorithm::Ring | Algorithm::Direct => 1,
+            Algorithm::HalvingDoubling => 2,
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Algorithm::Ring => "Ring",
+            Algorithm::Direct => "Direct",
+            Algorithm::HalvingDoubling => "Halving-Doubling",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mapping() {
+        assert_eq!(
+            Algorithm::for_block(BuildingBlock::Ring(4)),
+            Algorithm::Ring
+        );
+        assert_eq!(
+            Algorithm::for_block(BuildingBlock::FullyConnected(4)),
+            Algorithm::Direct
+        );
+        assert_eq!(
+            Algorithm::for_block(BuildingBlock::Switch(4)),
+            Algorithm::HalvingDoubling
+        );
+    }
+
+    #[test]
+    fn step_counts() {
+        assert_eq!(Algorithm::Ring.steps(8), 7);
+        assert_eq!(Algorithm::Direct.steps(8), 1);
+        assert_eq!(Algorithm::HalvingDoubling.steps(8), 3);
+        assert_eq!(Algorithm::HalvingDoubling.steps(5), 3); // ceil(log2 5)
+        assert_eq!(Algorithm::HalvingDoubling.steps(2), 1);
+    }
+
+    #[test]
+    fn hops_per_step() {
+        assert_eq!(Algorithm::Ring.hops_per_step(), 1);
+        assert_eq!(Algorithm::Direct.hops_per_step(), 1);
+        assert_eq!(Algorithm::HalvingDoubling.hops_per_step(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn steps_rejects_singleton() {
+        Algorithm::Ring.steps(1);
+    }
+}

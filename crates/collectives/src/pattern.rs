@@ -1,0 +1,90 @@
+//! The four collective communication patterns (paper Fig. 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A collective communication pattern over a group of NPUs.
+///
+/// Payload-size convention (per participating NPU):
+///
+/// * [`Collective::AllReduce`] — `size` is each NPU's full gradient buffer;
+///   every NPU ends with the element-wise reduction of all buffers.
+/// * [`Collective::ReduceScatter`] — `size` is each NPU's full input buffer;
+///   every NPU ends with a `size / group` reduced shard.
+/// * [`Collective::AllGather`] — `size` is the full *gathered* result;
+///   each NPU contributes a `size / group` shard.
+/// * [`Collective::AllToAll`] — `size` is the data each NPU exchanges
+///   (it sends `size/group` to every peer and receives the same).
+///
+/// With synchronous training, All-Reduce is the dominant pattern and is
+/// logically Reduce-Scatter followed by All-Gather (§II-B).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// Each NPU ends with one reduced shard of the group's data.
+    ReduceScatter,
+    /// Each NPU ends with the concatenation of all NPUs' shards.
+    AllGather,
+    /// Each NPU ends with the full element-wise reduction (RS + AG).
+    AllReduce,
+    /// Personalized exchange: every NPU sends a distinct shard to every peer.
+    AllToAll,
+}
+
+impl Collective {
+    /// All four patterns, in the paper's Fig. 2 order.
+    pub const ALL: [Collective; 4] = [
+        Collective::ReduceScatter,
+        Collective::AllGather,
+        Collective::AllReduce,
+        Collective::AllToAll,
+    ];
+
+    /// Short name used in reports (`RS`, `AG`, `AR`, `A2A`).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Collective::ReduceScatter => "RS",
+            Collective::AllGather => "AG",
+            Collective::AllReduce => "AR",
+            Collective::AllToAll => "A2A",
+        }
+    }
+
+    /// Total bytes a member NPU must move per dimension-phase factor: an
+    /// All-Reduce visits every dimension twice (RS + AG), the others once.
+    pub fn phase_visits(&self) -> u64 {
+        match self {
+            Collective::AllReduce => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Collective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Collective::ReduceScatter => "Reduce-Scatter",
+            Collective::AllGather => "All-Gather",
+            Collective::AllReduce => "All-Reduce",
+            Collective::AllToAll => "All-to-All",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Collective::AllReduce.to_string(), "All-Reduce");
+        assert_eq!(Collective::AllToAll.short_name(), "A2A");
+        assert_eq!(Collective::ALL.len(), 4);
+    }
+
+    #[test]
+    fn all_reduce_visits_dims_twice() {
+        assert_eq!(Collective::AllReduce.phase_visits(), 2);
+        assert_eq!(Collective::AllGather.phase_visits(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for collective-engine invariants.
+
+use astra_collectives::{dimension_traffic, Collective, CollectiveEngine, SchedulerPolicy};
+use astra_des::{Bandwidth, DataSize, Time};
+use astra_topology::{BuildingBlock, Dimension, Topology};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Vec<Dimension>> {
+    let block = (0u8..3, 2usize..9).prop_map(|(kind, k)| match kind {
+        0 => BuildingBlock::Ring(k),
+        1 => BuildingBlock::FullyConnected(k),
+        _ => BuildingBlock::Switch(k),
+    });
+    let dim = (block, 25u64..1000)
+        .prop_map(|(b, bw)| Dimension::new(b).with_bandwidth(Bandwidth::from_gbps(bw)));
+    prop::collection::vec(dim, 1..4)
+}
+
+fn arb_collective() -> impl Strategy<Value = Collective> {
+    prop::sample::select(Collective::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hierarchical All-Reduce traffic telescopes to `2 * S * (1 - 1/Πk)`,
+    /// and Reduce-Scatter / All-Gather are each exactly half of it.
+    #[test]
+    fn traffic_conservation(dims in arb_dims(), mib in 1u64..4096) {
+        let size = DataSize::from_mib(mib);
+        let ar: u64 = dimension_traffic(Collective::AllReduce, size, &dims)
+            .iter().map(|t| t.as_bytes()).sum();
+        let rs: u64 = dimension_traffic(Collective::ReduceScatter, size, &dims)
+            .iter().map(|t| t.as_bytes()).sum();
+        let ag: u64 = dimension_traffic(Collective::AllGather, size, &dims)
+            .iter().map(|t| t.as_bytes()).sum();
+        let group: u64 = dims.iter().map(|d| d.npus() as u64).product();
+        let expected = 2 * (size.as_bytes() - size.as_bytes() / group);
+        // Integer rounding: allow one byte per dimension of slack.
+        let slack = 2 * dims.len() as u64 + 2;
+        prop_assert!(ar.abs_diff(expected) <= slack, "ar {ar} vs {expected}");
+        prop_assert!(rs.abs_diff(ar / 2) <= slack);
+        prop_assert!(ag.abs_diff(ar / 2) <= slack);
+    }
+
+    /// The collective can never finish before the bottleneck dimension's
+    /// busy time, and pipelining keeps it at or below the single-chunk
+    /// (fully serialized) execution.
+    #[test]
+    fn pipeline_bounds(dims in arb_dims(), mib in 8u64..2048, chunks in 1u64..64) {
+        let size = DataSize::from_mib(mib);
+        let chunked = CollectiveEngine::new(chunks, SchedulerPolicy::Baseline)
+            .run(Collective::AllReduce, size, &dims);
+        let serial = CollectiveEngine::new(1, SchedulerPolicy::Baseline)
+            .run(Collective::AllReduce, size, &dims);
+        let max_busy = chunked.per_dim_busy.iter().copied().fold(Time::ZERO, Time::max);
+        prop_assert!(chunked.finish >= max_busy);
+        // Chunking only helps (up to div_ceil rounding of the chunk size).
+        let tolerance = 1.0 + 0.02;
+        prop_assert!(
+            chunked.finish.as_us_f64() <= serial.finish.as_us_f64() * tolerance,
+            "chunked {} vs serial {}", chunked.finish, serial.finish
+        );
+    }
+
+    /// Themis is never slower than the baseline scheduler (it can always
+    /// fall back to the identity order).
+    #[test]
+    fn themis_never_slower(dims in arb_dims(), mib in 8u64..2048, coll in arb_collective()) {
+        let size = DataSize::from_mib(mib);
+        let base = CollectiveEngine::new(16, SchedulerPolicy::Baseline).run(coll, size, &dims);
+        let themis = CollectiveEngine::new(16, SchedulerPolicy::Themis).run(coll, size, &dims);
+        // Greedy ordering can differ in rounding; allow 1% slack.
+        prop_assert!(
+            themis.finish.as_us_f64() <= base.finish.as_us_f64() * 1.01,
+            "themis {} vs baseline {}", themis.finish, base.finish
+        );
+    }
+
+    /// Completion time is monotonic in payload size.
+    #[test]
+    fn finish_monotone_in_size(dims in arb_dims(), mib in 1u64..2048, coll in arb_collective()) {
+        let engine = CollectiveEngine::new(8, SchedulerPolicy::Baseline);
+        let small = engine.run(coll, DataSize::from_mib(mib), &dims);
+        let big = engine.run(coll, DataSize::from_mib(mib * 2), &dims);
+        prop_assert!(big.finish >= small.finish);
+    }
+
+    /// Chaining a second collective behind a first never completes earlier
+    /// than running it on an idle network.
+    #[test]
+    fn chaining_adds_delay(dims in arb_dims(), mib in 8u64..512) {
+        let engine = CollectiveEngine::new(8, SchedulerPolicy::Baseline);
+        let size = DataSize::from_mib(mib);
+        let idle = engine.run(Collective::AllReduce, size, &dims);
+        let chained = engine.run_at(
+            Collective::AllReduce, size, &dims, Time::ZERO, &idle.free_at,
+        );
+        prop_assert!(chained.finish >= idle.finish);
+    }
+
+    /// The engine agrees with `dimension_traffic` on per-dimension bytes for
+    /// the baseline scheduler (up to chunk rounding).
+    #[test]
+    fn engine_traffic_matches_closed_form(dims in arb_dims(), mib in 8u64..512, coll in arb_collective()) {
+        let size = DataSize::from_mib(mib);
+        let chunks = 8u64;
+        let out = CollectiveEngine::new(chunks, SchedulerPolicy::Baseline).run(coll, size, &dims);
+        let exact = dimension_traffic(coll, size, &dims);
+        for (got, want) in out.per_dim_traffic.iter().zip(&exact) {
+            let slack = chunks * 2 * (dims.len() as u64 + 1) + chunks; // div_ceil rounding
+            prop_assert!(
+                got.as_bytes().abs_diff(want.as_bytes()) <= slack,
+                "dim traffic {got:?} vs {want:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_presets_run_all_collectives() {
+    // Smoke-check: every paper topology executes every collective pattern.
+    for notation in [
+        "R(4)_R(2)",
+        "SW(3)_SW(2)",
+        "FC(4)_SW(2)",
+        "R(4)_SW(2)",
+        "FC(4)_FC(2)_FC(2)",
+        "R(4)_R(2)_R(2)",
+    ] {
+        let topo = Topology::parse(notation).unwrap();
+        for coll in Collective::ALL {
+            let out = CollectiveEngine::new(4, SchedulerPolicy::Themis).run(
+                coll,
+                DataSize::from_mib(64),
+                topo.dims(),
+            );
+            assert!(out.finish > Time::ZERO, "{notation} {coll}");
+        }
+    }
+}

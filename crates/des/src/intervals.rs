@@ -1,0 +1,250 @@
+//! Busy-interval bookkeeping for "exposed time" breakdowns.
+//!
+//! The paper (Fig. 9 and Fig. 11) reports runtime broken into *compute time*
+//! plus the **exposed** (non-hidden) portion of communication, remote-memory,
+//! and local-memory time. This module records per-category busy intervals and
+//! attributes every instant of wall-clock time to the highest-priority
+//! category active at that instant.
+
+use crate::Time;
+
+/// A log of (possibly overlapping) busy intervals for one activity category.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{IntervalLog, Time};
+///
+/// let mut log = IntervalLog::new();
+/// log.push(Time::from_us(0), Time::from_us(4));
+/// log.push(Time::from_us(2), Time::from_us(6)); // overlaps the first
+/// assert_eq!(log.union_measure(), Time::from_us(6));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalLog {
+    spans: Vec<(Time, Time)>,
+}
+
+impl IntervalLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy interval `[start, end)`. Empty intervals are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn push(&mut self, start: Time, end: Time) {
+        assert!(end >= start, "interval ends before it starts");
+        if end > start {
+            self.spans.push((start, end));
+        }
+    }
+
+    /// Total busy time counting overlaps once (the measure of the union).
+    pub fn union_measure(&self) -> Time {
+        let mut spans = self.spans.clone();
+        spans.sort_unstable();
+        let mut total = Time::ZERO;
+        let mut cur: Option<(Time, Time)> = None;
+        for (s, e) in spans {
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    total += ce - cs;
+                    cur = Some((s, e));
+                }
+                None => cur = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce - cs;
+        }
+        total
+    }
+
+    /// Sum of raw interval lengths (overlaps counted multiply).
+    pub fn raw_measure(&self) -> Time {
+        self.spans.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Latest interval end, or `Time::ZERO` for an empty log.
+    pub fn end(&self) -> Time {
+        self.spans
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// Whether no intervals were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterates over the recorded raw intervals in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, Time)> + '_ {
+        self.spans.iter().copied()
+    }
+}
+
+/// Attributes every instant in `[0, horizon)` to the *first* (highest
+/// priority) category in `logs` that is busy at that instant.
+///
+/// Returns one exclusive measure per input log, followed by a final entry
+/// holding the unattributed (idle) time. The sum of the returned values
+/// always equals `horizon`.
+///
+/// This implements the paper's exposed-time definition with a priority order
+/// chosen by the caller (compute > comm > remote memory > local memory for
+/// Fig. 11).
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{attribute_exclusive, IntervalLog, Time};
+///
+/// let mut compute = IntervalLog::new();
+/// compute.push(Time::from_us(0), Time::from_us(5));
+/// let mut comm = IntervalLog::new();
+/// comm.push(Time::from_us(3), Time::from_us(8)); // 2us hidden behind compute
+///
+/// let out = attribute_exclusive(&[&compute, &comm], Time::from_us(10));
+/// assert_eq!(out, vec![Time::from_us(5), Time::from_us(3), Time::from_us(2)]);
+/// ```
+pub fn attribute_exclusive(logs: &[&IntervalLog], horizon: Time) -> Vec<Time> {
+    // Boundary sweep: at every segment between consecutive boundaries, find
+    // the highest-priority active category.
+    let mut boundaries: Vec<Time> = vec![Time::ZERO, horizon];
+    for log in logs {
+        for (s, e) in log.iter() {
+            boundaries.push(s.min(horizon));
+            boundaries.push(e.min(horizon));
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    // Pre-sort each category's intervals for segment lookup via merge.
+    let sorted: Vec<Vec<(Time, Time)>> = logs
+        .iter()
+        .map(|log| {
+            let mut v: Vec<(Time, Time)> = log.iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    let mut cursors = vec![0usize; logs.len()];
+
+    let mut out = vec![Time::ZERO; logs.len() + 1];
+    for w in boundaries.windows(2) {
+        let (seg_s, seg_e) = (w[0], w[1]);
+        if seg_e <= seg_s {
+            continue;
+        }
+        let mid = seg_s; // segment is homogeneous; test membership at its start
+        let mut winner = logs.len(); // idle by default
+        for (i, spans) in sorted.iter().enumerate() {
+            // Advance cursor past intervals that ended at or before `mid`.
+            while cursors[i] < spans.len() && spans[cursors[i]].1 <= mid {
+                cursors[i] += 1;
+            }
+            // Active if any remaining interval covers `mid`. Intervals can
+            // overlap within a category, so scan forward from the cursor.
+            let mut j = cursors[i];
+            while j < spans.len() && spans[j].0 <= mid {
+                if spans[j].1 > mid {
+                    winner = i;
+                    break;
+                }
+                j += 1;
+            }
+            if winner == i {
+                break;
+            }
+        }
+        out[winner] += seg_e - seg_s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Time {
+        Time::from_us(v)
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        let mut log = IntervalLog::new();
+        log.push(us(0), us(4));
+        log.push(us(2), us(6));
+        log.push(us(10), us(11));
+        assert_eq!(log.union_measure(), us(7));
+        assert_eq!(log.raw_measure(), us(9));
+        assert_eq!(log.end(), us(11));
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = IntervalLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.union_measure(), Time::ZERO);
+        assert_eq!(log.end(), Time::ZERO);
+    }
+
+    #[test]
+    fn zero_length_intervals_ignored() {
+        let mut log = IntervalLog::new();
+        log.push(us(3), us(3));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn backwards_interval_panics() {
+        let mut log = IntervalLog::new();
+        log.push(us(3), us(2));
+    }
+
+    #[test]
+    fn attribution_priority_and_idle() {
+        let mut a = IntervalLog::new();
+        a.push(us(0), us(5));
+        let mut b = IntervalLog::new();
+        b.push(us(3), us(8));
+        b.push(us(12), us(14));
+        let out = attribute_exclusive(&[&a, &b], us(20));
+        assert_eq!(out[0], us(5)); // a fully attributed
+        assert_eq!(out[1], us(5)); // b minus the 2us hidden behind a
+        assert_eq!(out[2], us(10)); // idle
+        assert_eq!(out.iter().copied().sum::<Time>(), us(20));
+    }
+
+    #[test]
+    fn attribution_clips_to_horizon() {
+        let mut a = IntervalLog::new();
+        a.push(us(0), us(100));
+        let out = attribute_exclusive(&[&a], us(10));
+        assert_eq!(out, vec![us(10), us(0)]);
+    }
+
+    #[test]
+    fn attribution_with_overlapping_intervals_within_category() {
+        let mut a = IntervalLog::new();
+        a.push(us(0), us(2));
+        a.push(us(1), us(6));
+        let out = attribute_exclusive(&[&a], us(6));
+        assert_eq!(out[0], us(6));
+        assert_eq!(out[1], Time::ZERO);
+    }
+
+    #[test]
+    fn attribution_no_categories_is_all_idle() {
+        let out = attribute_exclusive(&[], us(9));
+        assert_eq!(out, vec![us(9)]);
+    }
+}

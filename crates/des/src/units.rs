@@ -1,0 +1,554 @@
+//! Simulation units: time, data size, and bandwidth.
+//!
+//! All arithmetic is integer based so that simulations are bit-exact
+//! reproducible across platforms. Time is kept in picoseconds, sizes in
+//! bytes, and bandwidth in bytes per second.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Simulation time (or duration) in integer picoseconds.
+///
+/// A `u64` picosecond counter covers roughly 213 simulated days, far beyond
+/// any training-iteration timescale modeled by the simulator.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::Time;
+/// let t = Time::from_us(3) + Time::from_ns(500);
+/// assert_eq!(t.as_ps(), 3_500_000);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000_000)
+    }
+
+    /// Creates a time from fractional microseconds, rounding to the nearest
+    /// picosecond. Negative or non-finite inputs saturate to zero.
+    pub fn from_us_f64(us: f64) -> Self {
+        if !us.is_finite() || us <= 0.0 {
+            return Time::ZERO;
+        }
+        Time((us * 1e6).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Time as fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time as fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, rhs: Time) -> Time {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, rhs: Time) -> Time {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Divides the duration into `n` equal parts, rounding up so that
+    /// `n * self.div_ceil_parts(n) >= self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn div_ceil_parts(self, n: u64) -> Time {
+        assert!(n > 0, "cannot split a duration into zero parts");
+        Time(self.0.div_ceil(n))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("simulation time overflow"))
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulation time underflow"),
+        )
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0.checked_mul(rhs).expect("simulation time overflow"))
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({} ps)", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.as_ms_f64())
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3} us", self.as_us_f64())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        } else {
+            write!(f, "{ps} ps")
+        }
+    }
+}
+
+/// A payload size in bytes.
+///
+/// Binary multiples (KiB/MiB/GiB) follow the paper's usage of "MB"/"GB" for
+/// collective payloads (a "1 GB" All-Reduce is 1024 MiB).
+///
+/// # Example
+///
+/// ```
+/// use astra_des::DataSize;
+/// assert_eq!(DataSize::from_mib(1).as_bytes(), 1 << 20);
+/// assert_eq!(DataSize::from_gib(1), DataSize::from_mib(1024));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DataSize(u64);
+
+impl DataSize {
+    /// Zero bytes.
+    pub const ZERO: DataSize = DataSize(0);
+
+    /// Creates a size from raw bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        DataSize(bytes)
+    }
+
+    /// Creates a size from binary kilobytes (KiB, 2^10 bytes).
+    pub const fn from_kib(kib: u64) -> Self {
+        DataSize(kib << 10)
+    }
+
+    /// Creates a size from binary megabytes (MiB, 2^20 bytes).
+    pub const fn from_mib(mib: u64) -> Self {
+        DataSize(mib << 20)
+    }
+
+    /// Creates a size from binary gigabytes (GiB, 2^30 bytes).
+    pub const fn from_gib(gib: u64) -> Self {
+        DataSize(gib << 30)
+    }
+
+    /// Raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in fractional MiB.
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1u64 << 20) as f64
+    }
+
+    /// Size in fractional GiB.
+    pub fn as_gib_f64(self) -> f64 {
+        self.0 as f64 / (1u64 << 30) as f64
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two sizes.
+    pub fn max(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two sizes.
+    pub fn min(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.min(rhs.0))
+    }
+
+    /// Splits the size into `n` equal parts, rounding up, so that `n` chunks
+    /// of the returned size always cover the full payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn div_ceil_parts(self, n: u64) -> DataSize {
+        assert!(n > 0, "cannot split a payload into zero chunks");
+        DataSize(self.0.div_ceil(n))
+    }
+
+    /// Scales the size by a rational factor `num/den`, rounding to nearest.
+    ///
+    /// Used by collective algorithms for per-step traffic such as
+    /// `(k-1)/k * size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn scale(self, num: u64, den: u64) -> DataSize {
+        assert!(den > 0, "zero denominator");
+        let v = (self.0 as u128 * num as u128 + den as u128 / 2) / den as u128;
+        DataSize(v as u64)
+    }
+}
+
+impl Add for DataSize {
+    type Output = DataSize;
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.checked_add(rhs.0).expect("data size overflow"))
+    }
+}
+
+impl AddAssign for DataSize {
+    fn add_assign(&mut self, rhs: DataSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for DataSize {
+    type Output = DataSize;
+    fn sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.checked_sub(rhs.0).expect("data size underflow"))
+    }
+}
+
+impl Mul<u64> for DataSize {
+    type Output = DataSize;
+    fn mul(self, rhs: u64) -> DataSize {
+        DataSize(self.0.checked_mul(rhs).expect("data size overflow"))
+    }
+}
+
+impl Div<u64> for DataSize {
+    type Output = DataSize;
+    fn div(self, rhs: u64) -> DataSize {
+        DataSize(self.0 / rhs)
+    }
+}
+
+impl Sum for DataSize {
+    fn sum<I: Iterator<Item = DataSize>>(iter: I) -> DataSize {
+        iter.fold(DataSize::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DataSize({} B)", self.0)
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1 << 30 {
+            write!(f, "{:.2} GiB", self.as_gib_f64())
+        } else if b >= 1 << 20 {
+            write!(f, "{:.2} MiB", self.as_mib_f64())
+        } else if b >= 1 << 10 {
+            write!(f, "{:.2} KiB", b as f64 / 1024.0)
+        } else {
+            write!(f, "{b} B")
+        }
+    }
+}
+
+/// A link or memory-port bandwidth in bytes per second.
+///
+/// The paper quotes bandwidths in GB/s (decimal, 10^9 bytes per second);
+/// [`Bandwidth::from_gbps`] follows that convention.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{Bandwidth, DataSize, Time};
+/// let bw = Bandwidth::from_gbps(100);
+/// // 1 MB (decimal) at 100 GB/s takes 10 us.
+/// let t = bw.transfer_time(DataSize::from_bytes(1_000_000));
+/// assert_eq!(t, Time::from_us(10));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from raw bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec == 0`; a zero-bandwidth link can never
+    /// complete a transfer and always indicates a configuration error.
+    pub fn from_bytes_per_sec(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        Bandwidth(bytes_per_sec)
+    }
+
+    /// Creates a bandwidth from decimal gigabytes per second (10^9 B/s),
+    /// the unit used throughout the paper's tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps == 0`.
+    pub fn from_gbps(gbps: u64) -> Self {
+        Self::from_bytes_per_sec(gbps * 1_000_000_000)
+    }
+
+    /// Raw bytes-per-second value.
+    pub const fn as_bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Bandwidth in decimal GB/s.
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Exact serialization delay for `size` at this bandwidth, rounded up to
+    /// the next picosecond (so a non-empty transfer never takes zero time).
+    pub fn transfer_time(self, size: DataSize) -> Time {
+        if size == DataSize::ZERO {
+            return Time::ZERO;
+        }
+        let ps = (size.as_bytes() as u128 * 1_000_000_000_000u128).div_ceil(self.0 as u128);
+        Time::from_ps(u64::try_from(ps).expect("transfer time overflow"))
+    }
+
+    /// Sums two bandwidths (aggregate of parallel links).
+    pub fn aggregate(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.checked_add(rhs.0).expect("bandwidth overflow"))
+    }
+
+    /// Divides the bandwidth among `n` equal shares, rounding down but never
+    /// below 1 B/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn share(self, n: u64) -> Bandwidth {
+        assert!(n > 0, "cannot share bandwidth among zero users");
+        Bandwidth((self.0 / n).max(1))
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bandwidth({} B/s)", self.0)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GB/s", self.as_gbps_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_are_consistent() {
+        assert_eq!(Time::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_ms(1), Time::from_us(1_000));
+        assert_eq!(Time::from_secs(1), Time::from_ms(1_000));
+        assert!((Time::from_us(3).as_us_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_from_us_f64_rounds_and_saturates() {
+        assert_eq!(Time::from_us_f64(1.5).as_ps(), 1_500_000);
+        assert_eq!(Time::from_us_f64(-4.0), Time::ZERO);
+        assert_eq!(Time::from_us_f64(f64::NAN), Time::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_us(2);
+        let b = Time::from_us(3);
+        assert_eq!(a + b, Time::from_us(5));
+        assert_eq!(b - a, Time::from_us(1));
+        assert_eq!(a * 4, Time::from_us(8));
+        assert_eq!(b / 3, Time::from_us(1));
+        assert_eq!(Time::from_us(1).saturating_sub(b), Time::ZERO);
+        assert_eq!(vec![a, b].into_iter().sum::<Time>(), Time::from_us(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_sub_underflow_panics() {
+        let _ = Time::from_us(1) - Time::from_us(2);
+    }
+
+    #[test]
+    fn time_display_scales() {
+        assert_eq!(Time::from_ps(12).to_string(), "12 ps");
+        assert_eq!(Time::from_ns(12).to_string(), "12.000 ns");
+        assert_eq!(Time::from_us(12).to_string(), "12.000 us");
+        assert_eq!(Time::from_ms(12).to_string(), "12.000 ms");
+        assert_eq!(Time::from_secs(12).to_string(), "12.000 s");
+    }
+
+    #[test]
+    fn data_size_units() {
+        assert_eq!(DataSize::from_kib(1).as_bytes(), 1024);
+        assert_eq!(DataSize::from_gib(1).as_bytes(), 1 << 30);
+        assert_eq!(DataSize::from_mib(3).as_mib_f64(), 3.0);
+    }
+
+    #[test]
+    fn data_size_scale_rounds_to_nearest() {
+        let s = DataSize::from_bytes(10);
+        assert_eq!(s.scale(1, 3).as_bytes(), 3); // 3.33 -> 3
+        assert_eq!(s.scale(1, 4).as_bytes(), 3); // 2.5 -> 3 (round half up)
+        assert_eq!(s.scale(3, 4).as_bytes(), 8); // 7.5 -> 8
+        assert_eq!(DataSize::from_gib(1).scale(7, 8), DataSize::from_mib(896));
+    }
+
+    #[test]
+    fn data_size_div_ceil_parts_covers_payload() {
+        let s = DataSize::from_bytes(100);
+        let chunk = s.div_ceil_parts(7);
+        assert!(chunk.as_bytes() * 7 >= 100);
+        assert_eq!(chunk.as_bytes(), 15);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time_exact() {
+        let bw = Bandwidth::from_gbps(1); // 1e9 B/s
+        let t = bw.transfer_time(DataSize::from_bytes(1_000_000_000));
+        assert_eq!(t, Time::from_secs(1));
+        // Rounds up: 1 byte at 1 GB/s is 1000 ps exactly.
+        assert_eq!(bw.transfer_time(DataSize::from_bytes(1)).as_ps(), 1_000);
+        assert_eq!(bw.transfer_time(DataSize::ZERO), Time::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_nonzero_transfer_never_zero_time() {
+        let bw = Bandwidth::from_bytes_per_sec(u64::MAX / 2);
+        assert!(bw.transfer_time(DataSize::from_bytes(1)) > Time::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_share_and_aggregate() {
+        let bw = Bandwidth::from_gbps(100);
+        assert_eq!(bw.share(4).as_bytes_per_sec(), 25_000_000_000);
+        assert_eq!(
+            bw.aggregate(Bandwidth::from_gbps(50)).as_gbps_f64(),
+            150.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::from_bytes_per_sec(0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Store-and-forward packet network simulation.
+
+use astra_des::{DataSize, EventQueue, FifoResource, Time};
+use astra_network::NetworkBackend;
+use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
+
+/// Identifier of an in-flight or completed message.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(usize);
+
+/// Configuration of the packet simulator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PacketSimConfig {
+    /// Packet (flit-group) size. Smaller packets approach cycle-level
+    /// fidelity at proportionally higher simulation cost.
+    pub packet_size: DataSize,
+    /// Host-side overhead paid once per collective (kernel launch /
+    /// protocol setup) by the lockstep collective runner.
+    pub collective_overhead: Time,
+    /// Synchronization overhead paid once per lockstep algorithm step.
+    pub step_overhead: Time,
+}
+
+impl PacketSimConfig {
+    /// Fine-grained packets (256 B): closest to Garnet-style cycle-level
+    /// behaviour, slowest to simulate. Used by the §IV-C speedup experiment.
+    pub fn garnet_like() -> Self {
+        PacketSimConfig {
+            packet_size: DataSize::from_bytes(256),
+            collective_overhead: Time::ZERO,
+            step_overhead: Time::ZERO,
+        }
+    }
+
+    /// Coarse packets (64 KiB): fast ground-truth mode for validation runs
+    /// with large payloads (Fig. 4).
+    pub fn fast() -> Self {
+        PacketSimConfig {
+            packet_size: DataSize::from_kib(64),
+            collective_overhead: Time::ZERO,
+            step_overhead: Time::ZERO,
+        }
+    }
+
+    /// Real-system proxy for the Fig. 4 validation: coarse packets plus
+    /// NCCL-like host overheads (20 us kernel launch per collective, 1 us
+    /// per algorithm step) that the analytical equation deliberately does
+    /// not model — the source of the validation error.
+    pub fn real_system_proxy() -> Self {
+        PacketSimConfig {
+            packet_size: DataSize::from_kib(64),
+            collective_overhead: Time::from_us(20),
+            step_overhead: Time::from_us(1),
+        }
+    }
+}
+
+impl Default for PacketSimConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct MessageState {
+    route: Vec<LinkId>,
+    packets_remaining: u64,
+    finish: Option<Time>,
+}
+
+/// One packet completing its traversal of `route[hop]`.
+#[derive(Copy, Clone, Debug)]
+struct PacketEvent {
+    message: MessageId,
+    hop: usize,
+    /// Bytes of this packet (the tail packet may be short).
+    bytes: DataSize,
+}
+
+/// A packet-granularity store-and-forward network DES.
+///
+/// Every physical link of the topology is a FIFO queue. A message is split
+/// into packets that traverse the message's dimension-ordered route hop by
+/// hop, paying `packet / linkBandwidth` serialization plus the link's
+/// propagation latency at each hop. Packets of concurrent messages
+/// interleave on shared links, so congestion emerges naturally — unlike the
+/// analytical backend, which assumes congestion-free traffic.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{DataSize, Time};
+/// use astra_garnet::{PacketNetwork, PacketSimConfig};
+/// use astra_topology::Topology;
+///
+/// let topo = Topology::parse("R(4)@100").unwrap();
+/// let mut net = PacketNetwork::new(&topo, PacketSimConfig::fast());
+/// let msg = net.send_at(Time::ZERO, 0, 2, DataSize::from_mib(1));
+/// net.run_until_idle();
+/// assert!(net.completion(msg).unwrap() > Time::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct PacketNetwork {
+    graph: LinkGraph,
+    link_queues: Vec<FifoResource>,
+    queue: EventQueue<PacketEvent>,
+    messages: Vec<MessageState>,
+    config: PacketSimConfig,
+    events_processed: u64,
+}
+
+impl PacketNetwork {
+    /// Builds the packet simulator for `topo`.
+    pub fn new(topo: &Topology, config: PacketSimConfig) -> Self {
+        let graph = LinkGraph::new(topo);
+        let link_queues = (0..graph.num_links()).map(|_| FifoResource::new()).collect();
+        PacketNetwork {
+            graph,
+            link_queues,
+            queue: EventQueue::new(),
+            messages: Vec::new(),
+            config,
+            events_processed: 0,
+        }
+    }
+
+    /// The expanded link graph being simulated.
+    pub fn graph(&self) -> &LinkGraph {
+        &self.graph
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &PacketSimConfig {
+        &self.config
+    }
+
+    /// Total packet-hop events processed so far (the quantity that makes
+    /// packet-level simulation expensive).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Injects a message at time `at`. Packets start queueing on the first
+    /// link of the route immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time or either NPU id
+    /// is out of range.
+    pub fn send_at(&mut self, at: Time, src: NpuId, dst: NpuId, size: DataSize) -> MessageId {
+        let id = MessageId(self.messages.len());
+        let route = self.graph.route(src, dst);
+        if route.is_empty() || size == DataSize::ZERO {
+            self.messages.push(MessageState {
+                route,
+                packets_remaining: 0,
+                finish: Some(at),
+            });
+            return id;
+        }
+        let pkt = self.config.packet_size.as_bytes().max(1);
+        let full_packets = size.as_bytes() / pkt;
+        let tail = size.as_bytes() % pkt;
+        let count = full_packets + u64::from(tail > 0);
+        self.messages.push(MessageState {
+            route,
+            packets_remaining: count,
+            finish: None,
+        });
+        // Enter packets onto the first link in order; FIFO per link.
+        for i in 0..count {
+            let bytes = if i == count - 1 && tail > 0 {
+                DataSize::from_bytes(tail)
+            } else {
+                DataSize::from_bytes(pkt)
+            };
+            self.start_hop(at, PacketEvent {
+                message: id,
+                hop: 0,
+                bytes,
+            });
+        }
+        id
+    }
+
+    fn start_hop(&mut self, ready: Time, event: PacketEvent) {
+        let link_id = self.messages[event.message.0].route[event.hop];
+        let props = self.graph.link(link_id);
+        let service = props.bandwidth.transfer_time(event.bytes);
+        let reservation = self.link_queues[link_id.0].acquire(ready, service);
+        self.queue
+            .schedule_at(reservation.end + props.latency, event);
+    }
+
+    /// Runs the simulation until no events remain, returning the final
+    /// simulation time.
+    pub fn run_until_idle(&mut self) -> Time {
+        while let Some((now, event)) = self.queue.pop() {
+            self.events_processed += 1;
+            let msg = &self.messages[event.message.0];
+            if event.hop + 1 < msg.route.len() {
+                self.start_hop(
+                    now,
+                    PacketEvent {
+                        hop: event.hop + 1,
+                        ..event
+                    },
+                );
+            } else {
+                let msg = &mut self.messages[event.message.0];
+                msg.packets_remaining -= 1;
+                if msg.packets_remaining == 0 {
+                    msg.finish = Some(now);
+                }
+            }
+        }
+        self.queue.now()
+    }
+
+    /// Completion time of a message, if it has fully arrived.
+    pub fn completion(&self, id: MessageId) -> Option<Time> {
+        self.messages.get(id.0).and_then(|m| m.finish)
+    }
+}
+
+impl NetworkBackend for PacketNetwork {
+    /// Sends a message on the live network (with whatever queue backlog
+    /// exists) and simulates to completion, returning the observed delay.
+    fn p2p_delay(&mut self, src: NpuId, dst: NpuId, size: DataSize) -> Time {
+        let start = self.now();
+        let id = self.send_at(start, src, dst, size);
+        self.run_until_idle();
+        self.completion(id).expect("message completed") - start
+    }
+
+    fn name(&self) -> &'static str {
+        "packet-level"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_network::AnalyticalNetwork;
+
+    fn topo(notation: &str) -> Topology {
+        Topology::parse(notation).unwrap()
+    }
+
+    #[test]
+    fn single_packet_single_hop() {
+        let t = topo("R(2)@100");
+        let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+        let size = DataSize::from_kib(64);
+        let msg = net.send_at(Time::ZERO, 0, 1, size);
+        net.run_until_idle();
+        // One packet: serialization at the 100 GB/s link (one ring direction
+        // on a 2-ring carries the full aggregate) + 500ns latency.
+        let expected = t.dims()[0].link_bandwidth().transfer_time(size) + Time::from_ns(500);
+        assert_eq!(net.completion(msg), Some(expected));
+    }
+
+    #[test]
+    fn multi_packet_message_pipelines_across_hops() {
+        let t = topo("R(8)@100");
+        let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+        let size = DataSize::from_mib(1);
+        let msg = net.send_at(Time::ZERO, 0, 2, size);
+        net.run_until_idle();
+        let got = net.completion(msg).unwrap();
+        // Store-and-forward over 2 hops at 50 GB/s per ring direction:
+        // full serialization once + one extra packet time + 2 latencies.
+        let link_bw = t.dims()[0].link_bandwidth();
+        let serial = link_bw.transfer_time(size);
+        let pkt = link_bw.transfer_time(DataSize::from_kib(64));
+        let expected = serial + pkt + Time::from_ns(1000);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn concurrent_messages_share_a_link() {
+        let t = topo("R(2)@100");
+        let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+        let size = DataSize::from_mib(1);
+        let a = net.send_at(Time::ZERO, 0, 1, size);
+        let b = net.send_at(Time::ZERO, 0, 1, size);
+        net.run_until_idle();
+        let ta = net.completion(a).unwrap();
+        let tb = net.completion(b).unwrap();
+        // The second message finishes roughly twice as late (same link).
+        assert!(tb > ta);
+        assert!(tb.as_us_f64() / ta.as_us_f64() > 1.8);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let t = topo("R(8)@100");
+        let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+        let a = net.send_at(Time::ZERO, 0, 1, DataSize::from_mib(1));
+        let b = net.send_at(Time::ZERO, 4, 5, DataSize::from_mib(1));
+        net.run_until_idle();
+        assert_eq!(net.completion(a), net.completion(b));
+    }
+
+    #[test]
+    fn agrees_with_analytical_for_uncongested_p2p() {
+        // §IV-C: for a single bandwidth-bound transfer the closed form and
+        // the packet simulation should be close.
+        let t = topo("R(4)@100_SW(2)@50");
+        let mut packet = PacketNetwork::new(&t, PacketSimConfig::fast());
+        let mut analytical = AnalyticalNetwork::new(t.clone());
+        let size = DataSize::from_mib(64);
+        // NOTE: analytical uses aggregate dim bandwidth; a unidirectional
+        // p2p through one ring link sees half of it, so compare on the
+        // switch dimension where link == aggregate bandwidth.
+        let got = packet.p2p_delay(0, 4, size).as_us_f64();
+        let want = analytical.p2p_delay(0, 4, size).as_us_f64();
+        let err = (got - want).abs() / want;
+        assert!(err < 0.05, "packet {got} vs analytical {want} ({err})");
+    }
+
+    #[test]
+    fn self_message_completes_instantly() {
+        let t = topo("R(4)@100");
+        let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+        let msg = net.send_at(Time::ZERO, 3, 3, DataSize::from_mib(1));
+        assert_eq!(net.completion(msg), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn event_count_scales_with_packet_granularity() {
+        let t = topo("R(4)@100");
+        let size = DataSize::from_mib(1);
+        let mut coarse = PacketNetwork::new(&t, PacketSimConfig::fast());
+        coarse.send_at(Time::ZERO, 0, 1, size);
+        coarse.run_until_idle();
+        let mut fine = PacketNetwork::new(&t, PacketSimConfig::garnet_like());
+        fine.send_at(Time::ZERO, 0, 1, size);
+        fine.run_until_idle();
+        assert!(fine.events_processed() > coarse.events_processed() * 100);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the packet-level backend.
+
+use astra_collectives::{Collective, CollectiveEngine, SchedulerPolicy};
+use astra_des::{DataSize, Time};
+use astra_garnet::{collective_time_for, semantics, PacketNetwork, PacketSimConfig};
+use astra_topology::Topology;
+use proptest::prelude::*;
+
+fn arb_small_topology() -> impl Strategy<Value = Topology> {
+    prop::sample::select(vec![
+        "R(4)@100",
+        "SW(8)@150",
+        "FC(4)@200",
+        "R(4)@100_SW(2)@50",
+        "R(2)@200_FC(2)@100_SW(2)@50",
+    ])
+    .prop_map(|s| Topology::parse(s).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Message completion time is monotone in payload size and never zero
+    /// for real transfers.
+    #[test]
+    fn p2p_completion_monotone(topo in arb_small_topology(), kib in 1u64..4096) {
+        let mut net = PacketNetwork::new(&topo, PacketSimConfig::fast());
+        let small = net.send_at(Time::ZERO, 0, topo.npus() - 1, DataSize::from_kib(kib));
+        net.run_until_idle();
+        let t_small = net.completion(small).unwrap();
+        let big = net.send_at(net.now(), 0, topo.npus() - 1, DataSize::from_kib(kib * 2));
+        net.run_until_idle();
+        let t_big = net.completion(big).unwrap() - t_small;
+        prop_assert!(t_small > Time::ZERO);
+        prop_assert!(t_big >= t_small, "doubling the payload cannot be faster");
+    }
+
+    /// The packet-level collective agrees with the analytical engine within
+    /// a modest tolerance on every pattern (no congestion in these runs, so
+    /// the closed form should track the packet truth).
+    #[test]
+    fn packet_collectives_track_analytical(
+        topo in arb_small_topology(),
+        mib in 4u64..64,
+        coll in prop::sample::select(Collective::ALL.to_vec()),
+    ) {
+        let size = DataSize::from_mib(mib);
+        let packet = collective_time_for(&topo, coll, size, &PacketSimConfig::fast())
+            .finish
+            .as_us_f64();
+        let analytical = CollectiveEngine::new(1, SchedulerPolicy::Baseline)
+            .run(coll, size, topo.dims())
+            .finish
+            .as_us_f64();
+        let err = (packet - analytical).abs() / analytical;
+        // All-to-All on rings pays real multi-hop detours the analytical
+        // per-dimension model approximates; allow it more slack.
+        let tolerance = if coll == Collective::AllToAll { 1.0 } else { 0.25 };
+        prop_assert!(
+            err < tolerance,
+            "{coll} on {topo}: packet {packet} vs analytical {analytical}"
+        );
+    }
+
+    /// Collective event counts scale (at least) linearly with payload.
+    #[test]
+    fn event_cost_scales_with_payload(mib in 1u64..16) {
+        let topo = Topology::parse("R(4)@100").unwrap();
+        let small = collective_time_for(
+            &topo, Collective::AllReduce, DataSize::from_mib(mib), &PacketSimConfig::fast());
+        let big = collective_time_for(
+            &topo, Collective::AllReduce, DataSize::from_mib(mib * 4), &PacketSimConfig::fast());
+        prop_assert!(big.events >= small.events * 3);
+    }
+
+    /// Ring Reduce-Scatter data semantics: every shard equals the direct
+    /// element-wise sum regardless of payload values.
+    #[test]
+    fn reduce_scatter_semantics_hold(
+        k in 2usize..9,
+        seed in prop::collection::vec(-1000i64..1000, 64),
+    ) {
+        let len = 8 * k; // divisible shard length
+        let buffers: Vec<Vec<i64>> = (0..k)
+            .map(|i| (0..len).map(|j| seed[(i * 31 + j) % seed.len()] + j as i64).collect())
+            .collect();
+        let out = semantics::reduce_scatter(&buffers);
+        for (i, shard) in out.iter().enumerate() {
+            let lo = i * (len / k);
+            for (off, &v) in shard.iter().enumerate() {
+                let expected: i64 = buffers.iter().map(|b| b[lo + off]).sum();
+                prop_assert_eq!(v, expected, "npu {} offset {}", i, off);
+            }
+        }
+    }
+
+    /// All-Reduce = Reduce-Scatter + All-Gather on real data.
+    #[test]
+    fn all_reduce_semantics_hold(
+        k in 2usize..8,
+        seed in prop::collection::vec(-1000i64..1000, 32),
+    ) {
+        let len = 4 * k;
+        let buffers: Vec<Vec<i64>> = (0..k)
+            .map(|i| (0..len).map(|j| seed[(i * 17 + j) % seed.len()]).collect())
+            .collect();
+        let out = semantics::all_reduce(&buffers);
+        let expected: Vec<i64> = (0..len).map(|j| buffers.iter().map(|b| b[j]).sum()).collect();
+        for npu in out {
+            prop_assert_eq!(&npu, &expected);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The hierarchical disaggregated memory pool (paper Fig. 6–8, §IV-D.2/3).
+//!
+//! Topology (Fig. 6): `nodes × gpus_per_node` GPUs; each node has an
+//! in-node pooled-fabric switch; all nodes connect to `out_switches`
+//! out-node switches; `remote_groups` remote memory groups each connect to
+//! *every* out-node switch. Data moves in pipelined chunks through three
+//! stages (Fig. 7):
+//!
+//! ```text
+//! TX_rem2outSW   : remote group   → out-node switch
+//! TX_outSW2inSW  : out-node switch→ in-node switch
+//! TX_inSW2GPU    : in-node switch → GPU
+//! ```
+//!
+//! Total transfer time is the pipelined makespan
+//! `ΣTXᵢ + (P−1) · max TXᵢ` with `P` pipeline stages (paper's equations).
+//! The in-switch collective mode (Fig. 8) grows the two lower-stage
+//! payloads because parameters are *gathered while being loaded*.
+
+use astra_des::{Bandwidth, DataSize, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::{RemoteMemory, TransferMode};
+
+/// Configuration of a [`HierPool`] (the knobs of Table V).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierPoolConfig {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Number of out-node switches.
+    pub out_switches: usize,
+    /// Number of remote memory groups.
+    pub remote_groups: usize,
+    /// Total port bandwidth of one remote memory group (shared across its
+    /// links to all out-node switches) — Table V "Remote Mem Group BW".
+    pub remote_group_bw: Bandwidth,
+    /// Bandwidth of one out-node-switch → node link (GPU-side out-node
+    /// pooled fabric).
+    pub gpu_side_bw: Bandwidth,
+    /// Per-GPU bandwidth of the in-node pooled fabric — Table V "In-node
+    /// Pooled Fabric BW".
+    pub in_node_bw: Bandwidth,
+    /// Pipelining chunk size (the network's basic transfer unit).
+    pub chunk: DataSize,
+    /// Fixed access latency added once per transfer.
+    pub base_latency: Time,
+}
+
+impl HierPoolConfig {
+    /// Total number of GPUs.
+    pub fn gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// Per-link data loads of the SPMD transfer, as walked through in Fig. 6
+/// (plain) and Fig. 8 (in-switch): the units of the paper's `8W`, `4W`,
+/// `64W` annotations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LinkLoads {
+    /// Data served by one remote memory group (Fig. 6: `32W`).
+    pub per_remote_group: DataSize,
+    /// Data on one remote-group → out-node-switch link (Fig. 6: `8W`).
+    pub group_to_switch_link: DataSize,
+    /// Data on one out-node-switch → node link (plain Fig. 6: `4W`;
+    /// in-switch Fig. 8: `64W` — the gathered payload).
+    pub switch_to_node_link: DataSize,
+    /// Data delivered to each GPU by its in-node switch (plain: `W`;
+    /// in-switch: the reconstructed `W × gpus`).
+    pub to_each_gpu: DataSize,
+}
+
+/// The three pipelined stage times of Fig. 7.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StageTimes {
+    /// `TX_rem2outSW`.
+    pub rem_to_out_switch: Time,
+    /// `TX_outSW2inSW`.
+    pub out_switch_to_in_switch: Time,
+    /// `TX_inSW2GPU`.
+    pub in_switch_to_gpu: Time,
+    /// Number of pipeline stages `P`.
+    pub pipeline_stages: u64,
+}
+
+impl StageTimes {
+    /// Pipelined makespan: `ΣTXᵢ + (P−1) × max TXᵢ`.
+    pub fn total(&self) -> Time {
+        let sum = self.rem_to_out_switch + self.out_switch_to_in_switch + self.in_switch_to_gpu;
+        let max = self
+            .rem_to_out_switch
+            .max(self.out_switch_to_in_switch)
+            .max(self.in_switch_to_gpu);
+        sum + max * self.pipeline_stages.saturating_sub(1)
+    }
+}
+
+/// The hierarchical disaggregated memory pool (Fig. 6).
+///
+/// # Example
+///
+/// ```
+/// use astra_des::DataSize;
+/// use astra_memory::{presets, RemoteMemory, TransferMode};
+///
+/// let pool = presets::hiermem_baseline();
+/// let base = pool.transfer_time(DataSize::from_mib(256), TransferMode::Plain);
+/// let opt = presets::hiermem_opt().transfer_time(DataSize::from_mib(256), TransferMode::Plain);
+/// assert!(opt < base);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierPool {
+    config: HierPoolConfig,
+}
+
+impl HierPool {
+    /// Creates a pool from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or the chunk size is zero.
+    pub fn new(config: HierPoolConfig) -> Self {
+        assert!(config.nodes > 0, "need at least one node");
+        assert!(config.gpus_per_node > 0, "need at least one GPU per node");
+        assert!(config.out_switches > 0, "need at least one out-node switch");
+        assert!(config.remote_groups > 0, "need at least one memory group");
+        assert!(config.chunk > DataSize::ZERO, "chunk size must be positive");
+        HierPool { config }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &HierPoolConfig {
+        &self.config
+    }
+
+    /// Per-link loads for an SPMD transfer of `tensor` bytes per GPU —
+    /// reproduces the Fig. 6 / Fig. 8 annotations.
+    pub fn link_loads(&self, tensor: DataSize, mode: TransferMode) -> LinkLoads {
+        let c = &self.config;
+        let total = tensor * c.gpus() as u64;
+        let per_remote_group = total / c.remote_groups as u64;
+        let group_to_switch_link = per_remote_group / c.out_switches as u64;
+        match mode {
+            TransferMode::Plain => LinkLoads {
+                per_remote_group,
+                group_to_switch_link,
+                // Each node needs gpus_per_node × tensor, split across the
+                // out-node switches.
+                switch_to_node_link: tensor * c.gpus_per_node as u64 / c.out_switches as u64,
+                to_each_gpu: tensor,
+            },
+            TransferMode::InSwitchCollective => {
+                // The out-node switch gathers the shards of every group and
+                // forwards the reconstructed payload to each node.
+                let gathered_per_switch = group_to_switch_link * c.remote_groups as u64;
+                LinkLoads {
+                    per_remote_group,
+                    group_to_switch_link,
+                    switch_to_node_link: gathered_per_switch,
+                    to_each_gpu: gathered_per_switch * c.out_switches as u64,
+                }
+            }
+        }
+    }
+
+    /// The three pipelined stage times (Fig. 7) for an SPMD transfer of
+    /// `tensor` bytes per GPU.
+    pub fn stage_times(&self, tensor: DataSize, mode: TransferMode) -> StageTimes {
+        let c = &self.config;
+        let chunk = c.chunk;
+        let (gpus, nodes) = (c.gpus() as u64, c.nodes as u64);
+        let (groups, switches) = (c.remote_groups as u64, c.out_switches as u64);
+
+        // (Number of Pipeline Stages) =
+        //   (TensorSize × NumGPUs) / (NumRemoteGroups × NumOutSwitches × Chunk)
+        let total = tensor.as_bytes() as u128 * gpus as u128;
+        let per_stage = groups as u128 * switches as u128 * chunk.as_bytes() as u128;
+        let pipeline_stages = (total.div_ceil(per_stage).max(1)) as u64;
+
+        // TX_rem2outSW: one group pushes one chunk to every out-node switch
+        // per stage through its (shared) port.
+        let rem_to_out_switch = c.remote_group_bw.transfer_time(chunk * switches);
+
+        let (out_bytes, in_bytes) = match mode {
+            TransferMode::Plain => (
+                // (groups × chunk) / nodes on each switch→node link.
+                chunk * groups / nodes,
+                // (groups × switches × chunk) / gpus delivered per GPU.
+                chunk * groups * switches / gpus,
+            ),
+            TransferMode::InSwitchCollective => (
+                // Gathered: (groups × chunk) per switch→node link.
+                chunk * groups,
+                // Gathered: (groups × switches × chunk) per GPU.
+                chunk * groups * switches,
+            ),
+        };
+        StageTimes {
+            rem_to_out_switch,
+            out_switch_to_in_switch: c.gpu_side_bw.transfer_time(out_bytes),
+            in_switch_to_gpu: c.in_node_bw.transfer_time(in_bytes),
+            pipeline_stages,
+        }
+    }
+}
+
+impl RemoteMemory for HierPool {
+    fn transfer_time(&self, tensor: DataSize, mode: TransferMode) -> Time {
+        if tensor == DataSize::ZERO {
+            return Time::ZERO;
+        }
+        self.config.base_latency + self.stage_times(tensor, mode).total()
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical-pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example: 16 nodes × 16 GPUs, 4 out-node switches,
+    /// 8 remote memory groups.
+    fn fig6_pool() -> HierPool {
+        HierPool::new(HierPoolConfig {
+            nodes: 16,
+            gpus_per_node: 16,
+            out_switches: 4,
+            remote_groups: 8,
+            remote_group_bw: Bandwidth::from_gbps(100),
+            gpu_side_bw: Bandwidth::from_gbps(400),
+            in_node_bw: Bandwidth::from_gbps(256),
+            chunk: DataSize::from_kib(256),
+            base_latency: Time::ZERO,
+        })
+    }
+
+    #[test]
+    fn fig6_plain_link_loads() {
+        // "each remote memory module will have 32W ... each link has to
+        //  transfer 8W ... the link between an out-node switch and a node
+        //  is 4W".
+        let w = DataSize::from_mib(1);
+        let loads = fig6_pool().link_loads(w, TransferMode::Plain);
+        assert_eq!(loads.per_remote_group, w * 32);
+        assert_eq!(loads.group_to_switch_link, w * 8);
+        assert_eq!(loads.switch_to_node_link, w * 4);
+        assert_eq!(loads.to_each_gpu, w);
+    }
+
+    #[test]
+    fn fig8_in_switch_link_loads() {
+        // "each out-node switch will have 64W in total ... forwarding 64W
+        //  to each node. As a result, each in-node switch receives 256W".
+        let w = DataSize::from_mib(1);
+        let loads = fig6_pool().link_loads(w, TransferMode::InSwitchCollective);
+        assert_eq!(loads.per_remote_group, w * 32);
+        assert_eq!(loads.group_to_switch_link, w * 8);
+        assert_eq!(loads.switch_to_node_link, w * 64);
+        assert_eq!(loads.to_each_gpu, w * 256);
+    }
+
+    #[test]
+    fn pipeline_stage_count_follows_equation() {
+        let pool = fig6_pool();
+        let w = DataSize::from_mib(8);
+        let st = pool.stage_times(w, TransferMode::Plain);
+        // (8 MiB × 256) / (8 × 4 × 256 KiB) = 256 stages.
+        assert_eq!(st.pipeline_stages, 256);
+    }
+
+    #[test]
+    fn single_stage_total_is_sum() {
+        let pool = fig6_pool();
+        let tiny = DataSize::from_bytes(1);
+        let st = pool.stage_times(tiny, TransferMode::Plain);
+        assert_eq!(st.pipeline_stages, 1);
+        assert_eq!(
+            st.total(),
+            st.rem_to_out_switch + st.out_switch_to_in_switch + st.in_switch_to_gpu
+        );
+    }
+
+    #[test]
+    fn pipelined_total_approaches_bottleneck() {
+        let pool = fig6_pool();
+        let w = DataSize::from_mib(64);
+        let st = pool.stage_times(w, TransferMode::Plain);
+        let max = st
+            .rem_to_out_switch
+            .max(st.out_switch_to_in_switch)
+            .max(st.in_switch_to_gpu);
+        let bottleneck_total = max * st.pipeline_stages;
+        let total = st.total();
+        assert!(total >= bottleneck_total);
+        let ratio = total.as_us_f64() / bottleneck_total.as_us_f64();
+        assert!(ratio < 1.05, "ramp should be small: {ratio}");
+    }
+
+    #[test]
+    fn in_switch_load_of_shard_beats_plain_load_of_full() {
+        // Loading a full replicated parameter P via plain transfers vs
+        // loading a P/gpus shard with in-switch gathering (§IV-D.3).
+        let pool = fig6_pool();
+        let full = DataSize::from_mib(256);
+        let shard = full / pool.config().gpus() as u64;
+        let plain = pool.transfer_time(full, TransferMode::Plain);
+        let in_switch = pool.transfer_time(shard, TransferMode::InSwitchCollective);
+        assert!(
+            in_switch < plain,
+            "in-switch {in_switch:?} should beat plain {plain:?}"
+        );
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_tensor_size() {
+        let pool = fig6_pool();
+        for mode in [TransferMode::Plain, TransferMode::InSwitchCollective] {
+            let small = pool.transfer_time(DataSize::from_mib(1), mode);
+            let big = pool.transfer_time(DataSize::from_mib(64), mode);
+            assert!(big > small);
+        }
+    }
+
+    #[test]
+    fn zero_tensor_is_free() {
+        assert_eq!(
+            fig6_pool().transfer_time(DataSize::ZERO, TransferMode::Plain),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_rejected() {
+        let mut cfg = *fig6_pool().config();
+        cfg.chunk = DataSize::ZERO;
+        let _ = HierPool::new(cfg);
+    }
+}

@@ -1,0 +1,74 @@
+//! Memory system models (ASTRA-sim 2.0 §IV-D).
+//!
+//! The original ASTRA-sim modeled memory as a single bandwidth number. This
+//! crate implements the paper's Memory API: given a tensor's location
+//! (local or remote), its size, and the memory system design, it returns
+//! the time to load or store the tensor.
+//!
+//! * [`LocalMemory`] — the local (HBM) model:
+//!   `AccessTime = Latency + TensorSize / Bandwidth` (§IV-D.1).
+//! * [`HierPool`] — the hierarchical disaggregated memory pool of Fig. 6,
+//!   with the paper's three pipelined transfer stages
+//!   (remote-group → out-node switch → in-node switch → GPU, Fig. 7) and
+//!   the in-switch collective variant of Fig. 8 (§IV-D.2 / §IV-D.3).
+//! * [`PoolArchitecture`] — the other pool designs of Fig. 5 (multi-level
+//!   switches, ring, mesh) with first-order load equations, plus the
+//!   ZeRO-Infinity baseline system of Fig. 10 (§V-B).
+//! * [`presets`] — the Table V case-study configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use astra_des::DataSize;
+//! use astra_memory::{presets, RemoteMemory, TransferMode};
+//!
+//! let pool = presets::hiermem_baseline();
+//! let plain = pool.transfer_time(DataSize::from_gib(1), TransferMode::Plain);
+//! let gathered = pool.transfer_time(DataSize::from_mib(4), TransferMode::InSwitchCollective);
+//! assert!(plain > gathered);
+//! ```
+
+mod hier;
+mod local;
+mod pools;
+pub mod presets;
+
+pub use hier::{HierPool, HierPoolConfig, LinkLoads, StageTimes};
+pub use local::LocalMemory;
+pub use pools::{MeshPool, MultiLevelSwitchPool, PoolArchitecture, RingPool, ZeroInfinity};
+
+use astra_des::{DataSize, Time};
+use serde::{Deserialize, Serialize};
+
+/// Whether a tensor moves from memory to NPU or back.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Memory → NPU.
+    Load,
+    /// NPU → memory.
+    Store,
+}
+
+/// How a remote transfer interacts with the pool fabric (§IV-D.3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferMode {
+    /// Plain sharded transfer: each GPU moves its own `tensor` bytes.
+    Plain,
+    /// In-switch collective: parameters are gathered while being loaded
+    /// (All-Gather) and sharded while being stored (Reduce-Scatter); each
+    /// GPU requests a `tensor`-byte shard and the fabric delivers the
+    /// `tensor × num_gpus` gathered result to every node.
+    InSwitchCollective,
+}
+
+/// A memory system that can serve simultaneous transfers from all GPUs —
+/// the object behind the paper's Memory API. `tensor` is the per-GPU
+/// request size; the returned time assumes the SPMD case where every GPU
+/// issues the same access together (the paper's Fig. 6/8 walk-through).
+pub trait RemoteMemory {
+    /// Time for every GPU to move `tensor` bytes in the given mode.
+    fn transfer_time(&self, tensor: DataSize, mode: TransferMode) -> Time;
+
+    /// Human-readable architecture name.
+    fn name(&self) -> &'static str;
+}

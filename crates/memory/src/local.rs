@@ -1,0 +1,92 @@
+//! Local (HBM) memory model (§IV-D.1).
+
+use astra_des::{Bandwidth, DataSize, Time};
+use serde::{Deserialize, Serialize};
+
+/// The paper's local memory bandwidth model:
+///
+/// ```text
+/// MemoryAccessTime = MemoryAccessLatency + TensorSize / MemoryBandwidth
+/// ```
+///
+/// Latency and bandwidth come from the system configuration; the tensor
+/// size comes from the metadata of a memory node in an execution trace.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{Bandwidth, DataSize, Time};
+/// use astra_memory::LocalMemory;
+///
+/// // A100-class HBM: ~2 TB/s, ~350 ns access latency.
+/// let hbm = LocalMemory::new(Time::from_ns(350), Bandwidth::from_gbps(2039));
+/// let t = hbm.access_time(DataSize::from_mib(100));
+/// assert!(t > Time::from_us(51)); // dominated by the bandwidth term
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalMemory {
+    latency: Time,
+    bandwidth: Bandwidth,
+}
+
+impl LocalMemory {
+    /// Creates a local memory with the given access latency and bandwidth.
+    pub fn new(latency: Time, bandwidth: Bandwidth) -> Self {
+        LocalMemory { latency, bandwidth }
+    }
+
+    /// The fixed access latency.
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// The sustained bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Time to load or store `size` bytes.
+    pub fn access_time(&self, size: DataSize) -> Time {
+        self.latency + self.bandwidth.transfer_time(size)
+    }
+}
+
+impl Default for LocalMemory {
+    /// A100-class HBM2e defaults: 350 ns latency, 2039 GB/s.
+    fn default() -> Self {
+        LocalMemory::new(Time::from_ns(350), Bandwidth::from_gbps(2039))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_time_is_latency_plus_transfer() {
+        let mem = LocalMemory::new(Time::from_us(1), Bandwidth::from_gbps(100));
+        let t = mem.access_time(DataSize::from_bytes(100_000_000)); // 1 ms at 100 GB/s
+        assert_eq!(t, Time::from_us(1) + Time::from_ms(1));
+    }
+
+    #[test]
+    fn zero_size_access_pays_only_latency() {
+        let mem = LocalMemory::new(Time::from_ns(350), Bandwidth::from_gbps(2039));
+        assert_eq!(mem.access_time(DataSize::ZERO), Time::from_ns(350));
+    }
+
+    #[test]
+    fn faster_memory_is_faster() {
+        let slow = LocalMemory::new(Time::from_ns(350), Bandwidth::from_gbps(1000));
+        let fast = LocalMemory::new(Time::from_ns(350), Bandwidth::from_gbps(4096));
+        let size = DataSize::from_gib(1);
+        assert!(fast.access_time(size) < slow.access_time(size));
+    }
+
+    #[test]
+    fn default_is_a100_class() {
+        let mem = LocalMemory::default();
+        assert_eq!(mem.latency(), Time::from_ns(350));
+        assert_eq!(mem.bandwidth(), Bandwidth::from_gbps(2039));
+    }
+}

@@ -1,0 +1,343 @@
+//! The other memory pool architectures of Fig. 5 and the ZeRO-Infinity
+//! baseline system of Fig. 10.
+//!
+//! The paper works its equations through the hierarchical design
+//! ([`crate::HierPool`]); the multi-level-switch, ring, and mesh pools are
+//! modeled here with first-order load equations in the same spirit
+//! (per-link loads → pipelined chunk transfer). ZeRO-Infinity is the
+//! commodity-server baseline: each GPU owns an NVMe/CPU-memory path and
+//! parameter gathering must cross the NIC fabric instead of happening
+//! inside pool switches.
+
+use astra_des::{Bandwidth, DataSize, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::{RemoteMemory, TransferMode};
+
+fn pipelined(stage_times: &[Time], stages: u64) -> Time {
+    let sum: Time = stage_times.iter().copied().sum();
+    let max = stage_times.iter().copied().fold(Time::ZERO, Time::max);
+    sum + max * stages.saturating_sub(1)
+}
+
+/// Fig. 5(a): GPUs reach the remote pool through a tree of switch levels.
+///
+/// `level_bws` holds the effective per-GPU bandwidth at each switch level,
+/// innermost first; a transfer pipelines chunks through all levels.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiLevelSwitchPool {
+    /// Total number of GPUs sharing the pool.
+    pub gpus: usize,
+    /// Per-GPU effective bandwidth of each switch level (innermost first).
+    pub level_bws: Vec<Bandwidth>,
+    /// Pipelining chunk size.
+    pub chunk: DataSize,
+    /// Fixed access latency per transfer.
+    pub base_latency: Time,
+}
+
+impl RemoteMemory for MultiLevelSwitchPool {
+    fn transfer_time(&self, tensor: DataSize, mode: TransferMode) -> Time {
+        if tensor == DataSize::ZERO {
+            return Time::ZERO;
+        }
+        // No in-switch reduction support: a gathered request degenerates to
+        // moving the full gathered payload per GPU.
+        let effective = match mode {
+            TransferMode::Plain => tensor,
+            TransferMode::InSwitchCollective => tensor * self.gpus as u64,
+        };
+        let stages = effective
+            .as_bytes()
+            .div_ceil(self.chunk.as_bytes().max(1))
+            .max(1);
+        let times: Vec<Time> = self
+            .level_bws
+            .iter()
+            .map(|bw| bw.transfer_time(self.chunk))
+            .collect();
+        self.base_latency + pipelined(&times, stages)
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-level-switch-pool"
+    }
+}
+
+/// Fig. 5(b): GPUs and remote memories interleaved on a bidirectional ring.
+///
+/// With data spread uniformly over the memories, the mean route length on a
+/// ring of `n = gpus + mems` nodes is `n/4`, and the ring's aggregate
+/// capacity is `2n × link_bw`, giving a first-order transfer time of
+/// `total × (n/4) / (2n × link_bw) = total / (8 × link_bw)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingPool {
+    /// Total number of GPUs on the ring.
+    pub gpus: usize,
+    /// Number of remote memory nodes on the ring.
+    pub mems: usize,
+    /// Bandwidth of one ring link (per direction).
+    pub link_bw: Bandwidth,
+    /// Fixed access latency per transfer.
+    pub base_latency: Time,
+}
+
+impl RemoteMemory for RingPool {
+    fn transfer_time(&self, tensor: DataSize, mode: TransferMode) -> Time {
+        if tensor == DataSize::ZERO {
+            return Time::ZERO;
+        }
+        let per_gpu = match mode {
+            TransferMode::Plain => tensor,
+            TransferMode::InSwitchCollective => tensor * self.gpus as u64,
+        };
+        let total = per_gpu * self.gpus as u64;
+        self.base_latency + self.link_bw.transfer_time(total.scale(1, 8))
+    }
+
+    fn name(&self) -> &'static str {
+        "ring-pool"
+    }
+}
+
+/// Fig. 5(c): GPUs in a 2D mesh with remote memories attached along the
+/// edges. Half of all traffic crosses the bisection, whose capacity is
+/// `2 × min(rows, cols) × link_bw` per direction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshPool {
+    /// Mesh rows (GPUs).
+    pub rows: usize,
+    /// Mesh columns (GPUs).
+    pub cols: usize,
+    /// Bandwidth of one mesh link (per direction).
+    pub link_bw: Bandwidth,
+    /// Fixed access latency per transfer.
+    pub base_latency: Time,
+}
+
+impl MeshPool {
+    /// Number of GPUs in the mesh.
+    pub fn gpus(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl RemoteMemory for MeshPool {
+    fn transfer_time(&self, tensor: DataSize, mode: TransferMode) -> Time {
+        if tensor == DataSize::ZERO {
+            return Time::ZERO;
+        }
+        let per_gpu = match mode {
+            TransferMode::Plain => tensor,
+            TransferMode::InSwitchCollective => tensor * self.gpus() as u64,
+        };
+        let total = per_gpu * self.gpus() as u64;
+        let bisection_links = 2 * self.rows.min(self.cols) as u64;
+        // Half the traffic crosses the bisection in each direction.
+        let crossing = total.scale(1, 2 * bisection_links.max(1));
+        self.base_latency + self.link_bw.transfer_time(crossing)
+    }
+
+    fn name(&self) -> &'static str {
+        "mesh-pool"
+    }
+}
+
+/// Fig. 10: the ZeRO-Infinity system — each GPU augments its HBM with its
+/// own CPU memory / NVMe behind a staging path; nodes interconnect over an
+/// InfiniBand-class NIC fabric.
+///
+/// Plain transfers pipeline chunks over the NVMe and staging stages.
+/// Gathered requests (which a [`crate::HierPool`] serves with in-switch
+/// collectives) must instead read the local shard and all-gather it across
+/// the NIC fabric — ZeRO-Infinity "cannot enjoy the major benefit of
+/// memory disaggregation" (§V-B).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZeroInfinity {
+    /// Total number of GPUs.
+    pub gpus: usize,
+    /// Per-GPU NVMe / CPU-memory bandwidth (Table V "Remote Mem Group BW").
+    pub nvme_bw: Bandwidth,
+    /// Per-GPU staging (PCIe/CPU) path bandwidth.
+    pub staging_bw: Bandwidth,
+    /// Per-GPU NIC bandwidth used for parameter all-gathers.
+    pub nic_bw: Bandwidth,
+    /// Pipelining chunk size.
+    pub chunk: DataSize,
+    /// Fixed access latency per transfer.
+    pub base_latency: Time,
+}
+
+impl RemoteMemory for ZeroInfinity {
+    fn transfer_time(&self, tensor: DataSize, mode: TransferMode) -> Time {
+        if tensor == DataSize::ZERO {
+            return Time::ZERO;
+        }
+        match mode {
+            TransferMode::Plain => {
+                let stages = tensor
+                    .as_bytes()
+                    .div_ceil(self.chunk.as_bytes().max(1))
+                    .max(1);
+                let times = [
+                    self.nvme_bw.transfer_time(self.chunk),
+                    self.staging_bw.transfer_time(self.chunk),
+                ];
+                self.base_latency + pipelined(&times, stages)
+            }
+            TransferMode::InSwitchCollective => {
+                // Read the local shard, then all-gather the reconstructed
+                // payload over the NIC fabric: (g-1)/g × gathered bytes.
+                let g = self.gpus as u64;
+                let gathered = tensor * g;
+                let shard_read = self.nvme_bw.transfer_time(tensor);
+                let gather = self.nic_bw.transfer_time(gathered.scale(g - 1, g.max(1)));
+                self.base_latency + shard_read + gather
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "zero-infinity"
+    }
+}
+
+/// Any of the supported disaggregated memory architectures, as a single
+/// configuration value (the Memory API's "memory system design" argument).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolArchitecture {
+    /// Fig. 6 hierarchical pool.
+    Hierarchical(crate::HierPool),
+    /// Fig. 5(a) multi-level switches.
+    MultiLevelSwitch(MultiLevelSwitchPool),
+    /// Fig. 5(b) ring.
+    Ring(RingPool),
+    /// Fig. 5(c) mesh.
+    Mesh(MeshPool),
+    /// Fig. 10 ZeRO-Infinity commodity baseline.
+    ZeroInfinity(ZeroInfinity),
+}
+
+impl RemoteMemory for PoolArchitecture {
+    fn transfer_time(&self, tensor: DataSize, mode: TransferMode) -> Time {
+        match self {
+            PoolArchitecture::Hierarchical(p) => p.transfer_time(tensor, mode),
+            PoolArchitecture::MultiLevelSwitch(p) => p.transfer_time(tensor, mode),
+            PoolArchitecture::Ring(p) => p.transfer_time(tensor, mode),
+            PoolArchitecture::Mesh(p) => p.transfer_time(tensor, mode),
+            PoolArchitecture::ZeroInfinity(p) => p.transfer_time(tensor, mode),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            PoolArchitecture::Hierarchical(p) => p.name(),
+            PoolArchitecture::MultiLevelSwitch(p) => p.name(),
+            PoolArchitecture::Ring(p) => p.name(),
+            PoolArchitecture::Mesh(p) => p.name(),
+            PoolArchitecture::ZeroInfinity(p) => p.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero_inf() -> ZeroInfinity {
+        ZeroInfinity {
+            gpus: 256,
+            nvme_bw: Bandwidth::from_gbps(100),
+            staging_bw: Bandwidth::from_gbps(1024),
+            nic_bw: Bandwidth::from_gbps(256),
+            chunk: DataSize::from_kib(256),
+            base_latency: Time::from_us(2),
+        }
+    }
+
+    #[test]
+    fn zero_infinity_plain_is_nvme_bound() {
+        let z = zero_inf();
+        let t = z.transfer_time(DataSize::from_gib(1), TransferMode::Plain);
+        // 1 GiB at 100 GB/s is ~10.7 ms; staging at 1024 GB/s is hidden.
+        let ms = t.as_ms_f64();
+        assert!((10.0..11.5).contains(&ms), "{ms}");
+    }
+
+    #[test]
+    fn zero_infinity_gather_crosses_nic() {
+        let z = zero_inf();
+        let shard = DataSize::from_mib(4);
+        let t = z.transfer_time(shard, TransferMode::InSwitchCollective);
+        // Gathered 1 GiB over 256 GB/s NIC: ~4.2 ms, plus the shard read.
+        let ms = t.as_ms_f64();
+        assert!((4.0..4.6).contains(&ms), "{ms}");
+    }
+
+    #[test]
+    fn ring_pool_first_order_load() {
+        let pool = RingPool {
+            gpus: 8,
+            mems: 8,
+            link_bw: Bandwidth::from_gbps(100),
+            base_latency: Time::ZERO,
+        };
+        // total = 8 x 64 MiB; /8 = 64 MiB at 100 GB/s.
+        let t = pool.transfer_time(DataSize::from_mib(64), TransferMode::Plain);
+        assert_eq!(t, Bandwidth::from_gbps(100).transfer_time(DataSize::from_mib(64)));
+    }
+
+    #[test]
+    fn mesh_pool_bisection_bound() {
+        let pool = MeshPool {
+            rows: 4,
+            cols: 4,
+            link_bw: Bandwidth::from_gbps(100),
+            base_latency: Time::ZERO,
+        };
+        // total = 16 x 8 MiB = 128 MiB; bisection links = 8; crossing =
+        // 128/16 = 8 MiB per link at 100 GB/s.
+        let t = pool.transfer_time(DataSize::from_mib(8), TransferMode::Plain);
+        assert_eq!(t, Bandwidth::from_gbps(100).transfer_time(DataSize::from_mib(8)));
+    }
+
+    #[test]
+    fn multi_level_switch_pipelines_levels() {
+        let pool = MultiLevelSwitchPool {
+            gpus: 16,
+            level_bws: vec![Bandwidth::from_gbps(400), Bandwidth::from_gbps(100)],
+            chunk: DataSize::from_mib(1),
+            base_latency: Time::ZERO,
+        };
+        let t = pool.transfer_time(DataSize::from_mib(64), TransferMode::Plain);
+        // Bottleneck level: 100 GB/s for 64 chunks, plus one fast-stage fill.
+        let bottleneck = Bandwidth::from_gbps(100).transfer_time(DataSize::from_mib(64));
+        assert!(t >= bottleneck);
+        assert!(t.as_us_f64() < bottleneck.as_us_f64() * 1.05);
+    }
+
+    #[test]
+    fn gather_mode_amplifies_non_hierarchical_pools() {
+        let pool = RingPool {
+            gpus: 8,
+            mems: 8,
+            link_bw: Bandwidth::from_gbps(100),
+            base_latency: Time::ZERO,
+        };
+        let shard = DataSize::from_mib(1);
+        let plain = pool.transfer_time(shard, TransferMode::Plain);
+        let gathered = pool.transfer_time(shard, TransferMode::InSwitchCollective);
+        assert_eq!(gathered.as_ps(), plain.as_ps() * 8);
+    }
+
+    #[test]
+    fn architecture_enum_dispatches() {
+        let arch = PoolArchitecture::ZeroInfinity(zero_inf());
+        assert_eq!(arch.name(), "zero-infinity");
+        assert!(arch.transfer_time(DataSize::from_mib(1), TransferMode::Plain) > Time::ZERO);
+        assert_eq!(
+            arch.transfer_time(DataSize::ZERO, TransferMode::Plain),
+            Time::ZERO
+        );
+    }
+}

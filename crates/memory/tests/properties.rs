@@ -1,0 +1,118 @@
+//! Property-based tests for the memory-system models.
+
+use astra_des::{Bandwidth, DataSize, Time};
+use astra_memory::{
+    presets, HierPool, HierPoolConfig, LocalMemory, RemoteMemory, TransferMode,
+};
+use proptest::prelude::*;
+
+fn arb_pool() -> impl Strategy<Value = HierPool> {
+    (
+        1usize..8,   // nodes (power-ish small)
+        1usize..8,   // gpus per node
+        1usize..6,   // out switches
+        1usize..64,  // remote groups
+        50u64..1000, // remote group bw
+        100u64..2000, // in-node bw
+    )
+        .prop_map(|(nodes, gpn, sw, groups, remote, in_node)| {
+            HierPool::new(HierPoolConfig {
+                nodes,
+                gpus_per_node: gpn,
+                out_switches: sw,
+                remote_groups: groups,
+                remote_group_bw: Bandwidth::from_gbps(remote),
+                gpu_side_bw: Bandwidth::from_gbps(1024),
+                in_node_bw: Bandwidth::from_gbps(in_node),
+                chunk: DataSize::from_kib(256),
+                base_latency: Time::from_us(2),
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfer time is monotone in tensor size for both modes.
+    #[test]
+    fn transfer_monotone_in_size(pool in arb_pool(), mib in 1u64..256) {
+        for mode in [TransferMode::Plain, TransferMode::InSwitchCollective] {
+            let small = pool.transfer_time(DataSize::from_mib(mib), mode);
+            let big = pool.transfer_time(DataSize::from_mib(mib * 2), mode);
+            prop_assert!(big >= small);
+        }
+    }
+
+    /// The pipelined total always lies between the bottleneck-stage bound
+    /// and the fully serialized sum of stages.
+    #[test]
+    fn pipeline_bounds_hold(pool in arb_pool(), mib in 1u64..128) {
+        for mode in [TransferMode::Plain, TransferMode::InSwitchCollective] {
+            let st = pool.stage_times(DataSize::from_mib(mib), mode);
+            let stages = [st.rem_to_out_switch, st.out_switch_to_in_switch, st.in_switch_to_gpu];
+            let max = stages.iter().copied().fold(Time::ZERO, Time::max);
+            let sum: Time = stages.iter().copied().sum();
+            let total = st.total();
+            prop_assert!(total >= max * st.pipeline_stages);
+            prop_assert!(total <= sum * st.pipeline_stages.max(1));
+        }
+    }
+
+    /// Raising any bandwidth never slows a transfer.
+    #[test]
+    fn bandwidth_monotonicity(pool in arb_pool(), mib in 1u64..128) {
+        let cfg = *pool.config();
+        let faster_remote = HierPool::new(HierPoolConfig {
+            remote_group_bw: cfg.remote_group_bw.aggregate(cfg.remote_group_bw),
+            ..cfg
+        });
+        let faster_in_node = HierPool::new(HierPoolConfig {
+            in_node_bw: cfg.in_node_bw.aggregate(cfg.in_node_bw),
+            ..cfg
+        });
+        let size = DataSize::from_mib(mib);
+        for mode in [TransferMode::Plain, TransferMode::InSwitchCollective] {
+            let base = pool.transfer_time(size, mode);
+            prop_assert!(faster_remote.transfer_time(size, mode) <= base);
+            prop_assert!(faster_in_node.transfer_time(size, mode) <= base);
+        }
+    }
+
+    /// Link-load bookkeeping conserves bytes: the remote groups together
+    /// always serve exactly the total requested data.
+    #[test]
+    fn link_loads_conserve_bytes(pool in arb_pool(), mib in 1u64..256) {
+        let tensor = DataSize::from_mib(mib);
+        let loads = pool.link_loads(tensor, TransferMode::Plain);
+        let total = tensor.as_bytes() * pool.config().gpus() as u64;
+        let served = loads.per_remote_group.as_bytes() * pool.config().remote_groups as u64;
+        // Integer division may shave at most one byte per group.
+        prop_assert!(total.abs_diff(served) <= pool.config().remote_groups as u64);
+    }
+
+    /// Local memory access time decomposes into latency + transfer exactly.
+    #[test]
+    fn local_memory_decomposes(lat_ns in 0u64..10_000, gbps in 1u64..8192, kib in 0u64..1_000_000) {
+        let mem = LocalMemory::new(Time::from_ns(lat_ns), Bandwidth::from_gbps(gbps));
+        let size = DataSize::from_kib(kib);
+        prop_assert_eq!(
+            mem.access_time(size),
+            Time::from_ns(lat_ns) + Bandwidth::from_gbps(gbps).transfer_time(size)
+        );
+    }
+}
+
+#[test]
+fn table5_sweep_grid_is_monotone_along_each_axis() {
+    // Within the §V-B sweep grid, more bandwidth on either axis never
+    // hurts a plain 1 GiB transfer.
+    let size = DataSize::from_mib(1024);
+    for remote in [100u64, 200, 300, 400, 500] {
+        let mut last = Time::MAX;
+        for in_node in (256..=2048).step_by(256) {
+            let t = presets::hiermem_with(in_node, remote).transfer_time(size, TransferMode::Plain);
+            assert!(t <= last, "in-node {in_node} remote {remote}");
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Analytical network backend (ASTRA-sim 2.0 §IV-C).
+//!
+//! The original ASTRA-sim used the cycle-accurate Garnet NoC simulator as
+//! its network layer, which is both too slow for 1000s-of-NPU systems and
+//! hard to retarget at arbitrary multi-dimensional topologies. ASTRA-sim 2.0
+//! replaces it with a closed-form analytical backend:
+//!
+//! ```text
+//! Time = LinkLatency × Hops + MessageSize / LinkBandwidth
+//! ```
+//!
+//! This is accurate for distributed-training traffic because (a) collective
+//! payloads are large (100 MB–1 GB), i.e. bandwidth-bound, and (b)
+//! multi-rail hierarchical collectives on the Ring/FullyConnected/Switch
+//! building blocks are congestion-free by construction.
+//!
+//! The [`NetworkBackend`] trait is the Rust analogue of the paper's
+//! `NetworkAPI` (`sim_send`/`sim_recv`, Snippet 2): the system layer asks
+//! the backend for a completion delay and schedules the callback itself.
+//! The packet-level backend in `astra-garnet` implements the same trait.
+//!
+//! # Example
+//!
+//! ```
+//! use astra_des::DataSize;
+//! use astra_network::{AnalyticalNetwork, NetworkBackend};
+//! use astra_topology::Topology;
+//!
+//! let topo = Topology::parse("R(4)@100_SW(2)@50").unwrap();
+//! let mut net = AnalyticalNetwork::new(topo);
+//! let delay = net.p2p_delay(0, 1, DataSize::from_mib(64));
+//! assert!(delay > astra_des::Time::ZERO);
+//! ```
+
+pub mod congestion;
+
+use astra_des::{DataSize, Time};
+use astra_topology::{NpuId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The network-layer abstraction consumed by the system layer — the Rust
+/// analogue of ASTRA-sim's `NetworkAPI` (paper Snippet 2).
+///
+/// Implementations estimate the end-to-end delay of a point-to-point
+/// message; the caller (the system layer's event loop) schedules completion
+/// callbacks at `now + delay`, mirroring `sim_send(msg_size, dest, callback)`.
+///
+/// The trait takes `&mut self` because stateful backends (the packet-level
+/// simulator) advance internal queues while estimating.
+pub trait NetworkBackend {
+    /// End-to-end delay for one `size`-byte message from `src` to `dst`.
+    ///
+    /// Returns [`Time::ZERO`] when `src == dst`.
+    fn p2p_delay(&mut self, src: NpuId, dst: NpuId, size: DataSize) -> Time;
+
+    /// Human-readable backend name (for reports and experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+/// Tunable constants of the analytical equation.
+///
+/// The paper notes the equation "could be amended to consider other
+/// effects, such as wire propagation delay"; `per_message_overhead` is that
+/// hook (software/NIC fixed cost per message), defaulting to zero.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalyticalConfig {
+    /// Fixed per-message overhead added once per transfer.
+    pub per_message_overhead: Time,
+}
+
+/// The analytical equation-based network backend (§IV-C).
+///
+/// Latency is accumulated per traversed dimension (`hops × link latency`),
+/// and serialization is bounded by the slowest dimension the message
+/// crosses under dimension-ordered routing.
+#[derive(Clone, Debug)]
+pub struct AnalyticalNetwork {
+    topo: Topology,
+    config: AnalyticalConfig,
+}
+
+impl AnalyticalNetwork {
+    /// Creates a backend over `topo` with default configuration.
+    pub fn new(topo: Topology) -> Self {
+        Self::with_config(topo, AnalyticalConfig::default())
+    }
+
+    /// Creates a backend with explicit [`AnalyticalConfig`].
+    pub fn with_config(topo: Topology, config: AnalyticalConfig) -> Self {
+        AnalyticalNetwork { topo, config }
+    }
+
+    /// The topology this backend models.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The latency term only: `Σ_dims hops_d × linkLatency_d` (plus the
+    /// fixed per-message overhead).
+    pub fn latency_term(&self, src: NpuId, dst: NpuId) -> Time {
+        let (ca, cb) = (self.topo.coords(src), self.topo.coords(dst));
+        let mut t = self.config.per_message_overhead;
+        for (dim, (&x, &y)) in self.topo.dims().iter().zip(ca.iter().zip(&cb)) {
+            let hops = dim.block().hop_distance(x, y);
+            t += dim.link_latency() * hops as u64;
+        }
+        t
+    }
+
+    /// The serialization term only: `size / min linkBandwidth` over the
+    /// dimensions where the two endpoints differ (zero for `src == dst`).
+    pub fn serialization_term(&self, src: NpuId, dst: NpuId, size: DataSize) -> Time {
+        let (ca, cb) = (self.topo.coords(src), self.topo.coords(dst));
+        let bottleneck = self
+            .topo
+            .dims()
+            .iter()
+            .zip(ca.iter().zip(&cb))
+            .filter(|(_, (&x, &y))| x != y)
+            .map(|(d, _)| d.bandwidth())
+            .min();
+        match bottleneck {
+            Some(bw) => bw.transfer_time(size),
+            None => Time::ZERO,
+        }
+    }
+}
+
+impl NetworkBackend for AnalyticalNetwork {
+    fn p2p_delay(&mut self, src: NpuId, dst: NpuId, size: DataSize) -> Time {
+        if src == dst {
+            return Time::ZERO;
+        }
+        self.latency_term(src, dst) + self.serialization_term(src, dst, size)
+    }
+
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_des::Bandwidth;
+
+    fn net(notation: &str) -> AnalyticalNetwork {
+        AnalyticalNetwork::new(Topology::parse(notation).unwrap())
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut n = net("R(4)@100");
+        assert_eq!(n.p2p_delay(2, 2, DataSize::from_mib(10)), Time::ZERO);
+    }
+
+    #[test]
+    fn delay_matches_equation_single_dim() {
+        let mut n = net("R(8)@100");
+        // 3 hops x 500ns default latency + 100MB / 100GB/s.
+        let size = DataSize::from_bytes(100_000_000);
+        let expected = Time::from_ns(1500) + Time::from_ms(1);
+        assert_eq!(n.p2p_delay(0, 3, size), expected);
+    }
+
+    #[test]
+    fn multi_dim_uses_bottleneck_bandwidth() {
+        let mut n = net("R(4)@100_SW(2)@25");
+        let size = DataSize::from_bytes(25_000_000); // 1ms at 25 GB/s
+        // src 0 -> dst 5: ring hop 1 + switch hops 2 = 3 hops; bottleneck 25 GB/s.
+        let expected = Time::from_ns(3 * 500) + Time::from_ms(1);
+        assert_eq!(n.p2p_delay(0, 5, size), expected);
+    }
+
+    #[test]
+    fn same_plane_transfer_ignores_other_dims() {
+        let mut n = net("R(4)@100_SW(2)@25");
+        // 0 -> 1 stays in the fast dimension.
+        let size = DataSize::from_bytes(100_000_000);
+        assert_eq!(
+            n.p2p_delay(0, 1, size),
+            Time::from_ns(500) + Time::from_ms(1)
+        );
+    }
+
+    #[test]
+    fn per_message_overhead_applied() {
+        let topo = Topology::parse("R(4)@100").unwrap();
+        let mut n = AnalyticalNetwork::with_config(
+            topo,
+            AnalyticalConfig {
+                per_message_overhead: Time::from_us(5),
+            },
+        );
+        let base = n.p2p_delay(0, 1, DataSize::from_bytes(1));
+        assert!(base >= Time::from_us(5));
+    }
+
+    #[test]
+    fn latency_and_serialization_decompose() {
+        let mut n = net("R(8)@200_SW(4)@50");
+        let size = DataSize::from_mib(64);
+        for (a, b) in [(0usize, 1usize), (0, 20), (3, 27)] {
+            assert_eq!(
+                n.p2p_delay(a, b, size),
+                n.latency_term(a, b) + n.serialization_term(a, b, size)
+            );
+        }
+    }
+
+    #[test]
+    fn backend_reports_name() {
+        let n = net("R(2)@1");
+        assert_eq!(n.name(), "analytical");
+    }
+
+    #[test]
+    fn bandwidth_scaling_halves_serialization() {
+        let slow = net("R(4)@100").serialization_term(0, 1, DataSize::from_gib(1));
+        let fast = net("R(4)@200").serialization_term(0, 1, DataSize::from_gib(1));
+        assert_eq!(slow.as_ps(), fast.as_ps() * 2);
+        let _ = Bandwidth::from_gbps(1); // keep import used
+    }
+}

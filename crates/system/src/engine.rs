@@ -1,0 +1,790 @@
+//! The graph execution engine.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use astra_collectives::{CollectiveEngine, SchedulerPolicy};
+use astra_des::{attribute_exclusive, DataSize, EventQueue, FifoResource, IntervalLog, Time};
+use astra_memory::{LocalMemory, PoolArchitecture, RemoteMemory, TransferMode};
+use astra_network::{AnalyticalNetwork, NetworkBackend};
+use astra_topology::{BuildingBlock, Dimension, NpuId, Topology};
+use astra_workload::{EtOp, ExecutionTrace, Roofline, TensorLocation};
+
+use crate::{Breakdown, SimReport};
+
+/// System-layer configuration (Fig. 1c "System Parameters").
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Pipeline chunks per collective (§IV-B chunked multi-rail execution).
+    pub collective_chunks: u64,
+    /// Collective scheduling policy (baseline or Themis, §V-A.1).
+    pub scheduler: SchedulerPolicy,
+    /// NPU compute model (§V: 234 TFLOPS A100 by default).
+    pub roofline: Roofline,
+    /// Local HBM model (§IV-D.1).
+    pub local_memory: LocalMemory,
+    /// Disaggregated remote pool (§IV-D.2), if the platform has one.
+    pub remote_memory: Option<PoolArchitecture>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            collective_chunks: 128,
+            scheduler: SchedulerPolicy::Baseline,
+            roofline: Roofline::a100(),
+            local_memory: LocalMemory::default(),
+            remote_memory: None,
+        }
+    }
+}
+
+/// Errors detected while setting up or running a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Trace and topology disagree on the NPU count.
+    NpuCountMismatch {
+        /// NPUs in the trace.
+        trace: usize,
+        /// NPUs in the topology.
+        topology: usize,
+    },
+    /// The trace accesses remote memory but no pool is configured.
+    RemoteMemoryUnconfigured,
+    /// A communicator group does not align with the topology's dimension
+    /// grid (its members are not a sub-grid of coordinates).
+    UnalignedGroup {
+        /// Index of the offending group.
+        group: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NpuCountMismatch { trace, topology } => write!(
+                f,
+                "trace targets {trace} NPUs but the topology has {topology}"
+            ),
+            SimError::RemoteMemoryUnconfigured => {
+                write!(f, "trace uses remote memory but no pool is configured")
+            }
+            SimError::UnalignedGroup { group } => write!(
+                f,
+                "communicator group {group} is not aligned to the topology dimension grid"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Activity categories, in exposed-time priority order.
+const COMPUTE: usize = 0;
+const COMM: usize = 1;
+const REMOTE: usize = 2;
+const LOCAL: usize = 3;
+
+#[derive(Copy, Clone, Debug)]
+struct Event {
+    npu: NpuId,
+    node: u32,
+}
+
+struct Meeting {
+    arrivals: Vec<(NpuId, u32, Time)>,
+}
+
+#[derive(Default)]
+struct P2pPending {
+    send: Option<(u32, Time)>,
+    recv: Option<(u32, Time)>,
+}
+
+struct GroupSpan {
+    rep: NpuId,
+    /// (global dimension index, effective sub-dimension) pairs.
+    dims: Vec<(usize, Dimension)>,
+}
+
+/// Simulates one execution trace on a topology, returning the end-to-end
+/// time and the exposed-time breakdown.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when the trace and platform are inconsistent
+/// (NPU count mismatch, remote accesses without a configured pool, or a
+/// communicator group that does not align with the topology grid).
+///
+/// # Example
+///
+/// ```
+/// use astra_system::{simulate, SystemConfig};
+/// use astra_topology::Topology;
+/// use astra_workload::{models, parallelism, Parallelism};
+///
+/// let topo = Topology::parse("R(4)@100_SW(4)@50").unwrap();
+/// let trace = parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 16).unwrap();
+/// let report = simulate(&trace, &topo, &SystemConfig::default()).unwrap();
+/// assert!(report.total_time > astra_des::Time::ZERO);
+/// ```
+pub fn simulate(
+    trace: &ExecutionTrace,
+    topo: &Topology,
+    config: &SystemConfig,
+) -> Result<SimReport, SimError> {
+    if trace.npus() != topo.npus() {
+        return Err(SimError::NpuCountMismatch {
+            trace: trace.npus(),
+            topology: topo.npus(),
+        });
+    }
+    let uses_remote = (0..trace.npus()).any(|n| {
+        trace.program(n).iter().any(|node| {
+            matches!(
+                node.op,
+                EtOp::Memory {
+                    location: TensorLocation::Remote { .. },
+                    ..
+                }
+            )
+        })
+    });
+    if uses_remote && config.remote_memory.is_none() {
+        return Err(SimError::RemoteMemoryUnconfigured);
+    }
+
+    // Pre-compute the dimension span of every communicator group.
+    let mut spans = Vec::with_capacity(trace.groups().len());
+    for (gi, members) in trace.groups().iter().enumerate() {
+        spans.push(group_span(topo, members).ok_or(SimError::UnalignedGroup { group: gi })?);
+    }
+
+    Engine::new(trace, topo, config, spans).run()
+}
+
+/// Determines which topology dimensions a group spans. Members must form a
+/// sub-grid: the product of per-dimension distinct coordinate counts must
+/// equal the group size.
+fn group_span(topo: &Topology, members: &[NpuId]) -> Option<GroupSpan> {
+    assert!(!members.is_empty(), "empty communicator group");
+    let rep = members[0];
+    let mut dims = Vec::new();
+    let mut product = 1usize;
+    for dim_idx in 0..topo.num_dims() {
+        let mut coords: Vec<usize> = members
+            .iter()
+            .map(|&m| topo.coords(m)[dim_idx])
+            .collect();
+        coords.sort_unstable();
+        coords.dedup();
+        let distinct = coords.len();
+        product *= distinct;
+        if distinct > 1 {
+            let base = topo.dims()[dim_idx];
+            let block = match base.block() {
+                BuildingBlock::Ring(_) => BuildingBlock::Ring(distinct),
+                BuildingBlock::FullyConnected(_) => BuildingBlock::FullyConnected(distinct),
+                BuildingBlock::Switch(_) => BuildingBlock::Switch(distinct),
+            };
+            dims.push((
+                dim_idx,
+                Dimension::new(block)
+                    .with_bandwidth(base.bandwidth())
+                    .with_link_latency(base.link_latency()),
+            ));
+        }
+    }
+    (product == members.len()).then_some(GroupSpan { rep, dims })
+}
+
+struct Engine<'a> {
+    trace: &'a ExecutionTrace,
+    config: &'a SystemConfig,
+    collective_engine: CollectiveEngine,
+    network: AnalyticalNetwork,
+    spans: Vec<GroupSpan>,
+
+    queue: EventQueue<Event>,
+    remaining_deps: Vec<Vec<u32>>,
+    dependents: Vec<Vec<Vec<u32>>>,
+
+    compute_res: Vec<FifoResource>,
+    local_res: Vec<FifoResource>,
+    remote_res: Vec<FifoResource>,
+    p2p_res: Vec<FifoResource>,
+    lanes: HashMap<(NpuId, usize), Time>,
+
+    logs: Vec<[IntervalLog; 4]>,
+    finish: Vec<Time>,
+
+    meetings: HashMap<(u32, u64), Meeting>,
+    group_counters: HashMap<(NpuId, u32), u64>,
+    p2p_pending: HashMap<(NpuId, NpuId, u64), P2pPending>,
+
+    collectives: u64,
+    p2p_messages: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        trace: &'a ExecutionTrace,
+        topo: &Topology,
+        config: &'a SystemConfig,
+        spans: Vec<GroupSpan>,
+    ) -> Self {
+        let npus = trace.npus();
+        let mut remaining_deps = Vec::with_capacity(npus);
+        let mut dependents = Vec::with_capacity(npus);
+        for npu in 0..npus {
+            let program = trace.program(npu);
+            let mut deps = Vec::with_capacity(program.len());
+            let mut dnts: Vec<Vec<u32>> = vec![Vec::new(); program.len()];
+            for (idx, node) in program.iter().enumerate() {
+                deps.push(node.deps.len() as u32);
+                for d in &node.deps {
+                    dnts[d.0 as usize].push(idx as u32);
+                }
+            }
+            remaining_deps.push(deps);
+            dependents.push(dnts);
+        }
+        Engine {
+            trace,
+            config,
+            collective_engine: CollectiveEngine::new(
+                config.collective_chunks,
+                config.scheduler,
+            ),
+            network: AnalyticalNetwork::new(topo.clone()),
+            spans,
+            queue: EventQueue::new(),
+            remaining_deps,
+            dependents,
+            compute_res: vec![FifoResource::new(); npus],
+            local_res: vec![FifoResource::new(); npus],
+            remote_res: vec![FifoResource::new(); npus],
+            p2p_res: vec![FifoResource::new(); npus],
+            lanes: HashMap::new(),
+            logs: (0..npus).map(|_| Default::default()).collect(),
+            finish: vec![Time::ZERO; npus],
+            meetings: HashMap::new(),
+            group_counters: HashMap::new(),
+            p2p_pending: HashMap::new(),
+            collectives: 0,
+            p2p_messages: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<SimReport, SimError> {
+        // Seed: every node with no dependencies is ready at t = 0.
+        for npu in 0..self.trace.npus() {
+            for idx in 0..self.trace.program(npu).len() {
+                if self.remaining_deps[npu][idx] == 0 {
+                    self.issue(npu, idx as u32, Time::ZERO);
+                }
+            }
+        }
+        while let Some((now, event)) = self.queue.pop() {
+            self.finish[event.npu] = self.finish[event.npu].max(now);
+            let deps = std::mem::take(&mut self.dependents[event.npu][event.node as usize]);
+            for dependent in deps {
+                let slot = &mut self.remaining_deps[event.npu][dependent as usize];
+                *slot -= 1;
+                if *slot == 0 {
+                    self.issue(event.npu, dependent, now);
+                }
+            }
+        }
+
+        let horizon = self.finish.iter().copied().fold(Time::ZERO, Time::max);
+        let npus = self.trace.npus() as u64;
+        let mut sums = [Time::ZERO; 5];
+        for logs in &self.logs {
+            let parts = attribute_exclusive(
+                &[&logs[COMPUTE], &logs[COMM], &logs[REMOTE], &logs[LOCAL]],
+                horizon,
+            );
+            for (sum, part) in sums.iter_mut().zip(&parts) {
+                *sum += *part;
+            }
+        }
+        let breakdown = Breakdown {
+            compute: sums[0] / npus,
+            exposed_comm: sums[1] / npus,
+            exposed_remote_mem: sums[2] / npus,
+            exposed_local_mem: sums[3] / npus,
+            exposed_idle: sums[4] / npus,
+        };
+        Ok(SimReport {
+            total_time: horizon,
+            breakdown,
+            per_npu_finish: self.finish,
+            collectives: self.collectives,
+            p2p_messages: self.p2p_messages,
+        })
+    }
+
+    /// Dispatches a node whose dependencies are all complete at `now`.
+    fn issue(&mut self, npu: NpuId, node: u32, now: Time) {
+        let op = self.trace.program(npu)[node as usize].op;
+        match op {
+            EtOp::Compute { flops, tensor } => {
+                let service = self.config.roofline.compute_time(flops, tensor);
+                let r = self.compute_res[npu].acquire(now, service);
+                self.logs[npu][COMPUTE].push(r.start, r.end);
+                self.queue.schedule_at(r.end, Event { npu, node });
+            }
+            EtOp::Memory {
+                location: TensorLocation::Local,
+                size,
+                ..
+            } => {
+                let service = self.config.local_memory.access_time(size);
+                let r = self.local_res[npu].acquire(now, service);
+                self.logs[npu][LOCAL].push(r.start, r.end);
+                self.queue.schedule_at(r.end, Event { npu, node });
+            }
+            EtOp::Memory {
+                location: TensorLocation::Remote { gathered },
+                size,
+                ..
+            } => {
+                let pool = self
+                    .config
+                    .remote_memory
+                    .as_ref()
+                    .expect("checked before simulation");
+                let mode = if gathered {
+                    TransferMode::InSwitchCollective
+                } else {
+                    TransferMode::Plain
+                };
+                let service = pool.transfer_time(size, mode);
+                let r = self.remote_res[npu].acquire(now, service);
+                // In-switch collective transfers are communication through
+                // the pool fabric; plain transfers are remote-memory time.
+                let category = if gathered { COMM } else { REMOTE };
+                self.logs[npu][category].push(r.start, r.end);
+                self.queue.schedule_at(r.end, Event { npu, node });
+            }
+            EtOp::Collective { group, .. } => {
+                let counter = self.group_counters.entry((npu, group.0)).or_insert(0);
+                let instance = *counter;
+                *counter += 1;
+                let meeting = self
+                    .meetings
+                    .entry((group.0, instance))
+                    .or_insert_with(|| Meeting {
+                        arrivals: Vec::new(),
+                    });
+                meeting.arrivals.push((npu, node, now));
+                if meeting.arrivals.len() == self.trace.group(group).len() {
+                    let meeting = self
+                        .meetings
+                        .remove(&(group.0, instance))
+                        .expect("meeting exists");
+                    self.run_collective(group.0, meeting);
+                }
+            }
+            EtOp::PeerSend { peer, size, tag } => {
+                let entry = self.p2p_pending.entry((npu, peer, tag)).or_default();
+                entry.send = Some((node, now));
+                if entry.recv.is_some() {
+                    self.resolve_p2p(npu, peer, tag, size);
+                }
+            }
+            EtOp::PeerRecv { peer, size, tag } => {
+                let entry = self.p2p_pending.entry((peer, npu, tag)).or_default();
+                entry.recv = Some((node, now));
+                if entry.send.is_some() {
+                    self.resolve_p2p(peer, npu, tag, size);
+                }
+            }
+        }
+    }
+
+    fn run_collective(&mut self, group: u32, meeting: Meeting) {
+        self.collectives += 1;
+        let span = &self.spans[group as usize];
+        let start = meeting
+            .arrivals
+            .iter()
+            .map(|&(_, _, t)| t)
+            .fold(Time::ZERO, Time::max);
+        let (collective, size) = match self.trace.program(meeting.arrivals[0].0)
+            [meeting.arrivals[0].1 as usize]
+            .op
+        {
+            EtOp::Collective {
+                collective, size, ..
+            } => (collective, size),
+            _ => unreachable!("meeting nodes are collectives"),
+        };
+        let finish = if span.dims.is_empty() {
+            // Single-member group: nothing to communicate.
+            start
+        } else {
+            let dims: Vec<Dimension> = span.dims.iter().map(|&(_, d)| d).collect();
+            let available: Vec<Time> = span
+                .dims
+                .iter()
+                .map(|&(dim_idx, _)| {
+                    self.lanes
+                        .get(&(span.rep, dim_idx))
+                        .copied()
+                        .unwrap_or(Time::ZERO)
+                })
+                .collect();
+            let outcome =
+                self.collective_engine
+                    .run_at(collective, size, &dims, start, &available);
+            for (&(dim_idx, _), &free) in span.dims.iter().zip(&outcome.free_at) {
+                self.lanes.insert((span.rep, dim_idx), free);
+            }
+            outcome.finish
+        };
+        for (npu, node, ready) in meeting.arrivals {
+            if finish > ready {
+                self.logs[npu][COMM].push(ready, finish);
+            }
+            self.queue.schedule_at(finish, Event { npu, node });
+        }
+    }
+
+    fn resolve_p2p(&mut self, src: NpuId, dst: NpuId, tag: u64, size: DataSize) {
+        let entry = self
+            .p2p_pending
+            .remove(&(src, dst, tag))
+            .expect("pending p2p exists");
+        let (send_node, send_ready) = entry.send.expect("send side present");
+        let (recv_node, recv_ready) = entry.recv.expect("recv side present");
+        self.p2p_messages += 1;
+        let ready = send_ready.max(recv_ready);
+        let delay = self.network.p2p_delay(src, dst, size);
+        let r = self.p2p_res[src].acquire(ready, delay);
+        self.logs[src][COMM].push(send_ready, r.end);
+        if r.end > recv_ready {
+            self.logs[dst][COMM].push(recv_ready, r.end);
+        }
+        self.queue.schedule_at(r.end, Event {
+            npu: src,
+            node: send_node,
+        });
+        self.queue.schedule_at(r.end, Event {
+            npu: dst,
+            node: recv_node,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_collectives::Collective;
+    use astra_workload::{models, parallelism, EtOp, Parallelism, TraceBuilder};
+
+    fn topo512() -> Topology {
+        Topology::parse("R(2)@250_FC(8)@200_R(8)@100_SW(4)@50").unwrap()
+    }
+
+    fn small_topo() -> Topology {
+        Topology::parse("R(4)@100_SW(4)@50").unwrap()
+    }
+
+    #[test]
+    fn single_compute_node_runs_for_roofline_time() {
+        let topo = Topology::parse("R(2)@100").unwrap();
+        let mut b = TraceBuilder::new(2);
+        for npu in 0..2 {
+            b.node(
+                npu,
+                "c",
+                EtOp::Compute {
+                    flops: 234e12,
+                    tensor: DataSize::ZERO,
+                },
+                &[],
+            );
+        }
+        let report = simulate(&b.build().unwrap(), &topo, &SystemConfig::default()).unwrap();
+        assert_eq!(report.total_time, Time::from_secs(1));
+        assert_eq!(report.breakdown.compute, Time::from_secs(1));
+        assert_eq!(report.breakdown.exposed_idle, Time::ZERO);
+    }
+
+    #[test]
+    fn npu_count_mismatch_rejected() {
+        let trace =
+            parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 8).unwrap();
+        assert_eq!(
+            simulate(&trace, &small_topo(), &SystemConfig::default()),
+            Err(SimError::NpuCountMismatch {
+                trace: 8,
+                topology: 16
+            })
+        );
+    }
+
+    #[test]
+    fn remote_access_requires_pool() {
+        let moe = models::moe_1t();
+        let trace =
+            parallelism::generate_disaggregated_moe(&moe, 16, &Default::default()).unwrap();
+        assert_eq!(
+            simulate(&trace, &small_topo(), &SystemConfig::default()),
+            Err(SimError::RemoteMemoryUnconfigured)
+        );
+    }
+
+    #[test]
+    fn group_span_subsets_dimensions() {
+        let topo = topo512();
+        // Contiguous 16-NPU group: spans dims 0 (k=2) and 1 (k=8).
+        let span = group_span(&topo, &(0..16).collect::<Vec<_>>()).unwrap();
+        let dims: Vec<usize> = span.dims.iter().map(|&(d, _)| d).collect();
+        assert_eq!(dims, vec![0, 1]);
+        assert_eq!(span.dims[0].1.npus(), 2);
+        assert_eq!(span.dims[1].1.npus(), 8);
+        // Strided DP group: spans dims 2 and 3.
+        let dp: Vec<usize> = (0..32).map(|i| i * 16).collect();
+        let span = group_span(&topo, &dp).unwrap();
+        let dims: Vec<usize> = span.dims.iter().map(|&(d, _)| d).collect();
+        assert_eq!(dims, vec![2, 3]);
+    }
+
+    #[test]
+    fn unaligned_group_rejected() {
+        let topo = small_topo();
+        // Three members cannot form a sub-grid of a 4x4 topology.
+        assert!(group_span(&topo, &[0, 1, 5]).is_none());
+        let mut b = TraceBuilder::new(16);
+        let g = b.add_group(vec![0, 1, 5]);
+        b.node(
+            0,
+            "ar",
+            EtOp::Collective {
+                collective: Collective::AllReduce,
+                size: DataSize::from_mib(1),
+                group: g,
+            },
+            &[],
+        );
+        // The other members never issue, but setup validation runs first.
+        let trace_err = simulate(&b.build().unwrap(), &topo, &SystemConfig::default());
+        assert_eq!(trace_err, Err(SimError::UnalignedGroup { group: 0 }));
+    }
+
+    #[test]
+    fn gradient_allreduce_overlaps_with_backward() {
+        // Data-parallel GPT-3 slice: gradient All-Reduces should hide
+        // behind subsequent backward compute, so exposed comm is well below
+        // total collective time.
+        let mut model = models::gpt3_175b();
+        model.layers.truncate(8);
+        let trace = parallelism::generate_trace(&model, Parallelism::Data, 16).unwrap();
+        let report = simulate(&trace, &small_topo(), &SystemConfig::default()).unwrap();
+        assert!(report.collectives > 0);
+        assert!(report.breakdown.compute > Time::ZERO);
+        // Overlap exists: some comm is hidden.
+        let b = &report.breakdown;
+        assert!(b.exposed_comm < report.total_time);
+        assert!(b.total() == report.total_time);
+    }
+
+    #[test]
+    fn sibling_groups_run_in_parallel() {
+        // Two MP groups doing identical collectives should not serialize:
+        // total time must be close to a single group's time.
+        let topo = small_topo();
+        let make = |groups: &[Vec<usize>]| {
+            let mut b = TraceBuilder::new(16);
+            for members in groups {
+                let g = b.add_group(members.clone());
+                for &npu in members {
+                    b.node(
+                        npu,
+                        "ar",
+                        EtOp::Collective {
+                            collective: Collective::AllReduce,
+                            size: DataSize::from_mib(64),
+                            group: g,
+                        },
+                        &[],
+                    );
+                }
+            }
+            b.build().unwrap()
+        };
+        let one = simulate(
+            &make(&[(0..4).collect()]),
+            &topo,
+            &SystemConfig::default(),
+        )
+        .unwrap();
+        let four = simulate(
+            &make(&[
+                (0..4).collect(),
+                (4..8).collect(),
+                (8..12).collect(),
+                (12..16).collect(),
+            ]),
+            &topo,
+            &SystemConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(one.total_time, four.total_time);
+    }
+
+    #[test]
+    fn successive_collectives_on_same_group_contend() {
+        let topo = small_topo();
+        let mut b = TraceBuilder::new(16);
+        let g = b.add_group((0..4).collect());
+        for npu in 0..4 {
+            let first = b.node(
+                npu,
+                "ar1",
+                EtOp::Collective {
+                    collective: Collective::AllReduce,
+                    size: DataSize::from_mib(64),
+                    group: g,
+                },
+                &[],
+            );
+            // Second collective issued immediately (no dependency), but the
+            // links are busy.
+            let _ = first;
+            b.node(
+                npu,
+                "ar2",
+                EtOp::Collective {
+                    collective: Collective::AllReduce,
+                    size: DataSize::from_mib(64),
+                    group: g,
+                },
+                &[],
+            );
+        }
+        let report = simulate(&b.build().unwrap(), &topo, &SystemConfig::default()).unwrap();
+        let single = {
+            let mut b = TraceBuilder::new(16);
+            let g = b.add_group((0..4).collect());
+            for npu in 0..4 {
+                b.node(
+                    npu,
+                    "ar",
+                    EtOp::Collective {
+                        collective: Collective::AllReduce,
+                        size: DataSize::from_mib(64),
+                        group: g,
+                    },
+                    &[],
+                );
+            }
+            simulate(&b.build().unwrap(), &topo, &SystemConfig::default()).unwrap()
+        };
+        let ratio = report.total_time.as_us_f64() / single.total_time.as_us_f64();
+        assert!(ratio > 1.9, "two back-to-back collectives: {ratio}");
+    }
+
+    #[test]
+    fn pipeline_trace_creates_bubbles() {
+        let mut model = models::gpt3_175b();
+        model.layers.truncate(16);
+        let trace = parallelism::generate_trace(
+            &model,
+            Parallelism::Pipeline {
+                stages: 4,
+                microbatches: 4,
+            },
+            16,
+        )
+        .unwrap();
+        let report = simulate(&trace, &small_topo(), &SystemConfig::default()).unwrap();
+        assert!(report.p2p_messages > 0);
+        // Pipeline fill/drain leaves idle time on the stages.
+        assert!(report.breakdown.exposed_idle > Time::ZERO);
+    }
+
+    #[test]
+    fn themis_scheduler_helps_multidim_allreduce() {
+        // A bandwidth-bound world All-Reduce (the Fig. 9a microbenchmark).
+        let mut b = TraceBuilder::new(512);
+        let world = b.add_group((0..512).collect());
+        for npu in 0..512 {
+            b.node(
+                npu,
+                "ar",
+                EtOp::Collective {
+                    collective: Collective::AllReduce,
+                    size: DataSize::from_gib(1),
+                    group: world,
+                },
+                &[],
+            );
+        }
+        let trace = b.build().unwrap();
+        let base = simulate(&trace, &topo512(), &SystemConfig::default()).unwrap();
+        let themis = simulate(
+            &trace,
+            &topo512(),
+            &SystemConfig {
+                scheduler: SchedulerPolicy::Themis,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            themis.total_time.as_us_f64() < base.total_time.as_us_f64() * 0.95,
+            "themis {} vs baseline {}",
+            themis.total_time,
+            base.total_time
+        );
+    }
+
+    #[test]
+    fn themis_within_noise_on_mixed_workloads() {
+        // On an All-to-All heavy workload (DLRM) the scheduler cannot help,
+        // but it must not meaningfully hurt either.
+        let trace =
+            parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 512).unwrap();
+        let base = simulate(&trace, &topo512(), &SystemConfig::default()).unwrap();
+        let themis = simulate(
+            &trace,
+            &topo512(),
+            &SystemConfig {
+                scheduler: SchedulerPolicy::Themis,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ratio = themis.total_time.as_us_f64() / base.total_time.as_us_f64();
+        assert!(ratio < 1.05, "{ratio}");
+    }
+
+    #[test]
+    fn moe_simulation_produces_five_way_breakdown() {
+        let moe = models::moe_1t();
+        let mut model = moe.clone();
+        model.layers.truncate(2);
+        let trace =
+            parallelism::generate_disaggregated_moe(&model, 256, &Default::default()).unwrap();
+        let topo = Topology::parse("SW(16)@256_SW(16)@256").unwrap();
+        let config = SystemConfig {
+            roofline: Roofline::table5_gpu(),
+            local_memory: astra_memory::presets::case_study_hbm(),
+            remote_memory: Some(PoolArchitecture::Hierarchical(
+                astra_memory::presets::hiermem_baseline(),
+            )),
+            ..Default::default()
+        };
+        let report = simulate(&trace, &topo, &config).unwrap();
+        let b = &report.breakdown;
+        assert!(b.compute > Time::ZERO);
+        assert!(b.exposed_comm > Time::ZERO);
+        assert!(b.exposed_remote_mem > Time::ZERO);
+        assert_eq!(b.total(), report.total_time);
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulation reports and exposed-time breakdowns.
+
+use astra_des::Time;
+use std::fmt;
+
+/// The paper's five-way runtime attribution (Fig. 9 / Fig. 11): every
+/// instant of the execution horizon is attributed to the highest-priority
+/// active category — compute first, then communication, remote memory,
+/// local memory, and finally idle.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Total compute time.
+    pub compute: Time,
+    /// Exposed (non-hidden) communication time, including in-switch
+    /// collective transfers through the memory fabric.
+    pub exposed_comm: Time,
+    /// Exposed plain remote-memory time.
+    pub exposed_remote_mem: Time,
+    /// Exposed local-memory (HBM) time.
+    pub exposed_local_mem: Time,
+    /// Time with no activity (pipeline bubbles, rendezvous waits with no
+    /// local work).
+    pub exposed_idle: Time,
+}
+
+impl Breakdown {
+    /// Sum of all five categories — equals the execution horizon.
+    pub fn total(&self) -> Time {
+        self.compute
+            + self.exposed_comm
+            + self.exposed_remote_mem
+            + self.exposed_local_mem
+            + self.exposed_idle
+    }
+
+    /// Fraction of the horizon spent in exposed communication.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total() == Time::ZERO {
+            return 0.0;
+        }
+        self.exposed_comm.as_us_f64() / self.total().as_us_f64()
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compute {} | comm {} | remote {} | local {} | idle {}",
+            self.compute,
+            self.exposed_comm,
+            self.exposed_remote_mem,
+            self.exposed_local_mem,
+            self.exposed_idle
+        )
+    }
+}
+
+/// Result of simulating an execution trace on a platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// End-to-end execution time (max NPU finish time).
+    pub total_time: Time,
+    /// Mean per-NPU exposed-time breakdown (the categories sum to
+    /// `total_time`).
+    pub breakdown: Breakdown,
+    /// Finish time of each NPU.
+    pub per_npu_finish: Vec<Time>,
+    /// Number of collective instances executed.
+    pub collectives: u64,
+    /// Number of peer-to-peer messages delivered.
+    pub p2p_messages: u64,
+}
+
+impl SimReport {
+    /// The earliest NPU finish time — the spread against
+    /// [`SimReport::total_time`] indicates load imbalance (e.g. pipeline
+    /// bubbles).
+    pub fn min_finish(&self) -> Time {
+        self.per_npu_finish
+            .iter()
+            .copied()
+            .fold(Time::MAX, Time::min)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} [{}] ({} collectives, {} p2p)",
+            self.total_time, self.breakdown, self.collectives, self.p2p_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_categories() {
+        let b = Breakdown {
+            compute: Time::from_us(10),
+            exposed_comm: Time::from_us(5),
+            exposed_remote_mem: Time::from_us(3),
+            exposed_local_mem: Time::from_us(2),
+            exposed_idle: Time::from_us(1),
+        };
+        assert_eq!(b.total(), Time::from_us(21));
+        assert!((b.comm_fraction() - 5.0 / 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_comm_fraction() {
+        assert_eq!(Breakdown::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_categories() {
+        let text = Breakdown::default().to_string();
+        for word in ["compute", "comm", "remote", "local", "idle"] {
+            assert!(text.contains(word), "{text} missing {word}");
+        }
+    }
+}

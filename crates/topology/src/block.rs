@@ -1,0 +1,165 @@
+//! The three hierarchical topology building blocks (paper Fig. 3a).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A network building block connecting `k` NPUs within one dimension.
+///
+/// The paper deliberately restricts dimensions to these three blocks because
+/// each has a well-known *congestion-free* topology-aware collective
+/// algorithm (Table I): Ring → Ring algorithm, FullyConnected → Direct,
+/// Switch → Halving-Doubling. Any multi-dimensional topology assembled from
+/// them can therefore run multi-rail hierarchical collectives without
+/// modeling congestion.
+///
+/// # Example
+///
+/// ```
+/// use astra_topology::BuildingBlock;
+///
+/// let ring = BuildingBlock::Ring(8);
+/// assert_eq!(ring.npus(), 8);
+/// assert_eq!(ring.to_string(), "Ring(8)");
+/// assert_eq!(ring.hop_distance(0, 5), 3); // shortest way around
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BuildingBlock {
+    /// `k` NPUs connected in a bidirectional ring (two links per NPU).
+    Ring(usize),
+    /// `k` NPUs with direct all-to-all connectivity.
+    FullyConnected(usize),
+    /// `k` NPUs attached to an external switch fabric.
+    Switch(usize),
+}
+
+impl BuildingBlock {
+    /// Number of NPUs the block connects.
+    pub fn npus(&self) -> usize {
+        match *self {
+            BuildingBlock::Ring(k)
+            | BuildingBlock::FullyConnected(k)
+            | BuildingBlock::Switch(k) => k,
+        }
+    }
+
+    /// Short notation name used in topology strings (`R`, `FC`, `SW`).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            BuildingBlock::Ring(_) => "R",
+            BuildingBlock::FullyConnected(_) => "FC",
+            BuildingBlock::Switch(_) => "SW",
+        }
+    }
+
+    /// Full notation name used in topology strings.
+    pub fn long_name(&self) -> &'static str {
+        match self {
+            BuildingBlock::Ring(_) => "Ring",
+            BuildingBlock::FullyConnected(_) => "FullyConnected",
+            BuildingBlock::Switch(_) => "Switch",
+        }
+    }
+
+    /// Number of network hops between two member NPUs (positions within the
+    /// block), as used by the analytical latency term `LinkLatency × Hops`.
+    ///
+    /// * Ring: shortest ring distance.
+    /// * FullyConnected: 1 (direct link).
+    /// * Switch: 2 (NPU → switch → NPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn hop_distance(&self, from: usize, to: usize) -> usize {
+        let k = self.npus();
+        assert!(from < k && to < k, "block position out of range");
+        if from == to {
+            return 0;
+        }
+        match self {
+            BuildingBlock::Ring(_) => {
+                let d = from.abs_diff(to);
+                d.min(k - d)
+            }
+            BuildingBlock::FullyConnected(_) => 1,
+            BuildingBlock::Switch(_) => 2,
+        }
+    }
+
+    /// Worst-case hop count between any two members (network diameter of the
+    /// block).
+    pub fn diameter(&self) -> usize {
+        match self {
+            BuildingBlock::Ring(_) => self.npus() / 2,
+            BuildingBlock::FullyConnected(_) => 1,
+            BuildingBlock::Switch(_) => 2,
+        }
+    }
+
+    /// Number of point-to-point links each member NPU owns in this block
+    /// (per direction). Switch blocks use one up-link per NPU.
+    pub fn links_per_npu(&self) -> usize {
+        match self {
+            BuildingBlock::Ring(k) => {
+                if *k == 2 {
+                    1
+                } else {
+                    2
+                }
+            }
+            BuildingBlock::FullyConnected(k) => k - 1,
+            BuildingBlock::Switch(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for BuildingBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.long_name(), self.npus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn npus_and_names() {
+        assert_eq!(BuildingBlock::Ring(4).npus(), 4);
+        assert_eq!(BuildingBlock::FullyConnected(8).short_name(), "FC");
+        assert_eq!(BuildingBlock::Switch(2).long_name(), "Switch");
+        assert_eq!(BuildingBlock::Switch(2).to_string(), "Switch(2)");
+    }
+
+    #[test]
+    fn ring_hop_distance_wraps() {
+        let r = BuildingBlock::Ring(8);
+        assert_eq!(r.hop_distance(0, 1), 1);
+        assert_eq!(r.hop_distance(0, 4), 4);
+        assert_eq!(r.hop_distance(0, 7), 1);
+        assert_eq!(r.hop_distance(3, 3), 0);
+        assert_eq!(r.diameter(), 4);
+    }
+
+    #[test]
+    fn fc_and_switch_distances() {
+        assert_eq!(BuildingBlock::FullyConnected(16).hop_distance(2, 9), 1);
+        assert_eq!(BuildingBlock::Switch(16).hop_distance(2, 9), 2);
+        assert_eq!(BuildingBlock::FullyConnected(16).diameter(), 1);
+        assert_eq!(BuildingBlock::Switch(16).diameter(), 2);
+    }
+
+    #[test]
+    fn links_per_npu_counts() {
+        assert_eq!(BuildingBlock::Ring(2).links_per_npu(), 1);
+        assert_eq!(BuildingBlock::Ring(8).links_per_npu(), 2);
+        assert_eq!(BuildingBlock::FullyConnected(8).links_per_npu(), 7);
+        assert_eq!(BuildingBlock::Switch(8).links_per_npu(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hop_distance_bounds_checked() {
+        BuildingBlock::Ring(4).hop_distance(0, 4);
+    }
+}

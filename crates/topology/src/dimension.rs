@@ -1,0 +1,143 @@
+//! One dimension of a hierarchical topology: a building block plus its
+//! bandwidth/latency configuration.
+
+use astra_des::{Bandwidth, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::BuildingBlock;
+
+/// Default per-link latency when a topology string does not specify one.
+/// Representative of a scale-up fabric hop; large-model collectives
+/// (100 MB–1 GB, §IV-C) are bandwidth-bound so this term is second order.
+pub(crate) const DEFAULT_LINK_LATENCY: Time = Time::from_ns(500);
+
+/// Default per-NPU bandwidth for dimensions created without an explicit
+/// value (can always be overridden via [`Dimension::with_bandwidth`]).
+pub(crate) const DEFAULT_BANDWIDTH_GBPS: u64 = 100;
+
+/// A single network dimension: a [`BuildingBlock`] with the aggregate
+/// per-NPU bandwidth and per-link latency of that fabric.
+///
+/// `bandwidth` is the *aggregate injection bandwidth per NPU into this
+/// dimension* (the quantity the paper's tables quote, e.g. Conv-4D =
+/// `250_200_100_50` GB/s): a ring NPU splits it across its two directions,
+/// a fully-connected NPU across its `k-1` direct links, and a switch NPU
+/// drives it through its single up-link.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{Bandwidth, Time};
+/// use astra_topology::{BuildingBlock, Dimension};
+///
+/// let dim = Dimension::new(BuildingBlock::Ring(4))
+///     .with_bandwidth(Bandwidth::from_gbps(250))
+///     .with_link_latency(Time::from_ns(100));
+/// assert_eq!(dim.npus(), 4);
+/// assert_eq!(dim.bandwidth().as_gbps_f64(), 250.0);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dimension {
+    block: BuildingBlock,
+    bandwidth: Bandwidth,
+    link_latency: Time,
+}
+
+impl Dimension {
+    /// Creates a dimension with the default bandwidth (100 GB/s) and link
+    /// latency (500 ns).
+    pub fn new(block: BuildingBlock) -> Self {
+        Dimension {
+            block,
+            bandwidth: Bandwidth::from_gbps(DEFAULT_BANDWIDTH_GBPS),
+            link_latency: DEFAULT_LINK_LATENCY,
+        }
+    }
+
+    /// Sets the aggregate per-NPU bandwidth of this dimension.
+    pub fn with_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the per-link (per-hop) latency of this dimension.
+    pub fn with_link_latency(mut self, latency: Time) -> Self {
+        self.link_latency = latency;
+        self
+    }
+
+    /// The building block of this dimension.
+    pub fn block(&self) -> BuildingBlock {
+        self.block
+    }
+
+    /// Number of NPUs along this dimension.
+    pub fn npus(&self) -> usize {
+        self.block.npus()
+    }
+
+    /// Aggregate per-NPU bandwidth into this dimension.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Per-link latency of this dimension.
+    pub fn link_latency(&self) -> Time {
+        self.link_latency
+    }
+
+    /// Bandwidth of one individual physical link of this dimension
+    /// (the per-NPU aggregate split across the block's links per NPU).
+    pub fn link_bandwidth(&self) -> Bandwidth {
+        self.bandwidth.share(self.block.links_per_npu() as u64)
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{:.0}", self.block, self.bandwidth.as_gbps_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let d = Dimension::new(BuildingBlock::Switch(16))
+            .with_bandwidth(Bandwidth::from_gbps(50))
+            .with_link_latency(Time::from_us(1));
+        assert_eq!(d.block(), BuildingBlock::Switch(16));
+        assert_eq!(d.npus(), 16);
+        assert_eq!(d.bandwidth(), Bandwidth::from_gbps(50));
+        assert_eq!(d.link_latency(), Time::from_us(1));
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let d = Dimension::new(BuildingBlock::Ring(4));
+        assert_eq!(d.bandwidth(), Bandwidth::from_gbps(DEFAULT_BANDWIDTH_GBPS));
+        assert_eq!(d.link_latency(), DEFAULT_LINK_LATENCY);
+    }
+
+    #[test]
+    fn link_bandwidth_splits_aggregate() {
+        let ring = Dimension::new(BuildingBlock::Ring(8))
+            .with_bandwidth(Bandwidth::from_gbps(200));
+        assert_eq!(ring.link_bandwidth(), Bandwidth::from_gbps(100));
+        let fc = Dimension::new(BuildingBlock::FullyConnected(5))
+            .with_bandwidth(Bandwidth::from_gbps(200));
+        assert_eq!(fc.link_bandwidth(), Bandwidth::from_gbps(50));
+        let sw = Dimension::new(BuildingBlock::Switch(64))
+            .with_bandwidth(Bandwidth::from_gbps(200));
+        assert_eq!(sw.link_bandwidth(), Bandwidth::from_gbps(200));
+    }
+
+    #[test]
+    fn display_includes_bandwidth() {
+        let d = Dimension::new(BuildingBlock::Ring(4)).with_bandwidth(Bandwidth::from_gbps(250));
+        assert_eq!(d.to_string(), "Ring(4)@250");
+    }
+}

@@ -1,0 +1,228 @@
+//! Parser for the paper's multi-dimensional topology notation (Fig. 3c).
+//!
+//! Grammar (case-insensitive block names, ASCII whitespace ignored):
+//!
+//! ```text
+//! topology  := dimension ("_" dimension)*
+//! dimension := name "(" count ")" ("@" bandwidth_gbps)?
+//! name      := "Ring" | "R" | "FullyConnected" | "FC" | "Switch" | "SW"
+//! ```
+//!
+//! Examples: `Ring(4)_Ring(2)` (TPUv2), `FC(4)_SW(2)` (Intel Habana),
+//! `R(16)@200_FC(8)@100_SW(4)@50` (Conv-3D with Table II bandwidths).
+
+use astra_des::Bandwidth;
+use std::error::Error;
+use std::fmt;
+
+use crate::{BuildingBlock, Dimension, Topology};
+
+/// Error produced when parsing a topology notation string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseTopologyError {
+    /// The input was empty or contained an empty dimension between `_`s.
+    Empty,
+    /// A dimension did not match `Name(count)`.
+    Malformed {
+        /// The offending dimension text.
+        dimension: String,
+    },
+    /// The block name was not one of `Ring`/`R`/`FullyConnected`/`FC`/`Switch`/`SW`.
+    UnknownBlock {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// The NPU count was not a positive integer or was less than 2.
+    BadCount {
+        /// The offending count text.
+        count: String,
+    },
+    /// The `@bandwidth` suffix was not a positive number of GB/s.
+    BadBandwidth {
+        /// The offending bandwidth text.
+        bandwidth: String,
+    },
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTopologyError::Empty => write!(f, "empty topology notation"),
+            ParseTopologyError::Malformed { dimension } => {
+                write!(f, "malformed dimension `{dimension}`, expected `Name(count)`")
+            }
+            ParseTopologyError::UnknownBlock { name } => write!(
+                f,
+                "unknown building block `{name}`, expected Ring/R, FullyConnected/FC, or Switch/SW"
+            ),
+            ParseTopologyError::BadCount { count } => {
+                write!(f, "invalid NPU count `{count}`, expected an integer >= 2")
+            }
+            ParseTopologyError::BadBandwidth { bandwidth } => {
+                write!(f, "invalid bandwidth `{bandwidth}`, expected GB/s > 0")
+            }
+        }
+    }
+}
+
+impl Error for ParseTopologyError {}
+
+/// Parses a topology notation string. See the module docs for the grammar.
+pub(crate) fn parse(s: &str) -> Result<Topology, ParseTopologyError> {
+    let cleaned: String = s.chars().filter(|c| !c.is_ascii_whitespace()).collect();
+    if cleaned.is_empty() {
+        return Err(ParseTopologyError::Empty);
+    }
+    let mut dims = Vec::new();
+    for part in cleaned.split('_') {
+        if part.is_empty() {
+            return Err(ParseTopologyError::Empty);
+        }
+        dims.push(parse_dimension(part)?);
+    }
+    Ok(Topology::new(dims))
+}
+
+fn parse_dimension(part: &str) -> Result<Dimension, ParseTopologyError> {
+    let malformed = || ParseTopologyError::Malformed {
+        dimension: part.to_owned(),
+    };
+    let open = part.find('(').ok_or_else(malformed)?;
+    let close = part.find(')').ok_or_else(malformed)?;
+    if close < open {
+        return Err(malformed());
+    }
+    let name = &part[..open];
+    let count_text = &part[open + 1..close];
+    let suffix = &part[close + 1..];
+
+    let count: usize = count_text
+        .parse()
+        .map_err(|_| ParseTopologyError::BadCount {
+            count: count_text.to_owned(),
+        })?;
+    if count < 2 {
+        return Err(ParseTopologyError::BadCount {
+            count: count_text.to_owned(),
+        });
+    }
+
+    let block = match name.to_ascii_lowercase().as_str() {
+        "ring" | "r" => BuildingBlock::Ring(count),
+        "fullyconnected" | "fc" => BuildingBlock::FullyConnected(count),
+        "switch" | "sw" => BuildingBlock::Switch(count),
+        _ => {
+            return Err(ParseTopologyError::UnknownBlock {
+                name: name.to_owned(),
+            })
+        }
+    };
+
+    let mut dim = Dimension::new(block);
+    if !suffix.is_empty() {
+        let bw_text = suffix.strip_prefix('@').ok_or_else(malformed)?;
+        let gbps: f64 = bw_text
+            .parse()
+            .map_err(|_| ParseTopologyError::BadBandwidth {
+                bandwidth: bw_text.to_owned(),
+            })?;
+        if !(gbps.is_finite() && gbps > 0.0) {
+            return Err(ParseTopologyError::BadBandwidth {
+                bandwidth: bw_text.to_owned(),
+            });
+        }
+        dim = dim.with_bandwidth(Bandwidth::from_bytes_per_sec((gbps * 1e9) as u64));
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_long_and_short_names() {
+        let a = Topology::parse("Ring(4)_FullyConnected(2)_Switch(2)").unwrap();
+        let b = Topology::parse("R(4)_FC(2)_SW(2)").unwrap();
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.dims()[1].block(), BuildingBlock::FullyConnected(2));
+    }
+
+    #[test]
+    fn case_insensitive_and_whitespace_tolerant() {
+        let t = Topology::parse(" ring(4) _ sw(2) ").unwrap();
+        assert_eq!(t.npus(), 8);
+    }
+
+    #[test]
+    fn parses_bandwidth_suffix() {
+        let t = Topology::parse("R(2)@250_FC(8)@200_R(8)@100_SW(4)@50").unwrap();
+        let bws: Vec<f64> = t.dims().iter().map(|d| d.bandwidth().as_gbps_f64()).collect();
+        assert_eq!(bws, vec![250.0, 200.0, 100.0, 50.0]);
+    }
+
+    #[test]
+    fn parses_fractional_bandwidth() {
+        let t = Topology::parse("R(4)@12.5").unwrap();
+        assert_eq!(t.dims()[0].bandwidth().as_bytes_per_sec(), 12_500_000_000);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Topology::parse(""), Err(ParseTopologyError::Empty));
+        assert_eq!(Topology::parse("R(4)__SW(2)"), Err(ParseTopologyError::Empty));
+    }
+
+    #[test]
+    fn rejects_unknown_block() {
+        assert!(matches!(
+            Topology::parse("Mesh(4)"),
+            Err(ParseTopologyError::UnknownBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_count() {
+        assert!(matches!(
+            Topology::parse("R(x)"),
+            Err(ParseTopologyError::BadCount { .. })
+        ));
+        assert!(matches!(
+            Topology::parse("R(1)"),
+            Err(ParseTopologyError::BadCount { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_bandwidth() {
+        assert!(matches!(
+            Topology::parse("R(4)@-3"),
+            Err(ParseTopologyError::BadBandwidth { .. })
+        ));
+        assert!(matches!(
+            Topology::parse("R(4)@fast"),
+            Err(ParseTopologyError::BadBandwidth { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_dimension() {
+        for bad in ["R4", "R(4", "R)4(", "R(4)x"] {
+            assert!(
+                matches!(
+                    Topology::parse(bad),
+                    Err(ParseTopologyError::Malformed { .. })
+                ),
+                "{bad} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Topology::parse("Mesh(4)").unwrap_err();
+        assert!(err.to_string().contains("Mesh"));
+        let err = Topology::parse("R(1)").unwrap_err();
+        assert!(err.to_string().contains('1'));
+    }
+}

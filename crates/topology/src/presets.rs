@@ -1,0 +1,165 @@
+//! Topology presets: every system named in the paper.
+//!
+//! * Fig. 3c examples — commercial platforms expressed in the taxonomy.
+//! * Table II — the wafer-scale vs conventional case-study systems (§V-A).
+//! * The scaling variants of §V-A.2 / Table IV / Fig. 9(b).
+//!
+//! All bandwidths are the paper's per-NPU aggregates in GB/s.
+
+use astra_des::Bandwidth;
+
+use crate::Topology;
+
+fn parse(s: &str) -> Topology {
+    Topology::parse(s).expect("preset notation is valid")
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3(c) commercial-platform examples.
+// ---------------------------------------------------------------------------
+
+/// Google TPUv2 / TPUv3: 2D torus, `R(4)_R(2)` (Fig. 3c).
+pub fn tpu_v2() -> Topology {
+    parse("R(4)_R(2)")
+}
+
+/// NVIDIA DGX-2 / DGX-A100 class: switch-over-switch, `SW(3)_SW(2)` (Fig. 3c).
+pub fn dgx_a100() -> Topology {
+    parse("SW(3)_SW(2)")
+}
+
+/// Intel Habana class: fully-connected node scaled out by a switch,
+/// `FC(4)_SW(2)` (Fig. 3c).
+pub fn habana() -> Topology {
+    parse("FC(4)_SW(2)")
+}
+
+/// Meta Zion / NVIDIA DGX-1 class: ring node scaled out by a switch,
+/// `R(4)_SW(2)` (Fig. 3c).
+pub fn zion() -> Topology {
+    parse("R(4)_SW(2)")
+}
+
+/// Fully-populated DragonFly: `FC(4)_FC(2)_FC(2)` (Fig. 3c).
+pub fn dragonfly() -> Topology {
+    parse("FC(4)_FC(2)_FC(2)")
+}
+
+/// Google TPUv4: 3D torus, `R(4)_R(2)_R(2)` (Fig. 3c).
+pub fn tpu_v4() -> Topology {
+    parse("R(4)_R(2)_R(2)")
+}
+
+// ---------------------------------------------------------------------------
+// Table II — case-study systems (512 NPUs each).
+// ---------------------------------------------------------------------------
+
+/// W-1D wafer-scale proxy (Table II): 512 NPUs on one high-bandwidth
+/// on-wafer dimension. `bw_gbps` ∈ {350, 500, 600} in the paper.
+pub fn w1d(bw_gbps: u64) -> Topology {
+    parse("SW(512)").with_dim_bandwidth(0, Bandwidth::from_gbps(bw_gbps))
+}
+
+/// W-2D wafer-scale proxy (Table II): `SW(32)_SW(16)` at 250_250 GB/s.
+pub fn w2d() -> Topology {
+    parse("SW(32)@250_SW(16)@250")
+}
+
+/// Conv-3D conventional system (Table II): `R(16)_FC(8)_SW(4)` at
+/// 200_100_50 GB/s.
+pub fn conv3d() -> Topology {
+    parse("R(16)@200_FC(8)@100_SW(4)@50")
+}
+
+/// Conv-4D conventional system (Table II): `R(2)_FC(8)_R(8)_SW(4)` at
+/// 250_200_100_50 GB/s (600 GB/s aggregate per NPU).
+pub fn conv4d() -> Topology {
+    parse("R(2)@250_FC(8)@200_R(8)@100_SW(4)@50")
+}
+
+// ---------------------------------------------------------------------------
+// §V-A.2 scaling study (Table IV / Fig. 9b).
+// ---------------------------------------------------------------------------
+
+/// Base-512 (§V-A.2): Conv-4D with its on-chip dimension boosted to
+/// 1000 GB/s to model a wafer-class first dimension: `2_8_8_4`.
+pub fn base512() -> Topology {
+    conv4d().with_dim_bandwidth(0, Bandwidth::from_gbps(1000))
+}
+
+/// Conventional scale-out from [`base512`]: grow the last (NIC) dimension to
+/// reach `total_npus` ∈ {1024, 2048, 4096} (shapes `2_8_8_{8,16,32}`).
+///
+/// # Panics
+///
+/// Panics if `total_npus` is not a multiple of 128 (= 2×8×8) or below 256.
+pub fn conv_scaled(total_npus: usize) -> Topology {
+    assert!(
+        total_npus >= 256 && total_npus.is_multiple_of(128),
+        "conventional scaling keeps the first three dims fixed at 2x8x8"
+    );
+    base512().with_dim_size(3, total_npus / 128)
+}
+
+/// Wafer scale-up from [`base512`]: grow the on-wafer (first) dimension to
+/// reach `total_npus` ∈ {1024, 2048, 4096} (shapes `{4,8,16}_8_8_4`).
+///
+/// # Panics
+///
+/// Panics if `total_npus` is not a multiple of 256 (= 8×8×4) or below 512.
+pub fn wafer_scaled(total_npus: usize) -> Topology {
+    assert!(
+        total_npus >= 512 && total_npus.is_multiple_of(256),
+        "wafer scaling keeps the last three dims fixed at 8x8x4"
+    );
+    base512().with_dim_size(0, total_npus / 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_examples_match_paper_shapes() {
+        assert_eq!(tpu_v2().shape(), vec![4, 2]);
+        assert_eq!(tpu_v4().shape(), vec![4, 2, 2]);
+        assert_eq!(dgx_a100().shape(), vec![3, 2]);
+        assert_eq!(habana().shape(), vec![4, 2]);
+        assert_eq!(zion().shape(), vec![4, 2]);
+        assert_eq!(dragonfly().shape(), vec![4, 2, 2]);
+        assert_eq!(dragonfly().npus(), 16);
+    }
+
+    #[test]
+    fn table2_systems_have_512_npus() {
+        for t in [w1d(350), w1d(500), w1d(600), w2d(), conv3d(), conv4d()] {
+            assert_eq!(t.npus(), 512, "{t}");
+        }
+    }
+
+    #[test]
+    fn table2_bandwidths() {
+        assert_eq!(w1d(350).total_bandwidth_per_npu().as_gbps_f64(), 350.0);
+        assert_eq!(w2d().total_bandwidth_per_npu().as_gbps_f64(), 500.0);
+        assert_eq!(conv3d().total_bandwidth_per_npu().as_gbps_f64(), 350.0);
+        assert_eq!(conv4d().total_bandwidth_per_npu().as_gbps_f64(), 600.0);
+    }
+
+    #[test]
+    fn scaling_presets_match_table4_shapes() {
+        assert_eq!(base512().shape(), vec![2, 8, 8, 4]);
+        assert_eq!(base512().dims()[0].bandwidth().as_gbps_f64(), 1000.0);
+        assert_eq!(conv_scaled(1024).shape(), vec![2, 8, 8, 8]);
+        assert_eq!(conv_scaled(2048).shape(), vec![2, 8, 8, 16]);
+        assert_eq!(conv_scaled(4096).shape(), vec![2, 8, 8, 32]);
+        assert_eq!(wafer_scaled(1024).shape(), vec![4, 8, 8, 4]);
+        assert_eq!(wafer_scaled(2048).shape(), vec![8, 8, 8, 4]);
+        assert_eq!(wafer_scaled(4096).shape(), vec![16, 8, 8, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wafer scaling")]
+    fn wafer_scaling_validates_total() {
+        let _ = wafer_scaled(1000);
+    }
+}

@@ -1,0 +1,336 @@
+//! The multi-dimensional hierarchical topology type.
+
+use astra_des::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{BuildingBlock, Dimension, ParseTopologyError};
+
+/// Global identifier of an NPU within a topology (`0..topology.npus()`).
+pub type NpuId = usize;
+
+/// A multi-dimensional hierarchical network topology (paper Fig. 3b/3c).
+///
+/// A topology is an ordered stack of [`Dimension`]s. Dimension 1 (index 0)
+/// is the innermost, highest-bandwidth fabric (e.g. on-wafer or NVLink);
+/// later dimensions scale the system up/out. NPU ids are dimension-major:
+/// adjacent ids are neighbors along dimension 1.
+///
+/// # Example
+///
+/// ```
+/// use astra_topology::Topology;
+///
+/// // Google TPUv4-style 3D torus (Fig. 3c), small configuration.
+/// let topo = Topology::parse("R(4)_R(2)_R(2)").unwrap();
+/// assert_eq!(topo.npus(), 16);
+/// assert_eq!(topo.num_dims(), 3);
+/// assert_eq!(topo.coords(13), vec![1, 1, 1]);
+/// assert_eq!(topo.npu_id(&[1, 1, 1]), 13);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    dims: Vec<Dimension>,
+}
+
+impl Topology {
+    /// Creates a topology from an ordered list of dimensions (dimension 1
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any block connects fewer than 2 NPUs —
+    /// both always indicate a configuration bug.
+    pub fn new(dims: Vec<Dimension>) -> Self {
+        assert!(!dims.is_empty(), "topology needs at least one dimension");
+        for d in &dims {
+            assert!(
+                d.npus() >= 2,
+                "building block {} must connect at least 2 NPUs",
+                d.block()
+            );
+        }
+        let npus: u128 = dims.iter().map(|d| d.npus() as u128).product();
+        assert!(npus <= u128::from(u32::MAX), "topology too large");
+        Topology { dims }
+    }
+
+    /// Parses the paper's topology notation, e.g. `"Ring(4)_Switch(2)"` or
+    /// the short form with explicit bandwidths `"R(4)@250_SW(2)@50"`.
+    ///
+    /// See [`ParseTopologyError`] for the grammar details.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTopologyError`] when the string is not valid notation.
+    pub fn parse(s: &str) -> Result<Self, ParseTopologyError> {
+        crate::notation::parse(s)
+    }
+
+    /// The ordered dimensions (dimension 1 first).
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of NPUs (product of all dimension sizes).
+    pub fn npus(&self) -> usize {
+        self.dims.iter().map(|d| d.npus()).product()
+    }
+
+    /// Replaces the bandwidth of dimension `dim` (0-based), returning the
+    /// modified topology. Used by the case studies to model wafer-scale
+    /// variants (e.g. "set Dim 1 BW to 1000 GB/s", §V-A.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn with_dim_bandwidth(mut self, dim: usize, bandwidth: Bandwidth) -> Self {
+        self.dims[dim] = self.dims[dim].with_bandwidth(bandwidth);
+        self
+    }
+
+    /// Replaces the size of dimension `dim`, keeping block type, bandwidth
+    /// and latency. Used by the scaling study (Table IV / Fig. 9b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range or `k < 2`.
+    pub fn with_dim_size(mut self, dim: usize, k: usize) -> Self {
+        assert!(k >= 2, "dimension must connect at least 2 NPUs");
+        let old = self.dims[dim];
+        let block = match old.block() {
+            BuildingBlock::Ring(_) => BuildingBlock::Ring(k),
+            BuildingBlock::FullyConnected(_) => BuildingBlock::FullyConnected(k),
+            BuildingBlock::Switch(_) => BuildingBlock::Switch(k),
+        };
+        self.dims[dim] = Dimension::new(block)
+            .with_bandwidth(old.bandwidth())
+            .with_link_latency(old.link_latency());
+        self
+    }
+
+    /// Converts a global NPU id into per-dimension coordinates
+    /// (dimension 1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn coords(&self, id: NpuId) -> Vec<usize> {
+        assert!(id < self.npus(), "NPU id {id} out of range");
+        let mut rest = id;
+        self.dims
+            .iter()
+            .map(|d| {
+                let c = rest % d.npus();
+                rest /= d.npus();
+                c
+            })
+            .collect()
+    }
+
+    /// Converts per-dimension coordinates back into a global NPU id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate count or any coordinate is out of range.
+    pub fn npu_id(&self, coords: &[usize]) -> NpuId {
+        assert_eq!(coords.len(), self.dims.len(), "wrong coordinate count");
+        let mut id = 0;
+        let mut stride = 1;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            assert!(*c < d.npus(), "coordinate {c} out of range for {d}");
+            id += c * stride;
+            stride *= d.npus();
+        }
+        id
+    }
+
+    /// Product of the sizes of dimensions `0..dim` (the id stride of
+    /// dimension `dim`).
+    pub fn dim_stride(&self, dim: usize) -> usize {
+        self.dims[..dim].iter().map(|d| d.npus()).product()
+    }
+
+    /// The NPUs that share all coordinates with `id` except along `dim`,
+    /// ordered by their coordinate in `dim` (the communication group of that
+    /// dimension). Always includes `id` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `dim` is out of range.
+    pub fn dim_group(&self, id: NpuId, dim: usize) -> Vec<NpuId> {
+        assert!(dim < self.dims.len(), "dimension {dim} out of range");
+        let k = self.dims[dim].npus();
+        let stride = self.dim_stride(dim);
+        let coord = self.coords(id)[dim];
+        let base = id - coord * stride;
+        (0..k).map(|j| base + j * stride).collect()
+    }
+
+    /// Total hop count between two NPUs under dimension-ordered routing
+    /// (sum of per-dimension block distances) — the `Hops` term of the
+    /// analytical latency equation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn hops(&self, a: NpuId, b: NpuId) -> usize {
+        let (ca, cb) = (self.coords(a), self.coords(b));
+        self.dims
+            .iter()
+            .zip(ca.iter().zip(&cb))
+            .map(|(d, (&x, &y))| d.block().hop_distance(x, y))
+            .sum()
+    }
+
+    /// Aggregate injection bandwidth per NPU across all dimensions — the
+    /// "BW/NPU" quantity the case studies compare (e.g. Conv-4D =
+    /// 250+200+100+50 = 600 GB/s per NPU).
+    pub fn total_bandwidth_per_npu(&self) -> Bandwidth {
+        self.dims
+            .iter()
+            .map(Dimension::bandwidth)
+            .reduce(Bandwidth::aggregate)
+            .expect("topology has at least one dimension")
+    }
+
+    /// Notation string including bandwidths, e.g. `"R(4)@250_SW(2)@50"`.
+    pub fn notation_with_bandwidth(&self) -> String {
+        self.dims
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}({})@{}",
+                    d.block().short_name(),
+                    d.npus(),
+                    d.bandwidth().as_gbps_f64()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+
+    /// The shape as a list of per-dimension sizes, e.g. `[2, 8, 8, 4]`.
+    pub fn shape(&self) -> Vec<usize> {
+        self.dims.iter().map(Dimension::npus).collect()
+    }
+}
+
+impl fmt::Display for Topology {
+    /// Formats in the paper's long notation, e.g. `Ring(4)_Switch(2)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.dims.iter().map(|d| d.block().to_string()).collect();
+        write!(f, "{}", parts.join("_"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_des::Time;
+
+    fn topo_2x8x8x4() -> Topology {
+        Topology::parse("R(2)_FC(8)_R(8)_SW(4)").unwrap()
+    }
+
+    #[test]
+    fn npus_is_product_of_dims() {
+        assert_eq!(topo_2x8x8x4().npus(), 512);
+        assert_eq!(topo_2x8x8x4().shape(), vec![2, 8, 8, 4]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = topo_2x8x8x4();
+        for id in [0usize, 1, 17, 300, 511] {
+            assert_eq!(t.npu_id(&t.coords(id)), id);
+        }
+        assert_eq!(t.coords(0), vec![0, 0, 0, 0]);
+        assert_eq!(t.coords(511), vec![1, 7, 7, 3]);
+    }
+
+    #[test]
+    fn dim_major_id_layout() {
+        let t = Topology::parse("R(4)_SW(2)").unwrap();
+        // Dimension 1 is the fastest-varying coordinate.
+        assert_eq!(t.coords(1), vec![1, 0]);
+        assert_eq!(t.coords(4), vec![0, 1]);
+        assert_eq!(t.dim_stride(0), 1);
+        assert_eq!(t.dim_stride(1), 4);
+    }
+
+    #[test]
+    fn dim_group_members() {
+        let t = Topology::parse("R(4)_SW(2)").unwrap();
+        assert_eq!(t.dim_group(5, 0), vec![4, 5, 6, 7]);
+        assert_eq!(t.dim_group(5, 1), vec![1, 5]);
+        // Group always contains the NPU itself.
+        for id in 0..t.npus() {
+            for dim in 0..t.num_dims() {
+                assert!(t.dim_group(id, dim).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn hops_sum_over_dimensions() {
+        let t = Topology::parse("R(8)_SW(4)").unwrap();
+        // Same switch plane, ring distance 3.
+        assert_eq!(t.hops(0, 3), 3);
+        // Ring distance 1 (wrap) + switch (2 hops).
+        assert_eq!(t.hops(0, 7 + 8), 1 + 2);
+        assert_eq!(t.hops(9, 9), 0);
+    }
+
+    #[test]
+    fn total_bandwidth_aggregates() {
+        let t = Topology::parse("R(2)@250_FC(8)@200_R(8)@100_SW(4)@50").unwrap();
+        assert_eq!(t.total_bandwidth_per_npu().as_gbps_f64(), 600.0);
+    }
+
+    #[test]
+    fn with_dim_size_and_bandwidth() {
+        let t = topo_2x8x8x4()
+            .with_dim_size(3, 8)
+            .with_dim_bandwidth(0, Bandwidth::from_gbps(1000));
+        assert_eq!(t.npus(), 1024);
+        assert_eq!(t.dims()[0].bandwidth(), Bandwidth::from_gbps(1000));
+        // Block type preserved on resize.
+        assert_eq!(t.dims()[3].block(), BuildingBlock::Switch(8));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let t = topo_2x8x8x4();
+        assert_eq!(
+            t.to_string(),
+            "Ring(2)_FullyConnected(8)_Ring(8)_Switch(4)"
+        );
+        assert_eq!(Topology::parse(&t.to_string()).unwrap().shape(), t.shape());
+    }
+
+    #[test]
+    fn latency_preserved_on_resize() {
+        let t = Topology::new(vec![Dimension::new(BuildingBlock::Ring(4))
+            .with_link_latency(Time::from_ns(42))])
+        .with_dim_size(0, 8);
+        assert_eq!(t.dims()[0].link_latency(), Time::from_ns(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_topology_rejected() {
+        let _ = Topology::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 NPUs")]
+    fn degenerate_block_rejected() {
+        let _ = Topology::new(vec![Dimension::new(BuildingBlock::Ring(1))]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for topology invariants.
+
+use astra_topology::{BuildingBlock, Dimension, LinkGraph, Topology};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary small hierarchical topology.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    let block = (0u8..3, 2usize..6).prop_map(|(kind, k)| match kind {
+        0 => BuildingBlock::Ring(k),
+        1 => BuildingBlock::FullyConnected(k),
+        _ => BuildingBlock::Switch(k),
+    });
+    prop::collection::vec(block, 1..4)
+        .prop_map(|blocks| Topology::new(blocks.into_iter().map(Dimension::new).collect()))
+}
+
+proptest! {
+    /// Coordinates and NPU ids are a bijection.
+    #[test]
+    fn coords_bijection(topo in arb_topology()) {
+        for id in 0..topo.npus() {
+            let coords = topo.coords(id);
+            prop_assert_eq!(coords.len(), topo.num_dims());
+            for (c, d) in coords.iter().zip(topo.dims()) {
+                prop_assert!(*c < d.npus());
+            }
+            prop_assert_eq!(topo.npu_id(&coords), id);
+        }
+    }
+
+    /// Notation display round-trips through the parser preserving shape and
+    /// block types.
+    #[test]
+    fn notation_roundtrip(topo in arb_topology()) {
+        let long = topo.to_string();
+        let reparsed = Topology::parse(&long).unwrap();
+        prop_assert_eq!(reparsed.shape(), topo.shape());
+        for (a, b) in reparsed.dims().iter().zip(topo.dims()) {
+            prop_assert_eq!(a.block(), b.block());
+        }
+        // And the bandwidth-annotated form too.
+        let with_bw = topo.notation_with_bandwidth();
+        let reparsed = Topology::parse(&with_bw).unwrap();
+        for (a, b) in reparsed.dims().iter().zip(topo.dims()) {
+            prop_assert_eq!(a.bandwidth(), b.bandwidth());
+        }
+    }
+
+    /// Every dimension partitions the NPUs into groups of exactly the
+    /// dimension's size, and group membership is symmetric.
+    #[test]
+    fn dim_groups_partition(topo in arb_topology()) {
+        for dim in 0..topo.num_dims() {
+            let k = topo.dims()[dim].npus();
+            let mut covered = vec![0usize; topo.npus()];
+            for id in 0..topo.npus() {
+                let group = topo.dim_group(id, dim);
+                prop_assert_eq!(group.len(), k);
+                prop_assert!(group.contains(&id));
+                for &m in &group {
+                    // Symmetry: every member sees the same group.
+                    prop_assert_eq!(&topo.dim_group(m, dim), &group);
+                }
+                covered[id] += 1;
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1));
+        }
+    }
+
+    /// Hop distance is a metric-like quantity: zero iff equal, symmetric,
+    /// bounded by the sum of dimension diameters.
+    #[test]
+    fn hops_metric_properties(topo in arb_topology()) {
+        let n = topo.npus().min(24);
+        let diameter: usize = topo.dims().iter().map(|d| d.block().diameter()).sum();
+        for a in 0..n {
+            prop_assert_eq!(topo.hops(a, a), 0);
+            for b in 0..n {
+                prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+                if a != b {
+                    prop_assert!(topo.hops(a, b) >= 1);
+                }
+                prop_assert!(topo.hops(a, b) <= diameter);
+            }
+        }
+    }
+
+    /// Dimension-ordered routes are connected, start/end correctly, and have
+    /// exactly `hops(a, b)` links.
+    #[test]
+    fn routes_are_valid_paths(topo in arb_topology()) {
+        let graph = LinkGraph::new(&topo);
+        let n = topo.npus().min(16);
+        for a in 0..n {
+            for b in 0..n {
+                let path = graph.route(a, b);
+                prop_assert_eq!(path.len(), topo.hops(a, b));
+                if !path.is_empty() {
+                    prop_assert_eq!(graph.link(path[0]).src, graph.npu_node(a));
+                    prop_assert_eq!(
+                        graph.link(*path.last().unwrap()).dst,
+                        graph.npu_node(b)
+                    );
+                    for w in path.windows(2) {
+                        prop_assert_eq!(graph.link(w[0]).dst, graph.link(w[1]).src);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Execution-trace converters (§IV-A).
+//!
+//! The paper defines a common format ("ASTRA-sim ET") and converts foreign
+//! traces (PyTorch execution graphs, FlexFlow) into it rather than teaching
+//! the simulator every format. [`TraceConverter`] is that interface;
+//! [`JsonEtConverter`] handles the native JSON schema. Converters for other
+//! sources implement the same trait.
+
+use crate::trace::ExecutionTrace;
+use std::error::Error;
+use std::fmt;
+
+/// Converts an external trace representation into an [`ExecutionTrace`].
+pub trait TraceConverter {
+    /// Conversion error type.
+    type Error: Error;
+
+    /// Converts raw trace text into the common ET format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the converter's error when the input cannot be understood.
+    fn convert(&self, input: &str) -> Result<ExecutionTrace, Self::Error>;
+
+    /// Name of the source format (e.g. `"astra-json"`, `"pytorch-eg"`).
+    fn source_format(&self) -> &'static str;
+}
+
+/// Error wrapper for JSON ET parsing.
+#[derive(Debug)]
+pub struct JsonEtError(serde_json::Error);
+
+impl fmt::Display for JsonEtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ASTRA-sim JSON ET: {}", self.0)
+    }
+}
+
+impl Error for JsonEtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+/// The native converter: parses the ASTRA-sim JSON ET schema produced by
+/// [`ExecutionTrace::to_json`].
+///
+/// # Example
+///
+/// ```
+/// use astra_workload::{models, parallelism, JsonEtConverter, Parallelism, TraceConverter};
+///
+/// let trace = parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 4).unwrap();
+/// let json = trace.to_json().unwrap();
+/// let restored = JsonEtConverter.convert(&json).unwrap();
+/// assert_eq!(restored, trace);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct JsonEtConverter;
+
+impl TraceConverter for JsonEtConverter {
+    type Error = JsonEtError;
+
+    fn convert(&self, input: &str) -> Result<ExecutionTrace, Self::Error> {
+        ExecutionTrace::from_json(input).map_err(JsonEtError)
+    }
+
+    fn source_format(&self) -> &'static str {
+        "astra-json"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{models, parallelism, Parallelism};
+
+    #[test]
+    fn json_converter_roundtrip() {
+        let trace =
+            parallelism::generate_trace(&models::gpt3_175b(), Parallelism::Hybrid { mp: 4 }, 8)
+                .unwrap();
+        let json = trace.to_json().unwrap();
+        let restored = JsonEtConverter.convert(&json).unwrap();
+        assert_eq!(restored, trace);
+        assert_eq!(JsonEtConverter.source_format(), "astra-json");
+    }
+
+    #[test]
+    fn json_converter_rejects_garbage() {
+        let err = JsonEtConverter.convert("{not json").unwrap_err();
+        assert!(err.to_string().contains("invalid ASTRA-sim JSON ET"));
+    }
+}

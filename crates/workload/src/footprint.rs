@@ -1,0 +1,200 @@
+//! Per-NPU memory-footprint estimation (§III-C motivation).
+//!
+//! "It is well known that the limited capacity of GPUs is the major
+//! bottleneck in large-model training" — this module quantifies that: for
+//! a model and parallelization strategy, it estimates the per-NPU bytes of
+//! parameters, gradients, optimizer state, and activations, so users can
+//! check whether a configuration fits in HBM or needs sharding /
+//! disaggregated memory.
+
+use astra_des::DataSize;
+use serde::{Deserialize, Serialize};
+
+use crate::models::Model;
+use crate::Parallelism;
+
+/// Bytes of optimizer state per parameter *byte* for mixed-precision Adam:
+/// fp32 master copy (2×) plus two fp32 moments (4×) relative to fp16
+/// weights.
+pub const ADAM_STATE_FACTOR: u64 = 6;
+
+/// Estimated per-NPU training memory footprint.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// Resident parameter bytes.
+    pub parameters: DataSize,
+    /// Gradient bytes (same precision as parameters).
+    pub gradients: DataSize,
+    /// Optimizer state bytes (mixed-precision Adam).
+    pub optimizer: DataSize,
+    /// Activation bytes held for the backward pass.
+    pub activations: DataSize,
+}
+
+impl Footprint {
+    /// Total per-NPU bytes.
+    pub fn total(&self) -> DataSize {
+        self.parameters + self.gradients + self.optimizer + self.activations
+    }
+
+    /// Whether the footprint fits in an NPU with `hbm` bytes of local
+    /// memory.
+    pub fn fits(&self, hbm: DataSize) -> bool {
+        self.total() <= hbm
+    }
+}
+
+/// Estimates the per-NPU memory footprint of training `model` on `npus`
+/// NPUs under `parallelism`.
+///
+/// Model states scale with the strategy: data parallelism replicates
+/// everything; hybrid MP divides model state by the MP width; pipeline
+/// parallelism divides by the stage count (activations scale with in-flight
+/// micro-batches); FSDP shards all model state across every NPU (plus one
+/// transient gathered layer).
+///
+/// # Example
+///
+/// ```
+/// use astra_des::DataSize;
+/// use astra_workload::{footprint, models, Parallelism};
+///
+/// let gpt3 = models::gpt3_175b();
+/// let dp = footprint::estimate(&gpt3, Parallelism::Data, 64);
+/// let fsdp = footprint::estimate(&gpt3, Parallelism::FullyShardedData, 64);
+/// // Plain DP replicates 175B fp16 params per NPU and cannot fit in 80 GB;
+/// // FSDP shards them 64 ways.
+/// let hbm = DataSize::from_gib(80);
+/// assert!(!dp.fits(hbm));
+/// assert!(fsdp.fits(hbm));
+/// ```
+pub fn estimate(model: &Model, parallelism: Parallelism, npus: usize) -> Footprint {
+    let npus = npus.max(1) as u64;
+    let params: DataSize = model.total_params();
+    let activations: DataSize = model.layers.iter().map(|l| l.activations).sum();
+    let largest_layer = model
+        .layers
+        .iter()
+        .map(|l| l.params)
+        .fold(DataSize::ZERO, DataSize::max);
+
+    match parallelism {
+        Parallelism::Data => Footprint {
+            parameters: params,
+            gradients: params,
+            optimizer: params * ADAM_STATE_FACTOR,
+            activations,
+        },
+        Parallelism::Hybrid { mp } => {
+            let mp = (mp.max(1) as u64).min(npus);
+            Footprint {
+                parameters: params / mp,
+                gradients: params / mp,
+                optimizer: params * ADAM_STATE_FACTOR / mp,
+                activations,
+            }
+        }
+        Parallelism::Pipeline {
+            stages,
+            microbatches,
+        } => {
+            let stages = (stages.max(1) as u64).min(npus);
+            // GPipe holds up to `stages` micro-batches of activations in
+            // flight per stage.
+            let in_flight = (microbatches.max(1) as u64).min(stages);
+            Footprint {
+                parameters: params / stages,
+                gradients: params / stages,
+                optimizer: params * ADAM_STATE_FACTOR / stages,
+                activations: activations / stages * in_flight,
+            }
+        }
+        Parallelism::FullyShardedData => Footprint {
+            // Sharded state plus one transiently gathered layer.
+            parameters: params / npus + largest_layer,
+            gradients: params / npus + largest_layer,
+            optimizer: params * ADAM_STATE_FACTOR / npus,
+            activations,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn data_parallel_replicates_model_state() {
+        let gpt3 = models::gpt3_175b();
+        let f = estimate(&gpt3, Parallelism::Data, 1024);
+        assert_eq!(f.parameters, gpt3.total_params());
+        assert_eq!(f.optimizer, gpt3.total_params() * ADAM_STATE_FACTOR);
+        // 175B fp16 params alone exceed an 80 GiB HBM.
+        assert!(!f.fits(DataSize::from_gib(80)));
+    }
+
+    #[test]
+    fn hybrid_divides_model_state_by_mp() {
+        let gpt3 = models::gpt3_175b();
+        let f1 = estimate(&gpt3, Parallelism::Hybrid { mp: 1 }, 64);
+        let f16 = estimate(&gpt3, Parallelism::Hybrid { mp: 16 }, 64);
+        assert_eq!(f16.parameters, f1.parameters / 16);
+        assert_eq!(f16.optimizer, f1.optimizer / 16);
+    }
+
+    #[test]
+    fn fsdp_shards_everything() {
+        let gpt3 = models::gpt3_175b();
+        let f = estimate(&gpt3, Parallelism::FullyShardedData, 64);
+        // Shard plus one gathered layer.
+        let shard = gpt3.total_params() / 64;
+        let layer = gpt3.layers[0].params;
+        assert_eq!(f.parameters, shard + layer);
+        assert!(f.fits(DataSize::from_gib(80)));
+    }
+
+    #[test]
+    fn pipeline_footprint_scales_with_in_flight_microbatches() {
+        let gpt3 = models::gpt3_175b();
+        let short = estimate(
+            &gpt3,
+            Parallelism::Pipeline {
+                stages: 8,
+                microbatches: 1,
+            },
+            64,
+        );
+        let deep = estimate(
+            &gpt3,
+            Parallelism::Pipeline {
+                stages: 8,
+                microbatches: 8,
+            },
+            64,
+        );
+        assert_eq!(deep.parameters, short.parameters);
+        assert!(deep.activations > short.activations);
+    }
+
+    #[test]
+    fn trillion_parameter_model_needs_sharding_or_disaggregation() {
+        // §III-C: why memory disaggregation matters.
+        let t1t = models::transformer_1t();
+        let hbm = DataSize::from_gib(80);
+        assert!(!estimate(&t1t, Parallelism::Data, 512).fits(hbm));
+        assert!(!estimate(&t1t, Parallelism::Hybrid { mp: 8 }, 512).fits(hbm));
+        // Even FSDP at 512 NPUs barely squeezes the optimizer state in.
+        let f = estimate(&t1t, Parallelism::FullyShardedData, 512);
+        assert!(f.optimizer < hbm);
+    }
+
+    #[test]
+    fn total_sums_components() {
+        let f = estimate(&models::dlrm_57m(), Parallelism::Data, 8);
+        assert_eq!(
+            f.total(),
+            f.parameters + f.gradients + f.optimizer + f.activations
+        );
+    }
+}

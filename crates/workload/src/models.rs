@@ -1,0 +1,248 @@
+//! Target training workloads (paper Table III) and the §V-B MoE model.
+//!
+//! | Workload        | #Params          | MP size | DP size |
+//! |-----------------|------------------|---------|---------|
+//! | DLRM            | 57M (MLP layers) | 1,024   | 1,024   |
+//! | GPT-3           | 175B             | 16      | 64      |
+//! | Transformer-1T  | 1T               | 128     | 8       |
+//! | MoE-1T (§V-B)   | 1T (16 experts)  | —       | —       |
+//!
+//! The presets are *synthetic proxies*: per-layer FLOPs, parameter bytes
+//! and activation sizes are derived from the public architecture parameters
+//! (layer counts, hidden sizes, fp16 weights) so that collective sizes land
+//! in the paper's quoted 100 MB–1 GB range and the compute:communication
+//! ratio is representative (see DESIGN.md §3, Substitutions).
+
+use astra_des::DataSize;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer workload characteristics.
+///
+/// `fwd_flops`/`bwd_flops` are the FLOPs to process **one microbatch
+/// through the full (unsharded) layer**; trace generators divide by the
+/// model-parallel width to get per-NPU work.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Layer name for trace node labels.
+    pub name: String,
+    /// Forward FLOPs for one microbatch through the full layer.
+    pub fwd_flops: f64,
+    /// Backward FLOPs (typically `2 × fwd`).
+    pub bwd_flops: f64,
+    /// Parameter bytes of the full layer.
+    pub params: DataSize,
+    /// Activation tensor bytes communicated by model-parallel collectives
+    /// (per microbatch).
+    pub activations: DataSize,
+    /// Per-NPU All-to-All payload (embedding exchange / MoE token routing),
+    /// if the layer performs one.
+    pub a2a: Option<DataSize>,
+}
+
+/// A training workload: an ordered list of layers plus its Table III
+/// parallelization defaults.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Workload name (Table III row).
+    pub name: String,
+    /// The layers, in forward order.
+    pub layers: Vec<LayerSpec>,
+    /// Table III model-parallel width.
+    pub default_mp: usize,
+    /// Table III data-parallel width.
+    pub default_dp: usize,
+    /// Number of experts for MoE models (1 for dense models).
+    pub experts: usize,
+}
+
+impl Model {
+    /// Total parameter bytes across all layers.
+    pub fn total_params(&self) -> DataSize {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+fn uniform_layers(
+    count: usize,
+    prefix: &str,
+    fwd_flops: f64,
+    params: DataSize,
+    activations: DataSize,
+    a2a: Option<DataSize>,
+) -> Vec<LayerSpec> {
+    (0..count)
+        .map(|i| LayerSpec {
+            name: format!("{prefix}{i}"),
+            fwd_flops,
+            bwd_flops: 2.0 * fwd_flops,
+            params,
+            activations,
+            a2a,
+        })
+        .collect()
+}
+
+/// DLRM (Table III): 57M MLP parameters, embedding-table All-to-All across
+/// all NPUs (MP size = DP size = the full system).
+///
+/// Eight fp32 MLP layers processing 2048-sample minibatches, with a 16 MiB
+/// per-NPU embedding exchange on the first layer (fwd and bwd).
+pub fn dlrm_57m() -> Model {
+    let params_per_layer = DataSize::from_bytes(57_000_000 / 8 * 4);
+    let mut layers = uniform_layers(
+        8,
+        "mlp",
+        2.0 * (57e6 / 8.0) * 2048.0,
+        params_per_layer,
+        DataSize::from_mib(16),
+        None,
+    );
+    layers[0].a2a = Some(DataSize::from_mib(16));
+    layers[0].name = "embedding+mlp0".to_owned();
+    Model {
+        name: "DLRM".to_owned(),
+        layers,
+        default_mp: 1024,
+        default_dp: 1024,
+        experts: 1,
+    }
+}
+
+/// GPT-3 175B (Table III): 96 transformer layers, hidden 12288, fp16,
+/// MP 16 × DP 64; 2048-token microbatches.
+pub fn gpt3_175b() -> Model {
+    let params_per_layer = DataSize::from_bytes(175_000_000_000 / 96 * 2);
+    let tokens = 2048.0;
+    let layers = uniform_layers(
+        96,
+        "layer",
+        2.0 * (175e9 / 96.0) * tokens,
+        params_per_layer,
+        // Two Megatron-style activation All-Reduces per layer, folded:
+        // 2 × tokens × hidden × 2B.
+        DataSize::from_bytes(2 * 2048 * 12288 * 2),
+        None,
+    );
+    Model {
+        name: "GPT-3".to_owned(),
+        layers,
+        default_mp: 16,
+        default_dp: 64,
+        experts: 1,
+    }
+}
+
+/// Transformer-1T (Table III): 128 layers, hidden 25600, fp16,
+/// MP 128 × DP 8; 2048-token microbatches.
+pub fn transformer_1t() -> Model {
+    let params_per_layer = DataSize::from_bytes(1_000_000_000_000 / 128 * 2);
+    let tokens = 2048.0;
+    let layers = uniform_layers(
+        128,
+        "layer",
+        2.0 * (1e12 / 128.0) * tokens,
+        params_per_layer,
+        DataSize::from_bytes(2 * 2048 * 25600 * 2),
+        None,
+    );
+    Model {
+        name: "Transformer-1T".to_owned(),
+        layers,
+        default_mp: 128,
+        default_dp: 8,
+        experts: 1,
+    }
+}
+
+/// The §V-B Mixture-of-Experts model: 1T parameters across 24 MoE layers
+/// of 16 experts (DeepSpeed-MoE class), hidden 16384, 1024-token
+/// microbatches, with token-routing All-to-Alls around every expert layer.
+pub fn moe_1t() -> Model {
+    let experts = 16usize;
+    let layer_params = 1_000_000_000_000u64 / 24;
+    let tokens = 1024.0;
+    let layers = uniform_layers(
+        24,
+        "moe",
+        2.0 * (layer_params as f64) * tokens,
+        DataSize::from_bytes(layer_params * 2),
+        DataSize::from_bytes(1024 * 16384 * 2),
+        Some(DataSize::from_bytes(1024 * 16384 * 2)),
+    );
+    Model {
+        name: "MoE-1T".to_owned(),
+        layers,
+        default_mp: experts,
+        default_dp: 16,
+        experts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_parallelism_defaults() {
+        assert_eq!(dlrm_57m().default_mp, 1024);
+        assert_eq!(dlrm_57m().default_dp, 1024);
+        assert_eq!(gpt3_175b().default_mp, 16);
+        assert_eq!(gpt3_175b().default_dp, 64);
+        assert_eq!(transformer_1t().default_mp, 128);
+        assert_eq!(transformer_1t().default_dp, 8);
+    }
+
+    #[test]
+    fn parameter_counts_match_table3() {
+        // fp32 DLRM MLPs: 57M params x 4B.
+        let dlrm_bytes = dlrm_57m().total_params().as_bytes();
+        assert!((dlrm_bytes as f64 - 57e6 * 4.0).abs() / (57e6 * 4.0) < 0.01);
+        // fp16 GPT-3: 175B x 2B.
+        let gpt = gpt3_175b().total_params().as_bytes() as f64;
+        assert!((gpt - 175e9 * 2.0).abs() / (175e9 * 2.0) < 0.01);
+        // fp16 T-1T: 1T x 2B.
+        let t1t = transformer_1t().total_params().as_bytes() as f64;
+        assert!((t1t - 1e12 * 2.0).abs() / (1e12 * 2.0) < 0.01);
+        let moe = moe_1t().total_params().as_bytes() as f64;
+        assert!((moe - 1e12 * 2.0).abs() / (1e12 * 2.0) < 0.01);
+    }
+
+    #[test]
+    fn collective_sizes_in_papers_quoted_range() {
+        // §IV-C: "DLRM and Transformer-1T has 100MB–1GB collectives".
+        let gpt = gpt3_175b();
+        let dp_grad_per_npu = gpt.layers[0].params.as_bytes() / gpt.default_mp as u64;
+        assert!((100_000_000..1_500_000_000).contains(&dp_grad_per_npu));
+        let t1t = transformer_1t();
+        let act = t1t.layers[0].activations.as_bytes();
+        assert!((100_000_000..1_000_000_000).contains(&act));
+    }
+
+    #[test]
+    fn dlrm_has_embedding_exchange() {
+        let dlrm = dlrm_57m();
+        assert!(dlrm.layers[0].a2a.is_some());
+        assert!(dlrm.layers[1..].iter().all(|l| l.a2a.is_none()));
+    }
+
+    #[test]
+    fn moe_routes_tokens_every_layer() {
+        let moe = moe_1t();
+        assert_eq!(moe.experts, 16);
+        assert!(moe.layers.iter().all(|l| l.a2a.is_some()));
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        for model in [dlrm_57m(), gpt3_175b(), transformer_1t(), moe_1t()] {
+            for layer in &model.layers {
+                assert_eq!(layer.bwd_flops, 2.0 * layer.fwd_flops, "{}", model.name);
+            }
+        }
+    }
+}

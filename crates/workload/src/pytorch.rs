@@ -1,0 +1,444 @@
+//! Converter for (simplified) PyTorch execution graphs (§IV-A, Snippet 1).
+//!
+//! The paper collects execution graphs with PyTorch's
+//! `ExecutionGraphObserver` and converts them into the common ASTRA-sim ET
+//! format. This module implements that converter for a documented,
+//! simplified JSON schema carrying the same information the observer
+//! emits: per-rank operator nodes with explicit dependencies, where
+//! compute operators carry FLOP/tensor metadata and `nccl:*` / `c10d::*`
+//! operators carry communication metadata.
+//!
+//! ```json
+//! {
+//!   "schema": "pytorch-eg-simplified-v1",
+//!   "npus": 2,
+//!   "groups": [[0, 1]],
+//!   "nodes": [
+//!     {"npu": 0, "id": 10, "name": "aten::mm", "kind": "compute",
+//!      "flops": 1e9, "tensor_bytes": 1048576, "deps": []},
+//!     {"npu": 0, "id": 11, "name": "nccl:all_reduce", "kind": "collective",
+//!      "comm": "all_reduce", "bytes": 4194304, "group": 0, "deps": [10]}
+//!   ]
+//! }
+//! ```
+//!
+//! Node ids are arbitrary (PyTorch uses global correlation ids); the
+//! converter topologically orders each rank's nodes before emitting the
+//! ET.
+
+use astra_collectives::Collective;
+use astra_des::DataSize;
+use serde::Deserialize;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::convert::TraceConverter;
+use crate::trace::{EtOp, ExecutionTrace, MemoryDirection, TensorLocation, TraceBuilder};
+
+/// Errors produced while converting a PyTorch execution graph.
+#[derive(Debug)]
+pub enum PyTorchEgError {
+    /// The input was not valid JSON for the simplified schema.
+    Json(serde_json::Error),
+    /// The `schema` field did not match the supported version.
+    UnsupportedSchema(String),
+    /// A node referenced an NPU outside `0..npus`.
+    BadNpu {
+        /// The offending node id.
+        node: u64,
+    },
+    /// A dependency id does not exist on the same rank.
+    UnknownDep {
+        /// The offending node id.
+        node: u64,
+        /// The missing dependency id.
+        dep: u64,
+    },
+    /// The per-rank dependency graph contains a cycle.
+    Cycle {
+        /// The rank whose graph is cyclic.
+        npu: usize,
+    },
+    /// A node had an unknown `kind` or inconsistent metadata.
+    BadNode {
+        /// The offending node id.
+        node: u64,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PyTorchEgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyTorchEgError::Json(e) => write!(f, "invalid execution-graph JSON: {e}"),
+            PyTorchEgError::UnsupportedSchema(s) => {
+                write!(f, "unsupported schema `{s}` (expected pytorch-eg-simplified-v1)")
+            }
+            PyTorchEgError::BadNpu { node } => write!(f, "node {node} targets an out-of-range npu"),
+            PyTorchEgError::UnknownDep { node, dep } => {
+                write!(f, "node {node} depends on unknown node {dep}")
+            }
+            PyTorchEgError::Cycle { npu } => write!(f, "dependency cycle on rank {npu}"),
+            PyTorchEgError::BadNode { node, reason } => write!(f, "node {node}: {reason}"),
+        }
+    }
+}
+
+impl Error for PyTorchEgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PyTorchEgError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Deserialize)]
+struct EgFile {
+    schema: String,
+    npus: usize,
+    #[serde(default)]
+    groups: Vec<Vec<usize>>,
+    nodes: Vec<EgNode>,
+}
+
+#[derive(Deserialize)]
+struct EgNode {
+    npu: usize,
+    id: u64,
+    #[serde(default)]
+    name: String,
+    kind: String,
+    #[serde(default)]
+    deps: Vec<u64>,
+    // compute metadata
+    #[serde(default)]
+    flops: f64,
+    #[serde(default)]
+    tensor_bytes: u64,
+    // communication metadata
+    #[serde(default)]
+    comm: Option<String>,
+    #[serde(default)]
+    bytes: u64,
+    #[serde(default)]
+    group: Option<usize>,
+    #[serde(default)]
+    peer: Option<usize>,
+    #[serde(default)]
+    tag: Option<u64>,
+    // memory metadata
+    #[serde(default)]
+    direction: Option<String>,
+    #[serde(default)]
+    location: Option<String>,
+    #[serde(default)]
+    gathered: bool,
+}
+
+/// Converter from the simplified PyTorch execution-graph JSON into the
+/// ASTRA-sim ET.
+///
+/// # Example
+///
+/// ```
+/// use astra_workload::{PyTorchEgConverter, TraceConverter};
+///
+/// let eg = r#"{
+///   "schema": "pytorch-eg-simplified-v1",
+///   "npus": 2,
+///   "groups": [[0, 1]],
+///   "nodes": [
+///     {"npu": 0, "id": 1, "name": "aten::mm", "kind": "compute",
+///      "flops": 1e9, "tensor_bytes": 4096, "deps": []},
+///     {"npu": 0, "id": 2, "kind": "collective", "comm": "all_reduce",
+///      "bytes": 1048576, "group": 0, "deps": [1]},
+///     {"npu": 1, "id": 1, "name": "aten::mm", "kind": "compute",
+///      "flops": 1e9, "tensor_bytes": 4096, "deps": []},
+///     {"npu": 1, "id": 2, "kind": "collective", "comm": "all_reduce",
+///      "bytes": 1048576, "group": 0, "deps": [1]}
+///   ]
+/// }"#;
+/// let trace = PyTorchEgConverter.convert(eg).unwrap();
+/// assert_eq!(trace.npus(), 2);
+/// assert_eq!(trace.total_nodes(), 4);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PyTorchEgConverter;
+
+impl TraceConverter for PyTorchEgConverter {
+    type Error = PyTorchEgError;
+
+    fn convert(&self, input: &str) -> Result<ExecutionTrace, PyTorchEgError> {
+        let file: EgFile = serde_json::from_str(input).map_err(PyTorchEgError::Json)?;
+        if file.schema != "pytorch-eg-simplified-v1" {
+            return Err(PyTorchEgError::UnsupportedSchema(file.schema));
+        }
+        let mut builder = TraceBuilder::new(file.npus.max(1)).with_name("pytorch-eg");
+        let group_ids: Vec<_> = file
+            .groups
+            .iter()
+            .map(|members| builder.add_group(members.clone()))
+            .collect();
+
+        // Bucket nodes per rank, then topologically order each rank.
+        let mut per_npu: Vec<Vec<&EgNode>> = vec![Vec::new(); file.npus.max(1)];
+        for node in &file.nodes {
+            if node.npu >= file.npus {
+                return Err(PyTorchEgError::BadNpu { node: node.id });
+            }
+            per_npu[node.npu].push(node);
+        }
+
+        for (npu, nodes) in per_npu.iter().enumerate() {
+            let order = topo_order(npu, nodes)?;
+            // Map original ids to builder NodeIds as we emit.
+            let mut emitted = HashMap::new();
+            for &idx in &order {
+                let node = nodes[idx];
+                let op = to_op(node, &group_ids)?;
+                let mut deps = Vec::with_capacity(node.deps.len());
+                for dep in &node.deps {
+                    deps.push(*emitted.get(dep).ok_or(PyTorchEgError::UnknownDep {
+                        node: node.id,
+                        dep: *dep,
+                    })?);
+                }
+                let name = if node.name.is_empty() {
+                    format!("{}#{}", node.kind, node.id)
+                } else {
+                    node.name.clone()
+                };
+                let id = builder.node(npu, name, op, &deps);
+                emitted.insert(node.id, id);
+            }
+        }
+        builder.build().map_err(|e| PyTorchEgError::BadNode {
+            node: 0,
+            reason: e.to_string(),
+        })
+    }
+
+    fn source_format(&self) -> &'static str {
+        "pytorch-eg"
+    }
+}
+
+/// Kahn's algorithm over one rank's nodes (ids are arbitrary).
+fn topo_order(npu: usize, nodes: &[&EgNode]) -> Result<Vec<usize>, PyTorchEgError> {
+    let index_of: HashMap<u64, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+    let mut indegree = vec![0usize; nodes.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        for dep in &node.deps {
+            let Some(&j) = index_of.get(dep) else {
+                return Err(PyTorchEgError::UnknownDep {
+                    node: node.id,
+                    dep: *dep,
+                });
+            };
+            indegree[i] += 1;
+            dependents[j].push(i);
+        }
+    }
+    // Deterministic order: ready nodes processed by ascending original id.
+    let mut ready: std::collections::BTreeSet<(u64, usize)> = indegree
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(i, _)| (nodes[i].id, i))
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(&(id, i)) = ready.iter().next() {
+        ready.remove(&(id, i));
+        order.push(i);
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                ready.insert((nodes[d].id, d));
+            }
+        }
+    }
+    if order.len() != nodes.len() {
+        return Err(PyTorchEgError::Cycle { npu });
+    }
+    Ok(order)
+}
+
+fn to_op(
+    node: &EgNode,
+    groups: &[crate::trace::GroupId],
+) -> Result<EtOp, PyTorchEgError> {
+    let bad = |reason: &str| PyTorchEgError::BadNode {
+        node: node.id,
+        reason: reason.to_owned(),
+    };
+    match node.kind.as_str() {
+        "compute" => Ok(EtOp::Compute {
+            flops: node.flops,
+            tensor: DataSize::from_bytes(node.tensor_bytes),
+        }),
+        "collective" => {
+            let comm = node.comm.as_deref().ok_or_else(|| bad("missing `comm`"))?;
+            let collective = match comm {
+                "all_reduce" | "allreduce" => Collective::AllReduce,
+                "all_gather" | "allgather" => Collective::AllGather,
+                "reduce_scatter" => Collective::ReduceScatter,
+                "all_to_all" | "alltoall" => Collective::AllToAll,
+                other => return Err(bad(&format!("unknown collective `{other}`"))),
+            };
+            let group = node.group.ok_or_else(|| bad("missing `group`"))?;
+            let group = *groups
+                .get(group)
+                .ok_or_else(|| bad("group index out of range"))?;
+            Ok(EtOp::Collective {
+                collective,
+                size: DataSize::from_bytes(node.bytes),
+                group,
+            })
+        }
+        "send" | "recv" => {
+            let peer = node.peer.ok_or_else(|| bad("missing `peer`"))?;
+            let tag = node.tag.unwrap_or(0);
+            let size = DataSize::from_bytes(node.bytes);
+            Ok(if node.kind == "send" {
+                EtOp::PeerSend { peer, size, tag }
+            } else {
+                EtOp::PeerRecv { peer, size, tag }
+            })
+        }
+        "memory" => {
+            let direction = match node.direction.as_deref() {
+                Some("load") => MemoryDirection::Load,
+                Some("store") => MemoryDirection::Store,
+                _ => return Err(bad("memory nodes need `direction`: load|store")),
+            };
+            let location = match node.location.as_deref() {
+                Some("local") | None => TensorLocation::Local,
+                Some("remote") => TensorLocation::Remote {
+                    gathered: node.gathered,
+                },
+                Some(other) => return Err(bad(&format!("unknown location `{other}`"))),
+            };
+            Ok(EtOp::Memory {
+                direction,
+                location,
+                size: DataSize::from_bytes(node.bytes),
+            })
+        }
+        other => Err(bad(&format!("unknown node kind `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal(nodes: &str) -> String {
+        format!(
+            r#"{{"schema": "pytorch-eg-simplified-v1", "npus": 2,
+                "groups": [[0, 1]], "nodes": [{nodes}]}}"#
+        )
+    }
+
+    #[test]
+    fn converts_out_of_order_ids() {
+        // Node 7 depends on node 9: ids are unordered, the converter sorts.
+        let eg = minimal(
+            r#"{"npu": 0, "id": 7, "kind": "collective", "comm": "all_gather",
+                "bytes": 1024, "group": 0, "deps": [9]},
+               {"npu": 0, "id": 9, "kind": "compute", "flops": 1.0, "deps": []},
+               {"npu": 1, "id": 1, "kind": "collective", "comm": "all_gather",
+                "bytes": 1024, "group": 0, "deps": []}"#,
+        );
+        let trace = PyTorchEgConverter.convert(&eg).unwrap();
+        assert_eq!(trace.program(0).len(), 2);
+        // The compute (id 9) must come first.
+        assert!(matches!(trace.program(0)[0].op, EtOp::Compute { .. }));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let eg = minimal(
+            r#"{"npu": 0, "id": 1, "kind": "compute", "deps": [2]},
+               {"npu": 0, "id": 2, "kind": "compute", "deps": [1]}"#,
+        );
+        assert!(matches!(
+            PyTorchEgConverter.convert(&eg),
+            Err(PyTorchEgError::Cycle { npu: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_schema_and_kind() {
+        let eg = r#"{"schema": "v999", "npus": 1, "nodes": []}"#;
+        assert!(matches!(
+            PyTorchEgConverter.convert(eg),
+            Err(PyTorchEgError::UnsupportedSchema(_))
+        ));
+        let eg = minimal(r#"{"npu": 0, "id": 1, "kind": "quantum", "deps": []}"#);
+        assert!(matches!(
+            PyTorchEgConverter.convert(&eg),
+            Err(PyTorchEgError::BadNode { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_references() {
+        let eg = minimal(r#"{"npu": 5, "id": 1, "kind": "compute", "deps": []}"#);
+        assert!(matches!(
+            PyTorchEgConverter.convert(&eg),
+            Err(PyTorchEgError::BadNpu { node: 1 })
+        ));
+        let eg = minimal(r#"{"npu": 0, "id": 1, "kind": "compute", "deps": [42]}"#);
+        assert!(matches!(
+            PyTorchEgConverter.convert(&eg),
+            Err(PyTorchEgError::UnknownDep { node: 1, dep: 42 })
+        ));
+    }
+
+    #[test]
+    fn converted_trace_simulates() {
+        let eg = minimal(
+            r#"{"npu": 0, "id": 1, "name": "aten::mm", "kind": "compute",
+                "flops": 1e12, "tensor_bytes": 1048576, "deps": []},
+               {"npu": 0, "id": 2, "kind": "collective", "comm": "all_reduce",
+                "bytes": 104857600, "group": 0, "deps": [1]},
+               {"npu": 1, "id": 1, "name": "aten::mm", "kind": "compute",
+                "flops": 1e12, "tensor_bytes": 1048576, "deps": []},
+               {"npu": 1, "id": 2, "kind": "collective", "comm": "all_reduce",
+                "bytes": 104857600, "group": 0, "deps": [1]}"#,
+        );
+        let trace = PyTorchEgConverter.convert(&eg).unwrap();
+        let json = trace.to_json().unwrap();
+        // Round-trips through the native format too.
+        assert_eq!(ExecutionTrace::from_json(&json).unwrap(), trace);
+    }
+
+    #[test]
+    fn supports_send_recv_and_memory_nodes() {
+        let eg = minimal(
+            r#"{"npu": 0, "id": 1, "kind": "send", "peer": 1, "bytes": 64, "tag": 3, "deps": []},
+               {"npu": 1, "id": 1, "kind": "recv", "peer": 0, "bytes": 64, "tag": 3, "deps": []},
+               {"npu": 1, "id": 2, "kind": "memory", "direction": "load",
+                "location": "remote", "gathered": true, "bytes": 4096, "deps": [1]}"#,
+        );
+        let trace = PyTorchEgConverter.convert(&eg).unwrap();
+        assert!(matches!(trace.program(0)[0].op, EtOp::PeerSend { tag: 3, .. }));
+        assert!(matches!(
+            trace.program(1)[1].op,
+            EtOp::Memory {
+                location: TensorLocation::Remote { gathered: true },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn source_format_name() {
+        assert_eq!(PyTorchEgConverter.source_format(), "pytorch-eg");
+    }
+}

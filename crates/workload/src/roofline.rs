@@ -1,0 +1,126 @@
+//! The internal roofline model (§IV-A): compute-node metadata → time.
+
+use astra_des::{Bandwidth, DataSize, Time};
+use serde::{Deserialize, Serialize};
+
+/// A roofline compute model: an operation is either compute-bound
+/// (`flops / peak`) or memory-bound (`bytes / bandwidth`), whichever is
+/// larger.
+///
+/// The paper's case studies assume an NPU of 234 TFLOPS (measured A100,
+/// §V) — see [`Roofline::a100`].
+///
+/// # Example
+///
+/// ```
+/// use astra_des::DataSize;
+/// use astra_workload::Roofline;
+///
+/// let npu = Roofline::a100();
+/// // 234 TFLOP of work: exactly one second at peak.
+/// let t = npu.compute_time(234e12, DataSize::ZERO);
+/// assert_eq!(t.as_secs_f64(), 1.0);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    peak_flops: f64,
+    mem_bandwidth: Bandwidth,
+}
+
+impl Roofline {
+    /// Creates a roofline from peak FLOP/s and memory bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_flops` is not finite and positive.
+    pub fn new(peak_flops: f64, mem_bandwidth: Bandwidth) -> Self {
+        assert!(
+            peak_flops.is_finite() && peak_flops > 0.0,
+            "peak FLOP/s must be positive"
+        );
+        Roofline {
+            peak_flops,
+            mem_bandwidth,
+        }
+    }
+
+    /// The paper's case-study NPU: 234 TFLOPS (measured A100) with
+    /// 2039 GB/s HBM2e.
+    pub fn a100() -> Self {
+        Roofline::new(234e12, Bandwidth::from_gbps(2039))
+    }
+
+    /// The §V-B disaggregated-memory case-study GPU (Table V): 2048 TFLOPS
+    /// peak with 4096 GB/s local HBM.
+    pub fn table5_gpu() -> Self {
+        Roofline::new(2048e12, Bandwidth::from_gbps(4096))
+    }
+
+    /// Peak compute throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_flops
+    }
+
+    /// Memory bandwidth of the roofline's memory-bound regime.
+    pub fn mem_bandwidth(&self) -> Bandwidth {
+        self.mem_bandwidth
+    }
+
+    /// Execution time of an operation with `flops` FP operations touching
+    /// `tensor` bytes: `max(flops/peak, bytes/bw)`.
+    pub fn compute_time(&self, flops: f64, tensor: DataSize) -> Time {
+        let compute = Time::from_us_f64(flops / self.peak_flops * 1e6);
+        let memory = self.mem_bandwidth.transfer_time(tensor);
+        compute.max(memory)
+    }
+
+    /// The arithmetic intensity (FLOP/byte) below which operations become
+    /// memory-bound on this NPU.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops / self.mem_bandwidth.as_bytes_per_sec() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_operation() {
+        let r = Roofline::new(100e12, Bandwidth::from_gbps(1000));
+        // 1e12 flops at 100 TFLOPS = 10 ms; memory 1 MiB is negligible.
+        let t = r.compute_time(1e12, DataSize::from_mib(1));
+        assert_eq!(t, Time::from_ms(10));
+    }
+
+    #[test]
+    fn memory_bound_operation() {
+        let r = Roofline::new(100e12, Bandwidth::from_gbps(1000));
+        // 1 GFLOP is 10 us; 100 MB at 1 TB/s is 100 us: memory wins.
+        let t = r.compute_time(1e9, DataSize::from_bytes(100_000_000));
+        assert_eq!(t, Time::from_us(100));
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let r = Roofline::new(100e12, Bandwidth::from_gbps(1000));
+        assert_eq!(r.ridge_point(), 100.0);
+        // Exactly at the ridge, both terms are equal.
+        let bytes = DataSize::from_bytes(1_000_000);
+        let flops = 1_000_000.0 * r.ridge_point();
+        let t = r.compute_time(flops, bytes);
+        assert_eq!(t, r.mem_bandwidth().transfer_time(bytes));
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(Roofline::a100().peak_flops(), 234e12);
+        assert_eq!(Roofline::table5_gpu().peak_flops(), 2048e12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_peak() {
+        let _ = Roofline::new(0.0, Bandwidth::from_gbps(1));
+    }
+}

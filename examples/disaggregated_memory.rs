@@ -1,0 +1,48 @@
+//! Case study B (paper §V-B): training a Mixture-of-Experts model whose
+//! parameters and optimizer state live in a disaggregated memory pool,
+//! comparing ZeRO-Infinity against hierarchical pools (truncated model so
+//! it runs quickly).
+//!
+//! Run with: `cargo run --release --example disaggregated_memory`
+
+use astra_core::{experiments, simulate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four MoE layers instead of 24: same shape, quicker run.
+    let mut model = astra_core::models::moe_1t();
+    model.layers.truncate(4);
+    let trace = experiments::fig11_trace_for(&model);
+    let topo = experiments::fig11_topology();
+
+    println!("MoE training step (4 layers) on 256 GPUs with pooled memory\n");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "System", "Compute", "Comm", "RemoteMem", "LocalMem", "Total(ms)"
+    );
+    let mut totals = Vec::new();
+    for (name, config) in experiments::fig11_systems() {
+        let report = simulate(&trace, &topo, &config)?;
+        let b = &report.breakdown;
+        println!(
+            "{:<20} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            name,
+            b.compute.as_ms_f64(),
+            b.exposed_comm.as_ms_f64(),
+            b.exposed_remote_mem.as_ms_f64(),
+            b.exposed_local_mem.as_ms_f64(),
+            report.total_time.as_ms_f64()
+        );
+        totals.push((name, report.total_time));
+    }
+
+    let base = totals[1].1.as_us_f64();
+    let opt = totals[2].1.as_us_f64();
+    println!(
+        "\nHierMem(opt) is {:.2}x faster than HierMem(baseline) —\n\
+         faster remote-memory groups (100 -> 500 GB/s) drain the optimizer\n\
+         streams and a wider in-node fabric (256 -> 512 GB/s) speeds the\n\
+         in-switch weight gathers (paper: 4.6x).",
+        base / opt
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! FSDP / ZeRO-3 vs plain data parallelism — the memory-for-communication
+//! trade-off behind the "emerging parallelisms" that motivated the
+//! graph-based execution engine (paper §I, §III-A).
+//!
+//! FSDP shards parameters, gradients and optimizer state across all NPUs
+//! (N-fold footprint cut) but must All-Gather each layer's weights twice
+//! per iteration and Reduce-Scatter its gradients.
+//!
+//! Run with: `cargo run --release --example fsdp_vs_data_parallel`
+
+use astra_core::{simulate, DataSize, Parallelism, SystemConfig, Topology};
+use astra_workload::{footprint, parallelism::generate_trace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::parse("SW(8)@600_SW(8)@100")?; // 64 NPUs
+    let mut model = astra_core::models::gpt3_175b();
+    model.layers.truncate(24); // quarter model: quick run, same shape
+    let hbm = DataSize::from_gib(80);
+
+    println!(
+        "GPT-3 (24 layers) on 64 NPUs — per-NPU footprint vs iteration time\n"
+    );
+    println!(
+        "{:<22} {:>14} {:>10} {:>14} {:>14}",
+        "Strategy", "Footprint", "Fits 80G?", "Total (ms)", "ExpComm (ms)"
+    );
+    for (name, strategy) in [
+        ("data parallel", Parallelism::Data),
+        ("FSDP / ZeRO-3", Parallelism::FullyShardedData),
+    ] {
+        let fp = footprint::estimate(&model, strategy, topo.npus());
+        let trace = generate_trace(&model, strategy, topo.npus())?;
+        let report = simulate(&trace, &topo, &SystemConfig::default())?;
+        println!(
+            "{:<22} {:>14} {:>10} {:>14.2} {:>14.2}",
+            name,
+            fp.total().to_string(),
+            if fp.fits(hbm) { "yes" } else { "NO" },
+            report.total_time.as_ms_f64(),
+            report.breakdown.exposed_comm.as_ms_f64()
+        );
+    }
+    println!(
+        "\nFSDP pays extra weight gathers (prefetched behind compute) to cut\n\
+         the per-NPU footprint ~{}x — the only way the full model trains at\n\
+         all on 80 GB parts.",
+        topo.npus()
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: describe a platform in the paper's topology notation, pick a
+//! workload, and simulate one training iteration.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use astra_core::{DataSize, Parallelism, SimulationBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A DGX-A100-class node: 8 GPUs behind NVSwitch (600 GB/s per GPU),
+    // scaled out over 8 nodes with 100 GB/s NICs -> 64 NPUs.
+    let notation = "SW(8)@600_SW(8)@100";
+
+    // 1) A single 1 GiB All-Reduce microbenchmark.
+    let report = SimulationBuilder::new()
+        .notation(notation)?
+        .all_reduce(DataSize::from_gib(1))
+        .run()?;
+    println!("platform: {notation}");
+    println!("1 GiB All-Reduce: {}", report.total_time);
+
+    // 2) One GPT-3 training iteration with Megatron-style hybrid
+    //    parallelism (MP across the node, DP across nodes).
+    let report = SimulationBuilder::new()
+        .notation(notation)?
+        .workload(astra_core::models::gpt3_175b(), Parallelism::Hybrid { mp: 8 })
+        .run()?;
+    println!("\nGPT-3 (MP 8 x DP 8) iteration: {}", report.total_time);
+    println!("  breakdown: {}", report.breakdown);
+    println!("  collectives executed: {}", report.collectives);
+
+    // 3) The same iteration with the Themis greedy collective scheduler.
+    let themis = SimulationBuilder::new()
+        .notation(notation)?
+        .workload(astra_core::models::gpt3_175b(), Parallelism::Hybrid { mp: 8 })
+        .themis(true)
+        .run()?;
+    println!("\nwith Themis scheduling: {}", themis.total_time);
+    let gain = report.total_time.as_us_f64() / themis.total_time.as_us_f64();
+    println!("  speedup over baseline scheduler: {gain:.3}x");
+    Ok(())
+}

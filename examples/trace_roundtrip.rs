@@ -1,0 +1,44 @@
+//! The execution-trace interchange workflow (paper §IV-A): generate a
+//! trace, serialize it to the ASTRA-sim JSON ET format, reload it through
+//! the converter interface, and simulate — the same path an external
+//! PyTorch/FlexFlow trace would take.
+//!
+//! Run with: `cargo run --release --example trace_roundtrip`
+
+use astra_core::{simulate, JsonEtConverter, Parallelism, SystemConfig, Topology, TraceConverter};
+use astra_workload::parallelism::generate_trace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::parse("R(4)@200_SW(8)@50")?; // 32 NPUs
+    let mut model = astra_core::models::gpt3_175b();
+    model.layers.truncate(8);
+
+    // 1) Generate an execution trace (stands in for an ML-framework trace).
+    let trace = generate_trace(&model, Parallelism::Hybrid { mp: 4 }, topo.npus())?;
+    println!(
+        "generated trace `{}`: {} NPUs, {} nodes, {} groups",
+        trace.name(),
+        trace.npus(),
+        trace.total_nodes(),
+        trace.groups().len()
+    );
+
+    // 2) Serialize to the JSON ET interchange format.
+    let json = trace.to_json()?;
+    println!("serialized ET: {} KiB of JSON", json.len() / 1024);
+
+    // 3) Reload through the converter interface (the entry point any
+    //    foreign-format converter implements).
+    let restored = JsonEtConverter.convert(&json)?;
+    assert_eq!(restored, trace);
+    println!(
+        "round-trip via `{}` converter: traces identical",
+        JsonEtConverter.source_format()
+    );
+
+    // 4) Simulate the reloaded trace.
+    let report = simulate(&restored, &topo, &SystemConfig::default())?;
+    println!("\nsimulated iteration: {}", report.total_time);
+    println!("  {}", report.breakdown);
+    Ok(())
+}

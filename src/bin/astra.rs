@@ -1,0 +1,24 @@
+//! `astra` — command-line front end to the simulator. See `--help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match astra_sim2::cli::parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match astra_sim2::cli::run(&opts) {
+        Ok(report) => {
+            println!("{}", astra_sim2::cli::render(&opts, &report));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

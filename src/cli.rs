@@ -1,0 +1,335 @@
+//! Command-line interface for running simulations without writing Rust.
+//!
+//! ```text
+//! astra --topology "R(4)@250_SW(2)@50" --workload gpt3 --mp 4 --themis
+//! astra --topology "SW(64)@600" --all-reduce-mib 1024
+//! astra --topology "SW(16)@256_SW(16)@100" --workload moe --memory hiermem-opt --json
+//! ```
+
+use astra_core::{
+    simulate, Parallelism, PoolArchitecture, Roofline, SchedulerPolicy, SimReport, SystemConfig,
+    Topology,
+};
+use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliOptions {
+    /// Topology notation (required).
+    pub topology: String,
+    /// Workload name: `dlrm`, `gpt3`, `t1t`, or `moe`.
+    pub workload: Option<String>,
+    /// All-Reduce microbenchmark payload in MiB (alternative to a workload).
+    pub all_reduce_mib: Option<u64>,
+    /// Model-parallel width for `gpt3` / `t1t` (defaults to Table III).
+    pub mp: Option<usize>,
+    /// FSDP instead of hybrid/data parallelism.
+    pub fsdp: bool,
+    /// Use the Themis greedy collective scheduler.
+    pub themis: bool,
+    /// Collective pipeline chunks.
+    pub chunks: Option<u64>,
+    /// Remote memory system: `hiermem-base`, `hiermem-opt`, `zero-infinity`.
+    pub memory: Option<String>,
+    /// Emit machine-readable JSON instead of text.
+    pub json: bool,
+}
+
+/// CLI errors with user-facing messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text printed for `--help` or on parse errors.
+pub const USAGE: &str = "\
+astra — ASTRA-sim 2.0 reproduction CLI
+
+USAGE:
+    astra --topology <NOTATION> (--workload <NAME> | --all-reduce-mib <MiB>) [OPTIONS]
+
+REQUIRED:
+    --topology <NOTATION>   e.g. \"R(4)@250_SW(2)@50\" (Ring/R, FullyConnected/FC, Switch/SW)
+
+WORKLOAD (one of):
+    --workload <NAME>       dlrm | gpt3 | t1t | moe (Table III presets)
+    --all-reduce-mib <N>    single world All-Reduce of N MiB
+
+OPTIONS:
+    --mp <N>                model-parallel width (gpt3/t1t; default Table III)
+    --fsdp                  fully-sharded data parallelism instead of hybrid
+    --themis                Themis greedy collective scheduler
+    --chunks <N>            collective pipeline chunks (default 128)
+    --memory <SYSTEM>       hiermem-base | hiermem-opt | zero-infinity (required for moe)
+    --json                  machine-readable output
+    --help                  this text
+";
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first problem (unknown flag,
+/// missing value, missing required option).
+pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
+    let mut opts = CliOptions {
+        topology: String::new(),
+        workload: None,
+        all_reduce_mib: None,
+        mp: None,
+        fsdp: false,
+        themis: false,
+        chunks: None,
+        memory: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--topology" => opts.topology = value("--topology")?,
+            "--workload" => opts.workload = Some(value("--workload")?),
+            "--all-reduce-mib" => {
+                opts.all_reduce_mib = Some(
+                    value("--all-reduce-mib")?
+                        .parse()
+                        .map_err(|_| err("--all-reduce-mib expects an integer"))?,
+                )
+            }
+            "--mp" => {
+                opts.mp = Some(
+                    value("--mp")?
+                        .parse()
+                        .map_err(|_| err("--mp expects an integer"))?,
+                )
+            }
+            "--chunks" => {
+                opts.chunks = Some(
+                    value("--chunks")?
+                        .parse()
+                        .map_err(|_| err("--chunks expects an integer"))?,
+                )
+            }
+            "--memory" => opts.memory = Some(value("--memory")?),
+            "--fsdp" => opts.fsdp = true,
+            "--themis" => opts.themis = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err(err(USAGE)),
+            other => return Err(err(format!("unknown argument `{other}`\n\n{USAGE}"))),
+        }
+    }
+    if opts.topology.is_empty() {
+        return Err(err(format!("--topology is required\n\n{USAGE}")));
+    }
+    if opts.workload.is_none() && opts.all_reduce_mib.is_none() {
+        return Err(err(format!(
+            "one of --workload or --all-reduce-mib is required\n\n{USAGE}"
+        )));
+    }
+    Ok(opts)
+}
+
+/// Runs a parsed CLI invocation, returning the report.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on invalid notation, unknown workload/memory
+/// names, or simulation setup problems.
+pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
+    let topo = Topology::parse(&opts.topology).map_err(|e| err(format!("topology: {e}")))?;
+    let npus = topo.npus();
+
+    let mut config = SystemConfig {
+        scheduler: if opts.themis {
+            SchedulerPolicy::Themis
+        } else {
+            SchedulerPolicy::Baseline
+        },
+        ..SystemConfig::default()
+    };
+    if let Some(chunks) = opts.chunks {
+        if chunks == 0 {
+            return Err(err("--chunks must be positive"));
+        }
+        config.collective_chunks = chunks;
+    }
+    if let Some(memory) = &opts.memory {
+        config.remote_memory = Some(match memory.as_str() {
+            "hiermem-base" => PoolArchitecture::Hierarchical(
+                astra_core::memory_presets::hiermem_baseline(),
+            ),
+            "hiermem-opt" => {
+                PoolArchitecture::Hierarchical(astra_core::memory_presets::hiermem_opt())
+            }
+            "zero-infinity" => {
+                PoolArchitecture::ZeroInfinity(astra_core::memory_presets::zero_infinity())
+            }
+            other => return Err(err(format!("unknown memory system `{other}`"))),
+        });
+        config.roofline = Roofline::table5_gpu();
+        config.local_memory = astra_core::memory_presets::case_study_hbm();
+    }
+
+    let trace = if let Some(mib) = opts.all_reduce_mib {
+        astra_core::experiments::all_reduce_trace(npus, astra_core::DataSize::from_mib(mib))
+    } else {
+        let name = opts.workload.as_deref().expect("validated by parse_args");
+        let (model, default_parallelism) = match name {
+            "dlrm" => (astra_core::models::dlrm_57m(), Parallelism::Data),
+            "gpt3" => {
+                let model = astra_core::models::gpt3_175b();
+                let mp = opts.mp.unwrap_or(model.default_mp).min(npus);
+                (model, Parallelism::Hybrid { mp })
+            }
+            "t1t" => {
+                let model = astra_core::models::transformer_1t();
+                let mp = opts.mp.unwrap_or(model.default_mp).min(npus);
+                (model, Parallelism::Hybrid { mp })
+            }
+            "moe" => {
+                let model = astra_core::models::moe_1t();
+                if config.remote_memory.is_none() {
+                    return Err(err("--workload moe requires --memory <SYSTEM>"));
+                }
+                let trace = generate_disaggregated_moe(&model, npus, &OffloadPlan::default())
+                    .map_err(|e| err(format!("workload: {e}")))?;
+                return simulate(&trace, &topo, &config).map_err(|e| err(format!("simulation: {e}")));
+            }
+            other => return Err(err(format!("unknown workload `{other}`"))),
+        };
+        let parallelism = if opts.fsdp {
+            Parallelism::FullyShardedData
+        } else {
+            default_parallelism
+        };
+        generate_trace(&model, parallelism, npus).map_err(|e| err(format!("workload: {e}")))?
+    };
+    simulate(&trace, &topo, &config).map_err(|e| err(format!("simulation: {e}")))
+}
+
+/// Renders a report as text or JSON per the options.
+pub fn render(opts: &CliOptions, report: &SimReport) -> String {
+    if opts.json {
+        let b = &report.breakdown;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"total_us\": {:.3},\n",
+                "  \"compute_us\": {:.3},\n",
+                "  \"exposed_comm_us\": {:.3},\n",
+                "  \"exposed_remote_mem_us\": {:.3},\n",
+                "  \"exposed_local_mem_us\": {:.3},\n",
+                "  \"exposed_idle_us\": {:.3},\n",
+                "  \"collectives\": {},\n",
+                "  \"p2p_messages\": {}\n",
+                "}}"
+            ),
+            report.total_time.as_us_f64(),
+            b.compute.as_us_f64(),
+            b.exposed_comm.as_us_f64(),
+            b.exposed_remote_mem.as_us_f64(),
+            b.exposed_local_mem.as_us_f64(),
+            b.exposed_idle.as_us_f64(),
+            report.collectives,
+            report.p2p_messages,
+        )
+    } else {
+        format!(
+            "total: {}\nbreakdown: {}\ncollectives: {}  p2p messages: {}",
+            report.total_time, report.breakdown, report.collectives, report.p2p_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let opts = parse_args(&args(
+            "--topology R(4)@200_SW(4)@50 --workload gpt3 --mp 4 --themis --chunks 64",
+        ))
+        .unwrap();
+        assert_eq!(opts.topology, "R(4)@200_SW(4)@50");
+        assert_eq!(opts.workload.as_deref(), Some("gpt3"));
+        assert_eq!(opts.mp, Some(4));
+        assert!(opts.themis);
+        assert_eq!(opts.chunks, Some(64));
+    }
+
+    #[test]
+    fn requires_topology_and_workload() {
+        assert!(parse_args(&args("--workload gpt3")).is_err());
+        assert!(parse_args(&args("--topology R(4)")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse_args(&args("--topology R(4) --frobnicate")).is_err());
+        assert!(parse_args(&args("--topology R(4) --all-reduce-mib abc")).is_err());
+    }
+
+    #[test]
+    fn runs_microbenchmark() {
+        let opts = parse_args(&args("--topology SW(16)@400 --all-reduce-mib 256")).unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.total_time > astra_core::Time::ZERO);
+        let text = render(&opts, &report);
+        assert!(text.contains("total:"));
+    }
+
+    #[test]
+    fn runs_workload_with_fsdp() {
+        let opts =
+            parse_args(&args("--topology SW(8)@400 --workload gpt3 --fsdp --chunks 16")).unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.collectives > 0);
+    }
+
+    #[test]
+    fn moe_requires_memory_system() {
+        let opts = parse_args(&args("--topology SW(16)@256_SW(16)@100 --workload moe")).unwrap();
+        let e = run(&opts).unwrap_err();
+        assert!(e.to_string().contains("--memory"));
+    }
+
+    #[test]
+    fn json_output_is_parseable() {
+        let opts =
+            parse_args(&args("--topology SW(8)@400 --all-reduce-mib 64 --json")).unwrap();
+        let report = run(&opts).unwrap();
+        let text = render(&opts, &report);
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(v["total_us"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_workload_and_memory_reported() {
+        let opts = parse_args(&args("--topology SW(8)@400 --workload bert")).unwrap();
+        assert!(run(&opts).unwrap_err().to_string().contains("bert"));
+        let opts =
+            parse_args(&args("--topology SW(8)@400 --workload gpt3 --memory dram")).unwrap();
+        assert!(run(&opts).unwrap_err().to_string().contains("dram"));
+    }
+}

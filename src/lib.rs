@@ -1,0 +1,8 @@
+//! ASTRA-sim 2.0 reproduction — meta-crate re-exporting the full stack.
+//!
+//! See [`astra_core`] for the simulation API and the `cli` module for the
+//! command-line front end. The README has a complete tour.
+
+pub mod cli;
+
+pub use astra_core::*;

@@ -1,0 +1,143 @@
+//! End-to-end integration tests spanning workload generation, the system
+//! layer, collectives, memory models and topologies.
+
+use astra_core::{
+    simulate, DataSize, Parallelism, SimulationBuilder, SystemConfig, Time, Topology,
+};
+use astra_workload::parallelism::generate_trace;
+
+fn small_gpt3() -> astra_core::Model {
+    let mut m = astra_core::models::gpt3_175b();
+    m.layers.truncate(8);
+    m
+}
+
+#[test]
+fn hybrid_training_iteration_on_every_fig3_preset() {
+    // Every commercial-platform example from Fig. 3c can run a hybrid
+    // iteration sized to its NPU count.
+    for topo in [
+        astra_core::topologies::tpu_v2(),
+        astra_core::topologies::tpu_v4(),
+        astra_core::topologies::dgx_a100(),
+        astra_core::topologies::habana(),
+        astra_core::topologies::zion(),
+        astra_core::topologies::dragonfly(),
+    ] {
+        // Model-parallel groups must align to the dimension grid: use the
+        // innermost dimension as the MP domain (the standard mapping).
+        let mp = topo.dims()[0].npus();
+        let report = SimulationBuilder::new()
+            .topology(topo.clone())
+            .workload(small_gpt3(), Parallelism::Hybrid { mp })
+            .run()
+            .unwrap_or_else(|e| panic!("{topo}: {e}"));
+        assert!(report.total_time > Time::ZERO, "{topo}");
+        assert_eq!(report.breakdown.total(), report.total_time, "{topo}");
+    }
+}
+
+#[test]
+fn breakdown_partitions_total_time() {
+    let topo = Topology::parse("R(4)@200_SW(8)@50").unwrap();
+    let trace = generate_trace(&small_gpt3(), Parallelism::Hybrid { mp: 4 }, 32).unwrap();
+    let report = simulate(&trace, &topo, &SystemConfig::default()).unwrap();
+    let b = &report.breakdown;
+    assert_eq!(b.total(), report.total_time);
+    assert!(b.compute > Time::ZERO);
+    assert!(b.exposed_comm > Time::ZERO);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let topo = Topology::parse("R(4)@200_SW(8)@50").unwrap();
+    let trace = generate_trace(&small_gpt3(), Parallelism::Hybrid { mp: 8 }, 32).unwrap();
+    let a = simulate(&trace, &topo, &SystemConfig::default()).unwrap();
+    let b = simulate(&trace, &topo, &SystemConfig::default()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn more_bandwidth_is_never_slower() {
+    let trace = generate_trace(&small_gpt3(), Parallelism::Hybrid { mp: 4 }, 16).unwrap();
+    let slow = Topology::parse("R(4)@100_SW(4)@25").unwrap();
+    let fast = Topology::parse("R(4)@400_SW(4)@100").unwrap();
+    let t_slow = simulate(&trace, &slow, &SystemConfig::default()).unwrap();
+    let t_fast = simulate(&trace, &fast, &SystemConfig::default()).unwrap();
+    assert!(t_fast.total_time <= t_slow.total_time);
+}
+
+#[test]
+fn gradient_allreduce_overlap_reduces_exposed_comm() {
+    // Total collective traffic is identical, but dependencies let gradient
+    // All-Reduces hide behind backward compute: exposed comm must be well
+    // below the serial sum of collective times.
+    let topo = Topology::parse("R(4)@200_SW(4)@50").unwrap();
+    let trace = generate_trace(&small_gpt3(), Parallelism::Data, 16).unwrap();
+    let report = simulate(&trace, &topo, &SystemConfig::default()).unwrap();
+    // Serial reference: the same trace with every node chained would take
+    // compute + all comm; here comm must be partially hidden.
+    assert!(report.breakdown.exposed_comm < report.total_time);
+    assert!(report.breakdown.compute > report.breakdown.exposed_idle);
+}
+
+#[test]
+fn trace_roundtrip_preserves_simulation_result() {
+    let topo = Topology::parse("R(4)@200_SW(4)@50").unwrap();
+    let trace = generate_trace(&small_gpt3(), Parallelism::Hybrid { mp: 4 }, 16).unwrap();
+    let json = trace.to_json().unwrap();
+    let restored = astra_core::ExecutionTrace::from_json(&json).unwrap();
+    let a = simulate(&trace, &topo, &SystemConfig::default()).unwrap();
+    let b = simulate(&restored, &topo, &SystemConfig::default()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pipeline_bubbles_shrink_with_microbatches() {
+    let topo = Topology::parse("R(4)@300_SW(4)@50").unwrap();
+    let mut base = small_gpt3();
+    // Fixed global batch: per-microbatch work scales down.
+    let mut idle = Vec::new();
+    for microbatches in [1usize, 4] {
+        let mut model = base.clone();
+        for layer in &mut model.layers {
+            layer.fwd_flops /= microbatches as f64;
+            layer.bwd_flops /= microbatches as f64;
+        }
+        let trace = generate_trace(
+            &model,
+            Parallelism::Pipeline {
+                stages: 4,
+                microbatches,
+            },
+            16,
+        )
+        .unwrap();
+        let report = simulate(&trace, &topo, &SystemConfig::default()).unwrap();
+        idle.push(report.breakdown.exposed_idle);
+    }
+    assert!(idle[1] < idle[0], "bubbles must shrink: {idle:?}");
+    base.layers.truncate(4); // silence unused-mut lint paths
+}
+
+#[test]
+fn all_reduce_microbench_scales_inversely_with_bandwidth() {
+    let t100 = SimulationBuilder::new()
+        .notation("SW(64)@100")
+        .unwrap()
+        .all_reduce(DataSize::from_gib(1))
+        .run()
+        .unwrap()
+        .total_time
+        .as_us_f64();
+    let t400 = SimulationBuilder::new()
+        .notation("SW(64)@400")
+        .unwrap()
+        .all_reduce(DataSize::from_gib(1))
+        .run()
+        .unwrap()
+        .total_time
+        .as_us_f64();
+    let ratio = t100 / t400;
+    assert!((3.7..4.3).contains(&ratio), "{ratio}");
+}

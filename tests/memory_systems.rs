@@ -1,0 +1,133 @@
+//! Integration tests for the disaggregated-memory design space (§IV-D,
+//! §V-B): all pool architectures drive the full simulator.
+
+use astra_core::{
+    simulate, Bandwidth, DataSize, MeshPool, MultiLevelSwitchPool, PoolArchitecture, RemoteMemory,
+    RingPool, Roofline, SystemConfig, Time, TransferMode,
+};
+
+fn moe_trace(npus: usize) -> astra_core::ExecutionTrace {
+    let mut model = astra_core::models::moe_1t();
+    model.layers.truncate(2);
+    astra_workload::parallelism::generate_disaggregated_moe(
+        &model,
+        npus,
+        &astra_workload::parallelism::OffloadPlan::default(),
+    )
+    .unwrap()
+}
+
+fn config_with(pool: PoolArchitecture) -> SystemConfig {
+    SystemConfig {
+        roofline: Roofline::table5_gpu(),
+        local_memory: astra_core::memory_presets::case_study_hbm(),
+        remote_memory: Some(pool),
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn every_fig5_pool_architecture_runs_end_to_end() {
+    let topo = astra_core::Topology::parse("SW(4)@256_SW(4)@100").unwrap();
+    let trace = moe_trace(16);
+    let pools = [
+        PoolArchitecture::Hierarchical(astra_core::memory_presets::hiermem_with(256, 100)),
+        PoolArchitecture::MultiLevelSwitch(MultiLevelSwitchPool {
+            gpus: 16,
+            level_bws: vec![Bandwidth::from_gbps(256), Bandwidth::from_gbps(100)],
+            chunk: DataSize::from_kib(256),
+            base_latency: Time::from_us(2),
+        }),
+        PoolArchitecture::Ring(RingPool {
+            gpus: 16,
+            mems: 16,
+            link_bw: Bandwidth::from_gbps(100),
+            base_latency: Time::from_us(2),
+        }),
+        PoolArchitecture::Mesh(MeshPool {
+            rows: 4,
+            cols: 4,
+            link_bw: Bandwidth::from_gbps(100),
+            base_latency: Time::from_us(2),
+        }),
+        PoolArchitecture::ZeroInfinity(astra_core::memory_presets::zero_infinity()),
+    ];
+    for pool in pools {
+        let name = pool.name();
+        let report = simulate(&trace, &topo, &config_with(pool)).unwrap();
+        assert!(report.total_time > Time::ZERO, "{name}");
+        assert!(
+            report.breakdown.exposed_remote_mem > Time::ZERO,
+            "{name} should expose remote memory time"
+        );
+    }
+}
+
+#[test]
+fn faster_remote_groups_speed_up_the_training_step() {
+    let topo = astra_core::experiments::fig11_topology();
+    let trace = moe_trace(256);
+    let slow = simulate(
+        &trace,
+        &topo,
+        &astra_core::experiments::fig11_sweep_config(256, 100),
+    )
+    .unwrap();
+    let fast = simulate(
+        &trace,
+        &topo,
+        &astra_core::experiments::fig11_sweep_config(256, 500),
+    )
+    .unwrap();
+    assert!(fast.total_time < slow.total_time);
+    // The gain comes from the plain remote streams.
+    assert!(fast.breakdown.exposed_remote_mem < slow.breakdown.exposed_remote_mem);
+}
+
+#[test]
+fn wider_in_node_fabric_speeds_up_in_switch_gathers() {
+    let topo = astra_core::experiments::fig11_topology();
+    let trace = moe_trace(256);
+    let narrow = simulate(
+        &trace,
+        &topo,
+        &astra_core::experiments::fig11_sweep_config(256, 500),
+    )
+    .unwrap();
+    let wide = simulate(
+        &trace,
+        &topo,
+        &astra_core::experiments::fig11_sweep_config(512, 500),
+    )
+    .unwrap();
+    assert!(wide.breakdown.exposed_comm < narrow.breakdown.exposed_comm);
+}
+
+#[test]
+fn in_switch_collectives_beat_plain_replicated_loads() {
+    // §IV-D.3: gathering while loading beats each GPU pulling the full
+    // replicated parameter through the pool.
+    let pool = astra_core::memory_presets::hiermem_baseline();
+    let full = DataSize::from_gib(4);
+    let shard = full / pool.config().gpus() as u64;
+    let plain = pool.transfer_time(full, TransferMode::Plain);
+    let gathered = pool.transfer_time(shard, TransferMode::InSwitchCollective);
+    assert!(gathered < plain);
+}
+
+#[test]
+fn local_hbm_time_is_attributed_to_local_category() {
+    let topo = astra_core::Topology::parse("SW(4)@256_SW(4)@100").unwrap();
+    let trace = moe_trace(16);
+    let report = simulate(
+        &trace,
+        &topo,
+        &config_with(PoolArchitecture::Hierarchical(
+            astra_core::memory_presets::hiermem_with(2048, 500),
+        )),
+    )
+    .unwrap();
+    // Activation staging must appear somewhere (possibly hidden, so check
+    // the raw report is consistent rather than nonzero).
+    assert_eq!(report.breakdown.total(), report.total_time);
+}

@@ -1,0 +1,113 @@
+//! Cross-crate property-based tests on the full simulator.
+
+use astra_core::{simulate, Parallelism, SchedulerPolicy, SystemConfig, Time, Topology};
+use astra_workload::parallelism::generate_trace;
+use proptest::prelude::*;
+
+fn small_model(layers: usize) -> astra_core::Model {
+    let mut m = astra_core::models::gpt3_175b();
+    m.layers.truncate(layers.max(1));
+    m
+}
+
+fn arb_topology_16() -> impl Strategy<Value = Topology> {
+    // 16-NPU topologies of varying shape.
+    prop::sample::select(vec![
+        "SW(16)@400",
+        "R(4)@200_SW(4)@100",
+        "FC(4)@300_R(4)@100",
+        "R(2)@400_R(2)@200_SW(4)@100",
+        "R(2)@250_FC(2)@200_R(2)@100_SW(2)@50",
+    ])
+    .prop_map(|s| Topology::parse(s).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The exposed-time breakdown always partitions the total runtime, on
+    /// any topology, workload shape, and scheduler.
+    #[test]
+    fn breakdown_partitions_total(
+        topo in arb_topology_16(),
+        layers in 1usize..6,
+        mp in prop::sample::select(vec![1usize, 2, 4, 8, 16]),
+        themis in any::<bool>(),
+    ) {
+        let trace = generate_trace(&small_model(layers), Parallelism::Hybrid { mp }, 16).unwrap();
+        let config = SystemConfig {
+            scheduler: if themis { SchedulerPolicy::Themis } else { SchedulerPolicy::Baseline },
+            ..SystemConfig::default()
+        };
+        let report = simulate(&trace, &topo, &config).unwrap();
+        prop_assert_eq!(report.breakdown.total(), report.total_time);
+        prop_assert!(report.total_time > Time::ZERO);
+        // Every NPU finishes by the horizon.
+        for &f in &report.per_npu_finish {
+            prop_assert!(f <= report.total_time);
+        }
+    }
+
+    /// Simulations are bit-exact deterministic.
+    #[test]
+    fn simulation_deterministic(
+        topo in arb_topology_16(),
+        layers in 1usize..5,
+        themis in any::<bool>(),
+    ) {
+        let trace = generate_trace(&small_model(layers), Parallelism::Hybrid { mp: 4 }, 16).unwrap();
+        let config = SystemConfig {
+            scheduler: if themis { SchedulerPolicy::Themis } else { SchedulerPolicy::Baseline },
+            ..SystemConfig::default()
+        };
+        let a = simulate(&trace, &topo, &config).unwrap();
+        let b = simulate(&trace, &topo, &config).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Doubling every dimension's bandwidth never slows an iteration down.
+    #[test]
+    fn bandwidth_monotonicity_end_to_end(
+        layers in 1usize..4,
+        mp in prop::sample::select(vec![2usize, 4]),
+    ) {
+        let slow = Topology::parse("R(4)@100_SW(4)@50").unwrap();
+        let fast = Topology::parse("R(4)@200_SW(4)@100").unwrap();
+        let trace = generate_trace(&small_model(layers), Parallelism::Hybrid { mp }, 16).unwrap();
+        let t_slow = simulate(&trace, &slow, &SystemConfig::default()).unwrap().total_time;
+        let t_fast = simulate(&trace, &fast, &SystemConfig::default()).unwrap().total_time;
+        prop_assert!(t_fast <= t_slow);
+    }
+
+    /// Adding layers never makes the iteration faster.
+    #[test]
+    fn work_monotonicity(layers in 1usize..5) {
+        let topo = Topology::parse("R(4)@200_SW(4)@100").unwrap();
+        let small = generate_trace(&small_model(layers), Parallelism::Data, 16).unwrap();
+        let big = generate_trace(&small_model(layers + 1), Parallelism::Data, 16).unwrap();
+        let t_small = simulate(&small, &topo, &SystemConfig::default()).unwrap().total_time;
+        let t_big = simulate(&big, &topo, &SystemConfig::default()).unwrap().total_time;
+        prop_assert!(t_big >= t_small);
+    }
+
+    /// Themis end-to-end is never meaningfully slower than baseline.
+    #[test]
+    fn themis_never_meaningfully_slower_end_to_end(
+        topo in arb_topology_16(),
+        layers in 1usize..4,
+    ) {
+        let trace = generate_trace(&small_model(layers), Parallelism::Hybrid { mp: 4 }, 16).unwrap();
+        let base = simulate(&trace, &topo, &SystemConfig::default()).unwrap().total_time;
+        let themis = simulate(
+            &trace,
+            &topo,
+            &SystemConfig { scheduler: SchedulerPolicy::Themis, ..SystemConfig::default() },
+        )
+        .unwrap()
+        .total_time;
+        prop_assert!(
+            themis.as_us_f64() <= base.as_us_f64() * 1.02,
+            "themis {} vs baseline {}", themis, base
+        );
+    }
+}
