@@ -6,10 +6,10 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("chunk_count_sweep", |b| {
-        b.iter(|| black_box(astra_bench::ablations::chunk_count()))
+        b.iter(|| black_box(astra_bench::ablations::chunk_count()));
     });
     group.bench_function("congestion_comparison", |b| {
-        b.iter(|| black_box(astra_bench::ablations::congestion()))
+        b.iter(|| black_box(astra_bench::ablations::congestion()));
     });
     group.finish();
 }

@@ -11,7 +11,7 @@ fn bench_fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11");
     group.sample_size(10);
     group.bench_function("moe4layers_three_systems", |b| {
-        b.iter(|| black_box(astra_bench::fig11::run_with_trace(&trace)))
+        b.iter(|| black_box(astra_bench::fig11::run_with_trace(&trace)));
     });
     group.finish();
 }

@@ -12,10 +12,10 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("analytical_ring4_64MiB", |b| {
         let engine = CollectiveEngine::new(1, SchedulerPolicy::Baseline);
-        b.iter(|| black_box(engine.run(Collective::AllReduce, size, topo.dims())))
+        b.iter(|| black_box(engine.run(Collective::AllReduce, size, topo.dims())));
     });
     group.bench_function("packet_ring4_64MiB", |b| {
-        b.iter(|| black_box(collective_time(&topo, size, &PacketSimConfig::fast())))
+        b.iter(|| black_box(collective_time(&topo, size, &PacketSimConfig::fast())));
     });
     group.finish();
 }

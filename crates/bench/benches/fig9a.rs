@@ -18,7 +18,7 @@ fn bench_fig9a(c: &mut Criterion) {
                 scheduler: policy,
                 ..SystemConfig::default()
             };
-            b.iter(|| black_box(simulate(&trace, &topo, &config).unwrap()))
+            b.iter(|| black_box(simulate(&trace, &topo, &config).unwrap()));
         });
     }
     group.finish();

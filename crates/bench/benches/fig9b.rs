@@ -14,7 +14,9 @@ fn bench_fig9b(c: &mut Criterion) {
         let trace =
             experiments::all_reduce_trace(sut.topology.npus(), astra_core::DataSize::from_gib(1));
         group.bench_function(format!("ar1gb_{}", sut.name), |b| {
-            b.iter(|| black_box(simulate(&trace, &sut.topology, &SystemConfig::default()).unwrap()))
+            b.iter(|| {
+                black_box(simulate(&trace, &sut.topology, &SystemConfig::default()).unwrap())
+            });
         });
     }
     group.finish();

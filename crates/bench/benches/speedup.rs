@@ -12,10 +12,16 @@ fn bench_speedup(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("analytical_torus64_1MiB", |b| {
         let engine = CollectiveEngine::new(32, SchedulerPolicy::Baseline);
-        b.iter(|| black_box(engine.run(Collective::AllReduce, size, torus.dims())))
+        b.iter(|| black_box(engine.run(Collective::AllReduce, size, torus.dims())));
     });
     group.bench_function("packet_torus64_1MiB", |b| {
-        b.iter(|| black_box(collective_time(&torus, size, &PacketSimConfig::garnet_like())))
+        b.iter(|| {
+            black_box(collective_time(
+                &torus,
+                size,
+                &PacketSimConfig::garnet_like(),
+            ))
+        });
     });
     group.finish();
 }

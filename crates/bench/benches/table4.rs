@@ -6,7 +6,7 @@ fn bench_table4(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4");
     group.sample_size(10);
     group.bench_function("full_scaling_sweep", |b| {
-        b.iter(|| black_box(astra_bench::table4::run()))
+        b.iter(|| black_box(astra_bench::table4::run()));
     });
     group.finish();
 }

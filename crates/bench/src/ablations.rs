@@ -140,7 +140,10 @@ pub fn print(rows: &[Row]) {
             last = r.study;
         }
         match r.cost {
-            Some(c) => println!("{:<32} {:>12.2} us {:>12} events", r.setting, r.metric_us, c),
+            Some(c) => println!(
+                "{:<32} {:>12.2} us {:>12} events",
+                r.setting, r.metric_us, c
+            ),
             None => println!("{:<32} {:>12.2} us", r.setting, r.metric_us),
         }
     }

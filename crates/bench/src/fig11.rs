@@ -103,8 +103,14 @@ pub fn print(rows: &[Row], points: &[SweepPoint]) {
         let zinf = rows[0].total.as_us_f64();
         let base = rows[1].total.as_us_f64();
         let opt = rows[2].total.as_us_f64();
-        println!("ZeRO-Infinity vs HierMem(baseline): {:+.2}% (paper: ZeRO-Inf 0.1% better)", (base / zinf - 1.0) * 100.0);
-        println!("HierMem(opt) speedup over baseline: {:.2}x (paper: 4.6x)", base / opt);
+        println!(
+            "ZeRO-Infinity vs HierMem(baseline): {:+.2}% (paper: ZeRO-Inf 0.1% better)",
+            (base / zinf - 1.0) * 100.0
+        );
+        println!(
+            "HierMem(opt) speedup over baseline: {:.2}x (paper: 4.6x)",
+            base / opt
+        );
     }
     if !points.is_empty() {
         let best = best_least_resource(points, 0.02);

@@ -68,7 +68,10 @@ pub fn mean_error_pct(rows: &[Row]) -> f64 {
 /// Prints the figure as a table.
 pub fn print(rows: &[Row]) {
     println!("Fig. 4 — analytical backend validation (ring @150 GB/s)");
-    println!("{:<6} {:>10} {:>16} {:>16} {:>9}", "NPUs", "Size", "Packet (us)", "Analytical (us)", "Err %");
+    println!(
+        "{:<6} {:>10} {:>16} {:>16} {:>9}",
+        "NPUs", "Size", "Packet (us)", "Analytical (us)", "Err %"
+    );
     for r in rows {
         println!(
             "{:<6} {:>10} {:>16.2} {:>16.2} {:>9.2}",

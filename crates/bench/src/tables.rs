@@ -36,7 +36,11 @@ pub fn print_table3() {
         "{:<16} {:>14} {:>8} {:>8} {:>8}",
         "Workload", "Params (B)", "Layers", "MP", "DP"
     );
-    for model in [models::dlrm_57m(), models::gpt3_175b(), models::transformer_1t()] {
+    for model in [
+        models::dlrm_57m(),
+        models::gpt3_175b(),
+        models::transformer_1t(),
+    ] {
         println!(
             "{:<16} {:>14} {:>8} {:>8} {:>8}",
             model.name,

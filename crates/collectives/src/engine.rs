@@ -115,10 +115,7 @@ impl CollectiveEngine {
         let chunk_size = size.div_ceil_parts(self.chunks);
         // Existing backlog per dimension: how long each set of links is
         // still busy after this collective is issued.
-        let initial_loads: Vec<Time> = available
-            .iter()
-            .map(|&a| a.saturating_sub(start))
-            .collect();
+        let initial_loads: Vec<Time> = available.iter().map(|&a| a.saturating_sub(start)).collect();
         let orders =
             self.scheduler
                 .plan_orders(collective, chunk_size, dims, self.chunks, &initial_loads);
@@ -403,7 +400,11 @@ mod tests {
         let engine = CollectiveEngine::new(32, SchedulerPolicy::Baseline);
         let time = |notation: &str| {
             engine
-                .run(Collective::AllReduce, DataSize::from_gib(1), &dims(notation))
+                .run(
+                    Collective::AllReduce,
+                    DataSize::from_gib(1),
+                    &dims(notation),
+                )
                 .finish
                 .as_us_f64()
         };
@@ -467,12 +468,11 @@ mod tests {
     #[test]
     fn all_gather_runs_largest_phase_last() {
         let d = dims("R(4)@100_SW(2)@100");
-        let out =
-            CollectiveEngine::new(1, SchedulerPolicy::Baseline).run(
-                Collective::AllGather,
-                DataSize::from_mib(64),
-                &d,
-            );
+        let out = CollectiveEngine::new(1, SchedulerPolicy::Baseline).run(
+            Collective::AllGather,
+            DataSize::from_mib(64),
+            &d,
+        );
         // Dim1 carries (3/4)*64 MiB, dim2 carries (1/2)*64/4 = 8 MiB.
         assert_eq!(out.per_dim_traffic[0], DataSize::from_mib(48));
         assert_eq!(out.per_dim_traffic[1], DataSize::from_mib(8));
@@ -481,8 +481,7 @@ mod tests {
     #[test]
     fn all_to_all_traffic_does_not_shrink() {
         let d = dims("R(4)@100_SW(4)@100");
-        let traffic =
-            dimension_traffic(Collective::AllToAll, DataSize::from_mib(64), &d);
+        let traffic = dimension_traffic(Collective::AllToAll, DataSize::from_mib(64), &d);
         assert_eq!(traffic[0], DataSize::from_mib(48));
         assert_eq!(traffic[1], DataSize::from_mib(48));
     }

@@ -249,11 +249,7 @@ mod tests {
     #[test]
     fn table4_shapes_match_labels() {
         for s in table4_systems() {
-            let label_shape: Vec<usize> = s
-                .name
-                .split('_')
-                .map(|p| p.parse().unwrap())
-                .collect();
+            let label_shape: Vec<usize> = s.name.split('_').map(|p| p.parse().unwrap()).collect();
             assert_eq!(s.topology.shape(), label_shape, "{}", s.name);
         }
     }

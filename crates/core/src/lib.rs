@@ -32,8 +32,7 @@ pub use builder::{BuildError, SimulationBuilder};
 
 // Re-export the layered API at the top level.
 pub use astra_collectives::{
-    dimension_traffic, Algorithm, Collective, CollectiveEngine, CollectiveOutcome,
-    SchedulerPolicy,
+    dimension_traffic, Algorithm, Collective, CollectiveEngine, CollectiveOutcome, SchedulerPolicy,
 };
 pub use astra_des::{Bandwidth, DataSize, Time};
 pub use astra_memory::{

@@ -540,10 +540,7 @@ mod tests {
     fn bandwidth_share_and_aggregate() {
         let bw = Bandwidth::from_gbps(100);
         assert_eq!(bw.share(4).as_bytes_per_sec(), 25_000_000_000);
-        assert_eq!(
-            bw.aggregate(Bandwidth::from_gbps(50)).as_gbps_f64(),
-            150.0
-        );
+        assert_eq!(bw.aggregate(Bandwidth::from_gbps(50)).as_gbps_f64(), 150.0);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests for the DES kernel invariants.
 
-use astra_des::{attribute_exclusive, Bandwidth, DataSize, EventQueue, FifoResource, IntervalLog, Time};
+use astra_des::{
+    attribute_exclusive, Bandwidth, DataSize, EventQueue, FifoResource, IntervalLog, Time,
+};
 use proptest::prelude::*;
 
 proptest! {

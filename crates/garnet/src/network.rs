@@ -113,7 +113,9 @@ impl PacketNetwork {
     /// Builds the packet simulator for `topo`.
     pub fn new(topo: &Topology, config: PacketSimConfig) -> Self {
         let graph = LinkGraph::new(topo);
-        let link_queues = (0..graph.num_links()).map(|_| FifoResource::new()).collect();
+        let link_queues = (0..graph.num_links())
+            .map(|_| FifoResource::new())
+            .collect();
         PacketNetwork {
             graph,
             link_queues,
@@ -179,11 +181,14 @@ impl PacketNetwork {
             } else {
                 DataSize::from_bytes(pkt)
             };
-            self.start_hop(at, PacketEvent {
-                message: id,
-                hop: 0,
-                bytes,
-            });
+            self.start_hop(
+                at,
+                PacketEvent {
+                    message: id,
+                    hop: 0,
+                    bytes,
+                },
+            );
         }
         id
     }
@@ -313,7 +318,7 @@ mod tests {
         // the packet simulation should be close.
         let t = topo("R(4)@100_SW(2)@50");
         let mut packet = PacketNetwork::new(&t, PacketSimConfig::fast());
-        let mut analytical = AnalyticalNetwork::new(t.clone());
+        let mut analytical = AnalyticalNetwork::new(t);
         let size = DataSize::from_mib(64);
         // NOTE: analytical uses aggregate dim bandwidth; a unidirectional
         // p2p through one ring link sees half of it, so compare on the

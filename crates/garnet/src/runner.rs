@@ -258,7 +258,10 @@ mod tests {
         let report = collective_time(&topo, size, &PacketSimConfig::fast());
         let optimal = 2.0 * 15.0 / 16.0 * size.as_bytes() as f64 / 150e9 * 1e6;
         let got = report.finish.as_us_f64();
-        assert!(((got - optimal) / optimal).abs() < 0.15, "{got} vs {optimal}");
+        assert!(
+            ((got - optimal) / optimal).abs() < 0.15,
+            "{got} vs {optimal}"
+        );
     }
 
     #[test]
@@ -278,7 +281,10 @@ mod tests {
         // 2*(7/8)*8MiB at 100 GB/s aggregate -> ~147us plus latency rounds.
         let optimal = 2.0 * 7.0 / 8.0 * (8u64 << 20) as f64 / 100e9 * 1e6;
         let got = report.finish.as_us_f64();
-        assert!(((got - optimal) / optimal).abs() < 0.2, "{got} vs {optimal}");
+        assert!(
+            ((got - optimal) / optimal).abs() < 0.2,
+            "{got} vs {optimal}"
+        );
     }
 
     #[test]
@@ -308,7 +314,10 @@ mod tests {
             collective_time_for(&topo, Collective::AllToAll, size, &PacketSimConfig::fast());
         let optimal = (7.0 / 8.0) * size.as_bytes() as f64 / 100e9 * 1e6;
         let got = report.finish.as_us_f64();
-        assert!(((got - optimal) / optimal).abs() < 0.15, "{got} vs {optimal}");
+        assert!(
+            ((got - optimal) / optimal).abs() < 0.15,
+            "{got} vs {optimal}"
+        );
         assert_eq!(report.messages, 8 * 7);
     }
 

@@ -105,9 +105,7 @@ mod tests {
     fn all_reduce_computes_elementwise_sum() {
         let buffers = input(4, 8);
         let out = all_reduce(&buffers);
-        let expected: Vec<i64> = (0..8)
-            .map(|j| buffers.iter().map(|b| b[j]).sum())
-            .collect();
+        let expected: Vec<i64> = (0..8).map(|j| buffers.iter().map(|b| b[j]).sum()).collect();
         for npu in &out {
             assert_eq!(npu, &expected);
         }
@@ -137,7 +135,10 @@ mod tests {
         // Fig. 2's All-to-All example with 3 NPUs.
         let buffers = vec![vec![11, 12, 13], vec![21, 22, 23], vec![31, 32, 33]];
         let out = all_to_all(&buffers);
-        assert_eq!(out, vec![vec![11, 21, 31], vec![12, 22, 32], vec![13, 23, 33]]);
+        assert_eq!(
+            out,
+            vec![vec![11, 21, 31], vec![12, 22, 32], vec![13, 23, 33]]
+        );
     }
 
     #[test]
@@ -164,7 +165,9 @@ mod tests {
     fn large_group_all_reduce() {
         let buffers = input(16, 64);
         let out = all_reduce(&buffers);
-        let expected: Vec<i64> = (0..64).map(|j| buffers.iter().map(|b| b[j]).sum()).collect();
+        let expected: Vec<i64> = (0..64)
+            .map(|j| buffers.iter().map(|b| b[j]).sum())
+            .collect();
         assert_eq!(out[7], expected);
     }
 }

@@ -284,7 +284,10 @@ mod tests {
         };
         // total = 8 x 64 MiB; /8 = 64 MiB at 100 GB/s.
         let t = pool.transfer_time(DataSize::from_mib(64), TransferMode::Plain);
-        assert_eq!(t, Bandwidth::from_gbps(100).transfer_time(DataSize::from_mib(64)));
+        assert_eq!(
+            t,
+            Bandwidth::from_gbps(100).transfer_time(DataSize::from_mib(64))
+        );
     }
 
     #[test]
@@ -298,7 +301,10 @@ mod tests {
         // total = 16 x 8 MiB = 128 MiB; bisection links = 8; crossing =
         // 128/16 = 8 MiB per link at 100 GB/s.
         let t = pool.transfer_time(DataSize::from_mib(8), TransferMode::Plain);
-        assert_eq!(t, Bandwidth::from_gbps(100).transfer_time(DataSize::from_mib(8)));
+        assert_eq!(
+            t,
+            Bandwidth::from_gbps(100).transfer_time(DataSize::from_mib(8))
+        );
     }
 
     #[test]

@@ -1,18 +1,16 @@
 //! Property-based tests for the memory-system models.
 
 use astra_des::{Bandwidth, DataSize, Time};
-use astra_memory::{
-    presets, HierPool, HierPoolConfig, LocalMemory, RemoteMemory, TransferMode,
-};
+use astra_memory::{presets, HierPool, HierPoolConfig, LocalMemory, RemoteMemory, TransferMode};
 use proptest::prelude::*;
 
 fn arb_pool() -> impl Strategy<Value = HierPool> {
     (
-        1usize..8,   // nodes (power-ish small)
-        1usize..8,   // gpus per node
-        1usize..6,   // out switches
-        1usize..64,  // remote groups
-        50u64..1000, // remote group bw
+        1usize..8,    // nodes (power-ish small)
+        1usize..8,    // gpus per node
+        1usize..6,    // out switches
+        1usize..64,   // remote groups
+        50u64..1000,  // remote group bw
         100u64..2000, // in-node bw
     )
         .prop_map(|(nodes, gpn, sw, groups, remote, in_node)| {

@@ -50,17 +50,12 @@ pub struct Flow {
 /// ```
 pub fn max_min_completion(topo: &Topology, flows: &[Flow]) -> Vec<Time> {
     let graph = LinkGraph::new(topo);
-    let routes: Vec<Vec<LinkId>> = flows
-        .iter()
-        .map(|f| graph.route(f.src, f.dst))
-        .collect();
+    let routes: Vec<Vec<LinkId>> = flows.iter().map(|f| graph.route(f.src, f.dst)).collect();
     let mut remaining: Vec<f64> = flows.iter().map(|f| f.size.as_bytes() as f64).collect();
     let mut done: Vec<Option<Time>> = flows
         .iter()
         .zip(&routes)
-        .map(|(f, r)| {
-            (f.size == DataSize::ZERO || r.is_empty()).then_some(Time::ZERO)
-        })
+        .map(|(f, r)| (f.size == DataSize::ZERO || r.is_empty()).then_some(Time::ZERO))
         .collect();
     // Base propagation latency per flow (paid once, added at the end).
     let latency: Vec<Time> = routes
@@ -92,7 +87,9 @@ pub fn max_min_completion(topo: &Topology, flows: &[Flow]) -> Vec<Time> {
             }
         }
     }
-    done.into_iter().map(|d| d.expect("all flows complete")).collect()
+    done.into_iter()
+        .map(|d| d.expect("all flows complete"))
+        .collect()
 }
 
 /// Progressive filling: repeatedly find the most-contended link, freeze
@@ -191,8 +188,16 @@ mod tests {
     fn disjoint_flows_do_not_interact() {
         let topo = Topology::parse("R(8)@100").unwrap();
         let flows = [
-            Flow { src: 0, dst: 1, size: mib(64) },
-            Flow { src: 4, dst: 5, size: mib(64) },
+            Flow {
+                src: 0,
+                dst: 1,
+                size: mib(64),
+            },
+            Flow {
+                src: 4,
+                dst: 5,
+                size: mib(64),
+            },
         ];
         let done = max_min_completion(&topo, &flows);
         let solo = max_min_completion(&topo, &flows[..1]);
@@ -206,8 +211,16 @@ mod tests {
         // A short and a long flow share a link; the long one speeds up
         // after the short one drains.
         let flows = [
-            Flow { src: 0, dst: 3, size: mib(32) },
-            Flow { src: 1, dst: 3, size: mib(96) },
+            Flow {
+                src: 0,
+                dst: 3,
+                size: mib(32),
+            },
+            Flow {
+                src: 1,
+                dst: 3,
+                size: mib(96),
+            },
         ];
         let done = max_min_completion(&topo, &flows);
         // Shared phase: both at 50 GB/s until 32 MiB drain (0.671 ms);
@@ -224,8 +237,16 @@ mod tests {
         let done = max_min_completion(
             &topo,
             &[
-                Flow { src: 2, dst: 2, size: mib(10) },
-                Flow { src: 0, dst: 1, size: DataSize::ZERO },
+                Flow {
+                    src: 2,
+                    dst: 2,
+                    size: mib(10),
+                },
+                Flow {
+                    src: 0,
+                    dst: 1,
+                    size: DataSize::ZERO,
+                },
             ],
         );
         assert_eq!(done, vec![Time::ZERO, Time::ZERO]);
@@ -238,13 +259,24 @@ mod tests {
         // both see the sharing.
         let topo = Topology::parse("SW(4)@100").unwrap();
         let flows = [
-            Flow { src: 0, dst: 3, size: mib(64) },
-            Flow { src: 1, dst: 3, size: mib(64) },
+            Flow {
+                src: 0,
+                dst: 3,
+                size: mib(64),
+            },
+            Flow {
+                src: 1,
+                dst: 3,
+                size: mib(64),
+            },
         ];
         let fluid = max_min_completion(&topo, &flows);
         // Both flows drain the shared 100 GB/s down-link: 128 MiB total.
         let expected_us = 128.0 * 1024.0 * 1024.0 / 100e9 * 1e6;
         let got = fluid[1].as_us_f64();
-        assert!((got - expected_us).abs() / expected_us < 0.01, "{got} vs {expected_us}");
+        assert!(
+            (got - expected_us).abs() / expected_us < 0.01,
+            "{got} vs {expected_us}"
+        );
     }
 }

@@ -166,8 +166,9 @@ mod tests {
     #[test]
     fn multi_dim_uses_bottleneck_bandwidth() {
         let mut n = net("R(4)@100_SW(2)@25");
-        let size = DataSize::from_bytes(25_000_000); // 1ms at 25 GB/s
-        // src 0 -> dst 5: ring hop 1 + switch hops 2 = 3 hops; bottleneck 25 GB/s.
+        // src 0 -> dst 5: ring hop 1 + switch hops 2 = 3 hops; the
+        // bottleneck is the 25 GB/s switch dimension (1 ms for 25 MB).
+        let size = DataSize::from_bytes(25_000_000);
         let expected = Time::from_ns(3 * 500) + Time::from_ms(1);
         assert_eq!(n.p2p_delay(0, 5, size), expected);
     }

@@ -173,10 +173,7 @@ fn group_span(topo: &Topology, members: &[NpuId]) -> Option<GroupSpan> {
     let mut dims = Vec::new();
     let mut product = 1usize;
     for dim_idx in 0..topo.num_dims() {
-        let mut coords: Vec<usize> = members
-            .iter()
-            .map(|&m| topo.coords(m)[dim_idx])
-            .collect();
+        let mut coords: Vec<usize> = members.iter().map(|&m| topo.coords(m)[dim_idx]).collect();
         coords.sort_unstable();
         coords.dedup();
         let distinct = coords.len();
@@ -253,10 +250,7 @@ impl<'a> Engine<'a> {
         Engine {
             trace,
             config,
-            collective_engine: CollectiveEngine::new(
-                config.collective_chunks,
-                config.scheduler,
-            ),
+            collective_engine: CollectiveEngine::new(config.collective_chunks, config.scheduler),
             network: AnalyticalNetwork::new(topo.clone()),
             spans,
             queue: EventQueue::new(),
@@ -413,15 +407,13 @@ impl<'a> Engine<'a> {
             .iter()
             .map(|&(_, _, t)| t)
             .fold(Time::ZERO, Time::max);
-        let (collective, size) = match self.trace.program(meeting.arrivals[0].0)
-            [meeting.arrivals[0].1 as usize]
-            .op
-        {
-            EtOp::Collective {
-                collective, size, ..
-            } => (collective, size),
-            _ => unreachable!("meeting nodes are collectives"),
-        };
+        let (collective, size) =
+            match self.trace.program(meeting.arrivals[0].0)[meeting.arrivals[0].1 as usize].op {
+                EtOp::Collective {
+                    collective, size, ..
+                } => (collective, size),
+                _ => unreachable!("meeting nodes are collectives"),
+            };
         let finish = if span.dims.is_empty() {
             // Single-member group: nothing to communicate.
             start
@@ -437,9 +429,9 @@ impl<'a> Engine<'a> {
                         .unwrap_or(Time::ZERO)
                 })
                 .collect();
-            let outcome =
-                self.collective_engine
-                    .run_at(collective, size, &dims, start, &available);
+            let outcome = self
+                .collective_engine
+                .run_at(collective, size, &dims, start, &available);
             for (&(dim_idx, _), &free) in span.dims.iter().zip(&outcome.free_at) {
                 self.lanes.insert((span.rep, dim_idx), free);
             }
@@ -468,14 +460,20 @@ impl<'a> Engine<'a> {
         if r.end > recv_ready {
             self.logs[dst][COMM].push(recv_ready, r.end);
         }
-        self.queue.schedule_at(r.end, Event {
-            npu: src,
-            node: send_node,
-        });
-        self.queue.schedule_at(r.end, Event {
-            npu: dst,
-            node: recv_node,
-        });
+        self.queue.schedule_at(
+            r.end,
+            Event {
+                npu: src,
+                node: send_node,
+            },
+        );
+        self.queue.schedule_at(
+            r.end,
+            Event {
+                npu: dst,
+                node: recv_node,
+            },
+        );
     }
 }
 
@@ -516,8 +514,7 @@ mod tests {
 
     #[test]
     fn npu_count_mismatch_rejected() {
-        let trace =
-            parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 8).unwrap();
+        let trace = parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 8).unwrap();
         assert_eq!(
             simulate(&trace, &small_topo(), &SystemConfig::default()),
             Err(SimError::NpuCountMismatch {
@@ -530,8 +527,7 @@ mod tests {
     #[test]
     fn remote_access_requires_pool() {
         let moe = models::moe_1t();
-        let trace =
-            parallelism::generate_disaggregated_moe(&moe, 16, &Default::default()).unwrap();
+        let trace = parallelism::generate_disaggregated_moe(&moe, 16, &Default::default()).unwrap();
         assert_eq!(
             simulate(&trace, &small_topo(), &SystemConfig::default()),
             Err(SimError::RemoteMemoryUnconfigured)
@@ -617,12 +613,7 @@ mod tests {
             }
             b.build().unwrap()
         };
-        let one = simulate(
-            &make(&[(0..4).collect()]),
-            &topo,
-            &SystemConfig::default(),
-        )
-        .unwrap();
+        let one = simulate(&make(&[(0..4).collect()]), &topo, &SystemConfig::default()).unwrap();
         let four = simulate(
             &make(&[
                 (0..4).collect(),
@@ -767,7 +758,7 @@ mod tests {
     #[test]
     fn moe_simulation_produces_five_way_breakdown() {
         let moe = models::moe_1t();
-        let mut model = moe.clone();
+        let mut model = moe;
         model.layers.truncate(2);
         let trace =
             parallelism::generate_disaggregated_moe(&model, 256, &Default::default()).unwrap();

@@ -124,14 +124,13 @@ mod tests {
 
     #[test]
     fn link_bandwidth_splits_aggregate() {
-        let ring = Dimension::new(BuildingBlock::Ring(8))
-            .with_bandwidth(Bandwidth::from_gbps(200));
+        let ring = Dimension::new(BuildingBlock::Ring(8)).with_bandwidth(Bandwidth::from_gbps(200));
         assert_eq!(ring.link_bandwidth(), Bandwidth::from_gbps(100));
         let fc = Dimension::new(BuildingBlock::FullyConnected(5))
             .with_bandwidth(Bandwidth::from_gbps(200));
         assert_eq!(fc.link_bandwidth(), Bandwidth::from_gbps(50));
-        let sw = Dimension::new(BuildingBlock::Switch(64))
-            .with_bandwidth(Bandwidth::from_gbps(200));
+        let sw =
+            Dimension::new(BuildingBlock::Switch(64)).with_bandwidth(Bandwidth::from_gbps(200));
         assert_eq!(sw.link_bandwidth(), Bandwidth::from_gbps(200));
     }
 

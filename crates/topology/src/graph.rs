@@ -127,7 +127,14 @@ impl LinkGraph {
         graph
     }
 
-    fn add_link(&mut self, src: NodeId, dst: NodeId, bandwidth: Bandwidth, latency: Time, dim: usize) {
+    fn add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bandwidth: Bandwidth,
+        latency: Time,
+        dim: usize,
+    ) {
         // Ring(2) generates the same neighbor twice; keep a single link pair.
         if self.adjacency.contains_key(&(src, dst)) {
             return;
@@ -178,10 +185,7 @@ impl LinkGraph {
 
     /// Iterates over all links.
     pub fn links(&self) -> impl Iterator<Item = (LinkId, LinkProps)> + '_ {
-        self.links
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (LinkId(i), p))
+        self.links.iter().enumerate().map(|(i, &p)| (LinkId(i), p))
     }
 
     /// The direct link from `src` to `dst`, if one exists.

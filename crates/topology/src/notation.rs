@@ -49,7 +49,10 @@ impl fmt::Display for ParseTopologyError {
         match self {
             ParseTopologyError::Empty => write!(f, "empty topology notation"),
             ParseTopologyError::Malformed { dimension } => {
-                write!(f, "malformed dimension `{dimension}`, expected `Name(count)`")
+                write!(
+                    f,
+                    "malformed dimension `{dimension}`, expected `Name(count)`"
+                )
             }
             ParseTopologyError::UnknownBlock { name } => write!(
                 f,
@@ -157,7 +160,11 @@ mod tests {
     #[test]
     fn parses_bandwidth_suffix() {
         let t = Topology::parse("R(2)@250_FC(8)@200_R(8)@100_SW(4)@50").unwrap();
-        let bws: Vec<f64> = t.dims().iter().map(|d| d.bandwidth().as_gbps_f64()).collect();
+        let bws: Vec<f64> = t
+            .dims()
+            .iter()
+            .map(|d| d.bandwidth().as_gbps_f64())
+            .collect();
         assert_eq!(bws, vec![250.0, 200.0, 100.0, 50.0]);
     }
 
@@ -170,7 +177,10 @@ mod tests {
     #[test]
     fn rejects_empty() {
         assert_eq!(Topology::parse(""), Err(ParseTopologyError::Empty));
-        assert_eq!(Topology::parse("R(4)__SW(2)"), Err(ParseTopologyError::Empty));
+        assert_eq!(
+            Topology::parse("R(4)__SW(2)"),
+            Err(ParseTopologyError::Empty)
+        );
     }
 
     #[test]

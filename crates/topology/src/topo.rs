@@ -307,17 +307,15 @@ mod tests {
     #[test]
     fn display_roundtrips_through_parse() {
         let t = topo_2x8x8x4();
-        assert_eq!(
-            t.to_string(),
-            "Ring(2)_FullyConnected(8)_Ring(8)_Switch(4)"
-        );
+        assert_eq!(t.to_string(), "Ring(2)_FullyConnected(8)_Ring(8)_Switch(4)");
         assert_eq!(Topology::parse(&t.to_string()).unwrap().shape(), t.shape());
     }
 
     #[test]
     fn latency_preserved_on_resize() {
-        let t = Topology::new(vec![Dimension::new(BuildingBlock::Ring(4))
-            .with_link_latency(Time::from_ns(42))])
+        let t = Topology::new(vec![
+            Dimension::new(BuildingBlock::Ring(4)).with_link_latency(Time::from_ns(42))
+        ])
         .with_dim_size(0, 8);
         assert_eq!(t.dims()[0].link_latency(), Time::from_ns(42));
     }

@@ -53,7 +53,7 @@ proptest! {
         for dim in 0..topo.num_dims() {
             let k = topo.dims()[dim].npus();
             let mut covered = vec![0usize; topo.npus()];
-            for id in 0..topo.npus() {
+            for (id, seen) in covered.iter_mut().enumerate() {
                 let group = topo.dim_group(id, dim);
                 prop_assert_eq!(group.len(), k);
                 prop_assert!(group.contains(&id));
@@ -61,7 +61,7 @@ proptest! {
                     // Symmetry: every member sees the same group.
                     prop_assert_eq!(&topo.dim_group(m, dim), &group);
                 }
-                covered[id] += 1;
+                *seen += 1;
             }
             prop_assert!(covered.iter().all(|&c| c == 1));
         }

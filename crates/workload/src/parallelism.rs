@@ -23,9 +23,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::models::Model;
-use crate::trace::{
-    EtOp, ExecutionTrace, MemoryDirection, NodeId, TensorLocation, TraceBuilder,
-};
+use crate::trace::{EtOp, ExecutionTrace, MemoryDirection, NodeId, TensorLocation, TraceBuilder};
 
 /// A parallelization strategy for [`generate_trace`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -274,8 +272,7 @@ fn hybrid(model: &Model, npus: usize, mp: usize) -> Result<ExecutionTrace, Gener
         });
     }
     let dp = npus / mp;
-    let mut b =
-        TraceBuilder::new(npus).with_name(format!("{}-mp{mp}-dp{dp}", model.name));
+    let mut b = TraceBuilder::new(npus).with_name(format!("{}-mp{mp}-dp{dp}", model.name));
     // MP groups are contiguous id blocks (inner, fastest dimensions); DP
     // groups stride across them (outer dimensions).
     let mp_groups: Vec<_> = (0..dp)
@@ -395,8 +392,8 @@ fn pipeline(
     }
     let lanes = npus / stages;
     let layers_per_stage = model.layers.len() / stages;
-    let mut b = TraceBuilder::new(npus)
-        .with_name(format!("{}-pp{stages}x{microbatches}", model.name));
+    let mut b =
+        TraceBuilder::new(npus).with_name(format!("{}-pp{stages}x{microbatches}", model.name));
     // DP group within each stage (the lanes replicate the stage).
     let stage_groups: Vec<_> = (0..stages)
         .map(|s| b.add_group((0..lanes).map(|l| s * lanes + l).collect()))
@@ -555,8 +552,8 @@ pub fn generate_disaggregated_moe(
         });
     }
     let dp_per_expert = npus / experts;
-    let mut b = TraceBuilder::new(npus)
-        .with_name(format!("{}-disaggregated-ep{experts}", model.name));
+    let mut b =
+        TraceBuilder::new(npus).with_name(format!("{}-disaggregated-ep{experts}", model.name));
     let world = b.add_group((0..npus).collect());
     let expert_groups: Vec<_> = (0..experts)
         .map(|e| b.add_group((e * dp_per_expert..(e + 1) * dp_per_expert).collect()))
@@ -778,9 +775,7 @@ mod tests {
         // First stage sends but never receives forward activations.
         let first = t.program(0);
         assert!(first.iter().any(|n| matches!(n.op, EtOp::PeerSend { .. })));
-        assert!(!first
-            .iter()
-            .any(|n| n.name.contains("recv.fwd")));
+        assert!(!first.iter().any(|n| n.name.contains("recv.fwd")));
         // Last stage receives but never sends forward activations.
         let last = t.program(7);
         assert!(last.iter().any(|n| n.name.contains("recv.fwd")));
@@ -871,12 +866,26 @@ mod tests {
         let program = t.program(0);
         let gathers = program
             .iter()
-            .filter(|n| matches!(n.op, EtOp::Collective { collective: Collective::AllGather, .. }))
+            .filter(|n| {
+                matches!(
+                    n.op,
+                    EtOp::Collective {
+                        collective: Collective::AllGather,
+                        ..
+                    }
+                )
+            })
             .count();
         let scatters = program
             .iter()
             .filter(|n| {
-                matches!(n.op, EtOp::Collective { collective: Collective::ReduceScatter, .. })
+                matches!(
+                    n.op,
+                    EtOp::Collective {
+                        collective: Collective::ReduceScatter,
+                        ..
+                    }
+                )
             })
             .count();
         assert_eq!(gathers, 2 * model.layers.len());
@@ -899,7 +908,7 @@ mod tests {
             .iter()
             .position(|n| n.name == "layer0.wAG.fwd")
             .unwrap() as u32;
-        assert_eq!(second_gather.deps, vec![crate::NodeId(first_gather_id)]);
+        assert_eq!(second_gather.deps, vec![NodeId(first_gather_id)]);
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl fmt::Display for PyTorchEgError {
         match self {
             PyTorchEgError::Json(e) => write!(f, "invalid execution-graph JSON: {e}"),
             PyTorchEgError::UnsupportedSchema(s) => {
-                write!(f, "unsupported schema `{s}` (expected pytorch-eg-simplified-v1)")
+                write!(
+                    f,
+                    "unsupported schema `{s}` (expected pytorch-eg-simplified-v1)"
+                )
             }
             PyTorchEgError::BadNpu { node } => write!(f, "node {node} targets an out-of-range npu"),
             PyTorchEgError::UnknownDep { node, dep } => {
@@ -228,8 +231,7 @@ impl TraceConverter for PyTorchEgConverter {
 
 /// Kahn's algorithm over one rank's nodes (ids are arbitrary).
 fn topo_order(npu: usize, nodes: &[&EgNode]) -> Result<Vec<usize>, PyTorchEgError> {
-    let index_of: HashMap<u64, usize> =
-        nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+    let index_of: HashMap<u64, usize> = nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
     let mut indegree = vec![0usize; nodes.len()];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for (i, node) in nodes.iter().enumerate() {
@@ -268,10 +270,7 @@ fn topo_order(npu: usize, nodes: &[&EgNode]) -> Result<Vec<usize>, PyTorchEgErro
     Ok(order)
 }
 
-fn to_op(
-    node: &EgNode,
-    groups: &[crate::trace::GroupId],
-) -> Result<EtOp, PyTorchEgError> {
+fn to_op(node: &EgNode, groups: &[crate::trace::GroupId]) -> Result<EtOp, PyTorchEgError> {
     let bad = |reason: &str| PyTorchEgError::BadNode {
         node: node.id,
         reason: reason.to_owned(),
@@ -427,7 +426,10 @@ mod tests {
                 "location": "remote", "gathered": true, "bytes": 4096, "deps": [1]}"#,
         );
         let trace = PyTorchEgConverter.convert(&eg).unwrap();
-        assert!(matches!(trace.program(0)[0].op, EtOp::PeerSend { tag: 3, .. }));
+        assert!(matches!(
+            trace.program(0)[0].op,
+            EtOp::PeerSend { tag: 3, .. }
+        ));
         assert!(matches!(
             trace.program(1)[1].op,
             EtOp::Memory {

@@ -59,8 +59,7 @@ impl TraceStats {
                 for dep in &node.deps {
                     depth[idx] = depth[idx].max(depth[dep.0 as usize] + 1);
                 }
-                stats.critical_path_nodes =
-                    stats.critical_path_nodes.max(depth[idx]);
+                stats.critical_path_nodes = stats.critical_path_nodes.max(depth[idx]);
                 match node.op {
                     EtOp::Compute { flops, tensor } => {
                         stats.node_counts[0] += 1;
@@ -170,9 +169,8 @@ mod tests {
             m.layers.truncate(8);
             m
         };
-        let dp = TraceStats::of(
-            &parallelism::generate_trace(&model, Parallelism::Data, 8).unwrap(),
-        );
+        let dp =
+            TraceStats::of(&parallelism::generate_trace(&model, Parallelism::Data, 8).unwrap());
         let fsdp = TraceStats::of(
             &parallelism::generate_trace(&model, Parallelism::FullyShardedData, 8).unwrap(),
         );
@@ -182,8 +180,7 @@ mod tests {
 
     #[test]
     fn flops_per_comm_byte_finite_for_training_traces() {
-        let trace =
-            parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 8).unwrap();
+        let trace = parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 8).unwrap();
         let stats = TraceStats::of(&trace);
         assert!(stats.flops_per_comm_byte().is_finite());
         assert!(stats.flops_per_comm_byte() > 0.0);

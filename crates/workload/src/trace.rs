@@ -245,16 +245,25 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::BadDependency { npu, node } => {
-                write!(f, "node {node} on NPU {npu} depends on a later or missing node")
+                write!(
+                    f,
+                    "node {node} on NPU {npu} depends on a later or missing node"
+                )
             }
             TraceError::BadGroup { npu, node } => {
                 write!(f, "node {node} on NPU {npu} references an unknown group")
             }
             TraceError::NotAMember { npu, node } => {
-                write!(f, "node {node} on NPU {npu} issues a collective for a group it is not in")
+                write!(
+                    f,
+                    "node {node} on NPU {npu} issues a collective for a group it is not in"
+                )
             }
             TraceError::BadPeer { npu, node } => {
-                write!(f, "node {node} on NPU {npu} references an out-of-range peer")
+                write!(
+                    f,
+                    "node {node} on NPU {npu} references an out-of-range peer"
+                )
             }
             TraceError::UnmatchedPeerMessage { src, dst, tag } => {
                 write!(f, "unmatched peer message {src}->{dst} tag {tag}")
@@ -315,7 +324,13 @@ impl TraceBuilder {
     /// # Panics
     ///
     /// Panics if `npu` is out of range.
-    pub fn node(&mut self, npu: NpuId, name: impl Into<String>, op: EtOp, deps: &[NodeId]) -> NodeId {
+    pub fn node(
+        &mut self,
+        npu: NpuId,
+        name: impl Into<String>,
+        op: EtOp,
+        deps: &[NodeId],
+    ) -> NodeId {
         assert!(npu < self.npus, "NPU {npu} out of range");
         let id = NodeId(self.programs[npu].len() as u32);
         self.programs[npu].push(EtNode {
@@ -494,7 +509,11 @@ mod tests {
         );
         assert!(matches!(
             b.build(),
-            Err(TraceError::UnmatchedPeerMessage { src: 0, dst: 1, tag: 7 })
+            Err(TraceError::UnmatchedPeerMessage {
+                src: 0,
+                dst: 1,
+                tag: 7
+            })
         ));
     }
 
@@ -574,7 +593,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let err = TraceError::UnmatchedPeerMessage { src: 3, dst: 4, tag: 9 };
+        let err = TraceError::UnmatchedPeerMessage {
+            src: 3,
+            dst: 4,
+            tag: 9,
+        };
         let msg = err.to_string();
         assert!(msg.contains('3') && msg.contains('4') && msg.contains('9'));
     }

@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     model.layers.truncate(24); // quarter model: quick run, same shape
     let hbm = DataSize::from_gib(80);
 
-    println!(
-        "GPT-3 (24 layers) on 64 NPUs — per-NPU footprint vs iteration time\n"
-    );
+    println!("GPT-3 (24 layers) on 64 NPUs — per-NPU footprint vs iteration time\n");
     println!(
         "{:<22} {:>14} {:>10} {:>14} {:>14}",
         "Strategy", "Footprint", "Fits 80G?", "Total (ms)", "ExpComm (ms)"

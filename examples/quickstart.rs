@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    parallelism (MP across the node, DP across nodes).
     let report = SimulationBuilder::new()
         .notation(notation)?
-        .workload(astra_core::models::gpt3_175b(), Parallelism::Hybrid { mp: 8 })
+        .workload(
+            astra_core::models::gpt3_175b(),
+            Parallelism::Hybrid { mp: 8 },
+        )
         .run()?;
     println!("\nGPT-3 (MP 8 x DP 8) iteration: {}", report.total_time);
     println!("  breakdown: {}", report.breakdown);
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3) The same iteration with the Themis greedy collective scheduler.
     let themis = SimulationBuilder::new()
         .notation(notation)?
-        .workload(astra_core::models::gpt3_175b(), Parallelism::Hybrid { mp: 8 })
+        .workload(
+            astra_core::models::gpt3_175b(),
+            Parallelism::Hybrid { mp: 8 },
+        )
         .themis(true)
         .run()?;
     println!("\nwith Themis scheduling: {}", themis.total_time);

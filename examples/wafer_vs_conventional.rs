@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let size = DataSize::from_gib(1);
 
     println!("1 GiB All-Reduce on 64 NPUs (600 GB/s aggregate per NPU)\n");
-    println!(
-        "{:<30} {:>12} {:>12}",
-        "System", "baseline", "Themis"
-    );
+    println!("{:<30} {:>12} {:>12}", "System", "baseline", "Themis");
     for (name, topo) in [("wafer W-1D", &wafer), ("conventional 3-D", &conventional)] {
         let mut cells = Vec::new();
         for themis in [false, true] {

@@ -110,21 +110,21 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     value("--all-reduce-mib")?
                         .parse()
                         .map_err(|_| err("--all-reduce-mib expects an integer"))?,
-                )
+                );
             }
             "--mp" => {
                 opts.mp = Some(
                     value("--mp")?
                         .parse()
                         .map_err(|_| err("--mp expects an integer"))?,
-                )
+                );
             }
             "--chunks" => {
                 opts.chunks = Some(
                     value("--chunks")?
                         .parse()
                         .map_err(|_| err("--chunks expects an integer"))?,
-                )
+                );
             }
             "--memory" => opts.memory = Some(value("--memory")?),
             "--fsdp" => opts.fsdp = true,
@@ -171,9 +171,9 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
     }
     if let Some(memory) = &opts.memory {
         config.remote_memory = Some(match memory.as_str() {
-            "hiermem-base" => PoolArchitecture::Hierarchical(
-                astra_core::memory_presets::hiermem_baseline(),
-            ),
+            "hiermem-base" => {
+                PoolArchitecture::Hierarchical(astra_core::memory_presets::hiermem_baseline())
+            }
             "hiermem-opt" => {
                 PoolArchitecture::Hierarchical(astra_core::memory_presets::hiermem_opt())
             }
@@ -209,7 +209,8 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
                 }
                 let trace = generate_disaggregated_moe(&model, npus, &OffloadPlan::default())
                     .map_err(|e| err(format!("workload: {e}")))?;
-                return simulate(&trace, &topo, &config).map_err(|e| err(format!("simulation: {e}")));
+                return simulate(&trace, &topo, &config)
+                    .map_err(|e| err(format!("simulation: {e}")));
             }
             other => return Err(err(format!("unknown workload `{other}`"))),
         };
@@ -279,9 +280,47 @@ mod tests {
     }
 
     #[test]
+    fn accepts_the_three_documented_invocations() {
+        // The three invocations from this module's docs, minus shell quoting.
+        let gpt3 = parse_args(&args(
+            "--topology R(4)@250_SW(2)@50 --workload gpt3 --mp 4 --themis",
+        ))
+        .unwrap();
+        assert_eq!(gpt3.topology, "R(4)@250_SW(2)@50");
+        assert_eq!(gpt3.workload.as_deref(), Some("gpt3"));
+        assert_eq!(gpt3.mp, Some(4));
+        assert!(gpt3.themis);
+
+        let microbench = parse_args(&args("--topology SW(64)@600 --all-reduce-mib 1024")).unwrap();
+        assert_eq!(microbench.topology, "SW(64)@600");
+        assert_eq!(microbench.all_reduce_mib, Some(1024));
+        assert!(microbench.workload.is_none());
+
+        let moe = parse_args(&args(
+            "--topology SW(16)@256_SW(16)@100 --workload moe --memory hiermem-opt --json",
+        ))
+        .unwrap();
+        assert_eq!(moe.topology, "SW(16)@256_SW(16)@100");
+        assert_eq!(moe.workload.as_deref(), Some("moe"));
+        assert_eq!(moe.memory.as_deref(), Some("hiermem-opt"));
+        assert!(moe.json);
+    }
+
+    #[test]
     fn requires_topology_and_workload() {
         assert!(parse_args(&args("--workload gpt3")).is_err());
         assert!(parse_args(&args("--topology R(4)")).is_err());
+    }
+
+    #[test]
+    fn missing_topology_error_is_readable() {
+        let e = parse_args(&args("--workload gpt3")).unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("--topology is required"),
+            "unhelpful error: {msg}"
+        );
+        assert!(msg.contains("USAGE"), "error should include usage: {msg}");
     }
 
     #[test]
@@ -301,8 +340,10 @@ mod tests {
 
     #[test]
     fn runs_workload_with_fsdp() {
-        let opts =
-            parse_args(&args("--topology SW(8)@400 --workload gpt3 --fsdp --chunks 16")).unwrap();
+        let opts = parse_args(&args(
+            "--topology SW(8)@400 --workload gpt3 --fsdp --chunks 16",
+        ))
+        .unwrap();
         let report = run(&opts).unwrap();
         assert!(report.collectives > 0);
     }
@@ -316,8 +357,7 @@ mod tests {
 
     #[test]
     fn json_output_is_parseable() {
-        let opts =
-            parse_args(&args("--topology SW(8)@400 --all-reduce-mib 64 --json")).unwrap();
+        let opts = parse_args(&args("--topology SW(8)@400 --all-reduce-mib 64 --json")).unwrap();
         let report = run(&opts).unwrap();
         let text = render(&opts, &report);
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
@@ -328,8 +368,7 @@ mod tests {
     fn unknown_workload_and_memory_reported() {
         let opts = parse_args(&args("--topology SW(8)@400 --workload bert")).unwrap();
         assert!(run(&opts).unwrap_err().to_string().contains("bert"));
-        let opts =
-            parse_args(&args("--topology SW(8)@400 --workload gpt3 --memory dram")).unwrap();
+        let opts = parse_args(&args("--topology SW(8)@400 --workload gpt3 --memory dram")).unwrap();
         assert!(run(&opts).unwrap_err().to_string().contains("dram"));
     }
 }

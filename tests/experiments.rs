@@ -11,8 +11,14 @@ fn fig4_validation_mean_error_within_paper_band() {
     let mean = fig4::mean_error_pct(&rows);
     assert!(mean < 6.0, "mean error {mean}% (paper: ~5%)");
     // Error shrinks as payloads grow (bandwidth-bound regime).
-    let small = rows.iter().find(|r| r.npus == 16 && r.size.as_mib_f64() == 64.0).unwrap();
-    let large = rows.iter().find(|r| r.npus == 16 && r.size.as_gib_f64() == 1.5).unwrap();
+    let small = rows
+        .iter()
+        .find(|r| r.npus == 16 && r.size.as_mib_f64() == 64.0)
+        .unwrap();
+    let large = rows
+        .iter()
+        .find(|r| r.npus == 16 && r.size.as_gib_f64() == 1.5)
+        .unwrap();
     assert!(small.error_pct > large.error_pct);
 }
 
@@ -28,7 +34,10 @@ fn table4_reproduces_flat_scale_out_and_wafer_speedup() {
             conv.system
         );
     }
-    let best = rows.iter().map(|r| r.collective_us).fold(f64::INFINITY, f64::min);
+    let best = rows
+        .iter()
+        .map(|r| r.collective_us)
+        .fold(f64::INFINITY, f64::min);
     let speedup = base / best;
     assert!((2.3..2.7).contains(&speedup), "paper: 2.51x, got {speedup}");
     // Bounce: the largest wafer system is slower than the sweet spot.
@@ -68,7 +77,11 @@ fn fig11_truncated_run_keeps_headline_ratios() {
     let base = rows[1].total.as_us_f64();
     let opt = rows[2].total.as_us_f64();
     assert!((base / zinf - 1.0).abs() < 0.03, "ZeRO-Inf parity");
-    assert!((3.8..5.2).contains(&(base / opt)), "opt speedup {}", base / opt);
+    assert!(
+        (3.8..5.2).contains(&(base / opt)),
+        "opt speedup {}",
+        base / opt
+    );
 }
 
 #[test]
@@ -80,7 +93,10 @@ fn ablation_congestion_fluid_matches_packet_truth() {
     // The congestion-free equation misses the 8-to-1 incast by ~8x...
     assert!(packet / analytical > 5.0);
     // ...while the max-min extension tracks the packet truth within 5%.
-    assert!((fluid - packet).abs() / packet < 0.05, "{fluid} vs {packet}");
+    assert!(
+        (fluid - packet).abs() / packet < 0.05,
+        "{fluid} vs {packet}"
+    );
 }
 
 #[test]

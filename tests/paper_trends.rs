@@ -46,7 +46,10 @@ fn table4_scaling_trends() {
         "R(2)_FC(8)@200_R(8)@100_SW(32)@50",
     ] {
         let t = time(scale_out);
-        assert!((t / base - 1.0).abs() < 0.01, "scale-out should be flat: {t} vs {base}");
+        assert!(
+            (t / base - 1.0).abs() < 0.01,
+            "scale-out should be flat: {t} vs {base}"
+        );
     }
     let w2048 = time("R(8)_FC(8)@200_R(8)@100_SW(4)@50");
     let w4096 = time("R(16)_FC(8)@200_R(8)@100_SW(4)@50");
@@ -123,7 +126,10 @@ fn analytical_backend_validation_error_is_small() {
             .finish
             .as_us_f64();
         let err = (analytical - packet).abs() / packet;
-        assert!(err < 0.06, "{npus} NPUs: packet {packet} vs analytical {analytical}");
+        assert!(
+            err < 0.06,
+            "{npus} NPUs: packet {packet} vs analytical {analytical}"
+        );
     }
 }
 
@@ -133,13 +139,9 @@ fn analytical_backend_validation_error_is_small() {
 fn packet_backend_event_cost_scales_with_packets() {
     let topo = Topology::parse("R(4)@100_R(4)@100").unwrap();
     let size = DataSize::from_mib(1);
-    let fine = astra_garnet::collective_time(
-        &topo,
-        size,
-        &astra_garnet::PacketSimConfig::garnet_like(),
-    );
-    let coarse =
-        astra_garnet::collective_time(&topo, size, &astra_garnet::PacketSimConfig::fast());
+    let fine =
+        astra_garnet::collective_time(&topo, size, &astra_garnet::PacketSimConfig::garnet_like());
+    let coarse = astra_garnet::collective_time(&topo, size, &astra_garnet::PacketSimConfig::fast());
     assert!(fine.events > 50 * coarse.events);
     // Identical algorithm, near-identical simulated time.
     let drift = fine.finish.as_us_f64() / coarse.finish.as_us_f64();

@@ -1,0 +1,442 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in.
+//!
+//! There is no crates.io access, so no `syn`/`quote`: the item is parsed
+//! directly from the raw [`proc_macro::TokenStream`]. Supported shapes are
+//! the ones this workspace actually uses:
+//!
+//! - structs with named fields (`#[serde(default)]` per field),
+//! - tuple structs (commonly with `#[serde(transparent)]`),
+//! - enums with unit, tuple, and struct variants (externally tagged, the
+//!   serde default: `"Variant"`, `{"Variant": payload}`).
+//!
+//! Generics are not supported; deriving on a generic type is a compile
+//! error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (JSON-value based).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (JSON-value based).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extracts the idents appearing inside `#[serde(...)]`, e.g. `default`,
+/// `transparent`. Returns `None` for non-serde attributes.
+fn serde_attr_idents(group: &TokenStream) -> Option<Vec<String>> {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let mut out = Vec::new();
+    if let Some(TokenTree::Group(inner)) = toks.get(1) {
+        for t in inner.stream() {
+            if let TokenTree::Ident(id) = t {
+                out.push(id.to_string());
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Skips attributes starting at `i`; appends any serde-attr idents found.
+fn skip_attrs(toks: &[TokenTree], mut i: usize, serde_idents: &mut Vec<String>) -> usize {
+    while i + 1 < toks.len() {
+        let is_hash = matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                if let Some(mut ids) = serde_attr_idents(&g.stream()) {
+                    serde_idents.append(&mut ids);
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past one type, stopping after the top-level `,` (or at end).
+/// Bracketed groups are single token trees, so only `<`/`>` need depth
+/// tracking.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut serde_ids = Vec::new();
+        i = skip_attrs(&toks, i, &mut serde_ids);
+        i = skip_vis(&toks, i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got `{other}`")),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got `{other}`")),
+        }
+        i = skip_type(&toks, i);
+        fields.push(Field {
+            name,
+            default: serde_ids.iter().any(|s| s == "default"),
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple payload (top-level comma-separated types).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let mut serde_ids = Vec::new();
+        i = skip_attrs(&toks, i, &mut serde_ids);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&toks, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut serde_ids = Vec::new();
+        i = skip_attrs(&toks, i, &mut serde_ids);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got `{other}`")),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut serde_ids = Vec::new();
+    let mut i = skip_attrs(&toks, 0, &mut serde_ids);
+    let transparent = serde_ids.iter().any(|s| s == "transparent");
+    i = skip_vis(&toks, i);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got `{other}`")),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected type name, got `{other}`")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "offline serde derive does not support generics (type `{name}`)"
+        ));
+    }
+    let kind = match (kw.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::NamedStruct(vec![]),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream())?)
+        }
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+    Ok(Item {
+        name,
+        transparent,
+        kind,
+    })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::TupleStruct(1) if item.transparent => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Kind::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: Vec<(String, ::serde::Value)> = Vec::new(); {} ::serde::Value::Object(__obj)",
+                pushes.join(" ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__inner.push(({:?}.to_string(), ::serde::Serialize::to_value({})));",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {{ let mut __inner: Vec<(String, ::serde::Value)> = Vec::new(); {} ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(__inner))]) }}",
+                                binds.join(", "),
+                                pushes.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+/// Generates the deserialization expression for one set of named fields,
+/// reading from the object binding `__obj`.
+fn named_fields_body(path: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return Err(::serde::Error::custom(format!(\"missing field `{fname}` in {path}\")))"
+                )
+            };
+            format!(
+                "{fname}: match __obj.iter().find(|(k, _)| k == {fname:?}) {{ Some((_, __v)) => ::serde::Deserialize::from_value(__v)?, None => {missing}, }},"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(" "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::TupleStruct(1) if item.transparent => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                fields[0].name
+            )
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().filter(|a| a.len() == {n}).ok_or_else(|| ::serde::Error::custom(format!(\"expected {n}-element array for {name}\")))?; Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let build = named_fields_body(name, fields);
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(format!(\"expected object for {name}, got {{__v:?}}\")))?; Ok({build})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vname:?} => return Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{ let __a = __payload.as_array().filter(|a| a.len() == {n}).ok_or_else(|| ::serde::Error::custom(format!(\"expected {n}-element array for {name}::{vname}\")))?; return Ok({name}::{vname}({})); }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let build =
+                                named_fields_body(&format!("{name}::{vname}"), fields);
+                            Some(format!(
+                                "{vname:?} => {{ let __obj = __payload.as_object().ok_or_else(|| ::serde::Error::custom(format!(\"expected object payload for {name}::{vname}\")))?; return Ok({build}); }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(__s) = __v.as_str() {{ match __s {{ {} _ => {{}} }} return Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__s}}`\"))); }} \
+                 if let Some(__obj) = __v.as_object() {{ if __obj.len() == 1 {{ let (__tag, __payload) = &__obj[0]; match __tag.as_str() {{ {} _ => {{}} }} return Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__tag}}`\"))); }} }} \
+                 Err(::serde::Error::custom(format!(\"expected {name} variant, got {{__v:?}}\")))",
+                unit_arms.join(" "),
+                payload_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
