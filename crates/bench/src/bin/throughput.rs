@@ -1,0 +1,41 @@
+//! Regenerates the simulation-throughput comparison and writes it to a
+//! machine-readable JSON file (the repo's `BENCH_throughput.json`).
+//!
+//! ```text
+//! cargo run --release -p astra-bench --bin throughput            # full run
+//! cargo run --release -p astra-bench --bin throughput -- --quick # CI smoke
+//! cargo run --release -p astra-bench --bin throughput -- --out other.json
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_throughput.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (expected --quick / --out <PATH>)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = astra_bench::throughput::run(quick);
+    astra_bench::throughput::print(&report);
+    let json = report.to_json().expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+    ExitCode::SUCCESS
+}

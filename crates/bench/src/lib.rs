@@ -16,6 +16,7 @@
 //! | [`table4`] | Table IV — per-dimension message sizes & collective time |
 //! | [`fig11`] | Fig. 11 — disaggregated-memory runtime breakdown + sweep |
 //! | [`ablations`] | modeling-choice sensitivity studies (extensions) |
+//! | [`throughput`] | simulator-throughput comparison (`BENCH_throughput.json`) |
 
 pub mod ablations;
 pub mod fig11;
@@ -25,6 +26,7 @@ pub mod fig9b;
 pub mod speedup;
 pub mod table4;
 pub mod tables;
+pub mod throughput;
 
 /// Formats a microsecond quantity for table output.
 pub fn us(t: astra_core::Time) -> String {

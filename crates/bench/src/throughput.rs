@@ -1,0 +1,343 @@
+//! Simulation-throughput comparison: parallel trace generation vs the
+//! naive serial baseline, and the calendar event-queue backend vs the
+//! binary heap — the two hot paths behind the paper's §IV-C claim that
+//! hierarchical systems at 512–1024 NPUs stay cheap to simulate.
+//!
+//! The `throughput` binary runs this module and writes the rows to a
+//! machine-readable `BENCH_throughput.json`, the repo's performance
+//! trajectory record (regenerate with
+//! `cargo run --release -p astra-bench --bin throughput`).
+
+use astra_core::{simulate, DataSize, QueueBackend, SystemConfig, Topology};
+use astra_garnet::{collective_time, PacketSimConfig};
+use astra_workload::parallelism::{
+    generate_disaggregated_moe, generate_disaggregated_moe_reference, generate_trace,
+    generate_trace_reference, generate_trace_with_threads, OffloadPlan,
+};
+use astra_workload::{models, ExecutionTrace, Parallelism};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One trace-generation measurement: the parallel/memoizing generator vs
+/// the frozen serial reference on the same workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceGenRow {
+    /// Workload label (model + strategy).
+    pub workload: String,
+    /// NPUs the trace targets.
+    pub npus: usize,
+    /// Total ET nodes built (identical for both paths by construction).
+    pub total_nodes: usize,
+    /// Wall-clock of the naive serial baseline (ms, best of N).
+    pub serial_ms: f64,
+    /// Wall-clock of the parallel/memoizing path (ms, best of N).
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// One event-queue measurement: the same simulation under both backends.
+#[derive(Clone, Debug, Serialize)]
+pub struct QueueRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Simulated completion time in µs (identical across backends — the
+    /// runner asserts it).
+    pub simulated_us: f64,
+    /// Queue events processed, where the scenario reports them.
+    pub events: Option<u64>,
+    /// Wall-clock under the binary heap (ms, best of N).
+    pub heap_ms: f64,
+    /// Wall-clock under the calendar queue (ms, best of N).
+    pub calendar_ms: f64,
+    /// `heap_ms / calendar_ms`.
+    pub speedup: f64,
+}
+
+/// The full comparison, serialized as `BENCH_throughput.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// What produced the file.
+    pub generated_by: String,
+    /// Worker threads available to the parallel generators on the machine
+    /// that produced the numbers.
+    pub threads_available: usize,
+    /// Trace-generation rows.
+    pub trace_generation: Vec<TraceGenRow>,
+    /// Event-queue backend rows.
+    pub event_queue: Vec<QueueRow>,
+}
+
+impl Report {
+    /// Serializes the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if serialization fails (it cannot for
+    /// well-formed reports).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+/// Best-of-`reps` wall-clock of `f`, in milliseconds, with the last result.
+fn best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        result = Some(r);
+    }
+    (best, result.expect("at least one rep"))
+}
+
+fn gen_row(
+    label: &str,
+    npus: usize,
+    reps: usize,
+    serial: impl Fn() -> ExecutionTrace,
+    parallel: impl Fn() -> ExecutionTrace,
+) -> TraceGenRow {
+    let (serial_ms, reference) = best_ms(reps, &serial);
+    let (parallel_ms, fast) = best_ms(reps, &parallel);
+    assert_eq!(reference, fast, "parallel generator diverged on {label}");
+    TraceGenRow {
+        workload: label.to_owned(),
+        npus,
+        total_nodes: fast.total_nodes(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+    }
+}
+
+/// Trace-generation comparison across the Fig. 9 workload families at 64
+/// and 512 NPUs (1024 in full mode, covering the §IV-C upper scale).
+pub fn run_trace_generation(quick: bool) -> Vec<TraceGenRow> {
+    let reps = if quick { 1 } else { 3 };
+    let gpt3 = models::gpt3_175b();
+    let dlrm = models::dlrm_57m();
+    let moe = models::moe_1t();
+    let mut rows = Vec::new();
+
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 512] };
+    for &npus in sizes {
+        rows.push(gen_row(
+            "dlrm-data-parallel",
+            npus,
+            reps,
+            || generate_trace_reference(&dlrm, Parallelism::Data, npus).unwrap(),
+            || generate_trace(&dlrm, Parallelism::Data, npus).unwrap(),
+        ));
+        rows.push(gen_row(
+            "gpt3-fsdp",
+            npus,
+            reps,
+            || generate_trace_reference(&gpt3, Parallelism::FullyShardedData, npus).unwrap(),
+            || generate_trace(&gpt3, Parallelism::FullyShardedData, npus).unwrap(),
+        ));
+        rows.push(gen_row(
+            "moe-disaggregated",
+            npus,
+            reps,
+            || generate_disaggregated_moe_reference(&moe, npus, &OffloadPlan::default()).unwrap(),
+            || generate_disaggregated_moe(&moe, npus, &OffloadPlan::default()).unwrap(),
+        ));
+        rows.push(gen_row(
+            "gpt3-hybrid-mp16",
+            npus,
+            reps,
+            || generate_trace_reference(&gpt3, Parallelism::Hybrid { mp: 16 }, npus).unwrap(),
+            || generate_trace(&gpt3, Parallelism::Hybrid { mp: 16 }, npus).unwrap(),
+        ));
+    }
+    if !quick {
+        // The paper's upper speedup-study scale.
+        rows.push(gen_row(
+            "gpt3-fsdp",
+            1024,
+            reps,
+            || generate_trace_reference(&gpt3, Parallelism::FullyShardedData, 1024).unwrap(),
+            || generate_trace(&gpt3, Parallelism::FullyShardedData, 1024).unwrap(),
+        ));
+    }
+    rows
+}
+
+fn queue_row_packet(
+    scenario: &str,
+    topo: &Topology,
+    size: DataSize,
+    base: PacketSimConfig,
+    reps: usize,
+) -> QueueRow {
+    let (heap_ms, heap) = best_ms(reps, || {
+        collective_time(
+            topo,
+            size,
+            &base.with_queue_backend(QueueBackend::BinaryHeap),
+        )
+    });
+    let (calendar_ms, cal) = best_ms(reps, || {
+        collective_time(topo, size, &base.with_queue_backend(QueueBackend::Calendar))
+    });
+    assert_eq!(heap, cal, "queue backends diverged on {scenario}");
+    QueueRow {
+        scenario: scenario.to_owned(),
+        simulated_us: heap.finish.as_us_f64(),
+        events: Some(heap.events),
+        heap_ms,
+        calendar_ms,
+        speedup: heap_ms / calendar_ms.max(1e-9),
+    }
+}
+
+fn queue_row_engine(
+    scenario: &str,
+    trace: &ExecutionTrace,
+    topo: &Topology,
+    reps: usize,
+) -> QueueRow {
+    let config = |backend| SystemConfig {
+        queue_backend: backend,
+        ..SystemConfig::default()
+    };
+    let (heap_ms, heap) = best_ms(reps, || {
+        simulate(trace, topo, &config(QueueBackend::BinaryHeap)).unwrap()
+    });
+    let (calendar_ms, cal) = best_ms(reps, || {
+        simulate(trace, topo, &config(QueueBackend::Calendar)).unwrap()
+    });
+    assert_eq!(
+        heap.total_time, cal.total_time,
+        "queue backends diverged on {scenario}"
+    );
+    assert_eq!(heap.breakdown.exposed_comm, cal.breakdown.exposed_comm);
+    QueueRow {
+        scenario: scenario.to_owned(),
+        simulated_us: heap.total_time.as_us_f64(),
+        events: None,
+        heap_ms,
+        calendar_ms,
+        speedup: heap_ms / calendar_ms.max(1e-9),
+    }
+}
+
+/// Event-queue backend comparison on the §IV-C speedup workload (the
+/// packet backend is where hundreds of thousands of events are live at
+/// once) plus a graph-engine workload.
+pub fn run_event_queue(quick: bool) -> Vec<QueueRow> {
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = Vec::new();
+
+    // §IV-C speedup experiment: 1 MB All-Reduce, 64-NPU 3D torus, 256 B
+    // packets (Garnet-like granularity).
+    let torus64 = Topology::parse("R(4)@100_R(4)@100_R(4)@100").expect("valid notation");
+    let size = if quick {
+        DataSize::from_kib(64)
+    } else {
+        DataSize::from_mib(1)
+    };
+    rows.push(queue_row_packet(
+        "speedup-bench packet All-Reduce, 64-NPU 3D torus, 256 B packets",
+        &torus64,
+        size,
+        PacketSimConfig::garnet_like(),
+        reps,
+    ));
+
+    if !quick {
+        // Fig. 4-style validation run: 16-ring, coarse packets.
+        let ring16 = Topology::parse("R(16)@150").expect("valid notation");
+        rows.push(queue_row_packet(
+            "fig4 validation packet All-Reduce, 16-NPU ring, 64 KiB packets",
+            &ring16,
+            DataSize::from_mib(96),
+            PacketSimConfig::fast(),
+            reps,
+        ));
+    }
+
+    // Graph-engine workload (fig9-style): DLRM data-parallel.
+    let (npus, notation) = if quick {
+        (64, "R(4)@250_FC(4)@200_SW(4)@50")
+    } else {
+        (512, "R(2)@250_FC(8)@200_R(8)@100_SW(4)@50")
+    };
+    let topo = Topology::parse(notation).expect("valid notation");
+    let dlrm = models::dlrm_57m();
+    let trace = generate_trace_with_threads(&dlrm, Parallelism::Data, npus, 1).unwrap();
+    rows.push(queue_row_engine(
+        &format!("graph-engine DLRM data-parallel, {npus} NPUs"),
+        &trace,
+        &topo,
+        reps,
+    ));
+    rows
+}
+
+/// Runs the full comparison. `quick` shrinks payloads and scales for CI
+/// smoke jobs; the committed `BENCH_throughput.json` uses the full mode.
+pub fn run(quick: bool) -> Report {
+    Report {
+        generated_by: "astra-bench throughput".to_owned(),
+        threads_available: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        trace_generation: run_trace_generation(quick),
+        event_queue: run_event_queue(quick),
+    }
+}
+
+/// Prints the comparison as tables.
+pub fn print(report: &Report) {
+    println!(
+        "Simulation throughput ({} thread(s) available)",
+        report.threads_available
+    );
+    println!("\n== trace generation: parallel/memoizing vs serial baseline ==");
+    println!(
+        "{:<22} {:>6} {:>9} {:>11} {:>13} {:>9}",
+        "Workload", "NPUs", "Nodes", "Serial(ms)", "Parallel(ms)", "Speedup"
+    );
+    for r in &report.trace_generation {
+        println!(
+            "{:<22} {:>6} {:>9} {:>11.2} {:>13.2} {:>8.2}x",
+            r.workload, r.npus, r.total_nodes, r.serial_ms, r.parallel_ms, r.speedup
+        );
+    }
+    println!("\n== event queue: calendar vs binary heap ==");
+    println!(
+        "{:<58} {:>11} {:>9} {:>13} {:>9}",
+        "Scenario", "Events", "Heap(ms)", "Calendar(ms)", "Speedup"
+    );
+    for r in &report.event_queue {
+        println!(
+            "{:<58} {:>11} {:>9.2} {:>13.2} {:>8.2}x",
+            r.scenario,
+            r.events.map_or("-".to_owned(), |e| e.to_string()),
+            r.heap_ms,
+            r.calendar_ms,
+            r.speedup
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_valid_json_with_rows() {
+        let report = run(true);
+        assert!(!report.trace_generation.is_empty());
+        assert!(!report.event_queue.is_empty());
+        let json = report.to_json().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(
+            v["trace_generation"][0]["serial_ms"].as_f64().unwrap() >= 0.0,
+            "serial_ms present"
+        );
+        assert!(v["event_queue"][0]["heap_ms"].as_f64().unwrap() >= 0.0);
+    }
+}

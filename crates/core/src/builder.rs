@@ -161,6 +161,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the future-event-list backend driving the graph engine
+    /// (binary heap by default). Simulation results are bit-identical
+    /// across backends; only wall-clock cost differs.
+    pub fn queue_backend(mut self, backend: astra_des::QueueBackend) -> Self {
+        self.config.queue_backend = backend;
+        self
+    }
+
     /// Sets the NPU compute roofline.
     pub fn roofline(mut self, roofline: Roofline) -> Self {
         self.config.roofline = roofline;

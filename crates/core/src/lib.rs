@@ -34,7 +34,7 @@ pub use builder::{BuildError, SimulationBuilder};
 pub use astra_collectives::{
     dimension_traffic, Algorithm, Collective, CollectiveEngine, CollectiveOutcome, SchedulerPolicy,
 };
-pub use astra_des::{Bandwidth, DataSize, Time};
+pub use astra_des::{Bandwidth, DataSize, QueueBackend, Time};
 pub use astra_memory::{
     AccessKind, HierPool, HierPoolConfig, LocalMemory, MeshPool, MultiLevelSwitchPool,
     PoolArchitecture, RemoteMemory, RingPool, TransferMode, ZeroInfinity,

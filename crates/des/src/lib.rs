@@ -5,7 +5,8 @@
 //! * [`Time`] — integer picosecond simulation time (deterministic arithmetic),
 //! * [`DataSize`] and [`Bandwidth`] — payload and link-rate units with exact
 //!   transfer-time computation,
-//! * [`EventQueue`] — a deterministic future-event list with FIFO tie-breaking,
+//! * [`EventQueue`] — a deterministic future-event list with FIFO tie-breaking
+//!   and pluggable backends ([`QueueBackend`]: binary heap or calendar queue),
 //! * [`FifoResource`] — a serial resource timeline (used to model links,
 //!   compute streams, and memory ports),
 //! * [`IntervalLog`] / [`attribute_exclusive`] — busy-interval bookkeeping used
@@ -29,6 +30,6 @@ mod resource;
 mod units;
 
 pub use intervals::{attribute_exclusive, IntervalLog};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend};
 pub use resource::{FifoResource, Reservation};
 pub use units::{Bandwidth, DataSize, Time};

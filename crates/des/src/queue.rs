@@ -1,15 +1,75 @@
-//! Deterministic future-event list.
+//! Deterministic future-event list with pluggable backends.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::str::FromStr;
 
 use crate::Time;
+
+/// Selects the data structure backing an [`EventQueue`].
+///
+/// Both backends deliver the exact same `(time, event)` sequence — events in
+/// non-decreasing timestamp order, FIFO for ties — so simulation results are
+/// bit-identical regardless of the choice. They differ only in wall-clock
+/// cost: the heap pays `O(log n)` per operation, while the calendar queue
+/// approaches `O(1)` on the event distributions the simulator produces
+/// (large batches of near-sorted timestamps, e.g. the packet backend's
+/// per-link FIFO completions in the §IV-C speedup experiment).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum QueueBackend {
+    /// `std::collections::BinaryHeap` ordered by `(time, seq)`. Robust
+    /// `O(log n)` insert/pop for any distribution; the default.
+    #[default]
+    BinaryHeap,
+    /// Dynamically resized calendar queue (R. Brown, CACM 1988): a ring of
+    /// time buckets whose count and width adapt to the live event
+    /// population, giving amortized `O(1)` insert/pop when timestamps are
+    /// reasonably spread. Falls back to a direct minimum search when every
+    /// pending event lies beyond the current calendar year.
+    Calendar,
+}
+
+impl QueueBackend {
+    /// Both backends, for tests and benchmark sweeps.
+    pub const ALL: [QueueBackend; 2] = [QueueBackend::BinaryHeap, QueueBackend::Calendar];
+
+    /// Stable machine-readable name (`binary-heap` / `calendar`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueBackend::BinaryHeap => "binary-heap",
+            QueueBackend::Calendar => "calendar",
+        }
+    }
+}
+
+impl fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for QueueBackend {
+    type Err = String;
+
+    /// Accepts `heap` / `binary-heap` and `calendar`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" | "binary-heap" => Ok(QueueBackend::BinaryHeap),
+            "calendar" => Ok(QueueBackend::Calendar),
+            other => Err(format!(
+                "unknown queue backend `{other}` (expected `heap` or `calendar`)"
+            )),
+        }
+    }
+}
 
 /// A deterministic discrete-event queue.
 ///
 /// Events are delivered in non-decreasing timestamp order; events scheduled
 /// for the same instant are delivered in insertion (FIFO) order, which makes
-/// simulations bit-exact reproducible regardless of heap internals.
+/// simulations bit-exact reproducible regardless of the backing data
+/// structure (see [`QueueBackend`]).
 ///
 /// The queue also tracks the simulation clock: [`EventQueue::now`] is the
 /// timestamp of the most recently popped event.
@@ -29,9 +89,15 @@ use crate::Time;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     seq: u64,
     now: Time,
+}
+
+#[derive(Debug)]
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Calendar(Calendar<E>),
 }
 
 #[derive(Debug)]
@@ -41,11 +107,18 @@ struct Entry<E> {
     event: E,
 }
 
+impl<E> Entry<E> {
+    /// Total delivery order: earliest time first, FIFO (`seq`) for ties.
+    fn key(&self) -> (Time, u64) {
+        (self.time, self.seq)
+    }
+}
+
 // Manual ordering: min-heap on (time, seq). `BinaryHeap` is a max-heap, so
 // the comparison is reversed.
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -57,19 +130,37 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 
 impl<E> Eq for Entry<E> {}
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    /// Creates an empty queue on the default binary-heap backend with the
+    /// clock at [`Time::ZERO`].
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Creates an empty queue on the chosen backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let backend = match backend {
+            QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+            QueueBackend::Calendar => Backend::Calendar(Calendar::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             seq: 0,
             now: Time::ZERO,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backend {
+            Backend::Heap(_) => QueueBackend::BinaryHeap,
+            Backend::Calendar(_) => QueueBackend::Calendar,
         }
     }
 
@@ -93,11 +184,15 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry {
+        let entry = Entry {
             time: at,
             seq,
             event,
-        });
+        };
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(entry),
+            Backend::Calendar(cal) => cal.insert(entry),
+        }
     }
 
     /// Schedules `event` after a relative `delay` from the current time.
@@ -109,29 +204,41 @@ impl<E> EventQueue<E> {
     /// timestamp. Returns `None` when the queue is empty (the clock stays at
     /// the last popped time).
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let entry = self.heap.pop()?;
+        let entry = match &mut self.backend {
+            Backend::Heap(heap) => heap.pop()?,
+            Backend::Calendar(cal) => cal.pop()?,
+        };
         self.now = entry.time;
         Some((entry.time, entry.event))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.time),
+            Backend::Calendar(cal) => cal.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Calendar(cal) => cal.len,
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Discards all pending events without advancing the clock.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.clear(),
+            Backend::Calendar(cal) => cal.clear(self.now.as_ps()),
+        }
     }
 }
 
@@ -141,43 +248,256 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Initial and minimum bucket count (power of two).
+const MIN_BUCKETS: usize = 16;
+/// Bucket-count ceiling: bounds resize memory for multi-million-event runs.
+const MAX_BUCKETS: usize = 1 << 18;
+/// Initial bucket width in picoseconds (replaced by the first resize).
+const INITIAL_WIDTH: u64 = 1_000;
+
+/// Dynamically resized calendar queue over `(time, seq)`-ordered entries.
+///
+/// Each bucket is kept sorted by `(time, seq)`, so the bucket front is its
+/// minimum: dequeue pops the front, and the common insert (per-link FIFO
+/// completions and same-instant fan-outs arrive in key order) appends at
+/// the back — both O(1). An out-of-order insert pays a binary search plus
+/// a shift within one (small, tuned) bucket.
+///
+/// Invariants relied on for correctness:
+///
+/// * every pending entry's time is `>= floor` (the last popped timestamp),
+///   because pops always remove the global minimum;
+/// * `floor` lies inside the cursor bucket's current-year window
+///   `[bucket_top - width, bucket_top)`, so a fresh insert (whose time is
+///   `>= floor` by the [`EventQueue::schedule_at`] causality assertion) can
+///   never land in a bucket the dequeue scan has already passed this year.
+#[derive(Debug)]
+struct Calendar<E> {
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Bucket width in picoseconds (`>= 1`).
+    width: u64,
+    /// Pending entry count.
+    len: usize,
+    /// Bucket the dequeue scan resumes from.
+    cursor: usize,
+    /// Exclusive upper time bound of the cursor bucket's current-year
+    /// window (`u128`: it grows past `u64` while scanning empty years).
+    bucket_top: u128,
+    /// Timestamp of the last popped entry (lower bound on all pending).
+    floor: u64,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        let mut cal = Calendar {
+            buckets: Vec::new(),
+            width: INITIAL_WIDTH,
+            len: 0,
+            cursor: 0,
+            bucket_top: 0,
+            floor: 0,
+        };
+        cal.clear(0);
+        cal
+    }
+
+    /// Resets to an empty calendar whose scan position starts at `floor`.
+    fn clear(&mut self, floor: u64) {
+        self.buckets = (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect();
+        self.width = INITIAL_WIDTH;
+        self.len = 0;
+        self.floor = floor;
+        self.seek(floor);
+    }
+
+    /// Points the dequeue scan at the bucket-year window containing `t`.
+    fn seek(&mut self, t: u64) {
+        let slot = t / self.width;
+        self.cursor = (slot as usize) & (self.buckets.len() - 1);
+        self.bucket_top = (u128::from(slot) + 1) * u128::from(self.width);
+    }
+
+    fn bucket_of(&self, t: u64) -> usize {
+        ((t / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        let idx = self.bucket_of(entry.time.as_ps());
+        push_sorted(&mut self.buckets[idx], entry);
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.resize();
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        // Scan at most one full calendar year from the cursor. Buckets are
+        // sorted, so the front is each bucket's minimum, and the first
+        // in-year front found in scan order is the global minimum.
+        for _ in 0..self.buckets.len() {
+            let in_year = self.buckets[self.cursor]
+                .front()
+                .is_some_and(|e| u128::from(e.time.as_ps()) < self.bucket_top);
+            if in_year {
+                let entry = self.buckets[self.cursor].pop_front().expect("front exists");
+                self.finish_pop(entry.time.as_ps());
+                return Some(entry);
+            }
+            self.cursor = (self.cursor + 1) & (self.buckets.len() - 1);
+            self.bucket_top += u128::from(self.width);
+        }
+        // Every pending event lies beyond the scanned year: jump straight
+        // to the global minimum.
+        let b = self.global_min().expect("len > 0");
+        let entry = self.buckets[b].pop_front().expect("front exists");
+        self.seek(entry.time.as_ps());
+        self.finish_pop(entry.time.as_ps());
+        Some(entry)
+    }
+
+    fn finish_pop(&mut self, popped: u64) {
+        self.len -= 1;
+        self.floor = popped;
+        if self.len * 4 < self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
+            self.resize();
+        }
+    }
+
+    /// Read-only variant of the [`Calendar::pop`] search. It must not move
+    /// the persistent cursor: advancing it past `floor`'s bucket would let a
+    /// later insert (legal as long as its time is `>= floor`) land behind
+    /// the scan and be missed until the calendar wraps.
+    fn peek_time(&self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut cursor = self.cursor;
+        let mut top = self.bucket_top;
+        for _ in 0..self.buckets.len() {
+            if let Some(front) = self.buckets[cursor].front() {
+                if u128::from(front.time.as_ps()) < top {
+                    return Some(front.time);
+                }
+            }
+            cursor = (cursor + 1) & (self.buckets.len() - 1);
+            top += u128::from(self.width);
+        }
+        let b = self.global_min().expect("len > 0");
+        self.buckets[b].front().map(|e| e.time)
+    }
+
+    /// Bucket holding the minimum-key entry (each bucket's minimum is its
+    /// front, so this is a min over fronts).
+    fn global_min(&self) -> Option<usize> {
+        let mut best: Option<(usize, (Time, u64))> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some(front) = bucket.front() {
+                if best.is_none_or(|(_, k)| front.key() < k) {
+                    best = Some((b, front.key()));
+                }
+            }
+        }
+        best.map(|(b, _)| b)
+    }
+
+    /// Rebuilds the calendar for the current population: bucket count tracks
+    /// `len` (so buckets hold O(1) entries), bucket width tracks the average
+    /// timestamp spacing (so one year covers the live time span).
+    fn resize(&mut self) {
+        let target = self.len.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let mut min_t = u64::MAX;
+        let mut max_t = 0u64;
+        for bucket in &self.buckets {
+            for entry in bucket {
+                let t = entry.time.as_ps();
+                min_t = min_t.min(t);
+                max_t = max_t.max(t);
+            }
+        }
+        if self.len >= 2 && max_t > min_t {
+            // Three average inter-event gaps per bucket keeps occupancy low
+            // without stretching the year past the live span.
+            self.width = ((max_t - min_t) / self.len as u64).saturating_mul(3).max(1);
+        }
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..target).map(|_| VecDeque::new()).collect(),
+        );
+        for bucket in old {
+            for entry in bucket {
+                let idx = self.bucket_of(entry.time.as_ps());
+                push_sorted(&mut self.buckets[idx], entry);
+            }
+        }
+        // Resume scanning from `floor` (NOT from the earliest pending entry:
+        // the cursor must never sit ahead of a legal future insert).
+        self.seek(self.floor);
+    }
+}
+
+/// Inserts `entry` into a `(time, seq)`-sorted bucket. Fast path: keys
+/// usually arrive in order per bucket (link-FIFO completions, same-instant
+/// fan-outs), so an append keeps it sorted; out-of-order keys pay a binary
+/// search plus a shift within the (small, tuned) bucket.
+fn push_sorted<E>(bucket: &mut VecDeque<Entry<E>>, entry: Entry<E>) {
+    if bucket.back().is_none_or(|last| last.key() < entry.key()) {
+        bucket.push_back(entry);
+    } else {
+        let pos = bucket.partition_point(|e| e.key() < entry.key());
+        bucket.insert(pos, entry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<u32>; 2] {
+        [
+            EventQueue::with_backend(QueueBackend::BinaryHeap),
+            EventQueue::with_backend(QueueBackend::Calendar),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule_at(Time::from_us(3), 3u32);
-        q.schedule_at(Time::from_us(1), 1u32);
-        q.schedule_at(Time::from_us(2), 2u32);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
-        assert!(q.pop().is_none());
+        for mut q in both() {
+            q.schedule_at(Time::from_us(3), 3u32);
+            q.schedule_at(Time::from_us(1), 1u32);
+            q.schedule_at(Time::from_us(2), 2u32);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 3);
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]
     fn same_time_is_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100u32 {
-            q.schedule_at(Time::from_us(7), i);
-        }
-        for i in 0..100u32 {
-            assert_eq!(q.pop().unwrap().1, i);
+        for mut q in both() {
+            for i in 0..100u32 {
+                q.schedule_at(Time::from_us(7), i);
+            }
+            for i in 0..100u32 {
+                assert_eq!(q.pop().unwrap().1, i);
+            }
         }
     }
 
     #[test]
     fn clock_advances_on_pop() {
-        let mut q = EventQueue::new();
-        q.schedule_at(Time::from_us(5), ());
-        assert_eq!(q.now(), Time::ZERO);
-        q.pop();
-        assert_eq!(q.now(), Time::from_us(5));
-        // Relative scheduling is based on the advanced clock.
-        q.schedule_after(Time::from_us(2), ());
-        assert_eq!(q.peek_time(), Some(Time::from_us(7)));
+        for mut q in both() {
+            q.schedule_at(Time::from_us(5), 0);
+            assert_eq!(q.now(), Time::ZERO);
+            q.pop();
+            assert_eq!(q.now(), Time::from_us(5));
+            // Relative scheduling is based on the advanced clock.
+            q.schedule_after(Time::from_us(2), 0);
+            assert_eq!(q.peek_time(), Some(Time::from_us(7)));
+        }
     }
 
     #[test]
@@ -190,14 +510,91 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn calendar_scheduling_in_past_panics() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        q.schedule_at(Time::from_us(5), ());
+        q.pop();
+        q.schedule_at(Time::from_us(4), ());
+    }
+
+    #[test]
     fn len_and_clear() {
-        let mut q = EventQueue::new();
-        q.schedule_at(Time::from_us(1), ());
-        q.schedule_at(Time::from_us(2), ());
-        assert_eq!(q.len(), 2);
-        assert!(!q.is_empty());
-        q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.now(), Time::ZERO);
+        for mut q in both() {
+            q.schedule_at(Time::from_us(1), 0);
+            q.schedule_at(Time::from_us(2), 0);
+            assert_eq!(q.len(), 2);
+            assert!(!q.is_empty());
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.now(), Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn backend_is_reported_and_parsed() {
+        assert_eq!(EventQueue::<u32>::new().backend(), QueueBackend::BinaryHeap);
+        for backend in QueueBackend::ALL {
+            assert_eq!(EventQueue::<u32>::with_backend(backend).backend(), backend);
+            assert_eq!(backend.name().parse::<QueueBackend>().unwrap(), backend);
+        }
+        assert_eq!("heap".parse::<QueueBackend>(), Ok(QueueBackend::BinaryHeap));
+        assert!("fibonacci".parse::<QueueBackend>().is_err());
+    }
+
+    #[test]
+    fn calendar_survives_growth_and_drain() {
+        // Push enough to force several grow resizes, then drain through the
+        // shrink path, checking full ordering throughout.
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut expected: Vec<u64> = Vec::new();
+        for i in 0..5_000u64 {
+            // Scattered but deterministic timestamps with plenty of ties.
+            let t = (i * 37) % 1024;
+            expected.push(t);
+            q.schedule_at(Time::from_ns(t), i as u32);
+        }
+        expected.sort_unstable();
+        let mut popped = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            popped.push(t.as_ps() / 1_000);
+        }
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn calendar_handles_far_future_jumps() {
+        // Events clustered now and a sparse far-future tail exercise the
+        // direct-search fallback and the seek-after-jump path.
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        q.schedule_at(Time::from_ns(1), 1u32);
+        q.schedule_at(Time::from_secs(100), 4u32);
+        q.schedule_at(Time::from_ns(2), 2u32);
+        q.schedule_at(Time::from_secs(100), 5u32); // tie in the far future
+        q.schedule_at(Time::from_us(1), 3u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+        assert_eq!(q.now(), Time::from_secs(100));
+    }
+
+    #[test]
+    fn calendar_interleaves_push_and_pop() {
+        // Hold-model usage: after each pop, schedule a successor slightly in
+        // the future (the DES steady state the calendar is tuned for).
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        for i in 0..64u64 {
+            q.schedule_at(Time::from_ns(i), i);
+        }
+        let mut last = Time::ZERO;
+        let mut pops = 0u64;
+        while let Some((t, e)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            pops += 1;
+            if e < 10_000 {
+                q.schedule_at(t + Time::from_ns(1 + e % 97), e + 64);
+            }
+        }
+        assert_eq!(pops, 10_064);
     }
 }

@@ -1,0 +1,202 @@
+//! Property-based equivalence suite for the [`EventQueue`] backends.
+//!
+//! The calendar queue must be observationally indistinguishable from the
+//! binary heap: for *any* schedule — batched, interleaved with pops,
+//! clustered, sparse, or packed with tied timestamps — both backends pop
+//! the exact same `(time, event)` sequence with FIFO tie-breaking, and
+//! agree on `len` / `peek_time` / `now` at every step. These properties
+//! pin the determinism contract the simulator layers above rely on.
+
+use astra_des::{EventQueue, QueueBackend, Time};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Drains both backends after an identical batch of inserts and asserts the
+/// full popped `(time, event)` sequences match element-wise.
+fn assert_same_drain(times: &[u64]) -> Result<(), TestCaseError> {
+    let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+    let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+    for (i, &t) in times.iter().enumerate() {
+        heap.schedule_at(Time::from_ps(t), i);
+        cal.schedule_at(Time::from_ps(t), i);
+    }
+    prop_assert_eq!(heap.len(), cal.len());
+    loop {
+        prop_assert_eq!(heap.peek_time(), cal.peek_time());
+        let (a, b) = (heap.pop(), cal.pop());
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(heap.now(), cal.now());
+        if a.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Batched inserts over a wide timestamp range drain identically.
+    #[test]
+    fn batch_drain_matches(times in prop::collection::vec(0u64..1_000_000_000, 1..300)) {
+        assert_same_drain(&times)?;
+    }
+
+    /// Heavily tied timestamps (tiny range, many events) preserve FIFO
+    /// order identically on both backends.
+    #[test]
+    fn tied_timestamps_match(times in prop::collection::vec(0u64..4, 1..300)) {
+        assert_same_drain(&times)?;
+    }
+
+    /// Clustered-plus-outlier schedules (a dense band and a sparse far
+    /// future) exercise the calendar's direct-search fallback without
+    /// breaking equivalence.
+    #[test]
+    fn clustered_with_far_future_matches(
+        near in prop::collection::vec(0u64..10_000, 1..150),
+        far in prop::collection::vec(1_000_000_000_000u64..2_000_000_000_000, 1..50),
+    ) {
+        let mut times = near;
+        times.extend(far);
+        assert_same_drain(&times)?;
+    }
+
+    /// Interleaved schedule/pop programs stay in lockstep: after every
+    /// operation both backends agree on the popped event, the clock, the
+    /// length, and the next pending timestamp.
+    #[test]
+    fn interleaved_ops_stay_in_lockstep(
+        ops in prop::collection::vec((0u64..1_000_000, 0u64..4), 1..250),
+    ) {
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        for (i, &(offset, action)) in ops.iter().enumerate() {
+            if action == 0 {
+                prop_assert_eq!(heap.pop(), cal.pop());
+                prop_assert_eq!(heap.now(), cal.now());
+            } else {
+                // Relative offsets keep scheduled times causal (>= now).
+                heap.schedule_after(Time::from_ps(offset), i);
+                cal.schedule_after(Time::from_ps(offset), i);
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+        }
+        // Drain whatever is left.
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    /// A hold-model workload (every pop schedules a successor) — the DES
+    /// steady state — stays identical across thousands of operations,
+    /// covering calendar grow and shrink resizes.
+    #[test]
+    fn hold_model_matches(seed in prop::collection::vec((1u64..100_000, 0u64..64), 32..64)) {
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        for (i, &(gap, _)) in seed.iter().enumerate() {
+            heap.schedule_at(Time::from_ps(gap), i);
+            cal.schedule_at(Time::from_ps(gap), i);
+        }
+        let mut next_id = seed.len();
+        let mut steps = 0usize;
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            prop_assert_eq!(a, b);
+            let Some((t, e)) = a else { break };
+            if steps < 2_000 {
+                let (gap, fanout) = seed[e % seed.len()];
+                // Occasionally schedule two successors so the population
+                // grows enough to force resizes.
+                let kids = 1 + usize::from(fanout == 0);
+                for k in 0..kids {
+                    let at = t + Time::from_ps(gap + k as u64);
+                    heap.schedule_at(at, next_id);
+                    cal.schedule_at(at, next_id);
+                    next_id += 1;
+                }
+            }
+            steps += 1;
+        }
+        prop_assert!(cal.is_empty() && heap.is_empty());
+    }
+
+    /// `clear` leaves both backends equivalent for subsequent use.
+    #[test]
+    fn clear_preserves_equivalence(
+        first in prop::collection::vec(0u64..1_000_000, 1..100),
+        second in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        for (i, &t) in first.iter().enumerate() {
+            heap.schedule_at(Time::from_ps(t), i);
+            cal.schedule_at(Time::from_ps(t), i);
+        }
+        // Pop a prefix so `now` advances, then discard the rest.
+        for _ in 0..first.len() / 2 {
+            prop_assert_eq!(heap.pop(), cal.pop());
+        }
+        heap.clear();
+        cal.clear();
+        prop_assert_eq!(heap.len(), cal.len());
+        prop_assert_eq!(heap.now(), cal.now());
+        let base = heap.now();
+        for (i, &t) in second.iter().enumerate() {
+            heap.schedule_at(base + Time::from_ps(t), i);
+            cal.schedule_at(base + Time::from_ps(t), i);
+        }
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Identical timestamps scheduled across *separate* pops (not one
+    /// batch) still break ties by global insertion order on both backends.
+    #[test]
+    fn cross_batch_ties_match(reps in 2usize..20, t in 0u64..1_000) {
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let at = Time::from_ps(t);
+        for batch in 0..reps {
+            heap.schedule_at(at, batch * 2);
+            cal.schedule_at(at, batch * 2);
+            heap.schedule_at(at, batch * 2 + 1);
+            cal.schedule_at(at, batch * 2 + 1);
+        }
+        for expect in 0..reps * 2 {
+            let (a, b) = (heap.pop().unwrap(), cal.pop().unwrap());
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a.1, expect, "FIFO across batches");
+        }
+    }
+}
+
+/// Non-property regression: a million-scale near-sorted drain (the packet
+/// backend's distribution) stays identical between backends end to end.
+#[test]
+fn large_near_sorted_schedule_matches() {
+    let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+    let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+    // Interleaved arithmetic ramps, mimicking per-link FIFO completions.
+    let mut id = 0usize;
+    for lane in 0..64u64 {
+        for step in 0..500u64 {
+            let t = Time::from_ps(1_000 + lane * 13 + step * 5_120);
+            heap.schedule_at(t, id);
+            cal.schedule_at(t, id);
+            id += 1;
+        }
+    }
+    loop {
+        let (a, b) = (heap.pop(), cal.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+}

@@ -5,7 +5,9 @@ use std::error::Error;
 use std::fmt;
 
 use astra_collectives::{CollectiveEngine, SchedulerPolicy};
-use astra_des::{attribute_exclusive, DataSize, EventQueue, FifoResource, IntervalLog, Time};
+use astra_des::{
+    attribute_exclusive, DataSize, EventQueue, FifoResource, IntervalLog, QueueBackend, Time,
+};
 use astra_memory::{LocalMemory, PoolArchitecture, RemoteMemory, TransferMode};
 use astra_network::{AnalyticalNetwork, NetworkBackend};
 use astra_topology::{BuildingBlock, Dimension, NpuId, Topology};
@@ -26,6 +28,9 @@ pub struct SystemConfig {
     pub local_memory: LocalMemory,
     /// Disaggregated remote pool (§IV-D.2), if the platform has one.
     pub remote_memory: Option<PoolArchitecture>,
+    /// Future-event-list implementation driving the graph engine. Results
+    /// are bit-identical across backends; only wall-clock cost differs.
+    pub queue_backend: QueueBackend,
 }
 
 impl Default for SystemConfig {
@@ -36,6 +41,7 @@ impl Default for SystemConfig {
             roofline: Roofline::a100(),
             local_memory: LocalMemory::default(),
             remote_memory: None,
+            queue_backend: QueueBackend::default(),
         }
     }
 }
@@ -253,7 +259,7 @@ impl<'a> Engine<'a> {
             collective_engine: CollectiveEngine::new(config.collective_chunks, config.scheduler),
             network: AnalyticalNetwork::new(topo.clone()),
             spans,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(config.queue_backend),
             remaining_deps,
             dependents,
             compute_res: vec![FifoResource::new(); npus],

@@ -52,6 +52,6 @@ pub use pytorch::{PyTorchEgConverter, PyTorchEgError};
 pub use roofline::Roofline;
 pub use stats::TraceStats;
 pub use trace::{
-    EtNode, EtOp, ExecutionTrace, GroupId, MemoryDirection, NodeId, TensorLocation, TraceBuilder,
-    TraceError,
+    EtNode, EtOp, ExecutionTrace, GroupId, MemoryDirection, NodeId, ProgramBuilder, TensorLocation,
+    TraceBuilder, TraceError,
 };

@@ -15,15 +15,31 @@
 //! * [`generate_disaggregated_moe`] — the §V-B expert-parallel MoE training
 //!   step over a disaggregated memory pool (in-switch weight gathering,
 //!   optimizer-state streaming, token-routing All-to-Alls).
+//!
+//! # Parallel construction
+//!
+//! Per-NPU programs are independent (a program's [`NodeId`]s are local to
+//! its NPU), so at paper scale (512–1024 NPUs) the generators fan program
+//! construction out across scoped threads and merge the results in NPU
+//! order — the output is byte-identical for every thread count (see the
+//! `determinism` integration tests). NPUs known to run identical programs
+//! (SPMD strategies, or the NPUs of one expert group in the MoE workload)
+//! are built once per equivalence class and cloned, which also speeds up
+//! single-threaded generation. [`generate_trace_reference`] keeps the
+//! naive one-NPU-at-a-time path as the equivalence/benchmark baseline.
 
 use astra_collectives::Collective;
 use astra_des::DataSize;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::ops::Range;
 
 use crate::models::Model;
-use crate::trace::{EtOp, ExecutionTrace, MemoryDirection, NodeId, TensorLocation, TraceBuilder};
+use crate::trace::{
+    EtOp, ExecutionTrace, MemoryDirection, NodeId, ProgramBuilder, TensorLocation, TraceBuilder,
+};
 
 /// A parallelization strategy for [`generate_trace`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,8 +87,100 @@ impl fmt::Display for GenerateError {
 
 impl Error for GenerateError {}
 
+/// Internal knobs of one generation run.
+#[derive(Copy, Clone, Debug)]
+struct GenConfig {
+    /// Worker threads to fan program construction out over.
+    threads: usize,
+    /// Reuse (clone) programs across NPUs of the same equivalence class.
+    memoize: bool,
+}
+
+impl GenConfig {
+    fn fast(threads: usize) -> Self {
+        GenConfig {
+            threads,
+            memoize: true,
+        }
+    }
+
+    /// The naive baseline: single-threaded, every program built fresh.
+    fn reference() -> Self {
+        GenConfig {
+            threads: 1,
+            memoize: false,
+        }
+    }
+}
+
+/// Worker threads used when the caller does not specify a count.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builds every NPU's program and installs them on `b` in NPU order.
+///
+/// `class` assigns each NPU an optional equivalence key: NPUs with equal
+/// keys **must** build byte-identical programs (`build` must not depend on
+/// anything but the key for them), letting the builder construct one
+/// representative per class and clone the rest. `None` means the NPU's
+/// program is unique.
+///
+/// With more than one thread, NPUs are split into contiguous chunks built
+/// on scoped worker threads; the merge is by NPU index, so the resulting
+/// trace is byte-identical regardless of the thread count.
+fn install_programs<K, B>(b: &mut TraceBuilder, npus: usize, cfg: GenConfig, class: K, build: B)
+where
+    K: Fn(usize) -> Option<u64> + Sync,
+    B: Fn(usize, &mut ProgramBuilder) + Sync,
+{
+    // Cap the fan-out so tiny traces stay on the caller's thread.
+    let threads = cfg.threads.clamp(1, (npus / 16).max(1));
+    let build_range = |range: Range<usize>, out: &mut [ProgramBuilder]| {
+        // Per-worker memo: key -> chunk-local slot of the representative.
+        let mut memo: HashMap<u64, usize> = HashMap::new();
+        for npu in range.clone() {
+            let slot = npu - range.start;
+            if cfg.memoize {
+                if let Some(key) = class(npu) {
+                    if let Some(&src) = memo.get(&key) {
+                        let clone = out[src].clone();
+                        out[slot] = clone;
+                        continue;
+                    }
+                    memo.insert(key, slot);
+                }
+            }
+            let mut program = ProgramBuilder::new();
+            build(npu, &mut program);
+            out[slot] = program;
+        }
+    };
+
+    let mut programs: Vec<ProgramBuilder> = vec![ProgramBuilder::new(); npus];
+    if threads == 1 {
+        build_range(0..npus, &mut programs);
+    } else {
+        let chunk = npus.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (i, slice) in programs.chunks_mut(chunk).enumerate() {
+                let build_range = &build_range;
+                let lo = i * chunk;
+                scope.spawn(move || build_range(lo..lo + slice.len(), slice));
+            }
+        });
+    }
+    for (npu, program) in programs.into_iter().enumerate() {
+        b.set_program(npu, program);
+    }
+}
+
 /// Generates the execution trace of one training iteration of `model`
 /// under `parallelism` on `npus` NPUs.
+///
+/// Program construction is fanned out across all available cores; the
+/// result is byte-identical to the single-threaded path (see
+/// [`generate_trace_with_threads`]).
 ///
 /// # Errors
 ///
@@ -94,19 +202,64 @@ pub fn generate_trace(
     parallelism: Parallelism,
     npus: usize,
 ) -> Result<ExecutionTrace, GenerateError> {
+    generate_trace_with_threads(model, parallelism, npus, default_threads())
+}
+
+/// [`generate_trace`] with an explicit worker-thread count.
+///
+/// The output does not depend on `threads` (a count of zero is treated as
+/// one): per-NPU programs are merged in NPU order whatever worker built
+/// them. Exposed so tests and benchmarks can pin the fan-out.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::BadShape`] if `npus` is incompatible with the
+/// strategy.
+pub fn generate_trace_with_threads(
+    model: &Model,
+    parallelism: Parallelism,
+    npus: usize,
+    threads: usize,
+) -> Result<ExecutionTrace, GenerateError> {
+    generate(model, parallelism, npus, GenConfig::fast(threads.max(1)))
+}
+
+/// The frozen naive baseline: builds every NPU's program serially, from
+/// scratch, with no cross-NPU reuse — the behaviour of the original
+/// generators. Kept as the ground truth for the byte-equivalence tests and
+/// as the "serial" side of the `astra-bench` throughput comparison.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::BadShape`] if `npus` is incompatible with the
+/// strategy.
+pub fn generate_trace_reference(
+    model: &Model,
+    parallelism: Parallelism,
+    npus: usize,
+) -> Result<ExecutionTrace, GenerateError> {
+    generate(model, parallelism, npus, GenConfig::reference())
+}
+
+fn generate(
+    model: &Model,
+    parallelism: Parallelism,
+    npus: usize,
+    cfg: GenConfig,
+) -> Result<ExecutionTrace, GenerateError> {
     if npus == 0 {
         return Err(GenerateError::BadShape {
             reason: "need at least one NPU".to_owned(),
         });
     }
     match parallelism {
-        Parallelism::Data => Ok(data_parallel(model, npus)),
-        Parallelism::Hybrid { mp } => hybrid(model, npus, mp),
+        Parallelism::Data => Ok(data_parallel(model, npus, cfg)),
+        Parallelism::Hybrid { mp } => hybrid(model, npus, mp, cfg),
         Parallelism::Pipeline {
             stages,
             microbatches,
-        } => pipeline(model, npus, stages, microbatches),
-        Parallelism::FullyShardedData => Ok(fully_sharded(model, npus)),
+        } => pipeline(model, npus, stages, microbatches, cfg),
+        Parallelism::FullyShardedData => Ok(fully_sharded(model, npus, cfg)),
     }
 }
 
@@ -115,157 +268,166 @@ pub fn generate_trace(
 /// All-Gather weights again, compute, Reduce-Scatter gradients. Weight
 /// gathers for layer `l+1` depend only on layer `l`'s gather, so
 /// prefetching overlaps communication with compute.
-fn fully_sharded(model: &Model, npus: usize) -> ExecutionTrace {
+fn fully_sharded(model: &Model, npus: usize, cfg: GenConfig) -> ExecutionTrace {
     let mut b = TraceBuilder::new(npus).with_name(format!("{}-fsdp{npus}", model.name));
     let world = b.add_group((0..npus).collect());
-    for npu in 0..npus {
-        let mut prev_compute: Option<NodeId> = None;
-        let mut prev_gather: Option<NodeId> = None;
-        let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
-        // Forward pass: gather -> compute per layer; gathers chain off each
-        // other (prefetch), computes chain off (gather, previous compute).
-        for layer in &model.layers {
-            let gather = b.node(
-                npu,
-                format!("{}.wAG.fwd", layer.name),
-                EtOp::Collective {
-                    collective: Collective::AllGather,
-                    size: layer.params,
-                    group: world,
-                },
-                &dep(prev_gather),
-            );
-            prev_gather = Some(gather);
-            let mut deps = vec![gather];
-            if let Some(c) = prev_compute {
-                deps.push(c);
+    // SPMD: every NPU runs the same program (class key 0).
+    install_programs(
+        &mut b,
+        npus,
+        cfg,
+        |_| Some(0),
+        |_, prog| {
+            let mut prev_compute: Option<NodeId> = None;
+            let mut prev_gather: Option<NodeId> = None;
+            let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
+            // Forward pass: gather -> compute per layer; gathers chain off each
+            // other (prefetch), computes chain off (gather, previous compute).
+            for layer in &model.layers {
+                let gather = prog.node(
+                    format!("{}.wAG.fwd", layer.name),
+                    EtOp::Collective {
+                        collective: Collective::AllGather,
+                        size: layer.params,
+                        group: world,
+                    },
+                    &dep(prev_gather),
+                );
+                prev_gather = Some(gather);
+                let mut deps = vec![gather];
+                if let Some(c) = prev_compute {
+                    deps.push(c);
+                }
+                let fwd = prog.node(
+                    format!("{}.fwd", layer.name),
+                    EtOp::Compute {
+                        flops: layer.fwd_flops,
+                        tensor: layer.params + layer.activations,
+                    },
+                    &deps,
+                );
+                prev_compute = Some(fwd);
             }
-            let fwd = b.node(
-                npu,
-                format!("{}.fwd", layer.name),
-                EtOp::Compute {
-                    flops: layer.fwd_flops,
-                    tensor: layer.params + layer.activations,
-                },
-                &deps,
-            );
-            prev_compute = Some(fwd);
-        }
-        // Backward pass (reverse): re-gather weights, compute, then
-        // Reduce-Scatter the gradients into their shards.
-        let mut prev_gather: Option<NodeId> = prev_compute;
-        for layer in model.layers.iter().rev() {
-            let gather = b.node(
-                npu,
-                format!("{}.wAG.bwd", layer.name),
-                EtOp::Collective {
-                    collective: Collective::AllGather,
-                    size: layer.params,
-                    group: world,
-                },
-                &dep(prev_gather),
-            );
-            prev_gather = Some(gather);
-            let mut deps = vec![gather];
-            if let Some(c) = prev_compute {
-                deps.push(c);
+            // Backward pass (reverse): re-gather weights, compute, then
+            // Reduce-Scatter the gradients into their shards.
+            let mut prev_gather: Option<NodeId> = prev_compute;
+            for layer in model.layers.iter().rev() {
+                let gather = prog.node(
+                    format!("{}.wAG.bwd", layer.name),
+                    EtOp::Collective {
+                        collective: Collective::AllGather,
+                        size: layer.params,
+                        group: world,
+                    },
+                    &dep(prev_gather),
+                );
+                prev_gather = Some(gather);
+                let mut deps = vec![gather];
+                if let Some(c) = prev_compute {
+                    deps.push(c);
+                }
+                let bwd = prog.node(
+                    format!("{}.bwd", layer.name),
+                    EtOp::Compute {
+                        flops: layer.bwd_flops,
+                        tensor: layer.params + layer.activations,
+                    },
+                    &deps,
+                );
+                prev_compute = Some(bwd);
+                prog.node(
+                    format!("{}.gradRS", layer.name),
+                    EtOp::Collective {
+                        collective: Collective::ReduceScatter,
+                        size: layer.params,
+                        group: world,
+                    },
+                    &[bwd],
+                );
             }
-            let bwd = b.node(
-                npu,
-                format!("{}.bwd", layer.name),
-                EtOp::Compute {
-                    flops: layer.bwd_flops,
-                    tensor: layer.params + layer.activations,
-                },
-                &deps,
-            );
-            prev_compute = Some(bwd);
-            b.node(
-                npu,
-                format!("{}.gradRS", layer.name),
-                EtOp::Collective {
-                    collective: Collective::ReduceScatter,
-                    size: layer.params,
-                    group: world,
-                },
-                &[bwd],
-            );
-        }
-    }
+        },
+    );
     b.build().expect("generated FSDP trace is valid")
 }
 
-fn data_parallel(model: &Model, npus: usize) -> ExecutionTrace {
+fn data_parallel(model: &Model, npus: usize, cfg: GenConfig) -> ExecutionTrace {
     let mut b = TraceBuilder::new(npus).with_name(format!("{}-dp{npus}", model.name));
     let world = b.add_group((0..npus).collect());
-    for npu in 0..npus {
-        let mut prev: Option<NodeId> = None;
-        let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
-        // Forward pass.
-        for layer in &model.layers {
-            if let Some(a2a) = layer.a2a {
-                prev = Some(b.node(
-                    npu,
-                    format!("{}.a2a.fwd", layer.name),
-                    EtOp::Collective {
-                        collective: Collective::AllToAll,
-                        size: a2a,
-                        group: world,
+    // SPMD: every NPU runs the same program (class key 0).
+    install_programs(
+        &mut b,
+        npus,
+        cfg,
+        |_| Some(0),
+        |_, prog| {
+            let mut prev: Option<NodeId> = None;
+            let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
+            // Forward pass.
+            for layer in &model.layers {
+                if let Some(a2a) = layer.a2a {
+                    prev = Some(prog.node(
+                        format!("{}.a2a.fwd", layer.name),
+                        EtOp::Collective {
+                            collective: Collective::AllToAll,
+                            size: a2a,
+                            group: world,
+                        },
+                        &dep(prev),
+                    ));
+                }
+                prev = Some(prog.node(
+                    format!("{}.fwd", layer.name),
+                    EtOp::Compute {
+                        flops: layer.fwd_flops,
+                        tensor: layer.params + layer.activations,
                     },
                     &dep(prev),
                 ));
             }
-            prev = Some(b.node(
-                npu,
-                format!("{}.fwd", layer.name),
-                EtOp::Compute {
-                    flops: layer.fwd_flops,
-                    tensor: layer.params + layer.activations,
-                },
-                &dep(prev),
-            ));
-        }
-        // Backward pass; gradient All-Reduce overlaps with earlier layers'
-        // backward compute (it depends only on its own layer's backward).
-        for layer in model.layers.iter().rev() {
-            let bwd = b.node(
-                npu,
-                format!("{}.bwd", layer.name),
-                EtOp::Compute {
-                    flops: layer.bwd_flops,
-                    tensor: layer.params + layer.activations,
-                },
-                &dep(prev),
-            );
-            prev = Some(bwd);
-            if let Some(a2a) = layer.a2a {
-                prev = Some(b.node(
-                    npu,
-                    format!("{}.a2a.bwd", layer.name),
+            // Backward pass; gradient All-Reduce overlaps with earlier layers'
+            // backward compute (it depends only on its own layer's backward).
+            for layer in model.layers.iter().rev() {
+                let bwd = prog.node(
+                    format!("{}.bwd", layer.name),
+                    EtOp::Compute {
+                        flops: layer.bwd_flops,
+                        tensor: layer.params + layer.activations,
+                    },
+                    &dep(prev),
+                );
+                prev = Some(bwd);
+                if let Some(a2a) = layer.a2a {
+                    prev = Some(prog.node(
+                        format!("{}.a2a.bwd", layer.name),
+                        EtOp::Collective {
+                            collective: Collective::AllToAll,
+                            size: a2a,
+                            group: world,
+                        },
+                        &[bwd],
+                    ));
+                }
+                prog.node(
+                    format!("{}.gradAR", layer.name),
                     EtOp::Collective {
-                        collective: Collective::AllToAll,
-                        size: a2a,
+                        collective: Collective::AllReduce,
+                        size: layer.params,
                         group: world,
                     },
                     &[bwd],
-                ));
+                );
             }
-            b.node(
-                npu,
-                format!("{}.gradAR", layer.name),
-                EtOp::Collective {
-                    collective: Collective::AllReduce,
-                    size: layer.params,
-                    group: world,
-                },
-                &[bwd],
-            );
-        }
-    }
+        },
+    );
     b.build().expect("generated data-parallel trace is valid")
 }
 
-fn hybrid(model: &Model, npus: usize, mp: usize) -> Result<ExecutionTrace, GenerateError> {
+fn hybrid(
+    model: &Model,
+    npus: usize,
+    mp: usize,
+    cfg: GenConfig,
+) -> Result<ExecutionTrace, GenerateError> {
     if mp == 0 || !npus.is_multiple_of(mp) {
         return Err(GenerateError::BadShape {
             reason: format!("{npus} NPUs not divisible into model-parallel groups of {mp}"),
@@ -282,87 +444,89 @@ fn hybrid(model: &Model, npus: usize, mp: usize) -> Result<ExecutionTrace, Gener
         .map(|lane| b.add_group((0..dp).map(|g| g * mp + lane).collect()))
         .collect();
 
-    for npu in 0..npus {
-        let mp_group = mp_groups[npu / mp];
-        let dp_group = dp_groups[npu % mp];
-        let mut prev: Option<NodeId> = None;
-        let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
-        for layer in &model.layers {
-            if let Some(a2a) = layer.a2a {
-                prev = Some(b.node(
-                    npu,
-                    format!("{}.a2a.fwd", layer.name),
-                    EtOp::Collective {
-                        collective: Collective::AllToAll,
-                        size: a2a,
-                        group: mp_group,
+    // Every NPU has a distinct (mp_group, dp_group) pair, so programs are
+    // unique (class `None`); the win here is the thread fan-out.
+    install_programs(
+        &mut b,
+        npus,
+        cfg,
+        |_| None,
+        |npu, prog| {
+            let mp_group = mp_groups[npu / mp];
+            let dp_group = dp_groups[npu % mp];
+            let mut prev: Option<NodeId> = None;
+            let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
+            for layer in &model.layers {
+                if let Some(a2a) = layer.a2a {
+                    prev = Some(prog.node(
+                        format!("{}.a2a.fwd", layer.name),
+                        EtOp::Collective {
+                            collective: Collective::AllToAll,
+                            size: a2a,
+                            group: mp_group,
+                        },
+                        &dep(prev),
+                    ));
+                }
+                let fwd = prog.node(
+                    format!("{}.fwd", layer.name),
+                    EtOp::Compute {
+                        flops: layer.fwd_flops / mp as f64,
+                        tensor: (layer.params + layer.activations) / mp as u64,
                     },
                     &dep(prev),
-                ));
-            }
-            let fwd = b.node(
-                npu,
-                format!("{}.fwd", layer.name),
-                EtOp::Compute {
-                    flops: layer.fwd_flops / mp as f64,
-                    tensor: (layer.params + layer.activations) / mp as u64,
-                },
-                &dep(prev),
-            );
-            // Megatron-style activation All-Reduce across the MP group.
-            prev = Some(if mp > 1 {
-                b.node(
-                    npu,
-                    format!("{}.actAR.fwd", layer.name),
-                    EtOp::Collective {
-                        collective: Collective::AllReduce,
-                        size: layer.activations,
-                        group: mp_group,
-                    },
-                    &[fwd],
-                )
-            } else {
-                fwd
-            });
-        }
-        for layer in model.layers.iter().rev() {
-            let bwd = b.node(
-                npu,
-                format!("{}.bwd", layer.name),
-                EtOp::Compute {
-                    flops: layer.bwd_flops / mp as f64,
-                    tensor: (layer.params + layer.activations) / mp as u64,
-                },
-                &dep(prev),
-            );
-            prev = Some(if mp > 1 {
-                b.node(
-                    npu,
-                    format!("{}.actAR.bwd", layer.name),
-                    EtOp::Collective {
-                        collective: Collective::AllReduce,
-                        size: layer.activations,
-                        group: mp_group,
-                    },
-                    &[bwd],
-                )
-            } else {
-                bwd
-            });
-            if dp > 1 {
-                b.node(
-                    npu,
-                    format!("{}.gradAR", layer.name),
-                    EtOp::Collective {
-                        collective: Collective::AllReduce,
-                        size: layer.params / mp as u64,
-                        group: dp_group,
-                    },
-                    &[bwd],
                 );
+                // Megatron-style activation All-Reduce across the MP group.
+                prev = Some(if mp > 1 {
+                    prog.node(
+                        format!("{}.actAR.fwd", layer.name),
+                        EtOp::Collective {
+                            collective: Collective::AllReduce,
+                            size: layer.activations,
+                            group: mp_group,
+                        },
+                        &[fwd],
+                    )
+                } else {
+                    fwd
+                });
             }
-        }
-    }
+            for layer in model.layers.iter().rev() {
+                let bwd = prog.node(
+                    format!("{}.bwd", layer.name),
+                    EtOp::Compute {
+                        flops: layer.bwd_flops / mp as f64,
+                        tensor: (layer.params + layer.activations) / mp as u64,
+                    },
+                    &dep(prev),
+                );
+                prev = Some(if mp > 1 {
+                    prog.node(
+                        format!("{}.actAR.bwd", layer.name),
+                        EtOp::Collective {
+                            collective: Collective::AllReduce,
+                            size: layer.activations,
+                            group: mp_group,
+                        },
+                        &[bwd],
+                    )
+                } else {
+                    bwd
+                });
+                if dp > 1 {
+                    prog.node(
+                        format!("{}.gradAR", layer.name),
+                        EtOp::Collective {
+                            collective: Collective::AllReduce,
+                            size: layer.params / mp as u64,
+                            group: dp_group,
+                        },
+                        &[bwd],
+                    );
+                }
+            }
+        },
+    );
     Ok(b.build().expect("generated hybrid trace is valid"))
 }
 
@@ -371,6 +535,7 @@ fn pipeline(
     npus: usize,
     stages: usize,
     microbatches: usize,
+    cfg: GenConfig,
 ) -> Result<ExecutionTrace, GenerateError> {
     if stages == 0 || !npus.is_multiple_of(stages) {
         return Err(GenerateError::BadShape {
@@ -399,108 +564,109 @@ fn pipeline(
         .map(|s| b.add_group((0..lanes).map(|l| s * lanes + l).collect()))
         .collect();
 
-    for npu in 0..npus {
-        let stage = npu / lanes;
-        let lane = npu % lanes;
-        let stage_layers = &model.layers[stage * layers_per_stage..(stage + 1) * layers_per_stage];
-        let fwd_flops: f64 = stage_layers.iter().map(|l| l.fwd_flops).sum();
-        let bwd_flops: f64 = stage_layers.iter().map(|l| l.bwd_flops).sum();
-        let stage_params: DataSize = stage_layers.iter().map(|l| l.params).sum();
-        let boundary = stage_layers.last().expect("stage has layers").activations;
-        let prev_peer = (stage > 0).then(|| (stage - 1) * lanes + lane);
-        let next_peer = (stage + 1 < stages).then(|| (stage + 1) * lanes + lane);
+    // Peer ids differ per (stage, lane) = per NPU, so programs are unique.
+    install_programs(
+        &mut b,
+        npus,
+        cfg,
+        |_| None,
+        |npu, prog| {
+            let stage = npu / lanes;
+            let lane = npu % lanes;
+            let stage_layers =
+                &model.layers[stage * layers_per_stage..(stage + 1) * layers_per_stage];
+            let fwd_flops: f64 = stage_layers.iter().map(|l| l.fwd_flops).sum();
+            let bwd_flops: f64 = stage_layers.iter().map(|l| l.bwd_flops).sum();
+            let stage_params: DataSize = stage_layers.iter().map(|l| l.params).sum();
+            let boundary = stage_layers.last().expect("stage has layers").activations;
+            let prev_peer = (stage > 0).then(|| (stage - 1) * lanes + lane);
+            let next_peer = (stage + 1 < stages).then(|| (stage + 1) * lanes + lane);
 
-        let mut prev: Option<NodeId> = None;
-        let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
-        // GPipe forward: one node chain per microbatch.
-        for m in 0..microbatches {
-            if let Some(peer) = prev_peer {
-                prev = Some(b.node(
-                    npu,
-                    format!("mb{m}.recv.fwd"),
-                    EtOp::PeerRecv {
-                        peer,
-                        size: boundary,
-                        tag: m as u64,
+            let mut prev: Option<NodeId> = None;
+            let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
+            // GPipe forward: one node chain per microbatch.
+            for m in 0..microbatches {
+                if let Some(peer) = prev_peer {
+                    prev = Some(prog.node(
+                        format!("mb{m}.recv.fwd"),
+                        EtOp::PeerRecv {
+                            peer,
+                            size: boundary,
+                            tag: m as u64,
+                        },
+                        &dep(prev),
+                    ));
+                }
+                let fwd = prog.node(
+                    format!("mb{m}.fwd"),
+                    EtOp::Compute {
+                        flops: fwd_flops,
+                        tensor: stage_params,
                     },
                     &dep(prev),
-                ));
+                );
+                prev = Some(fwd);
+                if let Some(peer) = next_peer {
+                    prev = Some(prog.node(
+                        format!("mb{m}.send.fwd"),
+                        EtOp::PeerSend {
+                            peer,
+                            size: boundary,
+                            tag: m as u64,
+                        },
+                        &[fwd],
+                    ));
+                }
             }
-            let fwd = b.node(
-                npu,
-                format!("mb{m}.fwd"),
-                EtOp::Compute {
-                    flops: fwd_flops,
-                    tensor: stage_params,
-                },
-                &dep(prev),
-            );
-            prev = Some(fwd);
-            if let Some(peer) = next_peer {
-                prev = Some(b.node(
-                    npu,
-                    format!("mb{m}.send.fwd"),
-                    EtOp::PeerSend {
-                        peer,
-                        size: boundary,
-                        tag: m as u64,
-                    },
-                    &[fwd],
-                ));
-            }
-        }
-        // Backward in reverse microbatch order, gradients flow upstream.
-        for m in (0..microbatches).rev() {
-            let grad_tag = (microbatches + m) as u64;
-            if let Some(peer) = next_peer {
-                prev = Some(b.node(
-                    npu,
-                    format!("mb{m}.recv.bwd"),
-                    EtOp::PeerRecv {
-                        peer,
-                        size: boundary,
-                        tag: grad_tag,
+            // Backward in reverse microbatch order, gradients flow upstream.
+            for m in (0..microbatches).rev() {
+                let grad_tag = (microbatches + m) as u64;
+                if let Some(peer) = next_peer {
+                    prev = Some(prog.node(
+                        format!("mb{m}.recv.bwd"),
+                        EtOp::PeerRecv {
+                            peer,
+                            size: boundary,
+                            tag: grad_tag,
+                        },
+                        &dep(prev),
+                    ));
+                }
+                let bwd = prog.node(
+                    format!("mb{m}.bwd"),
+                    EtOp::Compute {
+                        flops: bwd_flops,
+                        tensor: stage_params,
                     },
                     &dep(prev),
-                ));
+                );
+                prev = Some(bwd);
+                if let Some(peer) = prev_peer {
+                    prev = Some(prog.node(
+                        format!("mb{m}.send.bwd"),
+                        EtOp::PeerSend {
+                            peer,
+                            size: boundary,
+                            tag: grad_tag,
+                        },
+                        &[bwd],
+                    ));
+                }
             }
-            let bwd = b.node(
-                npu,
-                format!("mb{m}.bwd"),
-                EtOp::Compute {
-                    flops: bwd_flops,
-                    tensor: stage_params,
-                },
-                &dep(prev),
-            );
-            prev = Some(bwd);
-            if let Some(peer) = prev_peer {
-                prev = Some(b.node(
-                    npu,
-                    format!("mb{m}.send.bwd"),
-                    EtOp::PeerSend {
-                        peer,
-                        size: boundary,
-                        tag: grad_tag,
+            // Stage-replica gradient synchronization.
+            if lanes > 1 {
+                prog.node(
+                    "stage.gradAR",
+                    EtOp::Collective {
+                        collective: Collective::AllReduce,
+                        size: stage_params,
+                        group: stage_groups[stage],
                     },
-                    &[bwd],
-                ));
+                    &dep(prev),
+                );
             }
-        }
-        // Stage-replica gradient synchronization.
-        if lanes > 1 {
-            b.node(
-                npu,
-                "stage.gradAR",
-                EtOp::Collective {
-                    collective: Collective::AllReduce,
-                    size: stage_params,
-                    group: stage_groups[stage],
-                },
-                &dep(prev),
-            );
-        }
-    }
+        },
+    );
     Ok(b.build().expect("generated pipeline trace is valid"))
 }
 
@@ -545,6 +711,46 @@ pub fn generate_disaggregated_moe(
     npus: usize,
     plan: &OffloadPlan,
 ) -> Result<ExecutionTrace, GenerateError> {
+    generate_disaggregated_moe_with_threads(model, npus, plan, default_threads())
+}
+
+/// [`generate_disaggregated_moe`] with an explicit worker-thread count;
+/// the output does not depend on `threads`.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::BadShape`] if `npus` is not divisible by the
+/// model's expert count.
+pub fn generate_disaggregated_moe_with_threads(
+    model: &Model,
+    npus: usize,
+    plan: &OffloadPlan,
+    threads: usize,
+) -> Result<ExecutionTrace, GenerateError> {
+    disaggregated_moe(model, npus, plan, GenConfig::fast(threads.max(1)))
+}
+
+/// Naive serial baseline of [`generate_disaggregated_moe`] (see
+/// [`generate_trace_reference`]).
+///
+/// # Errors
+///
+/// Returns [`GenerateError::BadShape`] if `npus` is not divisible by the
+/// model's expert count.
+pub fn generate_disaggregated_moe_reference(
+    model: &Model,
+    npus: usize,
+    plan: &OffloadPlan,
+) -> Result<ExecutionTrace, GenerateError> {
+    disaggregated_moe(model, npus, plan, GenConfig::reference())
+}
+
+fn disaggregated_moe(
+    model: &Model,
+    npus: usize,
+    plan: &OffloadPlan,
+    cfg: GenConfig,
+) -> Result<ExecutionTrace, GenerateError> {
     let experts = model.experts.max(1);
     if npus == 0 || !npus.is_multiple_of(experts) {
         return Err(GenerateError::BadShape {
@@ -559,7 +765,10 @@ pub fn generate_disaggregated_moe(
         .map(|e| b.add_group((e * dp_per_expert..(e + 1) * dp_per_expert).collect()))
         .collect();
 
-    for npu in 0..npus {
+    // A program depends on the NPU only through its expert group, so NPUs
+    // of one expert replicate the same program (class = expert index).
+    let class = |npu: usize| Some((npu / dp_per_expert) as u64);
+    install_programs(&mut b, npus, cfg, class, |npu, prog| {
         let expert_group = expert_groups[npu / dp_per_expert];
         let mut prev: Option<NodeId> = None;
         let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
@@ -570,8 +779,7 @@ pub fn generate_disaggregated_moe(
             // fp16 weights; `size` is the per-GPU shard convention of the
             // Memory API (gathered payload = size × total GPUs).
             let weights = if plan.gather_weights {
-                b.node(
-                    npu,
+                prog.node(
                     format!("{}.weights.gather", layer.name),
                     EtOp::Memory {
                         direction: MemoryDirection::Load,
@@ -581,8 +789,7 @@ pub fn generate_disaggregated_moe(
                     &dep(prev),
                 )
             } else {
-                b.node(
-                    npu,
+                prog.node(
                     format!("{}.weights.load", layer.name),
                     EtOp::Memory {
                         direction: MemoryDirection::Load,
@@ -592,8 +799,7 @@ pub fn generate_disaggregated_moe(
                     &dep(prev),
                 )
             };
-            let route_in = b.node(
-                npu,
+            let route_in = prog.node(
                 format!("{}.a2a.fwd", layer.name),
                 EtOp::Collective {
                     collective: Collective::AllToAll,
@@ -602,8 +808,7 @@ pub fn generate_disaggregated_moe(
                 },
                 &dep(prev),
             );
-            let act_load = b.node(
-                npu,
+            let act_load = prog.node(
                 format!("{}.act.load", layer.name),
                 EtOp::Memory {
                     direction: MemoryDirection::Load,
@@ -612,8 +817,7 @@ pub fn generate_disaggregated_moe(
                 },
                 &[route_in],
             );
-            let fwd = b.node(
-                npu,
+            let fwd = prog.node(
                 format!("{}.fwd", layer.name),
                 EtOp::Compute {
                     flops: layer.fwd_flops / experts as f64,
@@ -621,8 +825,7 @@ pub fn generate_disaggregated_moe(
                 },
                 &[weights, act_load],
             );
-            prev = Some(b.node(
-                npu,
+            prev = Some(prog.node(
                 format!("{}.a2a.fwd.return", layer.name),
                 EtOp::Collective {
                     collective: Collective::AllToAll,
@@ -636,8 +839,7 @@ pub fn generate_disaggregated_moe(
         for layer in model.layers.iter().rev() {
             let expert_params = layer.params / experts as u64;
             let expert_param_count = expert_params.as_bytes() / 2;
-            let bwd = b.node(
-                npu,
+            let bwd = prog.node(
                 format!("{}.bwd", layer.name),
                 EtOp::Compute {
                     flops: layer.bwd_flops / experts as f64,
@@ -645,8 +847,7 @@ pub fn generate_disaggregated_moe(
                 },
                 &dep(prev),
             );
-            let act_store = b.node(
-                npu,
+            let act_store = prog.node(
                 format!("{}.act.store", layer.name),
                 EtOp::Memory {
                     direction: MemoryDirection::Store,
@@ -658,8 +859,7 @@ pub fn generate_disaggregated_moe(
             // fp16 gradients reduce-scattered into the pool (in-switch) or
             // synchronized over the NPU fabric when in-switch is off.
             let grads = if plan.gather_weights {
-                b.node(
-                    npu,
+                prog.node(
                     format!("{}.grads.scatter", layer.name),
                     EtOp::Memory {
                         direction: MemoryDirection::Store,
@@ -669,8 +869,7 @@ pub fn generate_disaggregated_moe(
                     &[bwd],
                 )
             } else {
-                b.node(
-                    npu,
+                prog.node(
                     format!("{}.gradAR", layer.name),
                     EtOp::Collective {
                         collective: Collective::AllReduce,
@@ -682,8 +881,7 @@ pub fn generate_disaggregated_moe(
             };
             // Optimizer-state streaming: plain remote read + write.
             let half = plan.optimizer_bytes_per_param / 2;
-            let opt_load = b.node(
-                npu,
+            let opt_load = prog.node(
                 format!("{}.opt.load", layer.name),
                 EtOp::Memory {
                     direction: MemoryDirection::Load,
@@ -692,8 +890,7 @@ pub fn generate_disaggregated_moe(
                 },
                 &[grads],
             );
-            prev = Some(b.node(
-                npu,
+            prev = Some(prog.node(
                 format!("{}.opt.store", layer.name),
                 EtOp::Memory {
                     direction: MemoryDirection::Store,
@@ -703,7 +900,7 @@ pub fn generate_disaggregated_moe(
                 &[opt_load, act_store],
             ));
         }
-    }
+    });
     Ok(b.build().expect("generated MoE trace is valid"))
 }
 
@@ -917,5 +1114,30 @@ mod tests {
         let t = generate_trace(&model, Parallelism::Data, 4).unwrap();
         let json = t.to_json().unwrap();
         assert_eq!(ExecutionTrace::from_json(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn fast_paths_match_reference_on_small_shapes() {
+        // The memoized/fanned-out generators must be byte-identical to the
+        // frozen naive baseline (full-scale runs live in tests/determinism).
+        let model = models::dlrm_57m();
+        for parallelism in [
+            Parallelism::Data,
+            Parallelism::Hybrid { mp: 4 },
+            Parallelism::Pipeline {
+                stages: 4,
+                microbatches: 2,
+            },
+            Parallelism::FullyShardedData,
+        ] {
+            let fast = generate_trace(&model, parallelism, 16).unwrap();
+            let reference = generate_trace_reference(&model, parallelism, 16).unwrap();
+            assert_eq!(fast, reference, "{parallelism:?}");
+        }
+        let moe = models::moe_1t();
+        assert_eq!(
+            generate_disaggregated_moe(&moe, 128, &OffloadPlan::default()).unwrap(),
+            generate_disaggregated_moe_reference(&moe, 128, &OffloadPlan::default()).unwrap(),
+        );
     }
 }

@@ -274,6 +274,74 @@ impl fmt::Display for TraceError {
 
 impl Error for TraceError {}
 
+/// Builds a single NPU's program (a dependency-ordered node list with
+/// NPU-local [`NodeId`]s) independently of any [`TraceBuilder`].
+///
+/// Node ids are indices into this one program, exactly as in
+/// [`TraceBuilder::node`], so a program can be constructed on a worker
+/// thread and installed with [`TraceBuilder::set_program`] afterwards —
+/// the unit of work the parallel trace generators fan out.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::DataSize;
+/// use astra_workload::{EtOp, ProgramBuilder, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new(1);
+/// let mut p = ProgramBuilder::new();
+/// let c = p.node("fwd", EtOp::Compute { flops: 1e9, tensor: DataSize::from_mib(1) }, &[]);
+/// p.node("bwd", EtOp::Compute { flops: 2e9, tensor: DataSize::from_mib(1) }, &[c]);
+/// b.set_program(0, p);
+/// assert_eq!(b.build().unwrap().program(0).len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    nodes: Vec<EtNode>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts an empty program with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProgramBuilder {
+            nodes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a node and returns its id. Dependencies must be earlier
+    /// nodes of this program (validated by [`TraceBuilder::build`]).
+    pub fn node(&mut self, name: impl Into<String>, op: EtOp, deps: &[NodeId]) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(EtNode {
+            name: name.into(),
+            op,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Id of the most recently added node, if any.
+    pub fn last_node(&self) -> Option<NodeId> {
+        let len = self.nodes.len();
+        (len > 0).then(|| NodeId((len - 1) as u32))
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
 /// Validated, incremental construction of an [`ExecutionTrace`].
 #[derive(Clone, Debug)]
 pub struct TraceBuilder {
@@ -347,6 +415,19 @@ impl TraceBuilder {
         (len > 0).then(|| NodeId((len - 1) as u32))
     }
 
+    /// Replaces `npu`'s program wholesale with one built off-builder via a
+    /// [`ProgramBuilder`] — the installation step of the parallel trace
+    /// generators, which construct per-NPU programs on worker threads and
+    /// merge them deterministically in NPU order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `npu` is out of range.
+    pub fn set_program(&mut self, npu: NpuId, program: ProgramBuilder) {
+        assert!(npu < self.npus, "NPU {npu} out of range");
+        self.programs[npu] = program.nodes;
+    }
+
     /// Validates and finalizes the trace.
     ///
     /// # Errors
@@ -371,7 +452,10 @@ impl TraceBuilder {
                             .groups
                             .get(group.0 as usize)
                             .ok_or(TraceError::BadGroup { npu, node: idx_u32 })?;
-                        if !members.contains(&npu) {
+                        // `add_group` keeps members sorted, so membership is
+                        // a binary search — this check runs once per
+                        // collective node across every NPU's program.
+                        if members.binary_search(&npu).is_err() {
                             return Err(TraceError::NotAMember { npu, node: idx_u32 });
                         }
                     }

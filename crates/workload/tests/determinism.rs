@@ -1,0 +1,152 @@
+//! Byte-level determinism of the parallel trace generators.
+//!
+//! `generate_trace` fans per-NPU program construction out across scoped
+//! threads and memoizes identical programs; these tests pin the contract
+//! that none of that is observable: for every strategy, the output is
+//! byte-identical across thread counts (1, 2, 8) *and* identical to the
+//! frozen naive baseline (`generate_trace_reference`), at NPU counts taken
+//! from ring- and star-(switch-)hierarchical topologies at 64 and 512 NPUs.
+
+use astra_topology::Topology;
+use astra_workload::{
+    models,
+    parallelism::{
+        generate_disaggregated_moe_reference, generate_disaggregated_moe_with_threads,
+        generate_trace_reference, generate_trace_with_threads, OffloadPlan,
+    },
+    Model, Parallelism,
+};
+
+/// Thread counts the satellite requirement pins.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// The NPU counts under test come from real hierarchical platforms: a
+/// ring-of-rings (torus) and a star-of-stars (switch hierarchy) at 64 and
+/// 512 NPUs each.
+fn topology_sizes() -> Vec<(String, usize)> {
+    let topologies = [
+        "R(8)@100_R(8)@100",            // ring hierarchy, 64 NPUs
+        "SW(8)@100_SW(8)@50",           // star hierarchy, 64 NPUs
+        "R(8)@200_R(8)@100_R(8)@50",    // ring hierarchy, 512 NPUs
+        "SW(8)@200_SW(8)@100_SW(8)@50", // star hierarchy, 512 NPUs
+    ];
+    topologies
+        .iter()
+        .map(|n| (n.to_string(), Topology::parse(n).unwrap().npus()))
+        .collect()
+}
+
+/// A GPT-3-like model truncated to 8 layers so the 512-NPU cases stay fast
+/// in debug builds while still exercising every node type.
+fn model8() -> Model {
+    let mut model = models::gpt3_175b();
+    model.layers.truncate(8);
+    model
+}
+
+/// Asserts the parallel fast path equals the reference byte-for-byte at
+/// every pinned thread count.
+fn assert_deterministic(model: &Model, parallelism: Parallelism, npus: usize) {
+    let reference = generate_trace_reference(model, parallelism, npus)
+        .unwrap()
+        .to_json()
+        .unwrap();
+    for threads in THREADS {
+        let fast = generate_trace_with_threads(model, parallelism, npus, threads)
+            .unwrap()
+            .to_json()
+            .unwrap();
+        assert!(
+            fast == reference,
+            "{parallelism:?} at {npus} NPUs diverges from the serial reference with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn data_parallel_is_thread_count_invariant() {
+    let model = model8();
+    for (topo, npus) in topology_sizes() {
+        assert_deterministic(&model, Parallelism::Data, npus);
+        let _ = topo;
+    }
+}
+
+#[test]
+fn hybrid_is_thread_count_invariant() {
+    let model = model8();
+    for (_, npus) in topology_sizes() {
+        assert_deterministic(&model, Parallelism::Hybrid { mp: 16 }, npus);
+    }
+}
+
+#[test]
+fn pipeline_is_thread_count_invariant() {
+    let model = model8();
+    for (_, npus) in topology_sizes() {
+        assert_deterministic(
+            &model,
+            Parallelism::Pipeline {
+                stages: 8,
+                microbatches: 4,
+            },
+            npus,
+        );
+    }
+}
+
+#[test]
+fn fsdp_is_thread_count_invariant() {
+    let model = model8();
+    for (_, npus) in topology_sizes() {
+        assert_deterministic(&model, Parallelism::FullyShardedData, npus);
+    }
+}
+
+#[test]
+fn disaggregated_moe_is_thread_count_invariant() {
+    let mut model = models::moe_1t();
+    model.layers.truncate(4);
+    for plan in [
+        OffloadPlan::default(),
+        OffloadPlan {
+            optimizer_bytes_per_param: 12,
+            gather_weights: false,
+        },
+    ] {
+        for (_, npus) in topology_sizes() {
+            let reference = generate_disaggregated_moe_reference(&model, npus, &plan)
+                .unwrap()
+                .to_json()
+                .unwrap();
+            for threads in THREADS {
+                let fast = generate_disaggregated_moe_with_threads(&model, npus, &plan, threads)
+                    .unwrap()
+                    .to_json()
+                    .unwrap();
+                assert!(
+                    fast == reference,
+                    "MoE at {npus} NPUs diverges from the serial reference with {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_path_matches_explicit_thread_counts() {
+    // `generate_trace` (auto thread count) must agree with every pinned
+    // count — i.e. with itself on any machine.
+    let model = model8();
+    let auto = astra_workload::parallelism::generate_trace(&model, Parallelism::Data, 512)
+        .unwrap()
+        .to_json()
+        .unwrap();
+    for threads in THREADS {
+        let pinned = generate_trace_with_threads(&model, Parallelism::Data, 512, threads)
+            .unwrap()
+            .to_json()
+            .unwrap();
+        assert!(auto == pinned);
+    }
+}

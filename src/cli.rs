@@ -7,8 +7,8 @@
 //! ```
 
 use astra_core::{
-    simulate, Parallelism, PoolArchitecture, Roofline, SchedulerPolicy, SimReport, SystemConfig,
-    Topology,
+    simulate, Parallelism, PoolArchitecture, QueueBackend, Roofline, SchedulerPolicy, SimReport,
+    SystemConfig, Topology,
 };
 use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
 use std::error::Error;
@@ -33,6 +33,8 @@ pub struct CliOptions {
     pub chunks: Option<u64>,
     /// Remote memory system: `hiermem-base`, `hiermem-opt`, `zero-infinity`.
     pub memory: Option<String>,
+    /// Future-event-list backend: `heap` (default) or `calendar`.
+    pub queue: Option<QueueBackend>,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
 }
@@ -73,6 +75,8 @@ OPTIONS:
     --themis                Themis greedy collective scheduler
     --chunks <N>            collective pipeline chunks (default 128)
     --memory <SYSTEM>       hiermem-base | hiermem-opt | zero-infinity (required for moe)
+    --queue <BACKEND>       event-queue backend: heap (default) | calendar
+                            (identical results, different simulation speed)
     --json                  machine-readable output
     --help                  this text
 ";
@@ -93,6 +97,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         themis: false,
         chunks: None,
         memory: None,
+        queue: None,
         json: false,
     };
     let mut it = args.iter();
@@ -127,6 +132,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                 );
             }
             "--memory" => opts.memory = Some(value("--memory")?),
+            "--queue" => opts.queue = Some(value("--queue")?.parse().map_err(err)?),
             "--fsdp" => opts.fsdp = true,
             "--themis" => opts.themis = true,
             "--json" => opts.json = true,
@@ -161,6 +167,7 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
         } else {
             SchedulerPolicy::Baseline
         },
+        queue_backend: opts.queue.unwrap_or_default(),
         ..SystemConfig::default()
     };
     if let Some(chunks) = opts.chunks {
@@ -327,6 +334,37 @@ mod tests {
     fn rejects_unknown_flags_and_bad_values() {
         assert!(parse_args(&args("--topology R(4) --frobnicate")).is_err());
         assert!(parse_args(&args("--topology R(4) --all-reduce-mib abc")).is_err());
+    }
+
+    #[test]
+    fn parses_queue_backend() {
+        let opts = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --queue calendar",
+        ))
+        .unwrap();
+        assert_eq!(opts.queue, Some(QueueBackend::Calendar));
+        let opts = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --queue heap",
+        ))
+        .unwrap();
+        assert_eq!(opts.queue, Some(QueueBackend::BinaryHeap));
+        let e = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --queue skiplist",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("skiplist"));
+    }
+
+    #[test]
+    fn queue_backends_report_identical_results() {
+        // The backend is a pure performance knob: simulated results must be
+        // bit-identical under either queue.
+        let base = "--topology R(4)@100_SW(4)@50 --workload dlrm --queue";
+        let heap = run(&parse_args(&args(&format!("{base} heap"))).unwrap()).unwrap();
+        let calendar = run(&parse_args(&args(&format!("{base} calendar"))).unwrap()).unwrap();
+        assert_eq!(heap.total_time, calendar.total_time);
+        assert_eq!(heap.breakdown.exposed_comm, calendar.breakdown.exposed_comm);
+        assert_eq!(heap.collectives, calendar.collectives);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! (scaled-down where needed to stay fast in debug builds).
 
 use astra_core::{
-    dimension_traffic, Collective, CollectiveEngine, DataSize, SchedulerPolicy, Time, Topology,
+    dimension_traffic, experiments::CaseWorkload, simulate, Collective, CollectiveEngine, DataSize,
+    QueueBackend, SchedulerPolicy, SystemConfig, Time, Topology,
 };
 
 /// Table IV: exact per-dimension message sizes for the 1 GB All-Reduce.
@@ -148,6 +149,70 @@ fn packet_backend_event_cost_scales_with_packets() {
     assert!((0.8..1.25).contains(&drift), "{drift}");
 }
 
+/// Golden end-to-end numbers for two Fig. 9-style configurations, pinned
+/// to the picosecond and checked under **both** event-queue backends.
+///
+/// These pins intentionally over-constrain the simulator: any refactor of
+/// the DES kernel, the collective engine, or the graph engine that shifts
+/// results — even by one tick — fails here instead of silently moving the
+/// paper's figures. If a deliberate modeling change moves them, update the
+/// constants in the same commit and say why.
+#[test]
+fn golden_fig9_conv4d_allreduce_is_pinned_on_both_backends() {
+    // Fig. 9(a) microbenchmark column: 1 GB world All-Reduce on the
+    // Table II Conv-4D system (512 NPUs), baseline scheduler.
+    let topo = astra_core::topologies::conv4d();
+    let trace = CaseWorkload::AllReduce1Gb.trace(topo.npus());
+    for backend in QueueBackend::ALL {
+        let config = SystemConfig {
+            queue_backend: backend,
+            ..SystemConfig::default()
+        };
+        let report = simulate(&trace, &topo, &config).unwrap();
+        assert_eq!(
+            report.total_time,
+            Time::from_ps(4_755_316_032),
+            "total time moved ({backend})"
+        );
+        assert_eq!(
+            report.breakdown.exposed_comm,
+            Time::from_ps(4_755_316_032),
+            "exposed comm moved ({backend})"
+        );
+        assert_eq!(report.breakdown.compute, Time::ZERO);
+    }
+}
+
+/// Golden Fig. 9(a) DLRM column on the W-2D wafer system: total exposed
+/// communication and the full time breakdown, both backends.
+#[test]
+fn golden_fig9_w2d_dlrm_is_pinned_on_both_backends() {
+    let topo = astra_core::topologies::w2d();
+    let trace = CaseWorkload::Dlrm.trace(topo.npus());
+    for backend in QueueBackend::ALL {
+        let config = SystemConfig {
+            queue_backend: backend,
+            ..SystemConfig::default()
+        };
+        let report = simulate(&trace, &topo, &config).unwrap();
+        assert_eq!(
+            report.total_time,
+            Time::from_ps(3_371_673_680),
+            "total time moved ({backend})"
+        );
+        assert_eq!(
+            report.breakdown.exposed_comm,
+            Time::from_ps(378_442_912),
+            "exposed comm moved ({backend})"
+        );
+        assert_eq!(
+            report.breakdown.compute,
+            Time::from_ps(2_993_230_768),
+            "compute moved ({backend})"
+        );
+    }
+}
+
 /// Fig. 11 (truncated): ZeRO-Infinity ~= HierMem(baseline), HierMem(opt)
 /// several times faster.
 #[test]
@@ -158,7 +223,7 @@ fn disaggregated_memory_case_study_trends() {
     let topo = astra_core::experiments::fig11_topology();
     let mut totals = Vec::new();
     for (name, config) in astra_core::experiments::fig11_systems() {
-        let report = astra_core::simulate(&trace, &topo, &config).unwrap();
+        let report = simulate(&trace, &topo, &config).unwrap();
         totals.push((name, report.total_time.as_us_f64()));
         assert!(report.total_time > Time::ZERO);
     }
