@@ -1,7 +1,8 @@
 //! Simulation-throughput comparison: parallel trace generation vs the
-//! naive serial baseline, and the calendar event-queue backend vs the
-//! binary heap — the two hot paths behind the paper's §IV-C claim that
-//! hierarchical systems at 512–1024 NPUs stay cheap to simulate.
+//! naive serial baseline, the calendar event-queue backend vs the binary
+//! heap, and train-batched packet transport vs per-packet simulation —
+//! the hot paths behind the paper's §IV-C claim that hierarchical systems
+//! at 512–1024 NPUs stay cheap to simulate.
 //!
 //! The `throughput` binary runs this module and writes the rows to a
 //! machine-readable `BENCH_throughput.json`, the repo's performance
@@ -9,7 +10,7 @@
 //! `cargo run --release -p astra-bench --bin throughput`).
 
 use astra_core::{simulate, DataSize, QueueBackend, SystemConfig, Topology};
-use astra_garnet::{collective_time, PacketSimConfig};
+use astra_garnet::{collective_time, PacketSimConfig, TransportMode};
 use astra_workload::parallelism::{
     generate_disaggregated_moe, generate_disaggregated_moe_reference, generate_trace,
     generate_trace_reference, generate_trace_with_threads, OffloadPlan,
@@ -54,6 +55,35 @@ pub struct QueueRow {
     pub speedup: f64,
 }
 
+/// One packet-transport scale measurement: the identical `garnet_like`
+/// (256 B) All-Reduce under per-packet and train-batched transport. The
+/// runner asserts the finish times are bit-identical — the row records how
+/// many events (and how much wall-clock) each mode pays for it.
+#[derive(Clone, Debug, Serialize)]
+pub struct PacketScaleRow {
+    /// Topology notation.
+    pub topology: String,
+    /// NPUs in the topology.
+    pub npus: usize,
+    /// All-Reduce payload in MiB.
+    pub payload_mib: u64,
+    /// Simulated completion in µs (identical across transports).
+    pub finish_us: f64,
+    /// Events popped by per-packet transport (`packets × hops`).
+    pub per_packet_events: u64,
+    /// Events popped by batched transport (`~hops` per message).
+    pub batched_events: u64,
+    /// `batched_events / per_packet_events` (CI gates this at ≤ 5 % for
+    /// the 128-NPU case).
+    pub event_ratio: f64,
+    /// Wall-clock of per-packet transport (ms, best of N).
+    pub per_packet_ms: f64,
+    /// Wall-clock of batched transport (ms, best of N).
+    pub batched_ms: f64,
+    /// `per_packet_ms / batched_ms`.
+    pub speedup: f64,
+}
+
 /// The full comparison, serialized as `BENCH_throughput.json`.
 #[derive(Clone, Debug, Serialize)]
 pub struct Report {
@@ -66,6 +96,8 @@ pub struct Report {
     pub trace_generation: Vec<TraceGenRow>,
     /// Event-queue backend rows.
     pub event_queue: Vec<QueueRow>,
+    /// Packet-transport scale rows (batched vs per-packet).
+    pub packet_scale: Vec<PacketScaleRow>,
 }
 
 impl Report {
@@ -278,6 +310,53 @@ pub fn run_event_queue(quick: bool) -> Vec<QueueRow> {
     rows
 }
 
+fn packet_scale_row(notation: &str, payload_mib: u64, reps: usize) -> PacketScaleRow {
+    let topo = Topology::parse(notation).expect("valid notation");
+    let size = DataSize::from_mib(payload_mib);
+    let config = PacketSimConfig::garnet_like();
+    let (per_packet_ms, per_packet) = best_ms(reps, || {
+        collective_time(
+            &topo,
+            size,
+            &config.with_transport(TransportMode::PerPacket),
+        )
+    });
+    let (batched_ms, batched) = best_ms(reps, || {
+        collective_time(&topo, size, &config.with_transport(TransportMode::Batched))
+    });
+    assert_eq!(
+        per_packet.finish, batched.finish,
+        "transports diverged on {notation}"
+    );
+    assert_eq!(per_packet.messages, batched.messages);
+    PacketScaleRow {
+        topology: notation.to_owned(),
+        npus: topo.npus(),
+        payload_mib,
+        finish_us: per_packet.finish.as_us_f64(),
+        per_packet_events: per_packet.events,
+        batched_events: batched.events,
+        event_ratio: batched.events as f64 / per_packet.events as f64,
+        per_packet_ms,
+        batched_ms,
+        speedup: per_packet_ms / batched_ms.max(1e-9),
+    }
+}
+
+/// Transport-scale comparison: the §IV-C `garnet_like` granularity at the
+/// scales where per-packet simulation was the cost ceiling (ROADMAP
+/// "Packet backend scale"). Quick mode runs the 128-NPU case the CI gate
+/// checks; full mode extends to 256 and 512 NPUs.
+pub fn run_packet_scale(quick: bool) -> Vec<PacketScaleRow> {
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = vec![packet_scale_row("R(16)@100_R(8)@100", 1, reps)];
+    if !quick {
+        rows.push(packet_scale_row("R(16)@100_R(16)@100", 1, reps));
+        rows.push(packet_scale_row("R(8)@100_R(8)@100_R(8)@50", 1, reps));
+    }
+    rows
+}
+
 /// Runs the full comparison. `quick` shrinks payloads and scales for CI
 /// smoke jobs; the committed `BENCH_throughput.json` uses the full mode.
 pub fn run(quick: bool) -> Report {
@@ -286,6 +365,7 @@ pub fn run(quick: bool) -> Report {
         threads_available: std::thread::available_parallelism().map_or(1, |n| n.get()),
         trace_generation: run_trace_generation(quick),
         event_queue: run_event_queue(quick),
+        packet_scale: run_packet_scale(quick),
     }
 }
 
@@ -321,6 +401,24 @@ pub fn print(report: &Report) {
             r.speedup
         );
     }
+    println!("\n== packet transport: batched trains vs per-packet (256 B All-Reduce) ==");
+    println!(
+        "{:<26} {:>5} {:>12} {:>11} {:>7} {:>10} {:>9} {:>9}",
+        "Topology", "NPUs", "PktEvents", "TrnEvents", "Ratio", "Packet(ms)", "Batch(ms)", "Speedup"
+    );
+    for r in &report.packet_scale {
+        println!(
+            "{:<26} {:>5} {:>12} {:>11} {:>6.2}% {:>10.2} {:>9.2} {:>8.2}x",
+            r.topology,
+            r.npus,
+            r.per_packet_events,
+            r.batched_events,
+            r.event_ratio * 100.0,
+            r.per_packet_ms,
+            r.batched_ms,
+            r.speedup
+        );
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +430,7 @@ mod tests {
         let report = run(true);
         assert!(!report.trace_generation.is_empty());
         assert!(!report.event_queue.is_empty());
+        assert!(!report.packet_scale.is_empty());
         let json = report.to_json().unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert!(
@@ -339,5 +438,19 @@ mod tests {
             "serial_ms present"
         );
         assert!(v["event_queue"][0]["heap_ms"].as_f64().unwrap() >= 0.0);
+        assert!(v["packet_scale"][0]["per_packet_events"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn packet_scale_gate_holds_on_128_npus() {
+        // The CI bench-smoke gate: batched transport must pop at most 5 %
+        // of per-packet events on the 128-NPU `garnet_like` case.
+        let rows = run_packet_scale(true);
+        let row = rows.iter().find(|r| r.npus == 128).expect("128-NPU row");
+        assert!(
+            row.event_ratio <= 0.05,
+            "batched transport popped {:.2}% of per-packet events",
+            row.event_ratio * 100.0
+        );
     }
 }

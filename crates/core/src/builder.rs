@@ -169,6 +169,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the network backend answering point-to-point delay queries
+    /// (`analytical` closed form by default; `packet` / `batched` for the
+    /// store-and-forward DES, `flow` for max-min fluid sharing).
+    pub fn network_backend(mut self, backend: astra_network::NetworkBackendKind) -> Self {
+        self.config.network_backend = backend;
+        self
+    }
+
     /// Sets the NPU compute roofline.
     pub fn roofline(mut self, roofline: Roofline) -> Self {
         self.config.roofline = roofline;
@@ -259,6 +267,20 @@ mod tests {
         let ms = report.total_time.as_ms_f64();
         assert!((9.5..10.8).contains(&ms), "{ms}");
         assert_eq!(report.breakdown.compute, Time::ZERO);
+    }
+
+    #[test]
+    fn network_backend_is_selectable() {
+        for kind in astra_network::NetworkBackendKind::ALL {
+            let report = SimulationBuilder::new()
+                .notation("SW(8)@400")
+                .unwrap()
+                .all_reduce(DataSize::from_mib(64))
+                .network_backend(kind)
+                .run()
+                .unwrap();
+            assert!(report.total_time > Time::ZERO, "{kind}");
+        }
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub use astra_memory::{
     AccessKind, HierPool, HierPoolConfig, LocalMemory, MeshPool, MultiLevelSwitchPool,
     PoolArchitecture, RemoteMemory, RingPool, TransferMode, ZeroInfinity,
 };
-pub use astra_network::{AnalyticalConfig, AnalyticalNetwork, NetworkBackend};
+pub use astra_network::{
+    AnalyticalConfig, AnalyticalNetwork, FlowId, FlowNetwork, NetworkBackend, NetworkBackendKind,
+};
 pub use astra_system::{simulate, Breakdown, SimError, SimReport, SystemConfig};
 pub use astra_topology::{
     BuildingBlock, Dimension, LinkGraph, NpuId, ParseTopologyError, Topology,

@@ -8,7 +8,8 @@
 //! * [`EventQueue`] — a deterministic future-event list with FIFO tie-breaking
 //!   and pluggable backends ([`QueueBackend`]: binary heap or calendar queue),
 //! * [`FifoResource`] — a serial resource timeline (used to model links,
-//!   compute streams, and memory ports),
+//!   compute streams, and memory ports), with closed-form bulk reservation
+//!   of whole packet trains ([`FifoResource::acquire_train`]),
 //! * [`IntervalLog`] / [`attribute_exclusive`] — busy-interval bookkeeping used
 //!   for the paper's "exposed time" breakdowns (Fig. 9 and Fig. 11).
 //!
@@ -31,5 +32,5 @@ mod units;
 
 pub use intervals::{attribute_exclusive, IntervalLog};
 pub use queue::{EventQueue, QueueBackend};
-pub use resource::{FifoResource, Reservation};
+pub use resource::{ArrivalRun, FifoResource, Reservation, TrainOccupancy, TrainProfile};
 pub use units::{Bandwidth, DataSize, Time};

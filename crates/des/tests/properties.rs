@@ -1,9 +1,39 @@
 //! Property-based tests for the DES kernel invariants.
 
 use astra_des::{
-    attribute_exclusive, Bandwidth, DataSize, EventQueue, FifoResource, IntervalLog, Time,
+    attribute_exclusive, ArrivalRun, Bandwidth, DataSize, EventQueue, FifoResource, IntervalLog,
+    Time, TrainProfile,
 };
 use proptest::prelude::*;
+
+/// Builds an arbitrary multi-run train profile with non-decreasing packet
+/// times (the invariant every real arrival/completion profile satisfies).
+fn arb_train() -> impl Strategy<Value = TrainProfile> {
+    prop::collection::vec((1u64..24, 0u64..2_000, 0u64..3_000), 1..4).prop_map(|segs| {
+        let mut profile: Option<TrainProfile> = None;
+        let mut at = Time::ZERO;
+        for (count, gap, spacing) in segs {
+            at += Time::from_ns(gap);
+            let run = TrainProfile::simultaneous(count, at);
+            let run = if spacing > 0 {
+                // Re-space the burst by expanding it into an arithmetic run.
+                TrainProfile::arithmetic(ArrivalRun {
+                    count,
+                    first: at,
+                    spacing: Time::from_ns(spacing),
+                })
+            } else {
+                run
+            };
+            at = run.last();
+            profile = Some(match profile {
+                None => run,
+                Some(p) => p.concat(&run),
+            });
+        }
+        profile.expect("at least one run")
+    })
+}
 
 proptest! {
     /// Events always come out in non-decreasing time order, and same-time
@@ -90,6 +120,48 @@ proptest! {
         // Highest-priority category is never shadowed: it gets exactly its
         // union measure (clipped to the horizon).
         prop_assert_eq!(out[0], la.union_measure().min(horizon));
+    }
+
+    /// Bulk train reservation is bit-identical to acquiring every packet
+    /// individually — first/last reservations, the full completion profile,
+    /// the resource timeline, and the busy accounting all match.
+    #[test]
+    fn acquire_train_matches_per_packet_acquires(
+        train in arb_train(),
+        service_ns in 1u64..3_000,
+        tail_ns in 1u64..3_000,
+        free_ns in 0u64..4_000,
+        extra_ns in 0u64..2_000,
+    ) {
+        let service = Time::from_ns(service_ns);
+        let tail_service = Time::from_ns(tail_ns.min(service_ns));
+        let seed = Time::from_ns(free_ns);
+
+        let mut bulk = FifoResource::available_from(seed);
+        let occ = bulk.acquire_train(&train, service, tail_service);
+
+        let mut serial = FifoResource::available_from(seed);
+        let total = train.count();
+        let mut refs = Vec::new();
+        for (i, a) in train.times().enumerate() {
+            let s = if i as u64 + 1 == total { tail_service } else { service };
+            refs.push(serial.acquire(a, s));
+        }
+
+        let ends: Vec<Time> = occ.completions.times().collect();
+        let want: Vec<Time> = refs.iter().map(|r| r.end).collect();
+        prop_assert_eq!(&ends, &want, "completion profile diverged on {:?}", train);
+        prop_assert_eq!(occ.first, refs[0]);
+        prop_assert_eq!(occ.last, *refs.last().unwrap());
+        prop_assert_eq!(bulk.free_at(), serial.free_at());
+        prop_assert_eq!(bulk.busy_time(), serial.busy_time());
+
+        // A follow-up request sees the identical timeline.
+        let after = Time::from_ns(free_ns + extra_ns);
+        prop_assert_eq!(
+            bulk.acquire(after, service),
+            serial.acquire(after, service)
+        );
     }
 
     /// `DataSize::scale` commutes with the rational factor within rounding.

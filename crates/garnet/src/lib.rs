@@ -38,5 +38,5 @@ mod network;
 mod runner;
 pub mod semantics;
 
-pub use network::{MessageId, PacketNetwork, PacketSimConfig};
+pub use network::{MessageId, PacketNetwork, PacketSimConfig, TransportMode};
 pub use runner::{collective_time, collective_time_for, PacketRunReport};

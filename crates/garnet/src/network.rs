@@ -1,12 +1,84 @@
 //! Store-and-forward packet network simulation.
 
-use astra_des::{DataSize, EventQueue, FifoResource, QueueBackend, Time};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use astra_des::{DataSize, EventQueue, FifoResource, QueueBackend, Time, TrainProfile};
 use astra_network::NetworkBackend;
 use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
 
 /// Identifier of an in-flight or completed message.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MessageId(usize);
+
+/// How messages traverse the simulated links.
+///
+/// Both modes model the same store-and-forward FIFO links; they differ in
+/// event granularity:
+///
+/// * [`TransportMode::PerPacket`] pops one event per packet-hop — the
+///   ground-truth cost model (`packets × hops` events), which is exactly
+///   what makes fine-granularity simulation expensive at scale.
+/// * [`TransportMode::Batched`] coalesces each message's packet train into
+///   a closed-form per-link traversal ([`FifoResource::acquire_train`]):
+///   because a train's packets enter every link in order and links serve
+///   FIFO, the whole occupancy follows from the arrival profile, so a
+///   message costs `O(hops)` events instead of `O(packets × hops)`.
+///
+/// Batched mode is **bit-identical** to per-packet mode whenever each
+/// train occupies every link contiguously, which the lockstep collective
+/// runner guarantees by construction: hop-0 packets queue eagerly at send
+/// time (serializing same-source trains), ring steps and switch rounds
+/// carry one train per link, and the staggered All-to-All drains each
+/// switch down-link from one sender at a time. The cross-mode property
+/// suite (`crates/garnet/tests/transport_equivalence.rs`) pins this over
+/// random topologies, collectives, and sizes. For arbitrary concurrent
+/// point-to-point traffic whose trains would interleave packet-by-packet
+/// on a shared link, batched mode is a (work-conserving) approximation
+/// that serves whole trains in head-arrival order.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TransportMode {
+    /// One event per packet per hop (ground truth; the default).
+    #[default]
+    PerPacket,
+    /// One event per message per hop via closed-form train reservations.
+    Batched,
+}
+
+impl TransportMode {
+    /// Both modes, for tests and benchmark sweeps.
+    pub const ALL: [TransportMode; 2] = [TransportMode::PerPacket, TransportMode::Batched];
+
+    /// Stable machine-readable name (`per-packet` / `batched`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportMode::PerPacket => "per-packet",
+            TransportMode::Batched => "batched",
+        }
+    }
+}
+
+impl fmt::Display for TransportMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for TransportMode {
+    type Err = String;
+
+    /// Accepts `packet` / `per-packet` and `batched`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "packet" | "per-packet" => Ok(TransportMode::PerPacket),
+            "batched" => Ok(TransportMode::Batched),
+            other => Err(format!(
+                "unknown transport mode `{other}` (expected `packet` or `batched`)"
+            )),
+        }
+    }
+}
 
 /// Configuration of the packet simulator.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -24,6 +96,9 @@ pub struct PacketSimConfig {
     /// faster at fine packet granularities, where hundreds of thousands
     /// of near-sorted packet-hop events are live at once.
     pub queue_backend: QueueBackend,
+    /// Event granularity (see [`TransportMode`]). Batched transport keeps
+    /// fine packet sizes affordable at 256+ NPUs.
+    pub transport: TransportMode,
 }
 
 impl PacketSimConfig {
@@ -35,6 +110,7 @@ impl PacketSimConfig {
             collective_overhead: Time::ZERO,
             step_overhead: Time::ZERO,
             queue_backend: QueueBackend::default(),
+            transport: TransportMode::default(),
         }
     }
 
@@ -46,6 +122,7 @@ impl PacketSimConfig {
             collective_overhead: Time::ZERO,
             step_overhead: Time::ZERO,
             queue_backend: QueueBackend::default(),
+            transport: TransportMode::default(),
         }
     }
 
@@ -59,12 +136,19 @@ impl PacketSimConfig {
             collective_overhead: Time::from_us(20),
             step_overhead: Time::from_us(1),
             queue_backend: QueueBackend::default(),
+            transport: TransportMode::default(),
         }
     }
 
     /// Selects the future-event-list backend (see [`QueueBackend`]).
     pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
         self.queue_backend = backend;
+        self
+    }
+
+    /// Selects the transport granularity (see [`TransportMode`]).
+    pub fn with_transport(mut self, transport: TransportMode) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -77,7 +161,12 @@ impl Default for PacketSimConfig {
 
 #[derive(Clone, Debug)]
 struct MessageState {
-    route: Vec<LinkId>,
+    /// Index into the memoized route table.
+    route: usize,
+    /// Full-size packet payload (all packets but possibly the last).
+    packet_bytes: DataSize,
+    /// Payload of the last packet (== `packet_bytes` for exact multiples).
+    tail_bytes: DataSize,
     packets_remaining: u64,
     finish: Option<Time>,
 }
@@ -91,6 +180,24 @@ struct PacketEvent {
     bytes: DataSize,
 }
 
+/// A whole train arriving at the head of `route[hop]`.
+#[derive(Clone, Debug)]
+struct TrainEvent {
+    message: MessageId,
+    hop: usize,
+    arrivals: TrainProfile,
+}
+
+#[derive(Clone, Debug)]
+enum TransportEvent {
+    /// Per-packet transport: one packet finished one hop.
+    Packet(PacketEvent),
+    /// Batched transport: a train's head reached the next link.
+    Train(TrainEvent),
+    /// Batched transport: a train's tail arrived at the destination.
+    TrainDone(MessageId),
+}
+
 /// A packet-granularity store-and-forward network DES.
 ///
 /// Every physical link of the topology is a FIFO queue. A message is split
@@ -99,6 +206,10 @@ struct PacketEvent {
 /// propagation latency at each hop. Packets of concurrent messages
 /// interleave on shared links, so congestion emerges naturally — unlike the
 /// analytical backend, which assumes congestion-free traffic.
+///
+/// Routes are memoized per `(src, dst)` pair: collectives re-send along
+/// identical pairs every phase step, so the dimension-ordered route search
+/// runs once per pair instead of once per message.
 ///
 /// # Example
 ///
@@ -117,8 +228,10 @@ struct PacketEvent {
 pub struct PacketNetwork {
     graph: LinkGraph,
     link_queues: Vec<FifoResource>,
-    queue: EventQueue<PacketEvent>,
+    queue: EventQueue<TransportEvent>,
     messages: Vec<MessageState>,
+    routes: Vec<Vec<LinkId>>,
+    route_ids: HashMap<(NpuId, NpuId), usize>,
     config: PacketSimConfig,
     events_processed: u64,
 }
@@ -135,6 +248,8 @@ impl PacketNetwork {
             link_queues,
             queue: EventQueue::with_backend(config.queue_backend),
             messages: Vec::new(),
+            routes: Vec::new(),
+            route_ids: HashMap::new(),
             config,
             events_processed: 0,
         }
@@ -150,10 +265,16 @@ impl PacketNetwork {
         &self.config
     }
 
-    /// Total packet-hop events processed so far (the quantity that makes
-    /// packet-level simulation expensive).
+    /// Total transport events processed so far — packet-hops in per-packet
+    /// mode, train-hops plus completions in batched mode (the quantity that
+    /// makes fine-granularity simulation expensive).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Distinct `(src, dst)` routes resolved and memoized so far.
+    pub fn routes_cached(&self) -> usize {
+        self.route_ids.len()
     }
 
     /// Current simulation time.
@@ -161,19 +282,33 @@ impl PacketNetwork {
         self.queue.now()
     }
 
+    /// Resolves (or reuses) the memoized route for a pair.
+    fn route_index(&mut self, src: NpuId, dst: NpuId) -> usize {
+        if let Some(&idx) = self.route_ids.get(&(src, dst)) {
+            return idx;
+        }
+        let idx = self.routes.len();
+        self.routes.push(self.graph.route(src, dst));
+        self.route_ids.insert((src, dst), idx);
+        idx
+    }
+
     /// Injects a message at time `at`. Packets start queueing on the first
     /// link of the route immediately.
     ///
     /// # Panics
     ///
-    /// Panics if `at` is before the current simulation time or either NPU id
-    /// is out of range.
+    /// Panics if `at` is before the current simulation time (the event
+    /// queue rejects scheduling in the past) or either NPU id is out of
+    /// range.
     pub fn send_at(&mut self, at: Time, src: NpuId, dst: NpuId, size: DataSize) -> MessageId {
         let id = MessageId(self.messages.len());
-        let route = self.graph.route(src, dst);
-        if route.is_empty() || size == DataSize::ZERO {
+        let route = self.route_index(src, dst);
+        if self.routes[route].is_empty() || size == DataSize::ZERO {
             self.messages.push(MessageState {
                 route,
+                packet_bytes: DataSize::ZERO,
+                tail_bytes: DataSize::ZERO,
                 packets_remaining: 0,
                 finish: Some(at),
             });
@@ -185,35 +320,108 @@ impl PacketNetwork {
         let count = full_packets + u64::from(tail > 0);
         self.messages.push(MessageState {
             route,
+            packet_bytes: DataSize::from_bytes(pkt),
+            tail_bytes: DataSize::from_bytes(if tail > 0 { tail } else { pkt }),
             packets_remaining: count,
             finish: None,
         });
-        // Enter packets onto the first link in order; FIFO per link.
-        for i in 0..count {
-            let bytes = if i == count - 1 && tail > 0 {
-                DataSize::from_bytes(tail)
-            } else {
-                DataSize::from_bytes(pkt)
-            };
-            self.start_hop(
-                at,
-                PacketEvent {
-                    message: id,
-                    hop: 0,
-                    bytes,
-                },
-            );
+        match self.config.transport {
+            TransportMode::PerPacket => {
+                // Enter packets onto the first link in order; FIFO per link.
+                for i in 0..count {
+                    let bytes = if i == count - 1 && tail > 0 {
+                        DataSize::from_bytes(tail)
+                    } else {
+                        DataSize::from_bytes(pkt)
+                    };
+                    self.start_hop(
+                        at,
+                        PacketEvent {
+                            message: id,
+                            hop: 0,
+                            bytes,
+                        },
+                    );
+                }
+            }
+            TransportMode::Batched => {
+                // The whole train queues on the first link at once — the
+                // same eager acquisition the per-packet loop above performs.
+                self.advance_train(id, 0, TrainProfile::simultaneous(count, at));
+            }
         }
         id
     }
 
     fn start_hop(&mut self, ready: Time, event: PacketEvent) {
-        let link_id = self.messages[event.message.0].route[event.hop];
+        let link_id = self.routes[self.messages[event.message.0].route][event.hop];
         let props = self.graph.link(link_id);
         let service = props.bandwidth.transfer_time(event.bytes);
         let reservation = self.link_queues[link_id.0].acquire(ready, service);
-        self.queue
-            .schedule_at(reservation.end + props.latency, event);
+        self.queue.schedule_at(
+            reservation.end + props.latency,
+            TransportEvent::Packet(event),
+        );
+    }
+
+    /// Reserves one whole train on `route[hop]` in closed form and schedules
+    /// its head at the next link (or its tail's arrival at the destination).
+    fn advance_train(&mut self, message: MessageId, hop: usize, arrivals: TrainProfile) {
+        let msg = &self.messages[message.0];
+        let (packet_bytes, tail_bytes) = (msg.packet_bytes, msg.tail_bytes);
+        let route = &self.routes[msg.route];
+        let hops = route.len();
+        let link_id = route[hop];
+        let props = self.graph.link(link_id);
+        let service = props.bandwidth.transfer_time(packet_bytes);
+        let tail_service = props.bandwidth.transfer_time(tail_bytes);
+        let occupancy = self.link_queues[link_id.0].acquire_train(&arrivals, service, tail_service);
+        let next = occupancy.completions.delayed_by(props.latency);
+        if hop + 1 < hops {
+            let head = next.first();
+            self.queue.schedule_at(
+                head,
+                TransportEvent::Train(TrainEvent {
+                    message,
+                    hop: hop + 1,
+                    arrivals: next,
+                }),
+            );
+        } else {
+            self.queue
+                .schedule_at(next.last(), TransportEvent::TrainDone(message));
+        }
+    }
+
+    fn dispatch(&mut self, now: Time, event: TransportEvent) {
+        match event {
+            TransportEvent::Packet(event) => {
+                let msg = &self.messages[event.message.0];
+                if event.hop + 1 < self.routes[msg.route].len() {
+                    self.start_hop(
+                        now,
+                        PacketEvent {
+                            hop: event.hop + 1,
+                            ..event
+                        },
+                    );
+                } else {
+                    let msg = &mut self.messages[event.message.0];
+                    msg.packets_remaining -= 1;
+                    if msg.packets_remaining == 0 {
+                        msg.finish = Some(now);
+                    }
+                }
+            }
+            TransportEvent::Train(train) => {
+                self.advance_train(train.message, train.hop, train.arrivals);
+            }
+            TransportEvent::TrainDone(message) => {
+                let msg = &mut self.messages[message.0];
+                msg.packets_remaining = 0;
+                msg.finish = Some(now);
+            }
+        }
     }
 
     /// Runs the simulation until no events remain, returning the final
@@ -221,24 +429,31 @@ impl PacketNetwork {
     pub fn run_until_idle(&mut self) -> Time {
         while let Some((now, event)) = self.queue.pop() {
             self.events_processed += 1;
-            let msg = &self.messages[event.message.0];
-            if event.hop + 1 < msg.route.len() {
-                self.start_hop(
-                    now,
-                    PacketEvent {
-                        hop: event.hop + 1,
-                        ..event
-                    },
-                );
-            } else {
-                let msg = &mut self.messages[event.message.0];
-                msg.packets_remaining -= 1;
-                if msg.packets_remaining == 0 {
-                    msg.finish = Some(now);
-                }
-            }
+            self.dispatch(now, event);
         }
         self.queue.now()
+    }
+
+    /// Runs the simulation only until `id` completes, returning its finish
+    /// time. Unrelated in-flight traffic keeps its pending events: the
+    /// clock advances no further than the tracked message's completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains before the message completes (it
+    /// cannot for messages injected through [`PacketNetwork::send_at`]).
+    pub fn run_until_complete(&mut self, id: MessageId) -> Time {
+        loop {
+            if let Some(finish) = self.completion(id) {
+                return finish;
+            }
+            let (now, event) = self
+                .queue
+                .pop()
+                .expect("tracked message completes before the queue drains");
+            self.events_processed += 1;
+            self.dispatch(now, event);
+        }
     }
 
     /// Completion time of a message, if it has fully arrived.
@@ -249,16 +464,26 @@ impl PacketNetwork {
 
 impl NetworkBackend for PacketNetwork {
     /// Sends a message on the live network (with whatever queue backlog
-    /// exists) and simulates to completion, returning the observed delay.
+    /// exists) and simulates **only until that message completes**,
+    /// returning the observed delay.
+    ///
+    /// The probe rides the current backlog — a congested link delays it —
+    /// but it does not drain unrelated in-flight traffic as a side effect:
+    /// their pending events stay queued and the simulation clock advances
+    /// no further than the probe's completion. The probe's packets do
+    /// occupy links, so it is a measurement *with* interference, not a
+    /// counterfactual.
     fn p2p_delay(&mut self, src: NpuId, dst: NpuId, size: DataSize) -> Time {
         let start = self.now();
         let id = self.send_at(start, src, dst, size);
-        self.run_until_idle();
-        self.completion(id).expect("message completed") - start
+        self.run_until_complete(id) - start
     }
 
     fn name(&self) -> &'static str {
-        "packet-level"
+        match self.config.transport {
+            TransportMode::PerPacket => "packet-level",
+            TransportMode::Batched => "packet-level (batched)",
+        }
     }
 }
 
@@ -362,5 +587,126 @@ mod tests {
         fine.send_at(Time::ZERO, 0, 1, size);
         fine.run_until_idle();
         assert!(fine.events_processed() > coarse.events_processed() * 100);
+    }
+
+    /// Sends the same traffic under both transports and asserts identical
+    /// completions with an `O(packets)` / `O(1)` event gap per message.
+    fn assert_transports_agree(
+        notation: &str,
+        sends: &[(usize, usize, u64)],
+        pkt: PacketSimConfig,
+    ) {
+        let t = topo(notation);
+        let mut per_packet = PacketNetwork::new(&t, pkt);
+        let mut batched = PacketNetwork::new(&t, pkt.with_transport(TransportMode::Batched));
+        let mut pairs = Vec::new();
+        for &(src, dst, kib) in sends {
+            let size = DataSize::from_kib(kib);
+            pairs.push((
+                per_packet.send_at(Time::ZERO, src, dst, size),
+                batched.send_at(Time::ZERO, src, dst, size),
+            ));
+        }
+        per_packet.run_until_idle();
+        batched.run_until_idle();
+        for &(a, b) in &pairs {
+            assert_eq!(
+                per_packet.completion(a),
+                batched.completion(b),
+                "transports diverged on {notation}"
+            );
+        }
+        assert!(batched.events_processed() <= per_packet.events_processed());
+    }
+
+    #[test]
+    fn batched_transport_matches_per_packet_single_messages() {
+        // Multi-hop ring route, switch traversal, cross-dimension route
+        // (bandwidths differ per dimension, exercising the paced regime),
+        // and a non-multiple payload with a short tail packet.
+        assert_transports_agree("R(8)@100", &[(0, 3, 1024)], PacketSimConfig::fast());
+        assert_transports_agree("SW(4)@100", &[(0, 2, 257)], PacketSimConfig::garnet_like());
+        assert_transports_agree(
+            "R(4)@100_SW(2)@50",
+            &[(0, 5, 2048)],
+            PacketSimConfig::fast(),
+        );
+        assert_transports_agree(
+            "SW(2)@25_R(4)@200",
+            &[(1, 7, 999)],
+            PacketSimConfig::garnet_like(),
+        );
+    }
+
+    #[test]
+    fn batched_transport_matches_per_packet_shared_first_link() {
+        // Same-source trains serialize eagerly at send time in both modes.
+        assert_transports_agree(
+            "R(8)@100",
+            &[(0, 2, 512), (0, 3, 512), (0, 1, 128)],
+            PacketSimConfig::fast(),
+        );
+    }
+
+    #[test]
+    fn batched_message_costs_o_hops_events() {
+        let t = topo("R(8)@100");
+        let mut net = PacketNetwork::new(
+            &t,
+            PacketSimConfig::garnet_like().with_transport(TransportMode::Batched),
+        );
+        net.send_at(Time::ZERO, 0, 3, DataSize::from_mib(4)); // 3 hops, 16 Ki packets
+        net.run_until_idle();
+        // 2 train-hop events (hops 1..3) + 1 completion event.
+        assert_eq!(net.events_processed(), 3);
+    }
+
+    #[test]
+    fn routes_are_memoized_across_sends() {
+        let t = topo("R(8)@100");
+        let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+        for _ in 0..5 {
+            net.send_at(net.now(), 0, 2, DataSize::from_kib(64));
+            net.run_until_idle();
+        }
+        net.send_at(net.now(), 2, 0, DataSize::from_kib(64));
+        net.run_until_idle();
+        assert_eq!(net.routes_cached(), 2);
+    }
+
+    /// Regression for the probe semantics: `p2p_delay` must not drain
+    /// unrelated in-flight traffic to idle as a side effect.
+    #[test]
+    fn p2p_probe_does_not_drain_backlog() {
+        let t = topo("R(8)@100");
+        let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+        // A long transfer keeps links 4->5->6 busy far beyond the probe.
+        let backlog = net.send_at(Time::ZERO, 4, 6, DataSize::from_mib(256));
+        // Probe a disjoint path: it completes quickly...
+        let probe = net.p2p_delay(0, 1, DataSize::from_kib(64));
+        assert!(probe > Time::ZERO);
+        // ...while the backlogged message is still in flight.
+        assert_eq!(net.completion(backlog), None);
+        let idle = net.run_until_idle();
+        assert!(net.completion(backlog).unwrap() == idle);
+    }
+
+    /// A probe sharing a backlogged link pays the queueing it finds.
+    #[test]
+    fn p2p_probe_pays_for_backlog_on_shared_link() {
+        let t = topo("R(2)@100");
+        let quiet = {
+            let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+            net.p2p_delay(0, 1, DataSize::from_kib(64))
+        };
+        let mut net = PacketNetwork::new(&t, PacketSimConfig::fast());
+        let backlog = net.send_at(Time::ZERO, 0, 1, DataSize::from_mib(16));
+        let congested = net.p2p_delay(0, 1, DataSize::from_kib(64));
+        assert!(
+            congested > quiet * 10,
+            "probe ignored backlog: {congested} vs {quiet}"
+        );
+        // The backlog drained first (FIFO link), so it completed too.
+        assert!(net.completion(backlog).is_some());
     }
 }

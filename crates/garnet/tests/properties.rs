@@ -6,7 +6,7 @@
 
 use astra_collectives::{Collective, CollectiveEngine, SchedulerPolicy};
 use astra_des::{DataSize, QueueBackend, Time};
-use astra_garnet::{collective_time_for, semantics, PacketNetwork, PacketSimConfig};
+use astra_garnet::{collective_time_for, semantics, PacketNetwork, PacketSimConfig, TransportMode};
 use astra_topology::{BuildingBlock, Topology};
 use proptest::prelude::*;
 
@@ -110,6 +110,49 @@ proptest! {
             &topo, coll, size,
             &PacketSimConfig::fast().with_queue_backend(QueueBackend::Calendar));
         prop_assert_eq!(heap, calendar, "{} on {}", coll, topo);
+    }
+
+    /// Packet-level All-to-All and All-Gather on switch (`SW`) topologies,
+    /// under both transport modes: the two transports agree bit-identically
+    /// (finish and message count), and both track the analytical closed
+    /// form — the staggered All-to-All schedule drains every switch
+    /// down-link from one sender at a time, so the direct-exchange model
+    /// holds even at packet granularity.
+    #[test]
+    fn switch_alltoall_allgather_both_transports(
+        notation in prop::sample::select(vec![
+            "SW(4)@100",
+            "SW(8)@150",
+            "SW(16)@150",
+            "SW(8)@200_SW(8)@100",
+        ]),
+        mib in 2u64..32,
+        coll in prop::sample::select(vec![Collective::AllToAll, Collective::AllGather]),
+    ) {
+        let topo = Topology::parse(notation).unwrap();
+        let size = DataSize::from_mib(mib);
+        let per_packet = collective_time_for(
+            &topo, coll, size,
+            &PacketSimConfig::fast().with_transport(TransportMode::PerPacket));
+        let batched = collective_time_for(
+            &topo, coll, size,
+            &PacketSimConfig::fast().with_transport(TransportMode::Batched));
+        prop_assert_eq!(per_packet.finish, batched.finish, "{} on {}", coll, notation);
+        prop_assert_eq!(per_packet.messages, batched.messages);
+        prop_assert!(batched.events <= per_packet.events);
+
+        let analytical = CollectiveEngine::new(1, SchedulerPolicy::Baseline)
+            .run(coll, size, topo.dims())
+            .finish
+            .as_us_f64();
+        let got = per_packet.finish.as_us_f64();
+        let err = (got - analytical).abs() / analytical;
+        let allowed = tolerance(&topo, coll);
+        prop_assert!(
+            err < allowed,
+            "{} on {}: packet {} vs analytical {} (err {:.3})",
+            coll, notation, got, analytical, err
+        );
     }
 
     /// Collective event counts scale (at least) linearly with payload.

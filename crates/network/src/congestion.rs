@@ -8,6 +8,11 @@
 //! computes flow completion times under **max-min fair sharing** over the
 //! explicit link graph: a fluid progressive-filling model that captures
 //! link oversubscription without per-packet simulation.
+//!
+//! [`max_min_completion`] is now a thin wrapper over the event-driven
+//! [`crate::FlowNetwork`] backend (flows injected at time zero, run to
+//! idle); the progressive-filling rate computation lives here and is
+//! shared by both entry points.
 
 use astra_des::{DataSize, Time};
 use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
@@ -49,54 +54,21 @@ pub struct Flow {
 /// assert_eq!(done[0], done[1]);
 /// ```
 pub fn max_min_completion(topo: &Topology, flows: &[Flow]) -> Vec<Time> {
-    let graph = LinkGraph::new(topo);
-    let routes: Vec<Vec<LinkId>> = flows.iter().map(|f| graph.route(f.src, f.dst)).collect();
-    let mut remaining: Vec<f64> = flows.iter().map(|f| f.size.as_bytes() as f64).collect();
-    let mut done: Vec<Option<Time>> = flows
+    let mut net = crate::FlowNetwork::new(topo);
+    let ids: Vec<_> = flows
         .iter()
-        .zip(&routes)
-        .map(|(f, r)| (f.size == DataSize::ZERO || r.is_empty()).then_some(Time::ZERO))
+        .map(|f| net.inject_at(Time::ZERO, f.src, f.dst, f.size))
         .collect();
-    // Base propagation latency per flow (paid once, added at the end).
-    let latency: Vec<Time> = routes
-        .iter()
-        .map(|r| r.iter().map(|&l| graph.link(l).latency).sum())
-        .collect();
-
-    let mut now_ps: f64 = 0.0;
-    loop {
-        let active: Vec<usize> = (0..flows.len()).filter(|&i| done[i].is_none()).collect();
-        if active.is_empty() {
-            break;
-        }
-        let rates = max_min_rates(&graph, &routes, &active);
-        // Advance to the earliest completion under current rates.
-        let mut dt = f64::INFINITY;
-        for &i in &active {
-            if rates[i] > 0.0 {
-                dt = dt.min(remaining[i] / rates[i]);
-            }
-        }
-        assert!(dt.is_finite(), "live-locked flow set");
-        let dt_ps = dt * 1e12;
-        now_ps += dt_ps;
-        for &i in &active {
-            remaining[i] -= rates[i] * dt;
-            if remaining[i] <= 1e-6 {
-                done[i] = Some(Time::from_ps(now_ps.round() as u64) + latency[i]);
-            }
-        }
-    }
-    done.into_iter()
-        .map(|d| d.expect("all flows complete"))
+    net.run_until_idle();
+    ids.into_iter()
+        .map(|id| net.completion(id).expect("all flows complete"))
         .collect()
 }
 
 /// Progressive filling: repeatedly find the most-contended link, freeze
 /// its flows at the fair share, and continue with the residual capacities.
-fn max_min_rates(graph: &LinkGraph, routes: &[Vec<LinkId>], active: &[usize]) -> Vec<f64> {
+pub(crate) fn max_min_rates(graph: &LinkGraph, routes: &[&[LinkId]], active: &[usize]) -> Vec<f64> {
     let mut rates = vec![0.0f64; routes.len()];
-    let mut frozen: Vec<bool> = routes.iter().map(|_| false).collect();
     let mut residual: Vec<f64> = (0..graph.num_links())
         .map(|l| graph.link(LinkId(l)).bandwidth.as_bytes_per_sec() as f64)
         .collect();
@@ -129,8 +101,7 @@ fn max_min_rates(graph: &LinkGraph, routes: &[Vec<LinkId>], active: &[usize]) ->
             .partition(|&i| routes[i].contains(&link));
         for &i in &frozen_now {
             rates[i] = share;
-            frozen[i] = true;
-            for &l in &routes[i] {
+            for &l in routes[i] {
                 residual[l.0] -= share;
                 if residual[l.0] < 0.0 {
                     residual[l.0] = 0.0;

@@ -1,0 +1,343 @@
+//! Event-driven fluid-flow network backend.
+//!
+//! The third network backend (next to the analytical closed form and the
+//! packet-level simulator): flows are fluid streams whose instantaneous
+//! rates follow **max-min fair sharing** over the explicit link graph.
+//! Every flow arrival and departure is an event that re-shares the link
+//! bandwidth among the remaining flows — the standard scale escape hatch
+//! for congested traffic, costing `O(re-shares)` instead of
+//! `O(packets × hops)` events.
+//!
+//! Caveats (documented limits of the fluid model): per-hop serialization
+//! and store-and-forward pipelining are not modeled (propagation latency
+//! is paid once, at completion), there is no per-hop queueing, and rates
+//! adjust instantaneously at every re-share. For uncongested traffic it
+//! matches the analytical equation; under contention it captures link
+//! sharing the analytical backend ignores.
+
+use std::collections::HashMap;
+
+use astra_des::{DataSize, Time};
+use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
+
+use crate::congestion::max_min_rates;
+use crate::NetworkBackend;
+
+/// Identifier of an injected (possibly completed) flow.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(usize);
+
+#[derive(Clone, Debug)]
+struct FlowState {
+    /// Index into the memoized route table.
+    route: usize,
+    /// Bytes left to drain (fluid).
+    remaining: f64,
+    /// Total propagation latency of the route, paid once at completion.
+    latency: Time,
+    finish: Option<Time>,
+}
+
+/// A max-min fair fluid-flow network simulation.
+///
+/// Flows are injected at arbitrary times ([`FlowNetwork::inject_at`]);
+/// between consecutive arrival/departure events every active flow drains
+/// at its max-min fair rate (progressive filling, recomputed at each
+/// event). [`crate::congestion::max_min_completion`] is this simulation
+/// specialized to a batch of flows all starting at time zero.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{DataSize, Time};
+/// use astra_network::FlowNetwork;
+/// use astra_topology::Topology;
+///
+/// let topo = Topology::parse("SW(4)@100").unwrap();
+/// let mut net = FlowNetwork::new(&topo);
+/// // Two incast flows share the destination down-link and finish together.
+/// let a = net.inject_at(Time::ZERO, 0, 2, DataSize::from_mib(64));
+/// let b = net.inject_at(Time::ZERO, 1, 2, DataSize::from_mib(64));
+/// net.run_until_idle();
+/// assert_eq!(net.completion(a), net.completion(b));
+/// ```
+#[derive(Debug)]
+pub struct FlowNetwork {
+    graph: LinkGraph,
+    routes: Vec<Vec<LinkId>>,
+    route_ids: HashMap<(NpuId, NpuId), usize>,
+    flows: Vec<FlowState>,
+    active: Vec<usize>,
+    now_ps: f64,
+    reshares: u64,
+}
+
+impl FlowNetwork {
+    /// Builds the fluid simulator for `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        FlowNetwork {
+            graph: LinkGraph::new(topo),
+            routes: Vec::new(),
+            route_ids: HashMap::new(),
+            flows: Vec::new(),
+            active: Vec::new(),
+            now_ps: 0.0,
+            reshares: 0,
+        }
+    }
+
+    /// The expanded link graph being simulated.
+    pub fn graph(&self) -> &LinkGraph {
+        &self.graph
+    }
+
+    /// Current simulation time (rounded to the picosecond grid).
+    pub fn now(&self) -> Time {
+        Time::from_ps(self.now_ps.round() as u64)
+    }
+
+    /// Flows currently in flight.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Rate re-share events processed so far — the fluid backend's cost
+    /// metric, analogous to the packet backend's event count.
+    pub fn reshare_events(&self) -> u64 {
+        self.reshares
+    }
+
+    fn route_index(&mut self, src: NpuId, dst: NpuId) -> usize {
+        if let Some(&idx) = self.route_ids.get(&(src, dst)) {
+            return idx;
+        }
+        let idx = self.routes.len();
+        self.routes.push(self.graph.route(src, dst));
+        self.route_ids.insert((src, dst), idx);
+        idx
+    }
+
+    /// Injects a flow at time `at` (clamped to the current time if the
+    /// simulation has already advanced past it). The fluid state first
+    /// advances to the arrival instant — departures scheduled before `at`
+    /// happen first, re-sharing bandwidth on the way.
+    pub fn inject_at(&mut self, at: Time, src: NpuId, dst: NpuId, size: DataSize) -> FlowId {
+        self.advance_to(at.as_ps() as f64);
+        let id = FlowId(self.flows.len());
+        let route = self.route_index(src, dst);
+        if self.routes[route].is_empty() || size == DataSize::ZERO {
+            // Self and empty flows complete instantly.
+            self.flows.push(FlowState {
+                route,
+                remaining: 0.0,
+                latency: Time::ZERO,
+                finish: Some(self.now().max(at)),
+            });
+            return id;
+        }
+        let latency = self.routes[route]
+            .iter()
+            .map(|&l| self.graph.link(l).latency)
+            .sum();
+        self.flows.push(FlowState {
+            route,
+            remaining: size.as_bytes() as f64,
+            latency,
+            finish: None,
+        });
+        self.active.push(id.0);
+        id
+    }
+
+    /// Runs until every flow has drained, returning the final time.
+    pub fn run_until_idle(&mut self) -> Time {
+        while !self.active.is_empty() {
+            self.step(None);
+        }
+        self.now()
+    }
+
+    /// Runs only until `id` completes, returning its finish time. Other
+    /// in-flight flows keep draining concurrently (and keep whatever
+    /// remains of their payload afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never injected.
+    pub fn run_until_complete(&mut self, id: FlowId) -> Time {
+        loop {
+            if let Some(finish) = self.completion(id) {
+                return finish;
+            }
+            self.step(None);
+        }
+    }
+
+    /// Completion time of a flow, if it has fully drained (includes the
+    /// route's propagation latency, paid once).
+    pub fn completion(&self, id: FlowId) -> Option<Time> {
+        self.flows.get(id.0).and_then(|f| f.finish)
+    }
+
+    /// Advances the fluid state to `target_ps`, processing any departures
+    /// scheduled before it.
+    fn advance_to(&mut self, target_ps: f64) {
+        while self.now_ps < target_ps {
+            self.step(Some(target_ps));
+        }
+    }
+
+    /// One re-share step: drains all active flows at their current max-min
+    /// rates until the next departure (or `horizon_ps`, if earlier).
+    fn step(&mut self, horizon_ps: Option<f64>) {
+        if self.active.is_empty() {
+            if let Some(h) = horizon_ps {
+                self.now_ps = self.now_ps.max(h);
+            }
+            return;
+        }
+        self.reshares += 1;
+        // Work positionally over the active set so a step costs O(active),
+        // not O(flows ever injected): `routes[k]`/`rates[k]` belong to
+        // `self.active[k]`.
+        let routes: Vec<&[LinkId]> = self
+            .active
+            .iter()
+            .map(|&i| self.routes[self.flows[i].route].as_slice())
+            .collect();
+        let positions: Vec<usize> = (0..routes.len()).collect();
+        let rates = max_min_rates(&self.graph, &routes, &positions);
+        // Advance to the earliest completion under current rates.
+        let mut dt = f64::INFINITY;
+        for (k, &i) in self.active.iter().enumerate() {
+            if rates[k] > 0.0 {
+                dt = dt.min(self.flows[i].remaining / rates[k]);
+            }
+        }
+        if let Some(h) = horizon_ps {
+            dt = dt.min((h - self.now_ps) / 1e12);
+        }
+        assert!(dt.is_finite(), "live-locked flow set");
+        self.now_ps += dt * 1e12;
+        let now = self.now();
+        for k in (0..self.active.len()).rev() {
+            let flow = &mut self.flows[self.active[k]];
+            flow.remaining -= rates[k] * dt;
+            if flow.remaining <= 1e-6 {
+                flow.finish = Some(now + flow.latency);
+                self.active.swap_remove(k);
+            }
+        }
+    }
+}
+
+impl NetworkBackend for FlowNetwork {
+    /// Injects a flow on the live network and simulates only until it
+    /// drains, returning the observed delay. Concurrent flows share link
+    /// bandwidth max-min fairly with the probe for its whole lifetime.
+    fn p2p_delay(&mut self, src: NpuId, dst: NpuId, size: DataSize) -> Time {
+        let start = self.now();
+        let id = self.inject_at(start, src, dst, size);
+        self.run_until_complete(id) - start
+    }
+
+    fn name(&self) -> &'static str {
+        "flow-level"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyticalNetwork, NetworkBackend};
+
+    fn topo(notation: &str) -> Topology {
+        Topology::parse(notation).unwrap()
+    }
+
+    #[test]
+    fn uncongested_flow_matches_analytical_equation() {
+        let t = topo("SW(4)@100");
+        let mut flow = FlowNetwork::new(&t);
+        let mut analytical = AnalyticalNetwork::new(t);
+        // 100 MB (decimal) at 100 GB/s divides exactly on the ps grid.
+        let size = DataSize::from_bytes(100_000_000);
+        assert_eq!(flow.p2p_delay(0, 1, size), analytical.p2p_delay(0, 1, size));
+    }
+
+    #[test]
+    fn late_arrival_shares_only_while_overlapping() {
+        // Long flow alone for 1 ms at 100 GB/s (drains 100 MB of 200 MB),
+        // then a 100 MB rival arrives: both drain at 50 GB/s for 2 ms.
+        let t = topo("SW(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let long = net.inject_at(Time::ZERO, 0, 3, DataSize::from_bytes(200_000_000));
+        let late = net.inject_at(Time::from_ms(1), 1, 3, DataSize::from_bytes(100_000_000));
+        net.run_until_idle();
+        let lat = Time::from_ns(1000); // 2 switch hops x 500 ns
+        assert_eq!(net.completion(long), Some(Time::from_ms(3) + lat));
+        assert_eq!(net.completion(late), Some(Time::from_ms(3) + lat));
+    }
+
+    #[test]
+    fn departure_speeds_up_survivors() {
+        let t = topo("SW(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let short = net.inject_at(Time::ZERO, 0, 3, DataSize::from_bytes(50_000_000));
+        let long = net.inject_at(Time::ZERO, 1, 3, DataSize::from_bytes(150_000_000));
+        net.run_until_idle();
+        let lat = Time::from_ns(1000);
+        // Shared 100 GB/s down-link: both at 50 GB/s until the short one
+        // drains (1 ms), then the long one's last 100 MB at full rate.
+        assert_eq!(net.completion(short), Some(Time::from_ms(1) + lat));
+        assert_eq!(net.completion(long), Some(Time::from_ms(2) + lat));
+        assert_eq!(net.reshare_events(), 2);
+    }
+
+    #[test]
+    fn probe_on_live_network_pays_for_sharing() {
+        let t = topo("SW(4)@100");
+        let quiet = {
+            let mut net = FlowNetwork::new(&t);
+            net.p2p_delay(0, 3, DataSize::from_bytes(50_000_000))
+        };
+        let mut net = FlowNetwork::new(&t);
+        let backlog = net.inject_at(Time::ZERO, 1, 3, DataSize::from_gib(1));
+        let congested = net.p2p_delay(0, 3, DataSize::from_bytes(50_000_000));
+        // The shared down-link halves the probe's rate.
+        let ratio = congested.as_us_f64() / quiet.as_us_f64();
+        assert!((1.9..2.1).contains(&ratio), "{ratio}");
+        // The backlog is still in flight afterwards (no draining side
+        // effect), and finishes later under the full link rate.
+        assert_eq!(net.completion(backlog), None);
+        net.run_until_idle();
+        assert!(net.completion(backlog).is_some());
+    }
+
+    #[test]
+    fn self_and_zero_flows_complete_at_injection_time() {
+        let t = topo("R(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let s = net.inject_at(Time::from_us(5), 2, 2, DataSize::from_mib(1));
+        let z = net.inject_at(Time::from_us(7), 0, 1, DataSize::ZERO);
+        assert_eq!(net.completion(s), Some(Time::from_us(5)));
+        assert_eq!(net.completion(z), Some(Time::from_us(7)));
+    }
+
+    #[test]
+    fn routes_are_memoized() {
+        let t = topo("R(8)@100");
+        let mut net = FlowNetwork::new(&t);
+        for _ in 0..4 {
+            net.inject_at(net.now(), 0, 2, DataSize::from_kib(64));
+        }
+        net.run_until_idle();
+        assert_eq!(net.route_ids.len(), 1);
+    }
+
+    #[test]
+    fn backend_reports_name() {
+        let net = FlowNetwork::new(&topo("R(2)@100"));
+        assert_eq!(net.name(), "flow-level");
+    }
+}

@@ -33,10 +33,16 @@
 //! ```
 
 pub mod congestion;
+mod flow;
+
+use std::fmt;
+use std::str::FromStr;
 
 use astra_des::{DataSize, Time};
 use astra_topology::{NpuId, Topology};
 use serde::{Deserialize, Serialize};
+
+pub use flow::{FlowId, FlowNetwork};
 
 /// The network-layer abstraction consumed by the system layer — the Rust
 /// analogue of ASTRA-sim's `NetworkAPI` (paper Snippet 2).
@@ -55,6 +61,77 @@ pub trait NetworkBackend {
 
     /// Human-readable backend name (for reports and experiment tables).
     fn name(&self) -> &'static str;
+}
+
+/// Which [`NetworkBackend`] implementation a simulation should use.
+///
+/// The kinds map to concrete backends as follows:
+///
+/// * `Analytical` — [`AnalyticalNetwork`] closed form (§IV-C), the default.
+/// * `Packet` — per-packet store-and-forward simulation
+///   (`astra_garnet::PacketNetwork`).
+/// * `Batched` — the same packet simulator with train-batched transport
+///   (`O(hops)` events per message, bit-identical on contiguous trains).
+/// * `Flow` — [`FlowNetwork`] max-min fluid flows (congestion-aware, no
+///   per-hop queueing).
+///
+/// The enum lives here (not in the packet crate) so the system layer can
+/// carry the selection without depending on any specific backend.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum NetworkBackendKind {
+    /// Closed-form analytical equation (congestion-free).
+    #[default]
+    Analytical,
+    /// Per-packet store-and-forward DES.
+    Packet,
+    /// Packet DES with train-batched transport.
+    Batched,
+    /// Max-min fluid flow model.
+    Flow,
+}
+
+impl NetworkBackendKind {
+    /// All four kinds, for tests and sweeps.
+    pub const ALL: [NetworkBackendKind; 4] = [
+        NetworkBackendKind::Analytical,
+        NetworkBackendKind::Packet,
+        NetworkBackendKind::Batched,
+        NetworkBackendKind::Flow,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkBackendKind::Analytical => "analytical",
+            NetworkBackendKind::Packet => "packet",
+            NetworkBackendKind::Batched => "batched",
+            NetworkBackendKind::Flow => "flow",
+        }
+    }
+}
+
+impl fmt::Display for NetworkBackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for NetworkBackendKind {
+    type Err = String;
+
+    /// Accepts `analytical`, `packet`, `batched`, and `flow`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "analytical" => Ok(NetworkBackendKind::Analytical),
+            "packet" => Ok(NetworkBackendKind::Packet),
+            "batched" => Ok(NetworkBackendKind::Batched),
+            "flow" => Ok(NetworkBackendKind::Flow),
+            other => Err(format!(
+                "unknown network backend `{other}` (expected `analytical`, \
+                 `packet`, `batched`, or `flow`)"
+            )),
+        }
+    }
 }
 
 /// Tunable constants of the analytical equation.

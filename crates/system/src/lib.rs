@@ -31,3 +31,7 @@ mod report;
 
 pub use engine::{simulate, SimError, SystemConfig};
 pub use report::{Breakdown, SimReport};
+
+// Re-exported so `SystemConfig.network_backend` can be set without a direct
+// `astra_network` dependency.
+pub use astra_network::NetworkBackendKind;

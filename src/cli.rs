@@ -7,8 +7,8 @@
 //! ```
 
 use astra_core::{
-    simulate, Parallelism, PoolArchitecture, QueueBackend, Roofline, SchedulerPolicy, SimReport,
-    SystemConfig, Topology,
+    simulate, NetworkBackendKind, Parallelism, PoolArchitecture, QueueBackend, Roofline,
+    SchedulerPolicy, SimReport, SystemConfig, Topology,
 };
 use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
 use std::error::Error;
@@ -27,6 +27,9 @@ pub struct CliOptions {
     pub mp: Option<usize>,
     /// FSDP instead of hybrid/data parallelism.
     pub fsdp: bool,
+    /// Pipeline parallelism with this many stages (and as many
+    /// micro-batches) instead of hybrid/data parallelism.
+    pub pipeline: Option<usize>,
     /// Use the Themis greedy collective scheduler.
     pub themis: bool,
     /// Collective pipeline chunks.
@@ -35,6 +38,9 @@ pub struct CliOptions {
     pub memory: Option<String>,
     /// Future-event-list backend: `heap` (default) or `calendar`.
     pub queue: Option<QueueBackend>,
+    /// Network backend for p2p traffic: `analytical` (default), `packet`,
+    /// `batched`, or `flow`.
+    pub network: Option<NetworkBackendKind>,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
 }
@@ -72,11 +78,17 @@ WORKLOAD (one of):
 OPTIONS:
     --mp <N>                model-parallel width (gpt3/t1t; default Table III)
     --fsdp                  fully-sharded data parallelism instead of hybrid
+    --pipeline <STAGES>     GPipe-style pipeline parallelism (STAGES stages,
+                            as many micro-batches); its stage-to-stage
+                            sends are what --network routes
     --themis                Themis greedy collective scheduler
     --chunks <N>            collective pipeline chunks (default 128)
     --memory <SYSTEM>       hiermem-base | hiermem-opt | zero-infinity (required for moe)
     --queue <BACKEND>       event-queue backend: heap (default) | calendar
                             (identical results, different simulation speed)
+    --network <BACKEND>     p2p network backend: analytical (default) |
+                            packet | batched | flow (packet and batched are
+                            bit-identical; batched scales to fine packets)
     --json                  machine-readable output
     --help                  this text
 ";
@@ -94,10 +106,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         all_reduce_mib: None,
         mp: None,
         fsdp: false,
+        pipeline: None,
         themis: false,
         chunks: None,
         memory: None,
         queue: None,
+        network: None,
         json: false,
     };
     let mut it = args.iter();
@@ -133,6 +147,14 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             }
             "--memory" => opts.memory = Some(value("--memory")?),
             "--queue" => opts.queue = Some(value("--queue")?.parse().map_err(err)?),
+            "--network" => opts.network = Some(value("--network")?.parse().map_err(err)?),
+            "--pipeline" => {
+                opts.pipeline = Some(
+                    value("--pipeline")?
+                        .parse()
+                        .map_err(|_| err("--pipeline expects a stage count"))?,
+                );
+            }
             "--fsdp" => opts.fsdp = true,
             "--themis" => opts.themis = true,
             "--json" => opts.json = true,
@@ -168,6 +190,7 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
             SchedulerPolicy::Baseline
         },
         queue_backend: opts.queue.unwrap_or_default(),
+        network_backend: opts.network.unwrap_or_default(),
         ..SystemConfig::default()
     };
     if let Some(chunks) = opts.chunks {
@@ -221,7 +244,15 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
             }
             other => return Err(err(format!("unknown workload `{other}`"))),
         };
-        let parallelism = if opts.fsdp {
+        let parallelism = if let Some(stages) = opts.pipeline {
+            if stages == 0 {
+                return Err(err("--pipeline must be positive"));
+            }
+            Parallelism::Pipeline {
+                stages,
+                microbatches: stages,
+            }
+        } else if opts.fsdp {
             Parallelism::FullyShardedData
         } else {
             default_parallelism
@@ -353,6 +384,56 @@ mod tests {
         ))
         .unwrap_err();
         assert!(e.to_string().contains("skiplist"));
+    }
+
+    #[test]
+    fn parses_network_backend() {
+        for (flag, kind) in [
+            ("analytical", NetworkBackendKind::Analytical),
+            ("packet", NetworkBackendKind::Packet),
+            ("batched", NetworkBackendKind::Batched),
+            ("flow", NetworkBackendKind::Flow),
+        ] {
+            let opts = parse_args(&args(&format!(
+                "--topology SW(8)@400 --all-reduce-mib 64 --network {flag}"
+            )))
+            .unwrap();
+            assert_eq!(opts.network, Some(kind));
+        }
+        let e = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --network garnet",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("garnet"));
+    }
+
+    #[test]
+    fn network_backends_run_pipeline_workload() {
+        // `--pipeline` generates stage-to-stage sends — the traffic the
+        // `--network` backend routes; packet and batched must agree
+        // bit-identically, and every backend must drive the p2p path.
+        let base = "--topology R(8)@100 --workload gpt3 --pipeline 4 --network";
+        let run_with =
+            |backend: &str| run(&parse_args(&args(&format!("{base} {backend}"))).unwrap()).unwrap();
+        let analytical = run_with("analytical");
+        let packet = run_with("packet");
+        let batched = run_with("batched");
+        let flow = run_with("flow");
+        for report in [&analytical, &packet, &batched, &flow] {
+            assert!(report.p2p_messages > 0);
+            assert!(report.total_time > astra_core::Time::ZERO);
+        }
+        assert_eq!(packet.total_time, batched.total_time);
+        assert_eq!(packet.p2p_messages, batched.p2p_messages);
+    }
+
+    #[test]
+    fn pipeline_flag_parses_and_validates() {
+        let opts = parse_args(&args("--topology R(8)@100 --workload gpt3 --pipeline 4")).unwrap();
+        assert_eq!(opts.pipeline, Some(4));
+        assert!(parse_args(&args("--topology R(8)@100 --workload gpt3 --pipeline x")).is_err());
+        let zero = parse_args(&args("--topology R(8)@100 --workload gpt3 --pipeline 0")).unwrap();
+        assert!(run(&zero).unwrap_err().to_string().contains("--pipeline"));
     }
 
     #[test]
