@@ -9,13 +9,15 @@
 //! trajectory record (regenerate with
 //! `cargo run --release -p astra-bench --bin throughput`).
 
-use astra_core::{simulate, DataSize, QueueBackend, SystemConfig, Topology};
+use astra_core::{
+    simulate, DataSize, NetworkBackendKind, P2pMode, QueueBackend, SystemConfig, Topology,
+};
 use astra_garnet::{collective_time, PacketSimConfig, TransportMode};
 use astra_workload::parallelism::{
     generate_disaggregated_moe, generate_disaggregated_moe_reference, generate_trace,
     generate_trace_reference, generate_trace_with_threads, OffloadPlan,
 };
-use astra_workload::{models, ExecutionTrace, Parallelism};
+use astra_workload::{models, EtOp, ExecutionTrace, NodeId, Parallelism, TraceBuilder};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -84,6 +86,92 @@ pub struct PacketScaleRow {
     pub speedup: f64,
 }
 
+/// One engine-NetworkAPI measurement: the same p2p-heavy workload driven
+/// through the async `send_async`/callback path (one co-resident backend on
+/// the engine's clock) and the frozen blocking reference (one fresh backend
+/// sub-simulation + `p2p_delay` probe per message). The runner asserts the
+/// simulated results match bit-identically on the non-overlapping
+/// deep-pipeline workload and that contention only lengthens the MoE
+/// all-to-all under the async path.
+#[derive(Clone, Debug, Serialize)]
+pub struct EngineP2pRow {
+    /// Workload label (`deep-pipeline` / `moe-alltoall`).
+    pub workload: String,
+    /// Topology notation.
+    pub topology: String,
+    /// NPUs in the topology.
+    pub npus: usize,
+    /// Network backend kind under test.
+    pub backend: String,
+    /// Peer-to-peer messages the engine delivered.
+    pub p2p_messages: u64,
+    /// Backend instances built by the blocking path (== messages).
+    pub blocking_setups: u64,
+    /// Backend instances built by the async path (== 1).
+    pub async_setups: u64,
+    /// Backend-internal events processed by the blocking path.
+    pub blocking_net_events: u64,
+    /// Backend-internal events processed by the async path.
+    pub async_net_events: u64,
+    /// Wall-clock of the blocking reference (ms, best of N).
+    pub blocking_ms: f64,
+    /// Wall-clock of the async path (ms, best of N).
+    pub async_ms: f64,
+    /// `blocking_ms / async_ms`.
+    pub speedup: f64,
+}
+
+/// Which comparison series a run should produce (the `astra sweep --series`
+/// flag maps onto this).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SeriesSelection {
+    /// Parallel trace generation vs the serial baseline.
+    pub trace_generation: bool,
+    /// Calendar event queue vs the binary heap.
+    pub event_queue: bool,
+    /// Train-batched packet transport vs per-packet.
+    pub packet_scale: bool,
+    /// Async engine NetworkAPI vs the blocking probe reference.
+    pub engine_p2p: bool,
+}
+
+impl SeriesSelection {
+    /// Every series.
+    pub const ALL: SeriesSelection = SeriesSelection {
+        trace_generation: true,
+        event_queue: true,
+        packet_scale: true,
+        engine_p2p: true,
+    };
+
+    /// No series (combine with [`SeriesSelection::enable`]).
+    pub const NONE: SeriesSelection = SeriesSelection {
+        trace_generation: false,
+        event_queue: false,
+        packet_scale: false,
+        engine_p2p: false,
+    };
+
+    /// Stable machine-readable series names, in report order.
+    pub const NAMES: [&'static str; 4] = ["trace-gen", "event-queue", "packet-scale", "engine-p2p"];
+
+    /// Enables the series named `name` (see [`SeriesSelection::NAMES`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name back as the error.
+    pub fn enable(mut self, name: &str) -> Result<Self, String> {
+        match name {
+            "trace-gen" => self.trace_generation = true,
+            "event-queue" => self.event_queue = true,
+            "packet-scale" => self.packet_scale = true,
+            "engine-p2p" => self.engine_p2p = true,
+            other => return Err(other.to_owned()),
+        }
+        Ok(self)
+    }
+}
+
 /// The full comparison, serialized as `BENCH_throughput.json`.
 #[derive(Clone, Debug, Serialize)]
 pub struct Report {
@@ -98,6 +186,8 @@ pub struct Report {
     pub event_queue: Vec<QueueRow>,
     /// Packet-transport scale rows (batched vs per-packet).
     pub packet_scale: Vec<PacketScaleRow>,
+    /// Engine-NetworkAPI rows (async vs blocking p2p path).
+    pub engine_p2p: Vec<EngineP2pRow>,
 }
 
 impl Report {
@@ -357,15 +447,256 @@ pub fn run_packet_scale(quick: bool) -> Vec<PacketScaleRow> {
     rows
 }
 
+/// A deep GPipe-style pipeline: every NPU is one stage, each microbatch's
+/// activation hops stage-to-stage with a compute between — thousands of
+/// identical-size p2p messages whose routes never share a link, so the
+/// async and blocking engine paths must agree bit-identically while paying
+/// very different backend-setup bills.
+fn deep_pipeline_trace(npus: usize, microbatches: usize, activation: DataSize) -> ExecutionTrace {
+    let mut b = TraceBuilder::new(npus);
+    let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
+    for npu in 0..npus {
+        let mut prev: Option<NodeId> = None;
+        for m in 0..microbatches {
+            if npu > 0 {
+                prev = Some(b.node(
+                    npu,
+                    format!("mb{m}.recv"),
+                    EtOp::PeerRecv {
+                        peer: npu - 1,
+                        size: activation,
+                        tag: m as u64,
+                    },
+                    &dep(prev),
+                ));
+            }
+            let fwd = b.node(
+                npu,
+                format!("mb{m}.fwd"),
+                EtOp::Compute {
+                    flops: 1e9,
+                    tensor: DataSize::ZERO,
+                },
+                &dep(prev),
+            );
+            prev = Some(fwd);
+            if npu + 1 < npus {
+                prev = Some(b.node(
+                    npu,
+                    format!("mb{m}.send"),
+                    EtOp::PeerSend {
+                        peer: npu + 1,
+                        size: activation,
+                        tag: m as u64,
+                    },
+                    &[fwd],
+                ));
+            }
+        }
+    }
+    b.build().expect("generated pipeline trace is valid")
+}
+
+/// A MoE-style expert all-to-all over p2p messages: within each
+/// `group`-sized expert block every NPU sends a shard to every other
+/// member in fixed member order, so each round is a many-to-one incast —
+/// heavily overlapping traffic that only the async (co-resident) path can
+/// see contend.
+fn moe_alltoall_trace(npus: usize, group: usize, shard: DataSize) -> ExecutionTrace {
+    assert_eq!(npus % group, 0, "expert blocks must tile the platform");
+    let mut b = TraceBuilder::new(npus);
+    for npu in 0..npus {
+        let base = npu - npu % group;
+        let mut prev: Option<NodeId> = None;
+        for k in 0..group {
+            let peer = base + k;
+            if peer == npu {
+                continue;
+            }
+            b.node(
+                npu,
+                format!("recv.{peer}"),
+                EtOp::PeerRecv {
+                    peer,
+                    size: shard,
+                    tag: 0,
+                },
+                &[],
+            );
+            let deps = prev.map(|n| vec![n]).unwrap_or_default();
+            prev = Some(b.node(
+                npu,
+                format!("send.{peer}"),
+                EtOp::PeerSend {
+                    peer,
+                    size: shard,
+                    tag: 0,
+                },
+                &deps,
+            ));
+        }
+    }
+    b.build().expect("generated all-to-all trace is valid")
+}
+
+fn engine_p2p_row(
+    workload: &str,
+    notation: &str,
+    trace: &ExecutionTrace,
+    backend: NetworkBackendKind,
+    reps: usize,
+) -> EngineP2pRow {
+    let topo = Topology::parse(notation).expect("valid notation");
+    let config = |mode| SystemConfig {
+        network_backend: backend,
+        p2p_mode: mode,
+        ..SystemConfig::default()
+    };
+    let (blocking_ms, blocking) = best_ms(reps, || {
+        simulate(trace, &topo, &config(P2pMode::Blocking)).unwrap()
+    });
+    let (async_ms, asynchronous) = best_ms(reps, || {
+        simulate(trace, &topo, &config(P2pMode::Async)).unwrap()
+    });
+    assert_eq!(blocking.p2p_messages, asynchronous.p2p_messages);
+    assert_eq!(
+        blocking.network.backend_setups, blocking.p2p_messages,
+        "blocking reference pays one setup per message"
+    );
+    assert_eq!(
+        asynchronous.network.backend_setups, 1,
+        "async path builds one co-resident backend"
+    );
+    if workload == "deep-pipeline" {
+        // Pipeline routes never share a link, so co-residency changes
+        // nothing about the simulated timeline — only the cost of
+        // computing it.
+        assert_eq!(
+            blocking.total_time, asynchronous.total_time,
+            "paths diverged on non-overlapping traffic ({notation})"
+        );
+    } else {
+        // Incast rounds contend inside the co-resident backend; the
+        // blocking probes cannot see each other.
+        assert!(
+            asynchronous.total_time >= blocking.total_time,
+            "contention must not shorten the all-to-all ({notation})"
+        );
+    }
+    EngineP2pRow {
+        workload: workload.to_owned(),
+        topology: notation.to_owned(),
+        npus: topo.npus(),
+        backend: backend.name().to_owned(),
+        p2p_messages: blocking.p2p_messages,
+        blocking_setups: blocking.network.backend_setups,
+        async_setups: asynchronous.network.backend_setups,
+        blocking_net_events: blocking.network.events,
+        async_net_events: asynchronous.network.events,
+        blocking_ms,
+        async_ms,
+        speedup: blocking_ms / async_ms.max(1e-9),
+    }
+}
+
+/// Async-vs-blocking engine NetworkAPI comparison on p2p-heavy workloads
+/// (ROADMAP "async `sim_send`/callback NetworkAPI"): deep pipelines whose
+/// stage-to-stage sends dominate, and MoE expert all-to-alls whose incast
+/// rounds only contend when messages are co-resident. Quick mode runs the
+/// 128-NPU cases the CI gate checks; full mode extends to 256–1024 NPUs.
+pub fn run_engine_p2p(quick: bool) -> Vec<EngineP2pRow> {
+    let reps = if quick { 1 } else { 3 };
+    let act = DataSize::from_mib(1);
+    let shard = DataSize::from_kib(512);
+    let mb = if quick { 4 } else { 8 };
+    let mut rows = vec![
+        engine_p2p_row(
+            "deep-pipeline",
+            "R(16)@100_R(8)@100",
+            &deep_pipeline_trace(128, mb, act),
+            NetworkBackendKind::Packet,
+            reps,
+        ),
+        engine_p2p_row(
+            "moe-alltoall",
+            "SW(16)@100_SW(8)@100",
+            &moe_alltoall_trace(128, 16, shard),
+            NetworkBackendKind::Batched,
+            reps,
+        ),
+    ];
+    if !quick {
+        rows.push(engine_p2p_row(
+            "deep-pipeline",
+            "R(16)@100_R(16)@100",
+            &deep_pipeline_trace(256, mb, act),
+            NetworkBackendKind::Packet,
+            reps,
+        ));
+        rows.push(engine_p2p_row(
+            "deep-pipeline",
+            "R(8)@100_R(8)@100_R(8)@50",
+            &deep_pipeline_trace(512, mb, act),
+            NetworkBackendKind::Packet,
+            reps,
+        ));
+        rows.push(engine_p2p_row(
+            "deep-pipeline",
+            "R(16)@100_R(8)@100_R(8)@50",
+            &deep_pipeline_trace(1024, 4, act),
+            NetworkBackendKind::Batched,
+            reps,
+        ));
+        rows.push(engine_p2p_row(
+            "moe-alltoall",
+            "SW(16)@100_SW(16)@100",
+            &moe_alltoall_trace(256, 16, shard),
+            NetworkBackendKind::Batched,
+            reps,
+        ));
+        rows.push(engine_p2p_row(
+            "moe-alltoall",
+            "SW(16)@100_SW(8)@100",
+            &moe_alltoall_trace(128, 16, shard),
+            NetworkBackendKind::Flow,
+            reps,
+        ));
+    }
+    rows
+}
+
 /// Runs the full comparison. `quick` shrinks payloads and scales for CI
 /// smoke jobs; the committed `BENCH_throughput.json` uses the full mode.
 pub fn run(quick: bool) -> Report {
+    run_selected(quick, SeriesSelection::ALL)
+}
+
+/// Runs only the selected series (unselected ones come back empty) — the
+/// backing for `astra sweep --series`.
+pub fn run_selected(quick: bool, series: SeriesSelection) -> Report {
     Report {
         generated_by: "astra-bench throughput".to_owned(),
         threads_available: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        trace_generation: run_trace_generation(quick),
-        event_queue: run_event_queue(quick),
-        packet_scale: run_packet_scale(quick),
+        trace_generation: if series.trace_generation {
+            run_trace_generation(quick)
+        } else {
+            Vec::new()
+        },
+        event_queue: if series.event_queue {
+            run_event_queue(quick)
+        } else {
+            Vec::new()
+        },
+        packet_scale: if series.packet_scale {
+            run_packet_scale(quick)
+        } else {
+            Vec::new()
+        },
+        engine_p2p: if series.engine_p2p {
+            run_engine_p2p(quick)
+        } else {
+            Vec::new()
+        },
     }
 }
 
@@ -401,6 +732,37 @@ pub fn print(report: &Report) {
             r.speedup
         );
     }
+    if !report.engine_p2p.is_empty() {
+        println!("\n== engine NetworkAPI: async co-resident vs blocking per-message probes ==");
+        println!(
+            "{:<14} {:>5} {:>9} {:>9} {:>9} {:>12} {:>11} {:>10} {:>9} {:>9}",
+            "Workload",
+            "NPUs",
+            "Backend",
+            "Msgs",
+            "Setups",
+            "BlkEvents",
+            "AsyncEvts",
+            "Block(ms)",
+            "Async(ms)",
+            "Speedup"
+        );
+        for r in &report.engine_p2p {
+            println!(
+                "{:<14} {:>5} {:>9} {:>9} {:>9} {:>12} {:>11} {:>10.2} {:>9.2} {:>8.2}x",
+                r.workload,
+                r.npus,
+                r.backend,
+                r.p2p_messages,
+                format!("{}:{}", r.blocking_setups, r.async_setups),
+                r.blocking_net_events,
+                r.async_net_events,
+                r.blocking_ms,
+                r.async_ms,
+                r.speedup
+            );
+        }
+    }
     println!("\n== packet transport: batched trains vs per-packet (256 B All-Reduce) ==");
     println!(
         "{:<26} {:>5} {:>12} {:>11} {:>7} {:>10} {:>9} {:>9}",
@@ -431,6 +793,7 @@ mod tests {
         assert!(!report.trace_generation.is_empty());
         assert!(!report.event_queue.is_empty());
         assert!(!report.packet_scale.is_empty());
+        assert!(!report.engine_p2p.is_empty());
         let json = report.to_json().unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert!(
@@ -439,6 +802,42 @@ mod tests {
         );
         assert!(v["event_queue"][0]["heap_ms"].as_f64().unwrap() >= 0.0);
         assert!(v["packet_scale"][0]["per_packet_events"].as_f64().unwrap() > 0.0);
+        assert!(v["engine_p2p"][0]["blocking_setups"].as_f64().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn series_selection_filters_and_rejects_unknown_names() {
+        let sel = SeriesSelection::NONE.enable("engine-p2p").unwrap();
+        let report = run_selected(true, sel);
+        assert!(report.trace_generation.is_empty());
+        assert!(report.event_queue.is_empty());
+        assert!(report.packet_scale.is_empty());
+        assert!(!report.engine_p2p.is_empty());
+        assert_eq!(
+            SeriesSelection::NONE.enable("ladder-queue"),
+            Err("ladder-queue".to_owned())
+        );
+        for name in SeriesSelection::NAMES {
+            assert!(SeriesSelection::NONE.enable(name).is_ok());
+        }
+    }
+
+    #[test]
+    fn engine_p2p_gate_holds_on_128_npus() {
+        // The CI bench-smoke gate, in deterministic terms: the blocking
+        // reference rebuilds the backend per message while the async path
+        // builds it once, pops no more backend events, and reproduces the
+        // blocking timeline bit-identically on the non-overlapping
+        // deep-pipeline workload (asserted inside `engine_p2p_row`).
+        let rows = run_engine_p2p(true);
+        let row = rows
+            .iter()
+            .find(|r| r.npus == 128 && r.workload == "deep-pipeline")
+            .expect("128-NPU deep-pipeline row");
+        assert_eq!(row.async_setups, 1);
+        assert_eq!(row.blocking_setups, row.p2p_messages);
+        assert!(row.p2p_messages > 100);
+        assert!(row.async_net_events <= row.blocking_net_events);
     }
 
     #[test]

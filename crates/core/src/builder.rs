@@ -169,11 +169,20 @@ impl SimulationBuilder {
         self
     }
 
-    /// Selects the network backend answering point-to-point delay queries
+    /// Selects the network backend carrying point-to-point messages
     /// (`analytical` closed form by default; `packet` / `batched` for the
     /// store-and-forward DES, `flow` for max-min fluid sharing).
     pub fn network_backend(mut self, backend: astra_network::NetworkBackendKind) -> Self {
         self.config.network_backend = backend;
+        self
+    }
+
+    /// Selects how the engine drives the network backend: the async
+    /// `send_async`/callback NetworkAPI (default, models cross-message
+    /// contention on one shared clock) or the frozen blocking reference
+    /// (one fresh `p2p_delay` sub-simulation per message).
+    pub fn p2p_mode(mut self, mode: astra_network::P2pMode) -> Self {
+        self.config.p2p_mode = mode;
         self
     }
 

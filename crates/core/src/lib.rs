@@ -40,7 +40,8 @@ pub use astra_memory::{
     PoolArchitecture, RemoteMemory, RingPool, TransferMode, ZeroInfinity,
 };
 pub use astra_network::{
-    AnalyticalConfig, AnalyticalNetwork, FlowId, FlowNetwork, NetworkBackend, NetworkBackendKind,
+    AnalyticalConfig, AnalyticalNetwork, AsyncMessageId, Completion, FlowId, FlowNetwork,
+    NetworkBackend, NetworkBackendKind, NetworkStats, P2pMode,
 };
 pub use astra_system::{simulate, Breakdown, SimError, SimReport, SystemConfig};
 pub use astra_topology::{

@@ -212,6 +212,19 @@ impl<E> EventQueue<E> {
         Some((entry.time, entry.event))
     }
 
+    /// Removes and returns the earliest event only if its timestamp is at
+    /// or before `limit`; otherwise leaves the queue (and the clock)
+    /// untouched and returns `None`. This is the co-simulation primitive:
+    /// a backend drains its events up to an external clock frontier
+    /// without ever running ahead of it.
+    pub fn pop_up_to(&mut self, limit: Time) -> Option<(Time, E)> {
+        if self.peek_time().is_some_and(|t| t <= limit) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
         match &self.backend {
@@ -516,6 +529,23 @@ mod tests {
         q.schedule_at(Time::from_us(5), ());
         q.pop();
         q.schedule_at(Time::from_us(4), ());
+    }
+
+    #[test]
+    fn pop_up_to_respects_the_frontier() {
+        for mut q in both() {
+            q.schedule_at(Time::from_us(1), 1u32);
+            q.schedule_at(Time::from_us(5), 5u32);
+            // Nothing at or before 0: no pop, clock untouched.
+            assert_eq!(q.pop_up_to(Time::ZERO), None);
+            assert_eq!(q.now(), Time::ZERO);
+            // The frontier is inclusive.
+            assert_eq!(q.pop_up_to(Time::from_us(1)), Some((Time::from_us(1), 1)));
+            assert_eq!(q.now(), Time::from_us(1));
+            assert_eq!(q.pop_up_to(Time::from_us(4)), None);
+            assert_eq!(q.pop_up_to(Time::from_us(500)), Some((Time::from_us(5), 5)));
+            assert_eq!(q.pop_up_to(Time::from_us(500)), None);
+        }
     }
 
     #[test]

@@ -15,13 +15,14 @@
 //! matches the analytical equation; under contention it captures link
 //! sharing the analytical backend ignores.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use astra_des::{DataSize, Time};
 use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
 
 use crate::congestion::max_min_rates;
-use crate::NetworkBackend;
+use crate::{AsyncMessageId, Completion, NetworkBackend, NetworkStats};
 
 /// Identifier of an injected (possibly completed) flow.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +37,9 @@ struct FlowState {
     /// Total propagation latency of the route, paid once at completion.
     latency: Time,
     finish: Option<Time>,
+    /// Whether the flow was injected through the async NetworkAPI and its
+    /// completion must be reported via `drain_completions`.
+    tracked: bool,
 }
 
 /// A max-min fair fluid-flow network simulation.
@@ -70,6 +74,12 @@ pub struct FlowNetwork {
     active: Vec<usize>,
     now_ps: f64,
     reshares: u64,
+    completed: Vec<Completion>,
+    /// Memoized [`FlowNetwork::next_departure`] projection (outer `None`
+    /// = stale). The async engine polls the projection once per event-loop
+    /// turn; rates only change on arrivals and re-share steps, so caching
+    /// turns those polls from `O(active × links)` into `O(1)`.
+    next_dep: Cell<Option<Option<Time>>>,
 }
 
 impl FlowNetwork {
@@ -83,6 +93,8 @@ impl FlowNetwork {
             active: Vec::new(),
             now_ps: 0.0,
             reshares: 0,
+            completed: Vec::new(),
+            next_dep: Cell::new(None),
         }
     }
 
@@ -132,6 +144,7 @@ impl FlowNetwork {
                 remaining: 0.0,
                 latency: Time::ZERO,
                 finish: Some(self.now().max(at)),
+                tracked: false,
             });
             return id;
         }
@@ -144,8 +157,10 @@ impl FlowNetwork {
             remaining: size.as_bytes() as f64,
             latency,
             finish: None,
+            tracked: false,
         });
         self.active.push(id.0);
+        self.next_dep.set(None);
         id
     }
 
@@ -197,23 +212,10 @@ impl FlowNetwork {
             return;
         }
         self.reshares += 1;
-        // Work positionally over the active set so a step costs O(active),
-        // not O(flows ever injected): `routes[k]`/`rates[k]` belong to
-        // `self.active[k]`.
-        let routes: Vec<&[LinkId]> = self
-            .active
-            .iter()
-            .map(|&i| self.routes[self.flows[i].route].as_slice())
-            .collect();
-        let positions: Vec<usize> = (0..routes.len()).collect();
-        let rates = max_min_rates(&self.graph, &routes, &positions);
-        // Advance to the earliest completion under current rates.
-        let mut dt = f64::INFINITY;
-        for (k, &i) in self.active.iter().enumerate() {
-            if rates[k] > 0.0 {
-                dt = dt.min(self.flows[i].remaining / rates[k]);
-            }
-        }
+        self.next_dep.set(None);
+        // Advance to the earliest completion under current rates (or the
+        // horizon, if earlier).
+        let (rates, mut dt) = self.active_rates();
         if let Some(h) = horizon_ps {
             dt = dt.min((h - self.now_ps) / 1e12);
         }
@@ -221,13 +223,66 @@ impl FlowNetwork {
         self.now_ps += dt * 1e12;
         let now = self.now();
         for k in (0..self.active.len()).rev() {
-            let flow = &mut self.flows[self.active[k]];
+            let idx = self.active[k];
+            let flow = &mut self.flows[idx];
             flow.remaining -= rates[k] * dt;
             if flow.remaining <= 1e-6 {
-                flow.finish = Some(now + flow.latency);
+                let finish = now + flow.latency;
+                flow.finish = Some(finish);
+                if flow.tracked {
+                    self.completed.push(Completion {
+                        id: AsyncMessageId(idx as u64),
+                        finish,
+                    });
+                }
                 self.active.swap_remove(k);
             }
         }
+    }
+
+    /// Projected instant of the next departure under the current max-min
+    /// rates, rounded **up** to the picosecond grid (so advancing to it is
+    /// guaranteed to process the departure). `None` when no flow is
+    /// active. Memoized until the next arrival or re-share step.
+    fn next_departure(&self) -> Option<Time> {
+        if let Some(projected) = self.next_dep.get() {
+            return projected;
+        }
+        let projected = self.project_next_departure();
+        self.next_dep.set(Some(projected));
+        projected
+    }
+
+    fn project_next_departure(&self) -> Option<Time> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let (_, dt) = self.active_rates();
+        debug_assert!(dt.is_finite(), "live-locked flow set");
+        Some(Time::from_ps((self.now_ps + dt * 1e12).ceil() as u64))
+    }
+
+    /// Max-min rates of the active set and the earliest drain interval
+    /// (seconds) under them. Works positionally over the active set so a
+    /// call costs O(active), not O(flows ever injected): `rates[k]`
+    /// belongs to `self.active[k]`. Shared by [`FlowNetwork::step`] and
+    /// the [`FlowNetwork::next_departure`] projection so the two can never
+    /// disagree.
+    fn active_rates(&self) -> (Vec<f64>, f64) {
+        let routes: Vec<&[LinkId]> = self
+            .active
+            .iter()
+            .map(|&i| self.routes[self.flows[i].route].as_slice())
+            .collect();
+        let positions: Vec<usize> = (0..routes.len()).collect();
+        let rates = max_min_rates(&self.graph, &routes, &positions);
+        let mut dt = f64::INFINITY;
+        for (k, &i) in self.active.iter().enumerate() {
+            if rates[k] > 0.0 {
+                dt = dt.min(self.flows[i].remaining / rates[k]);
+            }
+        }
+        (rates, dt)
     }
 }
 
@@ -243,6 +298,57 @@ impl NetworkBackend for FlowNetwork {
 
     fn name(&self) -> &'static str {
         "flow-level"
+    }
+
+    /// Injects a co-resident flow: it shares link bandwidth max-min fairly
+    /// with every other live flow from `at` onwards. Arrivals re-share
+    /// rates, so an async send can slow down (and be slowed down by)
+    /// overlapping engine traffic — the contention the blocking probe path
+    /// cannot see.
+    fn send_async(&mut self, at: Time, src: NpuId, dst: NpuId, size: DataSize) -> AsyncMessageId {
+        let id = self.inject_at(at, src, dst, size);
+        let flow = &mut self.flows[id.0];
+        flow.tracked = true;
+        if let Some(finish) = flow.finish {
+            // Self and empty flows complete at injection time.
+            self.completed.push(Completion {
+                id: AsyncMessageId(id.0 as u64),
+                finish,
+            });
+        }
+        AsyncMessageId(id.0 as u64)
+    }
+
+    fn next_event_time(&self) -> Option<Time> {
+        self.next_departure()
+    }
+
+    fn advance_until(&mut self, limit: Time) {
+        if self.active.is_empty() {
+            return;
+        }
+        let target = limit.as_ps() as f64;
+        if self.now_ps < target {
+            self.advance_to(target);
+        } else {
+            // Degenerate float case: the projected departure is within one
+            // grid tick of the current instant (`next_departure` rounded it
+            // up onto a tick we already sit on). One unclamped step drains
+            // that near-empty flow and guarantees progress.
+            self.step(None);
+        }
+    }
+
+    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completed);
+    }
+
+    fn stats(&self) -> NetworkStats {
+        NetworkStats {
+            messages: self.flows.len() as u64,
+            events: self.reshares,
+            ..NetworkStats::default()
+        }
     }
 }
 
@@ -322,6 +428,95 @@ mod tests {
         let z = net.inject_at(Time::from_us(7), 0, 1, DataSize::ZERO);
         assert_eq!(net.completion(s), Some(Time::from_us(5)));
         assert_eq!(net.completion(z), Some(Time::from_us(7)));
+    }
+
+    #[test]
+    fn zero_size_flows_do_not_disturb_live_traffic() {
+        // A zero-byte flow completes instantly, holds no link share, and
+        // leaves the survivors' rates untouched.
+        let t = topo("SW(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let long = net.inject_at(Time::ZERO, 0, 3, DataSize::from_bytes(100_000_000));
+        let z = net.inject_at(Time::from_us(10), 1, 3, DataSize::ZERO);
+        assert_eq!(net.completion(z), Some(Time::from_us(10)));
+        net.run_until_idle();
+        let lat = Time::from_ns(1000);
+        assert_eq!(net.completion(long), Some(Time::from_ms(1) + lat));
+    }
+
+    #[test]
+    fn self_sends_complete_at_injection_even_under_congestion() {
+        let t = topo("SW(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let backlog = net.inject_at(Time::ZERO, 0, 3, DataSize::from_gib(1));
+        // src == dst: empty route, no link time, no latency, no sharing.
+        let s = net.inject_at(Time::from_us(3), 3, 3, DataSize::from_gib(4));
+        assert_eq!(net.completion(s), Some(Time::from_us(3)));
+        assert_eq!(net.active_flows(), 1);
+        net.run_until_idle();
+        assert!(net.completion(backlog).is_some());
+    }
+
+    #[test]
+    fn async_self_and_zero_sends_complete_without_events() {
+        let t = topo("R(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let a = net.send_async(Time::from_us(2), 1, 1, DataSize::from_mib(8));
+        let b = net.send_async(Time::from_us(5), 0, 2, DataSize::ZERO);
+        assert_eq!(net.next_event_time(), None);
+        let mut out = Vec::new();
+        net.drain_completions(&mut out);
+        assert_eq!(
+            out,
+            vec![
+                Completion {
+                    id: a,
+                    finish: Time::from_us(2)
+                },
+                Completion {
+                    id: b,
+                    finish: Time::from_us(5)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_arrival_and_departure_reshare_ties() {
+        // Flow A (100 MB) departs the shared down-link at exactly the
+        // instant flow C arrives on it: departures scheduled at-or-before
+        // the arrival are processed first, so C shares only with B.
+        let t = topo("SW(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let a = net.inject_at(Time::ZERO, 0, 3, DataSize::from_bytes(100_000_000));
+        let b = net.inject_at(Time::ZERO, 1, 3, DataSize::from_bytes(300_000_000));
+        // A and B share the down-link at 50 GB/s each; A drains its 100 MB
+        // at t = 2 ms — the exact injection instant of C.
+        let c = net.inject_at(Time::from_ms(2), 2, 3, DataSize::from_bytes(100_000_000));
+        net.run_until_idle();
+        let lat = Time::from_ns(1000);
+        assert_eq!(net.completion(a), Some(Time::from_ms(2) + lat));
+        // B has 200 MB left at t = 2 ms and shares with C at 50 GB/s:
+        // C's 100 MB drain at t = 4 ms, then B's last 100 MB at full rate.
+        assert_eq!(net.completion(c), Some(Time::from_ms(4) + lat));
+        assert_eq!(net.completion(b), Some(Time::from_ms(5) + lat));
+    }
+
+    #[test]
+    fn tied_departures_drain_in_one_reshare() {
+        // Equal flows on the same bottleneck depart simultaneously: the
+        // tie is resolved in a single step, not one re-share per flow.
+        let t = topo("SW(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let ids: Vec<_> = (0..3)
+            .map(|src| net.inject_at(Time::ZERO, src, 3, DataSize::from_bytes(100_000_000)))
+            .collect();
+        net.run_until_idle();
+        let lat = Time::from_ns(1000);
+        for id in ids {
+            assert_eq!(net.completion(id), Some(Time::from_ms(3) + lat));
+        }
+        assert_eq!(net.reshare_events(), 1);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 pub mod congestion;
 mod flow;
 
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -44,12 +45,80 @@ use serde::{Deserialize, Serialize};
 
 pub use flow::{FlowId, FlowNetwork};
 
+/// Identifier of a message in flight on the async NetworkAPI
+/// ([`NetworkBackend::send_async`]). Ids are backend-scoped and stable for
+/// the lifetime of the backend instance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsyncMessageId(pub u64);
+
+/// A finished async message, reported through
+/// [`NetworkBackend::drain_completions`] — the `callback(finish)` half of
+/// the paper's `sim_send(msg_size, dest, callback)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The message that finished.
+    pub id: AsyncMessageId,
+    /// Absolute time at which the message fully arrived.
+    pub finish: Time,
+}
+
+/// Work counters a backend accumulates while serving traffic. The system
+/// layer surfaces them in `SimReport` and the benches use them to compare
+/// the async and blocking engine paths.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages injected (blocking probes plus async sends).
+    pub messages: u64,
+    /// Closed-form delay queries answered from the per-`(src, dst, size)`
+    /// memo (the analytical backend; zero elsewhere).
+    pub cache_hits: u64,
+    /// Internal events processed: packet/train-hop pops for the packet
+    /// simulator, rate re-shares for the fluid backend, zero for the
+    /// closed form.
+    pub events: u64,
+    /// Batched-transport train serializations on links where per-packet
+    /// transport would have interleaved two trains packet-by-packet (an
+    /// approximation the counter makes visible; see
+    /// `astra_garnet::TransportMode`).
+    pub train_serializations: u64,
+    /// Backend instances constructed to serve the traffic. The async
+    /// engine path builds one; the blocking reference path rebuilds a
+    /// fresh sub-simulation per message. Filled in by the engine, not by
+    /// [`NetworkBackend::stats`].
+    pub backend_setups: u64,
+}
+
+impl NetworkStats {
+    /// Adds `other`'s counters into `self` (used by the engine to fold
+    /// per-probe backend stats into the run total).
+    pub fn merge(&mut self, other: &NetworkStats) {
+        self.messages += other.messages;
+        self.cache_hits += other.cache_hits;
+        self.events += other.events;
+        self.train_serializations += other.train_serializations;
+        self.backend_setups += other.backend_setups;
+    }
+}
+
 /// The network-layer abstraction consumed by the system layer — the Rust
 /// analogue of ASTRA-sim's `NetworkAPI` (paper Snippet 2).
 ///
-/// Implementations estimate the end-to-end delay of a point-to-point
-/// message; the caller (the system layer's event loop) schedules completion
-/// callbacks at `now + delay`, mirroring `sim_send(msg_size, dest, callback)`.
+/// Two calling conventions share the trait:
+///
+/// * **Async** (the engine default): [`NetworkBackend::send_async`]
+///   schedules a message at an absolute time and returns immediately; the
+///   caller interleaves [`NetworkBackend::advance_until`] with its own
+///   event loop (one shared clock) and collects finish callbacks via
+///   [`NetworkBackend::drain_completions`]. Engine-time-concurrent
+///   messages are co-resident inside the backend, so cross-message
+///   contention is modeled.
+/// * **Blocking** (the frozen reference): [`NetworkBackend::p2p_delay`]
+///   measures one message to completion on the backend's own clock.
+///
+/// Async callers must uphold one invariant: `send_async` times and
+/// `advance_until` limits never move backwards (the engine's event loop
+/// guarantees this by always draining backend events up to its next own
+/// event before popping it).
 ///
 /// The trait takes `&mut self` because stateful backends (the packet-level
 /// simulator) advance internal queues while estimating.
@@ -61,6 +130,81 @@ pub trait NetworkBackend {
 
     /// Human-readable backend name (for reports and experiment tables).
     fn name(&self) -> &'static str;
+
+    /// Schedules a `size`-byte message from `src` to `dst` entering the
+    /// network at absolute time `at`, without advancing the simulation.
+    /// The completion surfaces later through
+    /// [`NetworkBackend::drain_completions`] (immediately for closed-form
+    /// backends and for self/empty messages).
+    fn send_async(&mut self, at: Time, src: NpuId, dst: NpuId, size: DataSize) -> AsyncMessageId;
+
+    /// Earliest pending internal event, if any — the latest instant the
+    /// caller may advance its own clock to before it must give the
+    /// backend a chance to run ([`NetworkBackend::advance_until`]).
+    fn next_event_time(&self) -> Option<Time>;
+
+    /// Processes internal events with timestamps at or before `limit`.
+    /// Completions discovered on the way are buffered for
+    /// [`NetworkBackend::drain_completions`].
+    fn advance_until(&mut self, limit: Time);
+
+    /// Moves all completions discovered since the last call into `out`.
+    fn drain_completions(&mut self, out: &mut Vec<Completion>);
+
+    /// Work counters accumulated so far (see [`NetworkStats`];
+    /// `backend_setups` is always zero here — the engine fills it in).
+    fn stats(&self) -> NetworkStats;
+}
+
+/// How the system engine drives its [`NetworkBackend`] for point-to-point
+/// traffic.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum P2pMode {
+    /// Event-driven `send_async`/completion-callback integration on the
+    /// engine's own clock: concurrent messages are co-resident inside one
+    /// backend instance, so cross-message contention is modeled and
+    /// backend setup is paid once. The default.
+    #[default]
+    Async,
+    /// The frozen reference path: each message is measured to completion
+    /// by a blocking [`NetworkBackend::p2p_delay`] probe on a fresh
+    /// backend sub-simulation — `O(messages)` setups, no co-residency
+    /// (messages never contend with each other).
+    Blocking,
+}
+
+impl P2pMode {
+    /// Both modes, for tests and benchmark sweeps.
+    pub const ALL: [P2pMode; 2] = [P2pMode::Async, P2pMode::Blocking];
+
+    /// Stable machine-readable name (`async` / `blocking`).
+    pub fn name(self) -> &'static str {
+        match self {
+            P2pMode::Async => "async",
+            P2pMode::Blocking => "blocking",
+        }
+    }
+}
+
+impl fmt::Display for P2pMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for P2pMode {
+    type Err = String;
+
+    /// Accepts `async` and `blocking`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "async" => Ok(P2pMode::Async),
+            "blocking" => Ok(P2pMode::Blocking),
+            other => Err(format!(
+                "unknown p2p mode `{other}` (expected `async` or `blocking`)"
+            )),
+        }
+    }
 }
 
 /// Which [`NetworkBackend`] implementation a simulation should use.
@@ -150,10 +294,20 @@ pub struct AnalyticalConfig {
 /// Latency is accumulated per traversed dimension (`hops × link latency`),
 /// and serialization is bounded by the slowest dimension the message
 /// crosses under dimension-ordered routing.
+///
+/// Delays are memoized per `(src, dst, size)`: pipeline workloads issue
+/// thousands of identical queries (the same activation size between the
+/// same stage pair every microbatch), so repeat queries cost one hash
+/// lookup instead of re-walking the coordinate grid.
+/// [`AnalyticalNetwork::cache_hits`] counts the savings.
 #[derive(Clone, Debug)]
 pub struct AnalyticalNetwork {
     topo: Topology,
     config: AnalyticalConfig,
+    cache: HashMap<(NpuId, NpuId, DataSize), Time>,
+    hits: u64,
+    messages: u64,
+    ready: Vec<Completion>,
 }
 
 impl AnalyticalNetwork {
@@ -164,7 +318,33 @@ impl AnalyticalNetwork {
 
     /// Creates a backend with explicit [`AnalyticalConfig`].
     pub fn with_config(topo: Topology, config: AnalyticalConfig) -> Self {
-        AnalyticalNetwork { topo, config }
+        AnalyticalNetwork {
+            topo,
+            config,
+            cache: HashMap::new(),
+            hits: 0,
+            messages: 0,
+            ready: Vec::new(),
+        }
+    }
+
+    /// Delay queries answered from the `(src, dst, size)` memo so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The closed-form delay, memoized per `(src, dst, size)`.
+    fn cached_delay(&mut self, src: NpuId, dst: NpuId, size: DataSize) -> Time {
+        if src == dst {
+            return Time::ZERO;
+        }
+        if let Some(&delay) = self.cache.get(&(src, dst, size)) {
+            self.hits += 1;
+            return delay;
+        }
+        let delay = self.latency_term(src, dst) + self.serialization_term(src, dst, size);
+        self.cache.insert((src, dst, size), delay);
+        delay
     }
 
     /// The topology this backend models.
@@ -205,14 +385,41 @@ impl AnalyticalNetwork {
 
 impl NetworkBackend for AnalyticalNetwork {
     fn p2p_delay(&mut self, src: NpuId, dst: NpuId, size: DataSize) -> Time {
-        if src == dst {
-            return Time::ZERO;
-        }
-        self.latency_term(src, dst) + self.serialization_term(src, dst, size)
+        self.messages += 1;
+        self.cached_delay(src, dst, size)
     }
 
     fn name(&self) -> &'static str {
         "analytical"
+    }
+
+    /// Closed-form backend: the completion is known at send time (the
+    /// equation is congestion-free, so later traffic cannot change it) and
+    /// becomes drainable immediately.
+    fn send_async(&mut self, at: Time, src: NpuId, dst: NpuId, size: DataSize) -> AsyncMessageId {
+        let id = AsyncMessageId(self.messages);
+        self.messages += 1;
+        let finish = at + self.cached_delay(src, dst, size);
+        self.ready.push(Completion { id, finish });
+        id
+    }
+
+    fn next_event_time(&self) -> Option<Time> {
+        None
+    }
+
+    fn advance_until(&mut self, _limit: Time) {}
+
+    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.ready);
+    }
+
+    fn stats(&self) -> NetworkStats {
+        NetworkStats {
+            messages: self.messages,
+            cache_hits: self.hits,
+            ..NetworkStats::default()
+        }
     }
 }
 
@@ -290,6 +497,81 @@ mod tests {
     fn backend_reports_name() {
         let n = net("R(2)@1");
         assert_eq!(n.name(), "analytical");
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_delay_memo() {
+        let mut n = net("R(8)@100_SW(4)@50");
+        let size = DataSize::from_mib(4);
+        let first = n.p2p_delay(0, 9, size);
+        assert_eq!(n.cache_hits(), 0);
+        // Same triple: memo hit, identical answer.
+        assert_eq!(n.p2p_delay(0, 9, size), first);
+        assert_eq!(n.cache_hits(), 1);
+        // Different size or pair: fresh entries.
+        let _ = n.p2p_delay(0, 9, DataSize::from_mib(8));
+        let _ = n.p2p_delay(9, 0, size);
+        assert_eq!(n.cache_hits(), 1);
+        for _ in 0..10 {
+            assert_eq!(n.p2p_delay(0, 9, size), first);
+        }
+        assert_eq!(n.cache_hits(), 11);
+        assert_eq!(n.stats().cache_hits, 11);
+        assert_eq!(n.stats().messages, 14);
+    }
+
+    #[test]
+    fn async_sends_complete_immediately_with_closed_form_delay() {
+        let mut n = net("R(8)@100");
+        let size = DataSize::from_mib(1);
+        let at = Time::from_us(7);
+        let delay = n.p2p_delay(0, 3, size);
+        let id = n.send_async(at, 0, 3, size);
+        // The closed form is congestion-free: the completion is known at
+        // send time and drainable without advancing anything.
+        assert_eq!(n.next_event_time(), None);
+        let mut out = Vec::new();
+        n.drain_completions(&mut out);
+        assert_eq!(
+            out,
+            vec![Completion {
+                id,
+                finish: at + delay
+            }]
+        );
+        out.clear();
+        n.drain_completions(&mut out);
+        assert!(out.is_empty(), "completions are drained once");
+        // The async path shares the memo with blocking queries.
+        assert!(n.cache_hits() > 0);
+    }
+
+    #[test]
+    fn p2p_mode_parses_and_displays() {
+        for mode in P2pMode::ALL {
+            assert_eq!(mode.name().parse::<P2pMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(P2pMode::default(), P2pMode::Async);
+        assert!("eager".parse::<P2pMode>().is_err());
+    }
+
+    #[test]
+    fn network_stats_merge_adds_counters() {
+        let mut a = NetworkStats {
+            messages: 1,
+            cache_hits: 2,
+            events: 3,
+            train_serializations: 4,
+            backend_setups: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.cache_hits, 4);
+        assert_eq!(a.events, 6);
+        assert_eq!(a.train_serializations, 8);
+        assert_eq!(a.backend_setups, 10);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The graph execution engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -10,7 +10,10 @@ use astra_des::{
 };
 use astra_garnet::{PacketNetwork, PacketSimConfig, TransportMode};
 use astra_memory::{LocalMemory, PoolArchitecture, RemoteMemory, TransferMode};
-use astra_network::{AnalyticalNetwork, FlowNetwork, NetworkBackend, NetworkBackendKind};
+use astra_network::{
+    AnalyticalNetwork, AsyncMessageId, Completion, FlowNetwork, NetworkBackend, NetworkBackendKind,
+    NetworkStats, P2pMode,
+};
 use astra_topology::{BuildingBlock, Dimension, NpuId, Topology};
 use astra_workload::{EtOp, ExecutionTrace, Roofline, TensorLocation};
 
@@ -32,24 +35,32 @@ pub struct SystemConfig {
     /// Future-event-list implementation driving the graph engine. Results
     /// are bit-identical across backends; only wall-clock cost differs.
     pub queue_backend: QueueBackend,
-    /// Network backend answering point-to-point delay queries (pipeline
+    /// Network backend carrying point-to-point messages (pipeline
     /// sends/receives and any other `NetworkAPI` traffic). Collectives are
     /// modeled by the collective engine's multi-rail closed forms in every
     /// mode — the backend choice governs the `sim_send`-style p2p path:
     /// `analytical` (closed form, default), `packet` / `batched` (the
     /// store-and-forward DES at 64 KiB granularity, per-packet or
-    /// train-batched events — bit-identical results), or `flow` (max-min
-    /// fluid sharing).
+    /// train-batched events), or `flow` (max-min fluid sharing).
     ///
-    /// Limitation: the engine issues probes through the blocking
-    /// `p2p_delay` call, one at a time on the backend's own clock, so two
-    /// sends that overlap in *engine* time are never co-resident inside
-    /// the backend — per-hop store-and-forward costs are captured, but
-    /// cross-message contention is not (that requires the async
-    /// send/callback NetworkAPI; see ROADMAP). Contention between
-    /// concurrent messages *is* modeled when driving `PacketNetwork` /
-    /// `FlowNetwork` directly via `send_at` / `inject_at`.
+    /// Under the default [`P2pMode::Async`] integration the engine keeps
+    /// one backend instance co-resident with its own event loop, so
+    /// engine-time-concurrent messages contend inside the `packet` /
+    /// `batched` / `flow` backends exactly as when driving them directly
+    /// via `send_at` / `inject_at`.
     pub network_backend: NetworkBackendKind,
+    /// How the engine drives the network backend: [`P2pMode::Async`]
+    /// (event-driven `send_async`/callback on the engine's shared clock,
+    /// the default) or [`P2pMode::Blocking`] (the frozen reference: one
+    /// fresh backend sub-simulation and one blocking `p2p_delay` probe per
+    /// message, never co-resident). Same-source messages serialize on a
+    /// per-source NIC lane in both modes (`p2p_res` when blocking, the
+    /// engine's injection queue when async), so the two paths are
+    /// bit-identical unless messages from *different* sources overlap —
+    /// and then they diverge exactly when the backend models contention
+    /// (packet/batched/flow; the closed-form analytical backend agrees in
+    /// both modes unconditionally). Pinned by `tests/p2p_paths.rs`.
+    pub p2p_mode: P2pMode,
 }
 
 impl Default for SystemConfig {
@@ -62,6 +73,7 @@ impl Default for SystemConfig {
             remote_memory: None,
             queue_backend: QueueBackend::default(),
             network_backend: NetworkBackendKind::default(),
+            p2p_mode: P2pMode::default(),
         }
     }
 }
@@ -137,6 +149,15 @@ struct Event {
     node: u32,
 }
 
+#[derive(Copy, Clone, Debug)]
+enum EngineEvent {
+    /// A graph node finished.
+    Node(Event),
+    /// This source's NIC lane just freed: inject its next queued p2p
+    /// message (async path only).
+    InjectP2p(NpuId),
+}
+
 struct Meeting {
     arrivals: Vec<(NpuId, u32, Time)>,
 }
@@ -145,6 +166,19 @@ struct Meeting {
 struct P2pPending {
     send: Option<(u32, Time)>,
     recv: Option<(u32, Time)>,
+}
+
+/// A resolved p2p message: either in flight on the async NetworkAPI
+/// (waiting for its completion callback to resume the paired send/recv
+/// graph nodes) or queued behind the source's NIC lane.
+struct InFlightP2p {
+    src: NpuId,
+    dst: NpuId,
+    size: DataSize,
+    send_node: u32,
+    recv_node: u32,
+    send_ready: Time,
+    recv_ready: Time,
 }
 
 struct GroupSpan {
@@ -243,12 +277,16 @@ fn group_span(topo: &Topology, members: &[NpuId]) -> Option<GroupSpan> {
 
 struct Engine<'a> {
     trace: &'a ExecutionTrace,
+    topo: &'a Topology,
     config: &'a SystemConfig,
     collective_engine: CollectiveEngine,
-    network: Box<dyn NetworkBackend>,
+    /// The co-resident async backend, built lazily on the first p2p
+    /// message (collective-only workloads never pay for it). Unused in
+    /// blocking mode, where every probe gets a fresh sub-simulation.
+    network: Option<Box<dyn NetworkBackend>>,
     spans: Vec<GroupSpan>,
 
-    queue: EventQueue<Event>,
+    queue: EventQueue<EngineEvent>,
     remaining_deps: Vec<Vec<u32>>,
     dependents: Vec<Vec<Vec<u32>>>,
 
@@ -264,15 +302,26 @@ struct Engine<'a> {
     meetings: HashMap<(u32, u64), Meeting>,
     group_counters: HashMap<(NpuId, u32), u64>,
     p2p_pending: HashMap<(NpuId, NpuId, u64), P2pPending>,
+    in_flight: HashMap<AsyncMessageId, InFlightP2p>,
+    /// Per source (async path; the blocking path models the same NIC lane
+    /// with `p2p_res`): whether an injected message's completion is still
+    /// undiscovered, when the lane is known to free, and the messages
+    /// queued behind it. Invariant: an `InjectP2p` event is pending iff
+    /// the queue is non-empty and the lane is not occupied.
+    nic_occupied: Vec<bool>,
+    nic_free: Vec<Time>,
+    nic_queue: Vec<VecDeque<InFlightP2p>>,
+    completions: Vec<Completion>,
 
     collectives: u64,
     p2p_messages: u64,
+    net_stats: NetworkStats,
 }
 
 impl<'a> Engine<'a> {
     fn new(
         trace: &'a ExecutionTrace,
-        topo: &Topology,
+        topo: &'a Topology,
         config: &'a SystemConfig,
         spans: Vec<GroupSpan>,
     ) -> Self {
@@ -294,9 +343,10 @@ impl<'a> Engine<'a> {
         }
         Engine {
             trace,
+            topo,
             config,
             collective_engine: CollectiveEngine::new(config.collective_chunks, config.scheduler),
-            network: build_network(topo, config),
+            network: None,
             spans,
             queue: EventQueue::with_backend(config.queue_backend),
             remaining_deps,
@@ -311,9 +361,24 @@ impl<'a> Engine<'a> {
             meetings: HashMap::new(),
             group_counters: HashMap::new(),
             p2p_pending: HashMap::new(),
+            in_flight: HashMap::new(),
+            nic_occupied: vec![false; npus],
+            nic_free: vec![Time::ZERO; npus],
+            nic_queue: (0..npus).map(|_| VecDeque::new()).collect(),
+            completions: Vec::new(),
             collectives: 0,
             p2p_messages: 0,
+            net_stats: NetworkStats::default(),
         }
+    }
+
+    /// The shared async backend, built on first use.
+    fn network_mut(&mut self) -> &mut dyn NetworkBackend {
+        if self.network.is_none() {
+            self.network = Some(build_network(self.topo, self.config));
+            self.net_stats.backend_setups += 1;
+        }
+        self.network.as_mut().expect("just built").as_mut()
     }
 
     fn run(mut self) -> Result<SimReport, SimError> {
@@ -325,16 +390,47 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        while let Some((now, event)) = self.queue.pop() {
-            self.finish[event.npu] = self.finish[event.npu].max(now);
-            let deps = std::mem::take(&mut self.dependents[event.npu][event.node as usize]);
-            for dependent in deps {
-                let slot = &mut self.remaining_deps[event.npu][dependent as usize];
-                *slot -= 1;
-                if *slot == 0 {
-                    self.issue(event.npu, dependent, now);
+        self.drain_network();
+        loop {
+            // One shared clock: before popping the engine's next event,
+            // give the backend every internal event up to (and including,
+            // so completions win FIFO ties) that instant. Messages sent
+            // later always carry later timestamps, so the backend never
+            // has to run ahead of the engine frontier.
+            while !self.in_flight.is_empty() {
+                let net = self.network.as_mut().expect("in-flight p2p has a backend");
+                let Some(t) = net.next_event_time() else {
+                    break;
+                };
+                if self.queue.peek_time().is_some_and(|e| e < t) {
+                    break;
+                }
+                net.advance_until(t);
+                self.drain_network();
+            }
+            let Some((now, event)) = self.queue.pop() else {
+                break;
+            };
+            match event {
+                EngineEvent::Node(event) => {
+                    self.finish[event.npu] = self.finish[event.npu].max(now);
+                    let deps = std::mem::take(&mut self.dependents[event.npu][event.node as usize]);
+                    for dependent in deps {
+                        let slot = &mut self.remaining_deps[event.npu][dependent as usize];
+                        *slot -= 1;
+                        if *slot == 0 {
+                            self.issue(event.npu, dependent, now);
+                        }
+                    }
+                }
+                EngineEvent::InjectP2p(src) => {
+                    let msg = self.nic_queue[src]
+                        .pop_front()
+                        .expect("a queued message scheduled this injection");
+                    self.inject_p2p(msg, now);
                 }
             }
+            self.drain_network();
         }
 
         let horizon = self.finish.iter().copied().fold(Time::ZERO, Time::max);
@@ -356,12 +452,17 @@ impl<'a> Engine<'a> {
             exposed_local_mem: sums[3] / npus,
             exposed_idle: sums[4] / npus,
         };
+        let mut network = self.net_stats;
+        if let Some(net) = &self.network {
+            network.merge(&net.stats());
+        }
         Ok(SimReport {
             total_time: horizon,
             breakdown,
             per_npu_finish: self.finish,
             collectives: self.collectives,
             p2p_messages: self.p2p_messages,
+            network,
         })
     }
 
@@ -373,7 +474,8 @@ impl<'a> Engine<'a> {
                 let service = self.config.roofline.compute_time(flops, tensor);
                 let r = self.compute_res[npu].acquire(now, service);
                 self.logs[npu][COMPUTE].push(r.start, r.end);
-                self.queue.schedule_at(r.end, Event { npu, node });
+                self.queue
+                    .schedule_at(r.end, EngineEvent::Node(Event { npu, node }));
             }
             EtOp::Memory {
                 location: TensorLocation::Local,
@@ -383,7 +485,8 @@ impl<'a> Engine<'a> {
                 let service = self.config.local_memory.access_time(size);
                 let r = self.local_res[npu].acquire(now, service);
                 self.logs[npu][LOCAL].push(r.start, r.end);
-                self.queue.schedule_at(r.end, Event { npu, node });
+                self.queue
+                    .schedule_at(r.end, EngineEvent::Node(Event { npu, node }));
             }
             EtOp::Memory {
                 location: TensorLocation::Remote { gathered },
@@ -406,7 +509,8 @@ impl<'a> Engine<'a> {
                 // the pool fabric; plain transfers are remote-memory time.
                 let category = if gathered { COMM } else { REMOTE };
                 self.logs[npu][category].push(r.start, r.end);
-                self.queue.schedule_at(r.end, Event { npu, node });
+                self.queue
+                    .schedule_at(r.end, EngineEvent::Node(Event { npu, node }));
             }
             EtOp::Collective { group, .. } => {
                 let counter = self.group_counters.entry((npu, group.0)).or_insert(0);
@@ -486,7 +590,8 @@ impl<'a> Engine<'a> {
             if finish > ready {
                 self.logs[npu][COMM].push(ready, finish);
             }
-            self.queue.schedule_at(finish, Event { npu, node });
+            self.queue
+                .schedule_at(finish, EngineEvent::Node(Event { npu, node }));
         }
     }
 
@@ -499,26 +604,128 @@ impl<'a> Engine<'a> {
         let (recv_node, recv_ready) = entry.recv.expect("recv side present");
         self.p2p_messages += 1;
         let ready = send_ready.max(recv_ready);
-        let delay = self.network.p2p_delay(src, dst, size);
-        let r = self.p2p_res[src].acquire(ready, delay);
-        self.logs[src][COMM].push(send_ready, r.end);
-        if r.end > recv_ready {
-            self.logs[dst][COMM].push(recv_ready, r.end);
+        match self.config.p2p_mode {
+            P2pMode::Async => {
+                // Non-blocking NetworkAPI: schedule the send on the shared
+                // backend and keep executing ready graph nodes; the paired
+                // nodes resume from the completion callback. Same-source
+                // messages serialize on the NIC lane (the async analogue of
+                // the blocking path's `p2p_res`), so the two paths only
+                // diverge on *cross-source* overlap — genuine network
+                // contention.
+                let msg = InFlightP2p {
+                    src,
+                    dst,
+                    size,
+                    send_node,
+                    recv_node,
+                    send_ready,
+                    recv_ready,
+                };
+                if self.nic_occupied[src] || !self.nic_queue[src].is_empty() {
+                    // An InjectP2p follow-up is (or will be) scheduled by
+                    // the occupying message's completion.
+                    self.nic_queue[src].push_back(msg);
+                } else if ready >= self.nic_free[src] {
+                    self.inject_p2p(msg, ready);
+                } else {
+                    // The lane's last message completed in the simulated
+                    // future (closed-form backends discover completions at
+                    // send time): inject when the clock reaches it.
+                    let free = self.nic_free[src];
+                    self.nic_queue[src].push_back(msg);
+                    self.queue.schedule_at(free, EngineEvent::InjectP2p(src));
+                }
+            }
+            P2pMode::Blocking => {
+                // Frozen reference: a fresh backend sub-simulation measures
+                // the message alone (no co-residency), paying setup per
+                // message — the cost the async path amortizes away.
+                let mut probe = build_network(self.topo, self.config);
+                let delay = probe.p2p_delay(src, dst, size);
+                self.net_stats.merge(&probe.stats());
+                self.net_stats.backend_setups += 1;
+                let r = self.p2p_res[src].acquire(ready, delay);
+                self.logs[src][COMM].push(send_ready, r.end);
+                if r.end > recv_ready {
+                    self.logs[dst][COMM].push(recv_ready, r.end);
+                }
+                self.queue.schedule_at(
+                    r.end,
+                    EngineEvent::Node(Event {
+                        npu: src,
+                        node: send_node,
+                    }),
+                );
+                self.queue.schedule_at(
+                    r.end,
+                    EngineEvent::Node(Event {
+                        npu: dst,
+                        node: recv_node,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Hands a resolved message to the async backend at `at` (the engine's
+    /// current instant), occupying the source's NIC lane.
+    fn inject_p2p(&mut self, msg: InFlightP2p, at: Time) {
+        self.nic_occupied[msg.src] = true;
+        let id = self
+            .network_mut()
+            .send_async(at, msg.src, msg.dst, msg.size);
+        self.in_flight.insert(id, msg);
+    }
+
+    /// Collects completion callbacks from the async backend and schedules
+    /// the paired graph nodes at their finish times on the engine queue.
+    fn drain_network(&mut self) {
+        let Some(net) = self.network.as_mut() else {
+            return;
+        };
+        let mut batch = std::mem::take(&mut self.completions);
+        net.drain_completions(&mut batch);
+        for c in batch.drain(..) {
+            self.finish_p2p(c);
+        }
+        self.completions = batch;
+    }
+
+    /// Resumes the send/recv nodes of a completed async message, logging
+    /// the same communication intervals the blocking path would.
+    fn finish_p2p(&mut self, c: Completion) {
+        let msg = self
+            .in_flight
+            .remove(&c.id)
+            .expect("completion matches an in-flight p2p message");
+        self.logs[msg.src][COMM].push(msg.send_ready, c.finish);
+        if c.finish > msg.recv_ready {
+            self.logs[msg.dst][COMM].push(msg.recv_ready, c.finish);
         }
         self.queue.schedule_at(
-            r.end,
-            Event {
-                npu: src,
-                node: send_node,
-            },
+            c.finish,
+            EngineEvent::Node(Event {
+                npu: msg.src,
+                node: msg.send_node,
+            }),
         );
         self.queue.schedule_at(
-            r.end,
-            Event {
-                npu: dst,
-                node: recv_node,
-            },
+            c.finish,
+            EngineEvent::Node(Event {
+                npu: msg.dst,
+                node: msg.recv_node,
+            }),
         );
+        // The source's NIC lane frees at the finish instant (which can lie
+        // in the simulated future for closed-form backends): inject the
+        // next queued same-source message when the engine clock gets there.
+        self.nic_occupied[msg.src] = false;
+        self.nic_free[msg.src] = c.finish;
+        if !self.nic_queue[msg.src].is_empty() {
+            self.queue
+                .schedule_at(c.finish, EngineEvent::InjectP2p(msg.src));
+        }
     }
 }
 
@@ -838,29 +1045,67 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_p2p_hits_the_analytical_delay_memo() {
+        // A pipeline re-sends the same activation size between the same
+        // stage pairs every microbatch: after the first query per
+        // (src, dst, size) triple, everything comes from the memo.
+        let report = simulate(
+            &pipeline_trace_16(),
+            &small_topo(),
+            &SystemConfig::default(),
+        )
+        .unwrap();
+        assert!(report.p2p_messages > 0);
+        assert_eq!(report.network.messages, report.p2p_messages);
+        assert!(
+            report.network.cache_hits > report.p2p_messages / 2,
+            "{} hits for {} messages",
+            report.network.cache_hits,
+            report.p2p_messages
+        );
+        // The async NetworkAPI (the default) builds one backend for the
+        // whole run.
+        assert_eq!(report.network.backend_setups, 1);
+    }
+
+    #[test]
+    fn collective_only_workloads_never_build_a_network_backend() {
+        let trace =
+            parallelism::generate_trace(&models::dlrm_57m(), Parallelism::Data, 16).unwrap();
+        let report = simulate(&trace, &small_topo(), &SystemConfig::default()).unwrap();
+        assert_eq!(report.p2p_messages, 0);
+        assert_eq!(report.network, NetworkStats::default());
+    }
+
+    #[test]
     fn packet_and_batched_backends_are_bit_identical() {
-        // Sequential p2p probes keep every train contiguous, so batched
-        // transport is a pure speed knob end-to-end.
+        // On this switch-crossing pipeline no two co-resident trains share
+        // a link (each lane has its own switch plane), so batched transport
+        // stays a pure speed knob in both engine integration modes.
         let trace = pipeline_trace_16();
-        let run = |kind| {
+        let run = |kind, mode| {
             simulate(
                 &trace,
                 &small_topo(),
                 &SystemConfig {
                     network_backend: kind,
+                    p2p_mode: mode,
                     ..SystemConfig::default()
                 },
             )
             .unwrap()
         };
-        let packet = run(NetworkBackendKind::Packet);
-        let batched = run(NetworkBackendKind::Batched);
-        assert_eq!(packet.total_time, batched.total_time);
-        assert_eq!(
-            packet.breakdown.exposed_comm,
-            batched.breakdown.exposed_comm
-        );
-        assert_eq!(packet.per_npu_finish, batched.per_npu_finish);
+        for mode in P2pMode::ALL {
+            let packet = run(NetworkBackendKind::Packet, mode);
+            let batched = run(NetworkBackendKind::Batched, mode);
+            assert_eq!(packet.total_time, batched.total_time, "{mode}");
+            assert_eq!(
+                packet.breakdown.exposed_comm,
+                batched.breakdown.exposed_comm
+            );
+            assert_eq!(packet.per_npu_finish, batched.per_npu_finish);
+            assert_eq!(batched.network.train_serializations, 0, "{mode}");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ mod report;
 pub use engine::{simulate, SimError, SystemConfig};
 pub use report::{Breakdown, SimReport};
 
-// Re-exported so `SystemConfig.network_backend` can be set without a direct
+// Re-exported so `SystemConfig.network_backend` / `SystemConfig.p2p_mode`
+// can be set (and `SimReport.network` read) without a direct
 // `astra_network` dependency.
-pub use astra_network::NetworkBackendKind;
+pub use astra_network::{NetworkBackendKind, NetworkStats, P2pMode};

@@ -1,6 +1,7 @@
 //! Simulation reports and exposed-time breakdowns.
 
 use astra_des::Time;
+use astra_network::NetworkStats;
 use std::fmt;
 
 /// The paper's five-way runtime attribution (Fig. 9 / Fig. 11): every
@@ -70,6 +71,11 @@ pub struct SimReport {
     pub collectives: u64,
     /// Number of peer-to-peer messages delivered.
     pub p2p_messages: u64,
+    /// Network-backend work counters for the p2p path: backend setups
+    /// (1 under the async NetworkAPI, one per message under the blocking
+    /// reference), internal events, and the analytical backend's
+    /// `(src, dst, size)` delay-memo hits.
+    pub network: NetworkStats,
 }
 
 impl SimReport {

@@ -4,6 +4,24 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `astra sweep …` drives the astra-bench throughput runners instead of
+    // a single simulation.
+    if args.first().map(String::as_str) == Some("sweep") {
+        let opts = match astra_sim2::cli::parse_sweep_args(&args[1..]) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match astra_sim2::cli::run_sweep(&opts) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match astra_sim2::cli::parse_args(&args) {
         Ok(opts) => opts,
         Err(e) => {

@@ -7,7 +7,7 @@
 //! ```
 
 use astra_core::{
-    simulate, NetworkBackendKind, Parallelism, PoolArchitecture, QueueBackend, Roofline,
+    simulate, NetworkBackendKind, P2pMode, Parallelism, PoolArchitecture, QueueBackend, Roofline,
     SchedulerPolicy, SimReport, SystemConfig, Topology,
 };
 use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
@@ -41,6 +41,9 @@ pub struct CliOptions {
     /// Network backend for p2p traffic: `analytical` (default), `packet`,
     /// `batched`, or `flow`.
     pub network: Option<NetworkBackendKind>,
+    /// How the engine drives the network backend: `async` (default) or
+    /// `blocking` (the frozen per-message-probe reference).
+    pub p2p: Option<P2pMode>,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
 }
@@ -67,6 +70,7 @@ astra — ASTRA-sim 2.0 reproduction CLI
 
 USAGE:
     astra --topology <NOTATION> (--workload <NAME> | --all-reduce-mib <MiB>) [OPTIONS]
+    astra sweep [--quick] [--out <PATH>] [--series <LIST>]
 
 REQUIRED:
     --topology <NOTATION>   e.g. \"R(4)@250_SW(2)@50\" (Ring/R, FullyConnected/FC, Switch/SW)
@@ -87,10 +91,23 @@ OPTIONS:
     --queue <BACKEND>       event-queue backend: heap (default) | calendar
                             (identical results, different simulation speed)
     --network <BACKEND>     p2p network backend: analytical (default) |
-                            packet | batched | flow (packet and batched are
-                            bit-identical; batched scales to fine packets)
+                            packet | batched | flow (batched scales to fine
+                            packets; it is bit-identical to packet unless
+                            concurrent trains interleave on a link)
+    --p2p <MODE>            engine/network integration: async (default,
+                            co-resident messages on one shared clock) |
+                            blocking (frozen reference: one fresh backend
+                            probe per message, no cross-message contention)
     --json                  machine-readable output
     --help                  this text
+
+SWEEP (throughput benchmark runner, writes BENCH_throughput.json-style JSON):
+    astra sweep [--quick] [--out <PATH>] [--series <LIST>]
+    --quick                 CI-sized payloads and scales
+    --out <PATH>            output JSON path (default BENCH_sweep.json)
+    --series <LIST>         comma-separated subset of
+                            trace-gen,event-queue,packet-scale,engine-p2p
+                            (default: all)
 ";
 
 /// Parses raw arguments (without the program name).
@@ -112,6 +129,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         memory: None,
         queue: None,
         network: None,
+        p2p: None,
         json: false,
     };
     let mut it = args.iter();
@@ -148,6 +166,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             "--memory" => opts.memory = Some(value("--memory")?),
             "--queue" => opts.queue = Some(value("--queue")?.parse().map_err(err)?),
             "--network" => opts.network = Some(value("--network")?.parse().map_err(err)?),
+            "--p2p" => opts.p2p = Some(value("--p2p")?.parse().map_err(err)?),
             "--pipeline" => {
                 opts.pipeline = Some(
                     value("--pipeline")?
@@ -191,6 +210,7 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
         },
         queue_backend: opts.queue.unwrap_or_default(),
         network_backend: opts.network.unwrap_or_default(),
+        p2p_mode: opts.p2p.unwrap_or_default(),
         ..SystemConfig::default()
     };
     if let Some(chunks) = opts.chunks {
@@ -262,6 +282,86 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
     simulate(&trace, &topo, &config).map_err(|e| err(format!("simulation: {e}")))
 }
 
+/// Options of the `astra sweep` subcommand, which drives the `astra-bench`
+/// throughput runners and writes their machine-readable JSON report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// CI-sized payloads and scales instead of the full study.
+    pub quick: bool,
+    /// Output JSON path.
+    pub out: String,
+    /// Which comparison series to run.
+    pub series: astra_bench::throughput::SeriesSelection,
+}
+
+/// Parses `astra sweep` arguments (everything after the `sweep` keyword).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on unknown flags, missing values, or unknown
+/// series names.
+pub fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, CliError> {
+    use astra_bench::throughput::SeriesSelection;
+    let mut opts = SweepOptions {
+        quick: false,
+        out: "BENCH_sweep.json".to_owned(),
+        series: SeriesSelection::ALL,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| err("--out requires a path"))?;
+            }
+            "--series" => {
+                let list = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| err("--series requires a comma-separated list"))?;
+                let mut sel = SeriesSelection::NONE;
+                for name in list.split(',').filter(|s| !s.is_empty()) {
+                    sel = sel.enable(name).map_err(|unknown| {
+                        err(format!(
+                            "unknown series `{unknown}` (expected one of {})",
+                            SeriesSelection::NAMES.join(", ")
+                        ))
+                    })?;
+                }
+                if sel == SeriesSelection::NONE {
+                    return Err(err("--series selected nothing"));
+                }
+                opts.series = sel;
+            }
+            "--help" | "-h" => return Err(err(USAGE)),
+            other => return Err(err(format!("unknown sweep argument `{other}`\n\n{USAGE}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs a parsed `astra sweep` invocation: executes the selected series,
+/// prints the comparison tables, and writes the JSON report to
+/// `opts.out`. Returns the JSON.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the output file cannot be written.
+pub fn run_sweep(opts: &SweepOptions) -> Result<String, CliError> {
+    let report = astra_bench::throughput::run_selected(opts.quick, opts.series);
+    astra_bench::throughput::print(&report);
+    let json = report
+        .to_json()
+        .map_err(|e| err(format!("serialize: {e}")))?;
+    std::fs::write(&opts.out, &json)
+        .map_err(|e| err(format!("failed to write {}: {e}", opts.out)))?;
+    println!("\nwrote {}", opts.out);
+    Ok(json)
+}
+
 /// Renders a report as text or JSON per the options.
 pub fn render(opts: &CliOptions, report: &SimReport) -> String {
     if opts.json {
@@ -276,7 +376,12 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
                 "  \"exposed_local_mem_us\": {:.3},\n",
                 "  \"exposed_idle_us\": {:.3},\n",
                 "  \"collectives\": {},\n",
-                "  \"p2p_messages\": {}\n",
+                "  \"p2p_messages\": {},\n",
+                "  \"network_messages\": {},\n",
+                "  \"network_backend_setups\": {},\n",
+                "  \"network_events\": {},\n",
+                "  \"p2p_cache_hits\": {},\n",
+                "  \"train_serializations\": {}\n",
                 "}}"
             ),
             report.total_time.as_us_f64(),
@@ -287,12 +392,34 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
             b.exposed_idle.as_us_f64(),
             report.collectives,
             report.p2p_messages,
+            report.network.messages,
+            report.network.backend_setups,
+            report.network.events,
+            report.network.cache_hits,
+            report.network.train_serializations,
         )
     } else {
-        format!(
+        let mut text = format!(
             "total: {}\nbreakdown: {}\ncollectives: {}  p2p messages: {}",
             report.total_time, report.breakdown, report.collectives, report.p2p_messages
-        )
+        );
+        if report.p2p_messages > 0 {
+            let n = &report.network;
+            text.push_str(&format!(
+                "\nnetwork: {} setup(s)  {} events  {} cache hits",
+                n.backend_setups, n.events, n.cache_hits
+            ));
+            if n.train_serializations > 0 {
+                // The batched-transport approximation fired: concurrent
+                // trains that per-packet mode would interleave were
+                // serialized whole.
+                text.push_str(&format!(
+                    "  {} train serialization(s) (batched-mode approximation)",
+                    n.train_serializations
+                ));
+            }
+        }
+        text
     }
 }
 
@@ -410,21 +537,71 @@ mod tests {
     #[test]
     fn network_backends_run_pipeline_workload() {
         // `--pipeline` generates stage-to-stage sends — the traffic the
-        // `--network` backend routes; packet and batched must agree
-        // bit-identically, and every backend must drive the p2p path.
+        // `--network` backend routes; every backend must drive the p2p
+        // path in both engine integration modes.
         let base = "--topology R(8)@100 --workload gpt3 --pipeline 4 --network";
-        let run_with =
-            |backend: &str| run(&parse_args(&args(&format!("{base} {backend}"))).unwrap()).unwrap();
-        let analytical = run_with("analytical");
-        let packet = run_with("packet");
-        let batched = run_with("batched");
-        let flow = run_with("flow");
-        for report in [&analytical, &packet, &batched, &flow] {
-            assert!(report.p2p_messages > 0);
-            assert!(report.total_time > astra_core::Time::ZERO);
+        let run_with = |backend: &str, mode: &str| {
+            run(&parse_args(&args(&format!("{base} {backend} --p2p {mode}"))).unwrap()).unwrap()
+        };
+        for mode in ["async", "blocking"] {
+            for backend in ["analytical", "packet", "batched", "flow"] {
+                let report = run_with(backend, mode);
+                assert!(report.p2p_messages > 0, "{backend} {mode}");
+                assert!(
+                    report.total_time > astra_core::Time::ZERO,
+                    "{backend} {mode}"
+                );
+            }
         }
+        // Under the frozen blocking reference every probe train stays
+        // contiguous, so batched transport remains bit-identical to
+        // per-packet.
+        let packet = run_with("packet", "blocking");
+        let batched = run_with("batched", "blocking");
         assert_eq!(packet.total_time, batched.total_time);
         assert_eq!(packet.p2p_messages, batched.p2p_messages);
+        // Under the async path this 2-lane pipeline's multi-hop ring sends
+        // interleave packet-by-packet on shared links: batched transport
+        // serializes those trains (the counted approximation) and the
+        // packet backend models the contention the blocking probes miss.
+        let packet_async = run_with("packet", "async");
+        let batched_async = run_with("batched", "async");
+        assert!(batched_async.network.train_serializations > 0);
+        assert_eq!(batched_async.network.backend_setups, 1);
+        assert!(packet_async.total_time >= packet.total_time);
+    }
+
+    #[test]
+    fn p2p_mode_flag_parses_and_rejects_unknown() {
+        let opts = parse_args(&args(
+            "--topology R(8)@100 --workload gpt3 --pipeline 4 --p2p blocking",
+        ))
+        .unwrap();
+        assert_eq!(opts.p2p, Some(P2pMode::Blocking));
+        let e = parse_args(&args(
+            "--topology R(8)@100 --workload gpt3 --pipeline 4 --p2p eager",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("eager"));
+    }
+
+    #[test]
+    fn sweep_args_parse_and_validate() {
+        use astra_bench::throughput::SeriesSelection;
+        let opts =
+            parse_sweep_args(&args("--quick --out /tmp/x.json --series engine-p2p")).unwrap();
+        assert!(opts.quick);
+        assert_eq!(opts.out, "/tmp/x.json");
+        assert_eq!(
+            opts.series,
+            SeriesSelection::NONE.enable("engine-p2p").unwrap()
+        );
+        let all = parse_sweep_args(&[]).unwrap();
+        assert_eq!(all.series, SeriesSelection::ALL);
+        assert_eq!(all.out, "BENCH_sweep.json");
+        assert!(parse_sweep_args(&args("--series ladder")).is_err());
+        assert!(parse_sweep_args(&args("--frobnicate")).is_err());
+        assert!(parse_sweep_args(&args("--out")).is_err());
     }
 
     #[test]
@@ -481,6 +658,17 @@ mod tests {
         let text = render(&opts, &report);
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert!(v["total_us"].as_f64().unwrap() > 0.0);
+        // The network counters (incl. the batched-mode approximation
+        // signal) are part of the machine-readable surface.
+        for key in [
+            "network_messages",
+            "network_backend_setups",
+            "network_events",
+            "p2p_cache_hits",
+            "train_serializations",
+        ] {
+            assert!(v[key].as_f64().is_some(), "missing {key}");
+        }
     }
 
     #[test]
