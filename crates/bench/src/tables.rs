@@ -52,6 +52,62 @@ pub fn print_table3() {
     }
 }
 
+/// The Table V rows (disaggregated memory system configurations), built
+/// once from the presets — shared by [`print_table5`] and the sweep's
+/// machine-readable `table5` series so the two can never diverge.
+pub fn table5_rows() -> Vec<crate::throughput::Table5Row> {
+    let zinf = memory_presets::zero_infinity();
+    let base = memory_presets::hiermem_baseline();
+    let opt = memory_presets::hiermem_opt();
+    let gbps = |bw: astra_core::Bandwidth| format!("{:.0}", bw.as_gbps_f64());
+    let row = |parameter: &str, z: String, b: String, o: String| crate::throughput::Table5Row {
+        parameter: parameter.to_owned(),
+        zero_infinity: z,
+        hiermem_base: b,
+        hiermem_opt: o,
+    };
+    // Sanity: the presets implement the RemoteMemory API.
+    let _ = PoolArchitecture::ZeroInfinity(memory_presets::zero_infinity()).name();
+    vec![
+        row(
+            "GPU peak perf (TFLOPS)",
+            "2048".into(),
+            "2048".into(),
+            "2048".into(),
+        ),
+        row(
+            "GPU local HBM BW (GB/s)",
+            "4096".into(),
+            "4096".into(),
+            "4096".into(),
+        ),
+        row(
+            "In-node pooled fabric BW (GB/s)",
+            "-".into(),
+            gbps(base.config().in_node_bw),
+            gbps(opt.config().in_node_bw),
+        ),
+        row(
+            "Num out-node switches",
+            "-".into(),
+            base.config().out_switches.to_string(),
+            opt.config().out_switches.to_string(),
+        ),
+        row(
+            "Num remote memory groups",
+            zinf.gpus.to_string(),
+            base.config().remote_groups.to_string(),
+            opt.config().remote_groups.to_string(),
+        ),
+        row(
+            "Remote mem group BW (GB/s)",
+            gbps(zinf.nvme_bw),
+            gbps(base.config().remote_group_bw),
+            gbps(opt.config().remote_group_bw),
+        ),
+    ]
+}
+
 /// Prints Table V (disaggregated memory system configurations).
 pub fn print_table5() {
     println!("Table V — disaggregated memory system configurations");
@@ -59,45 +115,10 @@ pub fn print_table5() {
         "{:<34} {:>14} {:>16} {:>14}",
         "Parameter", "ZeRO-Infinity", "HierMem(base)", "HierMem(opt)"
     );
-    let zinf = memory_presets::zero_infinity();
-    let base = memory_presets::hiermem_baseline();
-    let opt = memory_presets::hiermem_opt();
-    println!(
-        "{:<34} {:>14} {:>16} {:>14}",
-        "GPU peak perf (TFLOPS)", 2048, 2048, 2048
-    );
-    println!(
-        "{:<34} {:>14} {:>16} {:>14}",
-        "GPU local HBM BW (GB/s)", 4096, 4096, 4096
-    );
-    println!(
-        "{:<34} {:>14} {:>16.0} {:>14.0}",
-        "In-node pooled fabric BW (GB/s)",
-        "-",
-        base.config().in_node_bw.as_gbps_f64(),
-        opt.config().in_node_bw.as_gbps_f64()
-    );
-    println!(
-        "{:<34} {:>14} {:>16} {:>14}",
-        "Num out-node switches",
-        "-",
-        base.config().out_switches,
-        opt.config().out_switches
-    );
-    println!(
-        "{:<34} {:>14} {:>16} {:>14}",
-        "Num remote memory groups",
-        zinf.gpus,
-        base.config().remote_groups,
-        opt.config().remote_groups
-    );
-    println!(
-        "{:<34} {:>14.0} {:>16.0} {:>14.0}",
-        "Remote mem group BW (GB/s)",
-        zinf.nvme_bw.as_gbps_f64(),
-        base.config().remote_group_bw.as_gbps_f64(),
-        opt.config().remote_group_bw.as_gbps_f64()
-    );
-    // Sanity: the presets implement the RemoteMemory API.
-    let _ = PoolArchitecture::ZeroInfinity(zinf).name();
+    for r in table5_rows() {
+        println!(
+            "{:<34} {:>14} {:>16} {:>14}",
+            r.parameter, r.zero_infinity, r.hiermem_base, r.hiermem_opt
+        );
+    }
 }

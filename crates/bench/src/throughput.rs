@@ -10,7 +10,8 @@
 //! `cargo run --release -p astra-bench --bin throughput`).
 
 use astra_core::{
-    simulate, DataSize, NetworkBackendKind, P2pMode, QueueBackend, SystemConfig, Topology,
+    experiments, simulate, CollectiveMode, DataSize, NetworkBackendKind, P2pMode, QueueBackend,
+    SystemConfig, Topology,
 };
 use astra_garnet::{collective_time, PacketSimConfig, TransportMode};
 use astra_workload::parallelism::{
@@ -121,6 +122,75 @@ pub struct EngineP2pRow {
     pub speedup: f64,
 }
 
+/// One backend-collective measurement: the identical chunked world
+/// All-Reduce priced by the closed-form collective engine
+/// (`CollectiveMode::Analytical`) and executed as a chunk-level send/recv
+/// program on the network backend (`CollectiveMode::Backend`). The runner
+/// asserts the two finishes agree within the documented modeling deltas on
+/// these uncongested switch topologies — the row records what the fidelity
+/// costs: backend events, chunk ops, and wall-clock.
+#[derive(Clone, Debug, Serialize)]
+pub struct CollectiveBackendRow {
+    /// Topology notation.
+    pub topology: String,
+    /// NPUs in the topology.
+    pub npus: usize,
+    /// All-Reduce payload in MiB.
+    pub payload_mib: u64,
+    /// Pipeline chunks the payload splits into.
+    pub chunks: u64,
+    /// Network backend executing the lowered program.
+    pub backend: String,
+    /// Chunk-level send/recv ops the program decomposed into.
+    pub collective_ops: u64,
+    /// Simulated finish under the closed form (µs).
+    pub analytical_us: f64,
+    /// Simulated finish under backend execution (µs).
+    pub backend_us: f64,
+    /// `backend_us / analytical_us` (gated near 1.0 on the 64-NPU case).
+    pub finish_ratio: f64,
+    /// Backend-internal events the execution processed (zero under the
+    /// closed form, which never touches the backend).
+    pub backend_net_events: u64,
+    /// Wall-clock of the closed-form mode (ms, best of N).
+    pub analytical_ms: f64,
+    /// Wall-clock of backend execution (ms, best of N).
+    pub backend_ms: f64,
+}
+
+/// One Fig. 11 bar in machine-readable form (the `fig11` sweep series).
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig11Row {
+    /// System name (Table V column).
+    pub system: String,
+    /// Compute time (ms).
+    pub compute_ms: f64,
+    /// Exposed communication (ms).
+    pub exposed_comm_ms: f64,
+    /// Exposed idle (ms).
+    pub exposed_idle_ms: f64,
+    /// Exposed local-memory time (ms).
+    pub exposed_local_ms: f64,
+    /// Exposed remote-memory time (ms).
+    pub exposed_remote_ms: f64,
+    /// End-to-end time (ms).
+    pub total_ms: f64,
+}
+
+/// One Table V parameter row in machine-readable form (the `table5`
+/// sweep series).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table5Row {
+    /// Parameter name.
+    pub parameter: String,
+    /// ZeRO-Infinity value (`-` where not applicable).
+    pub zero_infinity: String,
+    /// HierMem baseline value.
+    pub hiermem_base: String,
+    /// HierMem optimized value.
+    pub hiermem_opt: String,
+}
+
 /// Which comparison series a run should produce (the `astra sweep --series`
 /// flag maps onto this).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -133,15 +203,26 @@ pub struct SeriesSelection {
     pub packet_scale: bool,
     /// Async engine NetworkAPI vs the blocking probe reference.
     pub engine_p2p: bool,
+    /// Backend-executed collectives vs the closed-form collective engine.
+    pub collective_backend: bool,
+    /// Fig. 11 disaggregated-memory breakdown (paper experiment runner).
+    pub fig11: bool,
+    /// Table V configuration table (paper experiment runner).
+    pub table5: bool,
 }
 
 impl SeriesSelection {
-    /// Every series.
+    /// Every *throughput* series — the default for `astra sweep` and the
+    /// committed `BENCH_throughput.json`. The paper experiment runners
+    /// (`fig11`, `table5`) are opt-in via `--series`.
     pub const ALL: SeriesSelection = SeriesSelection {
         trace_generation: true,
         event_queue: true,
         packet_scale: true,
         engine_p2p: true,
+        collective_backend: true,
+        fig11: false,
+        table5: false,
     };
 
     /// No series (combine with [`SeriesSelection::enable`]).
@@ -150,10 +231,21 @@ impl SeriesSelection {
         event_queue: false,
         packet_scale: false,
         engine_p2p: false,
+        collective_backend: false,
+        fig11: false,
+        table5: false,
     };
 
     /// Stable machine-readable series names, in report order.
-    pub const NAMES: [&'static str; 4] = ["trace-gen", "event-queue", "packet-scale", "engine-p2p"];
+    pub const NAMES: [&'static str; 7] = [
+        "trace-gen",
+        "event-queue",
+        "packet-scale",
+        "engine-p2p",
+        "collective-backend",
+        "fig11",
+        "table5",
+    ];
 
     /// Enables the series named `name` (see [`SeriesSelection::NAMES`]).
     ///
@@ -166,6 +258,9 @@ impl SeriesSelection {
             "event-queue" => self.event_queue = true,
             "packet-scale" => self.packet_scale = true,
             "engine-p2p" => self.engine_p2p = true,
+            "collective-backend" => self.collective_backend = true,
+            "fig11" => self.fig11 = true,
+            "table5" => self.table5 = true,
             other => return Err(other.to_owned()),
         }
         Ok(self)
@@ -188,6 +283,12 @@ pub struct Report {
     pub packet_scale: Vec<PacketScaleRow>,
     /// Engine-NetworkAPI rows (async vs blocking p2p path).
     pub engine_p2p: Vec<EngineP2pRow>,
+    /// Backend-executed vs closed-form collective rows.
+    pub collective_backend: Vec<CollectiveBackendRow>,
+    /// Fig. 11 rows (empty unless the `fig11` series is selected).
+    pub fig11: Vec<Fig11Row>,
+    /// Table V rows (empty unless the `table5` series is selected).
+    pub table5: Vec<Table5Row>,
 }
 
 impl Report {
@@ -665,6 +766,127 @@ pub fn run_engine_p2p(quick: bool) -> Vec<EngineP2pRow> {
     rows
 }
 
+fn collective_backend_row(
+    notation: &str,
+    payload_mib: u64,
+    chunks: u64,
+    backend: NetworkBackendKind,
+    reps: usize,
+) -> CollectiveBackendRow {
+    let topo = Topology::parse(notation).expect("valid notation");
+    let trace = experiments::all_reduce_trace(topo.npus(), DataSize::from_mib(payload_mib));
+    let config = |mode| SystemConfig {
+        collective_mode: mode,
+        network_backend: backend,
+        collective_chunks: chunks,
+        ..SystemConfig::default()
+    };
+    let (analytical_ms, analytical) = best_ms(reps, || {
+        simulate(&trace, &topo, &config(CollectiveMode::Analytical)).unwrap()
+    });
+    let (backend_ms, executed) = best_ms(reps, || {
+        simulate(&trace, &topo, &config(CollectiveMode::Backend)).unwrap()
+    });
+    assert_eq!(analytical.collective_ops, 0, "closed form issues no ops");
+    assert!(executed.collective_ops > 0);
+    let finish_ratio = executed.total_time.as_us_f64() / analytical.total_time.as_us_f64();
+    // Uncongested single-tenant switch topology: backend execution must
+    // agree with the closed form to within the documented modeling deltas
+    // (DAG-vs-fluid pipeline fill below, store-and-forward above).
+    assert!(
+        (0.9..1.1).contains(&finish_ratio),
+        "collective modes diverged on {notation}: ratio {finish_ratio}"
+    );
+    CollectiveBackendRow {
+        topology: notation.to_owned(),
+        npus: topo.npus(),
+        payload_mib,
+        chunks,
+        backend: backend.name().to_owned(),
+        collective_ops: executed.collective_ops,
+        analytical_us: analytical.total_time.as_us_f64(),
+        backend_us: executed.total_time.as_us_f64(),
+        finish_ratio,
+        backend_net_events: executed.network.events,
+        analytical_ms,
+        backend_ms,
+    }
+}
+
+/// Backend-executed vs closed-form collectives (ROADMAP "packet-level
+/// collective execution inside the system engine"): the chunked world
+/// All-Reduce at 64–256 NPUs, decomposed into send/recv programs on the
+/// train-batched packet backend. Quick mode runs the 64-NPU case the CI
+/// gate checks.
+pub fn run_collective_backend(quick: bool) -> Vec<CollectiveBackendRow> {
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = vec![collective_backend_row(
+        "SW(8)@100_SW(8)@50",
+        64,
+        32,
+        NetworkBackendKind::Batched,
+        reps,
+    )];
+    if !quick {
+        rows.push(collective_backend_row(
+            "SW(16)@100_SW(8)@50",
+            64,
+            32,
+            NetworkBackendKind::Batched,
+            reps,
+        ));
+        rows.push(collective_backend_row(
+            "SW(16)@100_SW(16)@50",
+            64,
+            32,
+            NetworkBackendKind::Batched,
+            reps,
+        ));
+        // The fluid backend at the largest scale: bit-identical rates to
+        // the analytical equation on switch links.
+        rows.push(collective_backend_row(
+            "SW(16)@100_SW(16)@50",
+            64,
+            32,
+            NetworkBackendKind::Flow,
+            reps,
+        ));
+    }
+    rows
+}
+
+/// The Fig. 11 disaggregated-memory breakdown as sweep rows (paper
+/// experiment runner; `--series fig11`). Quick mode truncates the MoE
+/// model to two layers.
+pub fn run_fig11(quick: bool) -> Vec<Fig11Row> {
+    let trace = if quick {
+        let mut model = astra_core::models::moe_1t();
+        model.layers.truncate(2);
+        experiments::fig11_trace_for(&model)
+    } else {
+        experiments::fig11_trace()
+    };
+    crate::fig11::run_with_trace(&trace)
+        .into_iter()
+        .map(|row| Fig11Row {
+            system: row.system,
+            compute_ms: row.breakdown.compute.as_ms_f64(),
+            exposed_comm_ms: row.breakdown.exposed_comm.as_ms_f64(),
+            exposed_idle_ms: row.breakdown.exposed_idle.as_ms_f64(),
+            exposed_local_ms: row.breakdown.exposed_local_mem.as_ms_f64(),
+            exposed_remote_ms: row.breakdown.exposed_remote_mem.as_ms_f64(),
+            total_ms: row.total.as_ms_f64(),
+        })
+        .collect()
+}
+
+/// Table V configurations as sweep rows (paper experiment runner;
+/// `--series table5`). Pure preset data — identical in quick and full
+/// modes, and the same rows [`crate::tables::print_table5`] renders.
+pub fn run_table5() -> Vec<Table5Row> {
+    crate::tables::table5_rows()
+}
+
 /// Runs the full comparison. `quick` shrinks payloads and scales for CI
 /// smoke jobs; the committed `BENCH_throughput.json` uses the full mode.
 pub fn run(quick: bool) -> Report {
@@ -694,6 +916,21 @@ pub fn run_selected(quick: bool, series: SeriesSelection) -> Report {
         },
         engine_p2p: if series.engine_p2p {
             run_engine_p2p(quick)
+        } else {
+            Vec::new()
+        },
+        collective_backend: if series.collective_backend {
+            run_collective_backend(quick)
+        } else {
+            Vec::new()
+        },
+        fig11: if series.fig11 {
+            run_fig11(quick)
+        } else {
+            Vec::new()
+        },
+        table5: if series.table5 {
+            run_table5()
         } else {
             Vec::new()
         },
@@ -763,6 +1000,67 @@ pub fn print(report: &Report) {
             );
         }
     }
+    if !report.collective_backend.is_empty() {
+        println!("\n== collectives: backend-executed chunk programs vs closed form ==");
+        println!(
+            "{:<22} {:>5} {:>7} {:>9} {:>7} {:>11} {:>9} {:>10} {:>9}",
+            "Topology",
+            "NPUs",
+            "Chunks",
+            "Ops",
+            "Ratio",
+            "NetEvents",
+            "Anl(ms)",
+            "Bknd(ms)",
+            "Backend"
+        );
+        for r in &report.collective_backend {
+            println!(
+                "{:<22} {:>5} {:>7} {:>9} {:>7.3} {:>11} {:>9.2} {:>10.2} {:>9}",
+                r.topology,
+                r.npus,
+                r.chunks,
+                r.collective_ops,
+                r.finish_ratio,
+                r.backend_net_events,
+                r.analytical_ms,
+                r.backend_ms,
+                r.backend
+            );
+        }
+    }
+    if !report.fig11.is_empty() {
+        println!("\n== fig11: disaggregated-memory runtime breakdown (ms) ==");
+        println!(
+            "{:<20} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "System", "Compute", "ExpComm", "ExpIdle", "ExpLocal", "ExpRemote", "Total"
+        );
+        for r in &report.fig11 {
+            println!(
+                "{:<20} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                r.system,
+                r.compute_ms,
+                r.exposed_comm_ms,
+                r.exposed_idle_ms,
+                r.exposed_local_ms,
+                r.exposed_remote_ms,
+                r.total_ms
+            );
+        }
+    }
+    if !report.table5.is_empty() {
+        println!("\n== table5: disaggregated memory system configurations ==");
+        println!(
+            "{:<34} {:>14} {:>16} {:>14}",
+            "Parameter", "ZeRO-Infinity", "HierMem(base)", "HierMem(opt)"
+        );
+        for r in &report.table5 {
+            println!(
+                "{:<34} {:>14} {:>16} {:>14}",
+                r.parameter, r.zero_infinity, r.hiermem_base, r.hiermem_opt
+            );
+        }
+    }
     println!("\n== packet transport: batched trains vs per-packet (256 B All-Reduce) ==");
     println!(
         "{:<26} {:>5} {:>12} {:>11} {:>7} {:>10} {:>9} {:>9}",
@@ -794,6 +1092,10 @@ mod tests {
         assert!(!report.event_queue.is_empty());
         assert!(!report.packet_scale.is_empty());
         assert!(!report.engine_p2p.is_empty());
+        assert!(!report.collective_backend.is_empty());
+        // The paper experiment runners are opt-in, not part of ALL.
+        assert!(report.fig11.is_empty());
+        assert!(report.table5.is_empty());
         let json = report.to_json().unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert!(
@@ -803,6 +1105,12 @@ mod tests {
         assert!(v["event_queue"][0]["heap_ms"].as_f64().unwrap() >= 0.0);
         assert!(v["packet_scale"][0]["per_packet_events"].as_f64().unwrap() > 0.0);
         assert!(v["engine_p2p"][0]["blocking_setups"].as_f64().unwrap() > 1.0);
+        assert!(
+            v["collective_backend"][0]["collective_ops"]
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]
@@ -813,6 +1121,7 @@ mod tests {
         assert!(report.event_queue.is_empty());
         assert!(report.packet_scale.is_empty());
         assert!(!report.engine_p2p.is_empty());
+        assert!(report.collective_backend.is_empty());
         assert_eq!(
             SeriesSelection::NONE.enable("ladder-queue"),
             Err("ladder-queue".to_owned())
@@ -820,6 +1129,51 @@ mod tests {
         for name in SeriesSelection::NAMES {
             assert!(SeriesSelection::NONE.enable(name).is_ok());
         }
+    }
+
+    #[test]
+    fn paper_series_fold_into_the_report() {
+        let sel = SeriesSelection::NONE
+            .enable("fig11")
+            .unwrap()
+            .enable("table5")
+            .unwrap();
+        let report = run_selected(true, sel);
+        assert!(report.engine_p2p.is_empty());
+        // Three Table V systems, six Table V parameters.
+        assert_eq!(report.fig11.len(), 3);
+        assert_eq!(report.table5.len(), 6);
+        let json = report.to_json().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(v["fig11"][0]["total_ms"].as_f64().unwrap() > 0.0);
+        assert_eq!(
+            v["table5"][2]["parameter"].as_str().unwrap(),
+            "In-node pooled fabric BW (GB/s)"
+        );
+        // Every Fig. 11 bar's categories sum to its total.
+        for row in v["fig11"].as_array().unwrap() {
+            let sum = row["compute_ms"].as_f64().unwrap()
+                + row["exposed_comm_ms"].as_f64().unwrap()
+                + row["exposed_idle_ms"].as_f64().unwrap()
+                + row["exposed_local_ms"].as_f64().unwrap()
+                + row["exposed_remote_ms"].as_f64().unwrap();
+            let total = row["total_ms"].as_f64().unwrap();
+            assert!((sum - total).abs() < 1e-3, "{sum} vs {total}");
+        }
+    }
+
+    #[test]
+    fn collective_backend_gate_holds_on_64_npus() {
+        // The CI bench-smoke gate, in deterministic terms: backend-executed
+        // collectives decompose into chunks x phases send/recv ops, process
+        // backend events the closed form never pays, and land within 10%
+        // of the closed-form finish on the uncongested 64-NPU topology
+        // (asserted inside `collective_backend_row`).
+        let rows = run_collective_backend(true);
+        let row = rows.iter().find(|r| r.npus == 64).expect("64-NPU row");
+        assert_eq!(row.collective_ops, row.chunks * 4, "2 dims x 2 visits");
+        assert!(row.backend_net_events > 0);
+        assert!((0.9..1.1).contains(&row.finish_ratio));
     }
 
     #[test]

@@ -169,16 +169,18 @@ impl CollectiveEngine {
     }
 }
 
-/// One pipeline phase of one chunk.
+/// One pipeline phase of one chunk. Shared with the lowering subsystem
+/// (`crate::lowering`), which expands phases into backend-executable chunk
+/// ops using this exact arithmetic.
 #[derive(Clone, Debug)]
-struct Phase {
-    dim: usize,
+pub(crate) struct Phase {
+    pub(crate) dim: usize,
     /// Link occupancy (serialization) time: `traffic / dim bandwidth`.
-    service: Time,
+    pub(crate) service: Time,
     /// Propagation latency: delays this chunk's next phase but does not
     /// occupy the dimension (it overlaps with the next chunk's transfer).
-    latency: Time,
-    traffic: DataSize,
+    pub(crate) latency: Time,
+    pub(crate) traffic: DataSize,
 }
 
 /// Link-occupancy (serialization-only) time of one dimension phase — what
@@ -229,7 +231,7 @@ fn phase_cost_parts(
 /// Builds the phase sequence of one chunk for the given dimension visit
 /// order (§II-B): Reduce-Scatter phases ascend the order, All-Gather phases
 /// descend it; All-Reduce does both.
-fn chunk_phases(
+pub(crate) fn chunk_phases(
     collective: Collective,
     chunk_size: DataSize,
     dims: &[Dimension],

@@ -17,7 +17,12 @@
 //!   times and per-dimension traffic/busy accounting,
 //! * [`SchedulerPolicy`] — the fixed-order baseline scheduler and a
 //!   Themis-style greedy scheduler that balances load across dimensions
-//!   (§V-A.1, "greedy collective scheduler").
+//!   (§V-A.1, "greedy collective scheduler"),
+//! * [`lowering`] — expansion of a hierarchical collective into a
+//!   chunk-level send/recv program ([`CollectiveProgram`]) that the system
+//!   engine can execute on a network backend
+//!   ([`CollectiveMode::Backend`]), where it contends with concurrent
+//!   point-to-point traffic.
 //!
 //! # Example
 //!
@@ -34,10 +39,12 @@
 
 mod algorithm;
 mod engine;
+pub mod lowering;
 mod pattern;
 mod scheduler;
 
 pub use algorithm::Algorithm;
 pub use engine::{dimension_traffic, CollectiveEngine, CollectiveOutcome};
+pub use lowering::{ChunkOp, CollectiveMode, CollectiveProgram};
 pub use pattern::Collective;
 pub use scheduler::SchedulerPolicy;

@@ -186,6 +186,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects how collectives execute: the closed-form analytical
+    /// collective engine (default, the frozen fast path) or chunk-level
+    /// send/recv programs on the co-resident network backend
+    /// (`CollectiveMode::Backend`), where collective traffic contends with
+    /// concurrent p2p messages and other collectives.
+    pub fn collective_mode(mut self, mode: astra_collectives::CollectiveMode) -> Self {
+        self.config.collective_mode = mode;
+        self
+    }
+
     /// Sets the NPU compute roofline.
     pub fn roofline(mut self, roofline: Roofline) -> Self {
         self.config.roofline = roofline;

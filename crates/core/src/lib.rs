@@ -32,7 +32,8 @@ pub use builder::{BuildError, SimulationBuilder};
 
 // Re-export the layered API at the top level.
 pub use astra_collectives::{
-    dimension_traffic, Algorithm, Collective, CollectiveEngine, CollectiveOutcome, SchedulerPolicy,
+    dimension_traffic, lowering, Algorithm, ChunkOp, Collective, CollectiveEngine, CollectiveMode,
+    CollectiveOutcome, CollectiveProgram, SchedulerPolicy,
 };
 pub use astra_des::{Bandwidth, DataSize, QueueBackend, Time};
 pub use astra_memory::{

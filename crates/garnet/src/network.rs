@@ -553,6 +553,12 @@ impl NetworkBackend for PacketNetwork {
         AsyncMessageId(id.0 as u64)
     }
 
+    /// The packet simulator cannot schedule hops in its processed past:
+    /// new sends must enter at or after the internal clock.
+    fn earliest_send_time(&self) -> Time {
+        self.queue.now()
+    }
+
     fn next_event_time(&self) -> Option<Time> {
         self.queue.peek_time()
     }

@@ -72,6 +72,15 @@ pub struct FlowNetwork {
     route_ids: HashMap<(NpuId, NpuId), usize>,
     flows: Vec<FlowState>,
     active: Vec<usize>,
+    /// Flow index → its position in `active` (valid only while active).
+    /// Lets the incremental rate computation translate the per-link
+    /// member sets into positional rate slots without a scan.
+    position: Vec<usize>,
+    /// Per link: the active flows crossing it, maintained incrementally —
+    /// a flow arrival/departure touches only its own route's links, so a
+    /// re-share no longer rebuilds every route/membership from scratch
+    /// (`O(active × route)` per event) but reads the memoized sets.
+    link_members: Vec<Vec<usize>>,
     now_ps: f64,
     reshares: u64,
     completed: Vec<Completion>,
@@ -85,12 +94,16 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Builds the fluid simulator for `topo`.
     pub fn new(topo: &Topology) -> Self {
+        let graph = LinkGraph::new(topo);
+        let num_links = graph.num_links();
         FlowNetwork {
-            graph: LinkGraph::new(topo),
+            graph,
             routes: Vec::new(),
             route_ids: HashMap::new(),
             flows: Vec::new(),
             active: Vec::new(),
+            position: Vec::new(),
+            link_members: vec![Vec::new(); num_links],
             now_ps: 0.0,
             reshares: 0,
             completed: Vec::new(),
@@ -146,6 +159,7 @@ impl FlowNetwork {
                 finish: Some(self.now().max(at)),
                 tracked: false,
             });
+            self.position.push(usize::MAX);
             return id;
         }
         let latency = self.routes[route]
@@ -159,7 +173,12 @@ impl FlowNetwork {
             finish: None,
             tracked: false,
         });
+        self.position.push(self.active.len());
         self.active.push(id.0);
+        // Memoized membership: only this flow's own links change.
+        for &l in &self.routes[route] {
+            self.link_members[l.0].push(id.0);
+        }
         self.next_dep.set(None);
         id
     }
@@ -229,6 +248,7 @@ impl FlowNetwork {
             if flow.remaining <= 1e-6 {
                 let finish = now + flow.latency;
                 flow.finish = Some(finish);
+                let route = flow.route;
                 if flow.tracked {
                     self.completed.push(Completion {
                         id: AsyncMessageId(idx as u64),
@@ -236,6 +256,18 @@ impl FlowNetwork {
                     });
                 }
                 self.active.swap_remove(k);
+                if let Some(&moved) = self.active.get(k) {
+                    self.position[moved] = k;
+                }
+                // A departure touches only its own links' member sets.
+                for &l in &self.routes[route] {
+                    let members = &mut self.link_members[l.0];
+                    let at = members
+                        .iter()
+                        .position(|&m| m == idx)
+                        .expect("departing flow is a member of its links");
+                    members.swap_remove(at);
+                }
             }
         }
     }
@@ -263,19 +295,87 @@ impl FlowNetwork {
     }
 
     /// Max-min rates of the active set and the earliest drain interval
-    /// (seconds) under them. Works positionally over the active set so a
-    /// call costs O(active), not O(flows ever injected): `rates[k]`
-    /// belongs to `self.active[k]`. Shared by [`FlowNetwork::step`] and
-    /// the [`FlowNetwork::next_departure`] projection so the two can never
-    /// disagree.
+    /// (seconds) under them. Works positionally over the active set:
+    /// `rates[k]` belongs to `self.active[k]`. Shared by
+    /// [`FlowNetwork::step`] and the [`FlowNetwork::next_departure`]
+    /// projection so the two can never disagree.
+    ///
+    /// Progressive filling over the memoized per-link member sets
+    /// ([`FlowNetwork::link_members`]): crossing counts are maintained
+    /// while freezing instead of recomputed by scanning every route for
+    /// every link each round, so a re-share costs
+    /// `O(rounds × busy links + Σ frozen route lengths)` rather than the
+    /// reference's `O(rounds × links × active × route)`. Links are visited
+    /// in ascending id order and all flows frozen in one round subtract
+    /// the identical share, so the result is bit-identical to the frozen
+    /// [`max_min_rates`] reference (asserted in debug builds).
     fn active_rates(&self) -> (Vec<f64>, f64) {
-        let routes: Vec<&[LinkId]> = self
-            .active
-            .iter()
-            .map(|&i| self.routes[self.flows[i].route].as_slice())
+        let mut rates = vec![0.0f64; self.active.len()];
+        // Busy links in ascending id order — the reference's visit order.
+        let busy: Vec<usize> = (0..self.graph.num_links())
+            .filter(|&l| !self.link_members[l].is_empty())
             .collect();
-        let positions: Vec<usize> = (0..routes.len()).collect();
-        let rates = max_min_rates(&self.graph, &routes, &positions);
+        let mut residual: Vec<(usize, f64)> = busy
+            .iter()
+            .map(|&l| {
+                (
+                    l,
+                    self.graph.link(LinkId(l)).bandwidth.as_bytes_per_sec() as f64,
+                )
+            })
+            .collect();
+        let mut crossing: Vec<usize> = busy.iter().map(|&l| self.link_members[l].len()).collect();
+        // Scratch lookup: busy-link id -> slot in the vectors above.
+        let mut slot_of = vec![usize::MAX; self.graph.num_links()];
+        for (slot, &l) in busy.iter().enumerate() {
+            slot_of[l] = slot;
+        }
+        let mut frozen = vec![false; self.active.len()];
+        let mut unfrozen = self.active.len();
+        while unfrozen > 0 {
+            let mut bottleneck: Option<(f64, usize)> = None;
+            for (slot, &(_, capacity)) in residual.iter().enumerate() {
+                if crossing[slot] == 0 {
+                    continue;
+                }
+                let share = capacity / crossing[slot] as f64;
+                if bottleneck.is_none_or(|(s, _)| share < s) {
+                    bottleneck = Some((share, slot));
+                }
+            }
+            let Some((share, slot)) = bottleneck else {
+                break;
+            };
+            for mi in 0..self.link_members[residual[slot].0].len() {
+                let flow = self.link_members[residual[slot].0][mi];
+                let pos = self.position[flow];
+                if frozen[pos] {
+                    continue;
+                }
+                frozen[pos] = true;
+                unfrozen -= 1;
+                rates[pos] = share;
+                for &l in &self.routes[self.flows[flow].route] {
+                    let s = slot_of[l.0];
+                    let (_, capacity) = &mut residual[s];
+                    *capacity = (*capacity - share).max(0.0);
+                    crossing[s] -= 1;
+                }
+            }
+        }
+        debug_assert_eq!(
+            rates,
+            {
+                let routes: Vec<&[LinkId]> = self
+                    .active
+                    .iter()
+                    .map(|&i| self.routes[self.flows[i].route].as_slice())
+                    .collect();
+                let positions: Vec<usize> = (0..routes.len()).collect();
+                max_min_rates(&self.graph, &routes, &positions)
+            },
+            "incremental max-min diverged from the reference"
+        );
         let mut dt = f64::INFINITY;
         for (k, &i) in self.active.iter().enumerate() {
             if rates[k] > 0.0 {

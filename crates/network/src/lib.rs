@@ -138,6 +138,17 @@ pub trait NetworkBackend {
     /// backends and for self/empty messages).
     fn send_async(&mut self, at: Time, src: NpuId, dst: NpuId, size: DataSize) -> AsyncMessageId;
 
+    /// Earliest instant a new [`NetworkBackend::send_async`] may enter the
+    /// network. Closed-form and fluid backends accept any non-decreasing
+    /// time (the default, [`Time::ZERO`]); the store-and-forward packet
+    /// simulator cannot re-open its event history, so its floor is its
+    /// internal clock. Callers that compute a send time from a completion
+    /// (e.g. a NIC lane released *before* the completed message's last-hop
+    /// propagation) must clamp to this floor.
+    fn earliest_send_time(&self) -> Time {
+        Time::ZERO
+    }
+
     /// Earliest pending internal event, if any — the latest instant the
     /// caller may advance its own clock to before it must give the
     /// backend a chance to run ([`NetworkBackend::advance_until`]).

@@ -3,8 +3,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
-use astra_collectives::{CollectiveEngine, SchedulerPolicy};
+use astra_collectives::{
+    lowering, Collective, CollectiveEngine, CollectiveMode, CollectiveProgram, SchedulerPolicy,
+};
 use astra_des::{
     attribute_exclusive, DataSize, EventQueue, FifoResource, IntervalLog, QueueBackend, Time,
 };
@@ -18,6 +21,9 @@ use astra_topology::{BuildingBlock, Dimension, NpuId, Topology};
 use astra_workload::{EtOp, ExecutionTrace, Roofline, TensorLocation};
 
 use crate::{Breakdown, SimReport};
+
+/// A memoized lowered program plus its reverse dependency adjacency.
+type MemoizedProgram = (Rc<CollectiveProgram>, Rc<Vec<Vec<u32>>>);
 
 /// System-layer configuration (Fig. 1c "System Parameters").
 #[derive(Clone, Debug)]
@@ -61,6 +67,18 @@ pub struct SystemConfig {
     /// (packet/batched/flow; the closed-form analytical backend agrees in
     /// both modes unconditionally). Pinned by `tests/p2p_paths.rs`.
     pub p2p_mode: P2pMode,
+    /// How collectives execute: [`CollectiveMode::Analytical`] (the frozen
+    /// closed-form fast path, the default) or [`CollectiveMode::Backend`]
+    /// (each collective is lowered to a chunk-level send/recv program —
+    /// `astra_collectives::lowering` — and executed on the co-resident
+    /// network backend, where its chunk ops contend with concurrent p2p
+    /// messages and other collectives on one shared clock).
+    ///
+    /// Backend execution requires [`P2pMode::Async`] (the program rides
+    /// the `send_async`/completion path) and always lowers the baseline
+    /// ascending dimension order (the Themis planner only applies to the
+    /// analytical fast path); `simulate` rejects the invalid combinations.
+    pub collective_mode: CollectiveMode,
 }
 
 impl Default for SystemConfig {
@@ -74,6 +92,7 @@ impl Default for SystemConfig {
             queue_backend: QueueBackend::default(),
             network_backend: NetworkBackendKind::default(),
             p2p_mode: P2pMode::default(),
+            collective_mode: CollectiveMode::default(),
         }
     }
 }
@@ -115,6 +134,15 @@ pub enum SimError {
         /// Index of the offending group.
         group: usize,
     },
+    /// [`CollectiveMode::Backend`] was combined with [`P2pMode::Blocking`]:
+    /// backend-executed collectives ride the async `send_async`/completion
+    /// path and have no blocking equivalent.
+    BackendCollectivesNeedAsyncP2p,
+    /// [`CollectiveMode::Backend`] was combined with
+    /// [`SchedulerPolicy::Themis`]: backend execution lowers the baseline
+    /// ascending dimension order; the Themis planner only reorders the
+    /// analytical fast path.
+    BackendCollectivesNeedBaselineScheduler,
 }
 
 impl fmt::Display for SimError {
@@ -130,6 +158,15 @@ impl fmt::Display for SimError {
             SimError::UnalignedGroup { group } => write!(
                 f,
                 "communicator group {group} is not aligned to the topology dimension grid"
+            ),
+            SimError::BackendCollectivesNeedAsyncP2p => write!(
+                f,
+                "backend collective execution needs the async NetworkAPI (p2p mode `async`)"
+            ),
+            SimError::BackendCollectivesNeedBaselineScheduler => write!(
+                f,
+                "backend collective execution lowers the baseline dimension order; \
+                 the Themis scheduler only applies to analytical collectives"
             ),
         }
     }
@@ -156,6 +193,18 @@ enum EngineEvent {
     /// This source's NIC lane just freed: inject its next queued p2p
     /// message (async path only).
     InjectP2p(NpuId),
+    /// A chunk op's dependencies are all complete at this instant: hand it
+    /// to its source NIC lane. Readiness is an engine event (not applied
+    /// at completion-drain time) so lane FIFO order always equals ready
+    /// order — closed-form backends resolve dependency completions far in
+    /// the simulated future, and enqueueing those dependents immediately
+    /// would let a not-yet-ready op block the lane head.
+    ChunkReady {
+        /// Running-collective instance id.
+        coll: u32,
+        /// Op id within the instance's program.
+        op: u32,
+    },
 }
 
 struct Meeting {
@@ -181,10 +230,80 @@ struct InFlightP2p {
     recv_ready: Time,
 }
 
+/// One chunk-level op of a backend-executed collective, bound to its
+/// representative wire endpoints.
+struct ChunkSend {
+    /// Running-collective instance id.
+    coll: u32,
+    /// Op id within the instance's program.
+    op: u32,
+    src: NpuId,
+    dst: NpuId,
+    size: DataSize,
+    /// When the op's dependencies (including their extra step latency)
+    /// completed — the earliest instant it may enter the wire.
+    ready: Time,
+}
+
+/// A resolved message bound for the source's NIC lane: a peer-to-peer
+/// send/recv pair or one chunk op of a backend-executed collective. Both
+/// kinds share the lane (and therefore serialize against each other),
+/// which is exactly how collective and p2p traffic from one NPU contend.
+enum Outbound {
+    Peer(InFlightP2p),
+    Chunk(ChunkSend),
+}
+
+impl Outbound {
+    fn src(&self) -> NpuId {
+        match self {
+            Outbound::Peer(m) => m.src,
+            Outbound::Chunk(c) => c.src,
+        }
+    }
+
+    /// Earliest instant the message may enter the wire.
+    fn ready(&self) -> Time {
+        match self {
+            Outbound::Peer(m) => m.send_ready.max(m.recv_ready),
+            Outbound::Chunk(c) => c.ready,
+        }
+    }
+
+    fn dst_size(&self) -> (NpuId, DataSize) {
+        match self {
+            Outbound::Peer(m) => (m.dst, m.size),
+            Outbound::Chunk(c) => (c.dst, c.size),
+        }
+    }
+}
+
+/// A backend-executed collective in flight: the lowered program plus the
+/// executor's dependency counters and the meeting it resumes on finish.
+struct RunningCollective {
+    arrivals: Vec<(NpuId, u32, Time)>,
+    program: Rc<CollectiveProgram>,
+    dependents: Rc<Vec<Vec<u32>>>,
+    remaining_deps: Vec<u32>,
+    /// Per op: latest dependency completion seen so far — the op's ready
+    /// instant once its counter reaches zero.
+    ready: Vec<Time>,
+    remaining_ops: usize,
+    /// Per local dimension: the bound `(src, dst)` wire endpoints.
+    endpoints: Vec<(NpuId, NpuId)>,
+    /// Running maximum of op completions (incl. extra step latency).
+    finish: Time,
+}
+
 struct GroupSpan {
     rep: NpuId,
-    /// (global dimension index, effective sub-dimension) pairs.
-    dims: Vec<(usize, Dimension)>,
+    /// Per spanned dimension: the global dimension index, the effective
+    /// sub-dimension, and the representative `(src, dst)` wire endpoints
+    /// used by backend-executed chunk ops — the two lowest-coordinate
+    /// members along the dimension through the representative, so each
+    /// dimension's ops serialize on a distinct source NIC lane while
+    /// different dimensions (and sibling groups) stream in parallel.
+    dims: Vec<(usize, Dimension, (NpuId, NpuId))>,
 }
 
 /// Simulates one execution trace on a topology, returning the end-to-end
@@ -219,6 +338,14 @@ pub fn simulate(
             topology: topo.npus(),
         });
     }
+    if config.collective_mode == CollectiveMode::Backend {
+        if config.p2p_mode == P2pMode::Blocking {
+            return Err(SimError::BackendCollectivesNeedAsyncP2p);
+        }
+        if config.scheduler == SchedulerPolicy::Themis {
+            return Err(SimError::BackendCollectivesNeedBaselineScheduler);
+        }
+    }
     let uses_remote = (0..trace.npus()).any(|n| {
         trace.program(n).iter().any(|node| {
             matches!(
@@ -249,6 +376,7 @@ pub fn simulate(
 fn group_span(topo: &Topology, members: &[NpuId]) -> Option<GroupSpan> {
     assert!(!members.is_empty(), "empty communicator group");
     let rep = members[0];
+    let rep_coords = topo.coords(rep);
     let mut dims = Vec::new();
     let mut product = 1usize;
     for dim_idx in 0..topo.num_dims() {
@@ -264,11 +392,33 @@ fn group_span(topo: &Topology, members: &[NpuId]) -> Option<GroupSpan> {
                 BuildingBlock::FullyConnected(_) => BuildingBlock::FullyConnected(distinct),
                 BuildingBlock::Switch(_) => BuildingBlock::Switch(distinct),
             };
+            // Representative wire endpoints for backend-executed chunk
+            // ops: the two lowest-coordinate members on the line through
+            // the representative along this dimension (adjacent for
+            // contiguous groups, so the wire covers exactly the
+            // algorithm's per-step hop).
+            let mut line: Vec<(usize, NpuId)> = members
+                .iter()
+                .filter(|&&m| {
+                    let c = topo.coords(m);
+                    c.iter()
+                        .enumerate()
+                        .all(|(d, &v)| d == dim_idx || v == rep_coords[d])
+                })
+                .map(|&m| (topo.coords(m)[dim_idx], m))
+                .collect();
+            line.sort_unstable();
+            if line.len() < 2 {
+                // The members cannot form a sub-grid.
+                return None;
+            }
+            let endpoints = (line[1].1, line[0].1);
             dims.push((
                 dim_idx,
                 Dimension::new(block)
                     .with_bandwidth(base.bandwidth())
                     .with_link_latency(base.link_latency()),
+                endpoints,
             ));
         }
     }
@@ -302,7 +452,7 @@ struct Engine<'a> {
     meetings: HashMap<(u32, u64), Meeting>,
     group_counters: HashMap<(NpuId, u32), u64>,
     p2p_pending: HashMap<(NpuId, NpuId, u64), P2pPending>,
-    in_flight: HashMap<AsyncMessageId, InFlightP2p>,
+    in_flight: HashMap<AsyncMessageId, Outbound>,
     /// Per source (async path; the blocking path models the same NIC lane
     /// with `p2p_res`): whether an injected message's completion is still
     /// undiscovered, when the lane is known to free, and the messages
@@ -310,8 +460,18 @@ struct Engine<'a> {
     /// the queue is non-empty and the lane is not occupied.
     nic_occupied: Vec<bool>,
     nic_free: Vec<Time>,
-    nic_queue: Vec<VecDeque<InFlightP2p>>,
+    nic_queue: Vec<VecDeque<Outbound>>,
     completions: Vec<Completion>,
+
+    /// Backend-executed collectives in flight (`CollectiveMode::Backend`),
+    /// keyed by instance id.
+    running_collectives: HashMap<u32, RunningCollective>,
+    next_collective: u32,
+    /// Lowered programs memoized per `(group, collective, size)` — a
+    /// training loop re-issues the same collective every iteration/layer,
+    /// so lowering runs once per distinct shape.
+    program_memo: HashMap<(u32, Collective, DataSize), MemoizedProgram>,
+    chunk_ops: u64,
 
     collectives: u64,
     p2p_messages: u64,
@@ -366,6 +526,10 @@ impl<'a> Engine<'a> {
             nic_free: vec![Time::ZERO; npus],
             nic_queue: (0..npus).map(|_| VecDeque::new()).collect(),
             completions: Vec::new(),
+            running_collectives: HashMap::new(),
+            next_collective: 0,
+            program_memo: HashMap::new(),
+            chunk_ops: 0,
             collectives: 0,
             p2p_messages: 0,
             net_stats: NetworkStats::default(),
@@ -429,6 +593,9 @@ impl<'a> Engine<'a> {
                         .expect("a queued message scheduled this injection");
                     self.inject_p2p(msg, now);
                 }
+                EngineEvent::ChunkReady { coll, op } => {
+                    self.enqueue_chunk_op(coll, op, now);
+                }
             }
             self.drain_network();
         }
@@ -456,11 +623,16 @@ impl<'a> Engine<'a> {
         if let Some(net) = &self.network {
             network.merge(&net.stats());
         }
+        debug_assert!(
+            self.running_collectives.is_empty(),
+            "backend-executed collectives left unfinished"
+        );
         Ok(SimReport {
             total_time: horizon,
             breakdown,
             per_npu_finish: self.finish,
             collectives: self.collectives,
+            collective_ops: self.chunk_ops,
             p2p_messages: self.p2p_messages,
             network,
         })
@@ -563,15 +735,22 @@ impl<'a> Engine<'a> {
                 } => (collective, size),
                 _ => unreachable!("meeting nodes are collectives"),
             };
+        if self.config.collective_mode == CollectiveMode::Backend
+            && !span.dims.is_empty()
+            && size != DataSize::ZERO
+        {
+            self.launch_backend_collective(group, collective, size, start, meeting.arrivals);
+            return;
+        }
         let finish = if span.dims.is_empty() {
             // Single-member group: nothing to communicate.
             start
         } else {
-            let dims: Vec<Dimension> = span.dims.iter().map(|&(_, d)| d).collect();
+            let dims: Vec<Dimension> = span.dims.iter().map(|&(_, d, _)| d).collect();
             let available: Vec<Time> = span
                 .dims
                 .iter()
-                .map(|&(dim_idx, _)| {
+                .map(|&(dim_idx, _, _)| {
                     self.lanes
                         .get(&(span.rep, dim_idx))
                         .copied()
@@ -581,7 +760,7 @@ impl<'a> Engine<'a> {
             let outcome = self
                 .collective_engine
                 .run_at(collective, size, &dims, start, &available);
-            for (&(dim_idx, _), &free) in span.dims.iter().zip(&outcome.free_at) {
+            for (&(dim_idx, _, _), &free) in span.dims.iter().zip(&outcome.free_at) {
                 self.lanes.insert((span.rep, dim_idx), free);
             }
             outcome.finish
@@ -592,6 +771,121 @@ impl<'a> Engine<'a> {
             }
             self.queue
                 .schedule_at(finish, EngineEvent::Node(Event { npu, node }));
+        }
+    }
+
+    /// Lowers a collective to its chunk-level program and starts executing
+    /// it on the co-resident network backend: every op whose dependencies
+    /// are already satisfied enters its source's NIC lane at the meeting's
+    /// rendezvous instant; the rest issue from completion callbacks.
+    fn launch_backend_collective(
+        &mut self,
+        group: u32,
+        collective: Collective,
+        size: DataSize,
+        start: Time,
+        arrivals: Vec<(NpuId, u32, Time)>,
+    ) {
+        let span = &self.spans[group as usize];
+        let endpoints: Vec<(NpuId, NpuId)> = span.dims.iter().map(|&(_, _, ep)| ep).collect();
+        let (program, dependents) = match self.program_memo.get(&(group, collective, size)) {
+            Some((p, d)) => (Rc::clone(p), Rc::clone(d)),
+            None => {
+                let dims: Vec<Dimension> = span.dims.iter().map(|&(_, d, _)| d).collect();
+                let program = Rc::new(lowering::lower(
+                    collective,
+                    size,
+                    &dims,
+                    self.config.collective_chunks,
+                ));
+                let dependents = Rc::new(program.dependents());
+                self.program_memo.insert(
+                    (group, collective, size),
+                    (Rc::clone(&program), Rc::clone(&dependents)),
+                );
+                (program, dependents)
+            }
+        };
+        let id = self.next_collective;
+        self.next_collective += 1;
+        let remaining_deps: Vec<u32> = program
+            .ops()
+            .iter()
+            .map(|op| op.deps.len() as u32)
+            .collect();
+        let total = program.ops().len();
+        let roots: Vec<u32> = program
+            .ops()
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.deps.is_empty())
+            .map(|(idx, _)| idx as u32)
+            .collect();
+        self.running_collectives.insert(
+            id,
+            RunningCollective {
+                arrivals,
+                program,
+                dependents,
+                remaining_deps,
+                ready: vec![start; total],
+                remaining_ops: total,
+                endpoints,
+                finish: start,
+            },
+        );
+        // The meeting completes at the engine's current instant, so root
+        // ops are ready right now.
+        for op in roots {
+            self.enqueue_chunk_op(id, op, start);
+        }
+    }
+
+    /// Binds a ready chunk op to its wire endpoints and hands it to the
+    /// source's NIC lane.
+    fn enqueue_chunk_op(&mut self, coll: u32, op: u32, ready: Time) {
+        let rc = &self.running_collectives[&coll];
+        let meta = &rc.program.ops()[op as usize];
+        let (src, dst) = rc.endpoints[meta.dim];
+        let size = meta.size;
+        self.chunk_ops += 1;
+        self.enqueue_outbound(Outbound::Chunk(ChunkSend {
+            coll,
+            op,
+            src,
+            dst,
+            size,
+            ready,
+        }));
+    }
+
+    /// Hands a resolved message to its source's NIC lane: inject now if
+    /// the lane is idle and the message is ready, otherwise queue behind
+    /// it (the lane's completion or the pending `InjectP2p` event drains
+    /// the queue in FIFO order).
+    ///
+    /// Injection never runs ahead of the engine clock: a message whose
+    /// ready time (or lane-free time) lies in the simulated future —
+    /// closed-form backends resolve completions, and therefore chunk-op
+    /// dependencies, at send time — waits for an `InjectP2p` event at that
+    /// instant. Handing the backend a future send would violate the
+    /// shared-clock invariant (the fluid backend would advance its clock
+    /// past other arrivals still queued in the engine).
+    fn enqueue_outbound(&mut self, msg: Outbound) {
+        let src = msg.src();
+        let ready = msg.ready();
+        if self.nic_occupied[src] || !self.nic_queue[src].is_empty() {
+            // An InjectP2p follow-up is (or will be) scheduled by the
+            // occupying message's completion.
+            self.nic_queue[src].push_back(msg);
+            return;
+        }
+        let at = ready.max(self.nic_free[src]);
+        if at > self.queue.now() {
+            self.nic_queue[src].push_back(msg);
+            self.queue.schedule_at(at, EngineEvent::InjectP2p(src));
+        } else {
+            self.inject_p2p(msg, at);
         }
     }
 
@@ -613,7 +907,7 @@ impl<'a> Engine<'a> {
                 // the blocking path's `p2p_res`), so the two paths only
                 // diverge on *cross-source* overlap — genuine network
                 // contention.
-                let msg = InFlightP2p {
+                self.enqueue_outbound(Outbound::Peer(InFlightP2p {
                     src,
                     dst,
                     size,
@@ -621,21 +915,7 @@ impl<'a> Engine<'a> {
                     recv_node,
                     send_ready,
                     recv_ready,
-                };
-                if self.nic_occupied[src] || !self.nic_queue[src].is_empty() {
-                    // An InjectP2p follow-up is (or will be) scheduled by
-                    // the occupying message's completion.
-                    self.nic_queue[src].push_back(msg);
-                } else if ready >= self.nic_free[src] {
-                    self.inject_p2p(msg, ready);
-                } else {
-                    // The lane's last message completed in the simulated
-                    // future (closed-form backends discover completions at
-                    // send time): inject when the clock reaches it.
-                    let free = self.nic_free[src];
-                    self.nic_queue[src].push_back(msg);
-                    self.queue.schedule_at(free, EngineEvent::InjectP2p(src));
-                }
+                }));
             }
             P2pMode::Blocking => {
                 // Frozen reference: a fresh backend sub-simulation measures
@@ -668,18 +948,30 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Hands a resolved message to the async backend at `at` (the engine's
-    /// current instant), occupying the source's NIC lane.
-    fn inject_p2p(&mut self, msg: InFlightP2p, at: Time) {
-        self.nic_occupied[msg.src] = true;
-        let id = self
-            .network_mut()
-            .send_async(at, msg.src, msg.dst, msg.size);
+    /// Hands a resolved message to the async backend at `at` (never ahead
+    /// of the engine clock — see [`Engine::enqueue_outbound`]), occupying
+    /// the source's NIC lane.
+    fn inject_p2p(&mut self, msg: Outbound, at: Time) {
+        let src = msg.src();
+        debug_assert!(at >= msg.ready(), "message injected before it is ready");
+        let (dst, size) = msg.dst_size();
+        self.nic_occupied[src] = true;
+        let net = self.network_mut();
+        // A chunk op's lane can free before its predecessor's last-hop
+        // propagation completed; the store-and-forward backend cannot
+        // re-open that history, so the send clamps to its clock floor.
+        let at = at.max(net.earliest_send_time());
+        let id = net.send_async(at, src, dst, size);
         self.in_flight.insert(id, msg);
     }
 
-    /// Collects completion callbacks from the async backend and schedules
-    /// the paired graph nodes at their finish times on the engine queue.
+    /// Collects completion callbacks from the async backend and applies
+    /// them. One pass suffices: completion processing only *schedules
+    /// engine events* (Node, InjectP2p, ChunkReady) and never injects a
+    /// new send synchronously, so no new completions can appear until the
+    /// main loop pops one of those events — which keeps the engine queue
+    /// non-empty whenever work remains, and calls back here after every
+    /// pop.
     fn drain_network(&mut self) {
         let Some(net) = self.network.as_mut() else {
             return;
@@ -692,39 +984,103 @@ impl<'a> Engine<'a> {
         self.completions = batch;
     }
 
-    /// Resumes the send/recv nodes of a completed async message, logging
-    /// the same communication intervals the blocking path would.
+    /// Resumes whatever waited on a completed async message: the paired
+    /// send/recv graph nodes for p2p traffic, the dependent chunk ops (and
+    /// eventually the meeting) for a backend-executed collective.
     fn finish_p2p(&mut self, c: Completion) {
         let msg = self
             .in_flight
             .remove(&c.id)
-            .expect("completion matches an in-flight p2p message");
-        self.logs[msg.src][COMM].push(msg.send_ready, c.finish);
-        if c.finish > msg.recv_ready {
-            self.logs[msg.dst][COMM].push(msg.recv_ready, c.finish);
+            .expect("completion matches an in-flight message");
+        match msg {
+            Outbound::Peer(msg) => {
+                self.logs[msg.src][COMM].push(msg.send_ready, c.finish);
+                if c.finish > msg.recv_ready {
+                    self.logs[msg.dst][COMM].push(msg.recv_ready, c.finish);
+                }
+                self.queue.schedule_at(
+                    c.finish,
+                    EngineEvent::Node(Event {
+                        npu: msg.src,
+                        node: msg.send_node,
+                    }),
+                );
+                self.queue.schedule_at(
+                    c.finish,
+                    EngineEvent::Node(Event {
+                        npu: msg.dst,
+                        node: msg.recv_node,
+                    }),
+                );
+                self.release_nic(msg.src, c.finish);
+            }
+            Outbound::Chunk(chunk) => self.finish_chunk_op(chunk, c.finish),
         }
-        self.queue.schedule_at(
-            c.finish,
-            EngineEvent::Node(Event {
-                npu: msg.src,
-                node: msg.send_node,
-            }),
-        );
-        self.queue.schedule_at(
-            c.finish,
-            EngineEvent::Node(Event {
-                npu: msg.dst,
-                node: msg.recv_node,
-            }),
-        );
-        // The source's NIC lane frees at the finish instant (which can lie
-        // in the simulated future for closed-form backends): inject the
-        // next queued same-source message when the engine clock gets there.
-        self.nic_occupied[msg.src] = false;
-        self.nic_free[msg.src] = c.finish;
-        if !self.nic_queue[msg.src].is_empty() {
+    }
+
+    /// Frees a source NIC lane at `free` (which can lie in the simulated
+    /// future for closed-form backends, or — for chunk ops, whose lane
+    /// releases `wire_latency` early — slightly in the simulated past):
+    /// the next queued same-source message injects when the engine clock
+    /// gets there.
+    fn release_nic(&mut self, src: NpuId, free: Time) {
+        self.nic_occupied[src] = false;
+        self.nic_free[src] = free;
+        if !self.nic_queue[src].is_empty() {
             self.queue
-                .schedule_at(c.finish, EngineEvent::InjectP2p(msg.src));
+                .schedule_at(free.max(self.queue.now()), EngineEvent::InjectP2p(src));
+        }
+    }
+
+    /// Applies a completed chunk op: releases the lane `wire_latency`
+    /// before the wire completion (propagation does not occupy the
+    /// dimension, exactly as in the closed-form engine), triggers
+    /// dependents `extra_latency` after it, and — once the program drains
+    /// — resumes the meeting's graph nodes at the collective's finish.
+    fn finish_chunk_op(&mut self, chunk: ChunkSend, wire_finish: Time) {
+        let rc = self
+            .running_collectives
+            .get_mut(&chunk.coll)
+            .expect("chunk op belongs to a running collective");
+        let meta = &rc.program.ops()[chunk.op as usize];
+        let lane_free = wire_finish.saturating_sub(meta.wire_latency);
+        let done = wire_finish + meta.extra_latency;
+        rc.finish = rc.finish.max(done);
+        rc.remaining_ops -= 1;
+        let finished = rc.remaining_ops == 0;
+        let coll = chunk.coll;
+        // Dependents become ready `extra_latency` after the wire finish —
+        // via a ChunkReady event, never by direct enqueue: closed-form
+        // backends report `done` far ahead of the engine clock, and an op
+        // queued before its ready instant could block its lane's FIFO head
+        // while later-queued ops are already ready.
+        for &d in &Rc::clone(&rc.dependents)[chunk.op as usize] {
+            let rc = self
+                .running_collectives
+                .get_mut(&coll)
+                .expect("still running");
+            rc.ready[d as usize] = rc.ready[d as usize].max(done);
+            let slot = &mut rc.remaining_deps[d as usize];
+            *slot -= 1;
+            if *slot == 0 {
+                let at = rc.ready[d as usize];
+                self.queue
+                    .schedule_at(at, EngineEvent::ChunkReady { coll, op: d });
+            }
+        }
+        self.release_nic(chunk.src, lane_free);
+        if finished {
+            let rc = self
+                .running_collectives
+                .remove(&chunk.coll)
+                .expect("last op removes the instance");
+            for (npu, node, ready) in rc.arrivals {
+                if rc.finish > ready {
+                    self.logs[npu][COMM].push(ready, rc.finish);
+                }
+                self.queue
+                    .schedule_at(rc.finish, EngineEvent::Node(Event { npu, node }));
+            }
         }
     }
 }
@@ -791,14 +1147,14 @@ mod tests {
         let topo = topo512();
         // Contiguous 16-NPU group: spans dims 0 (k=2) and 1 (k=8).
         let span = group_span(&topo, &(0..16).collect::<Vec<_>>()).unwrap();
-        let dims: Vec<usize> = span.dims.iter().map(|&(d, _)| d).collect();
+        let dims: Vec<usize> = span.dims.iter().map(|&(d, _, _)| d).collect();
         assert_eq!(dims, vec![0, 1]);
         assert_eq!(span.dims[0].1.npus(), 2);
         assert_eq!(span.dims[1].1.npus(), 8);
         // Strided DP group: spans dims 2 and 3.
         let dp: Vec<usize> = (0..32).map(|i| i * 16).collect();
         let span = group_span(&topo, &dp).unwrap();
-        let dims: Vec<usize> = span.dims.iter().map(|&(d, _)| d).collect();
+        let dims: Vec<usize> = span.dims.iter().map(|&(d, _, _)| d).collect();
         assert_eq!(dims, vec![2, 3]);
     }
 

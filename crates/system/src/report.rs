@@ -69,6 +69,10 @@ pub struct SimReport {
     pub per_npu_finish: Vec<Time>,
     /// Number of collective instances executed.
     pub collectives: u64,
+    /// Chunk-level send/recv ops issued for backend-executed collectives
+    /// (`CollectiveMode::Backend`); zero under the closed-form analytical
+    /// collective path.
+    pub collective_ops: u64,
     /// Number of peer-to-peer messages delivered.
     pub p2p_messages: u64,
     /// Network-backend work counters for the p2p path: backend setups

@@ -7,8 +7,8 @@
 //! ```
 
 use astra_core::{
-    simulate, NetworkBackendKind, P2pMode, Parallelism, PoolArchitecture, QueueBackend, Roofline,
-    SchedulerPolicy, SimReport, SystemConfig, Topology,
+    simulate, CollectiveMode, NetworkBackendKind, P2pMode, Parallelism, PoolArchitecture,
+    QueueBackend, Roofline, SchedulerPolicy, SimReport, SystemConfig, Topology,
 };
 use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
 use std::error::Error;
@@ -44,6 +44,9 @@ pub struct CliOptions {
     /// How the engine drives the network backend: `async` (default) or
     /// `blocking` (the frozen per-message-probe reference).
     pub p2p: Option<P2pMode>,
+    /// How collectives execute: `analytical` (closed form, default) or
+    /// `backend` (chunk-level send/recv programs on the network backend).
+    pub collectives: Option<CollectiveMode>,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
 }
@@ -98,6 +101,11 @@ OPTIONS:
                             co-resident messages on one shared clock) |
                             blocking (frozen reference: one fresh backend
                             probe per message, no cross-message contention)
+    --collectives <MODE>    collective execution: analytical (default,
+                            closed-form multi-rail engine) | backend
+                            (chunk-level send/recv programs executed on the
+                            --network backend, contending with p2p traffic;
+                            requires --p2p async and the baseline scheduler)
     --json                  machine-readable output
     --help                  this text
 
@@ -106,8 +114,10 @@ SWEEP (throughput benchmark runner, writes BENCH_throughput.json-style JSON):
     --quick                 CI-sized payloads and scales
     --out <PATH>            output JSON path (default BENCH_sweep.json)
     --series <LIST>         comma-separated subset of
-                            trace-gen,event-queue,packet-scale,engine-p2p
-                            (default: all)
+                            trace-gen,event-queue,packet-scale,engine-p2p,
+                            collective-backend,fig11,table5 (default: the
+                            five throughput series; fig11/table5 fold the
+                            paper experiment runners into the JSON)
 ";
 
 /// Parses raw arguments (without the program name).
@@ -130,6 +140,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         queue: None,
         network: None,
         p2p: None,
+        collectives: None,
         json: false,
     };
     let mut it = args.iter();
@@ -167,6 +178,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             "--queue" => opts.queue = Some(value("--queue")?.parse().map_err(err)?),
             "--network" => opts.network = Some(value("--network")?.parse().map_err(err)?),
             "--p2p" => opts.p2p = Some(value("--p2p")?.parse().map_err(err)?),
+            "--collectives" => {
+                opts.collectives = Some(value("--collectives")?.parse().map_err(err)?);
+            }
             "--pipeline" => {
                 opts.pipeline = Some(
                     value("--pipeline")?
@@ -188,6 +202,21 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         return Err(err(format!(
             "one of --workload or --all-reduce-mib is required\n\n{USAGE}"
         )));
+    }
+    if opts.collectives == Some(CollectiveMode::Backend) {
+        if opts.p2p == Some(P2pMode::Blocking) {
+            return Err(err(
+                "`--collectives backend` executes collectives on the async NetworkAPI \
+                 and cannot be combined with `--p2p blocking`",
+            ));
+        }
+        if opts.themis {
+            return Err(err(
+                "`--collectives backend` lowers the baseline dimension order and cannot \
+                 be combined with `--themis` (the Themis planner only reorders the \
+                 analytical fast path)",
+            ));
+        }
     }
     Ok(opts)
 }
@@ -211,6 +240,7 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
         queue_backend: opts.queue.unwrap_or_default(),
         network_backend: opts.network.unwrap_or_default(),
         p2p_mode: opts.p2p.unwrap_or_default(),
+        collective_mode: opts.collectives.unwrap_or_default(),
         ..SystemConfig::default()
     };
     if let Some(chunks) = opts.chunks {
@@ -376,6 +406,7 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
                 "  \"exposed_local_mem_us\": {:.3},\n",
                 "  \"exposed_idle_us\": {:.3},\n",
                 "  \"collectives\": {},\n",
+                "  \"collective_ops\": {},\n",
                 "  \"p2p_messages\": {},\n",
                 "  \"network_messages\": {},\n",
                 "  \"network_backend_setups\": {},\n",
@@ -391,6 +422,7 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
             b.exposed_local_mem.as_us_f64(),
             b.exposed_idle.as_us_f64(),
             report.collectives,
+            report.collective_ops,
             report.p2p_messages,
             report.network.messages,
             report.network.backend_setups,
@@ -403,7 +435,15 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
             "total: {}\nbreakdown: {}\ncollectives: {}  p2p messages: {}",
             report.total_time, report.breakdown, report.collectives, report.p2p_messages
         );
-        if report.p2p_messages > 0 {
+        if report.collective_ops > 0 {
+            // Backend collective execution: the system layer decomposed
+            // collectives into this many chunk-level send/recv ops.
+            text.push_str(&format!(
+                "  collective chunk ops: {}",
+                report.collective_ops
+            ));
+        }
+        if report.p2p_messages > 0 || report.collective_ops > 0 {
             let n = &report.network;
             text.push_str(&format!(
                 "\nnetwork: {} setup(s)  {} events  {} cache hits",
@@ -569,6 +609,78 @@ mod tests {
         assert!(batched_async.network.train_serializations > 0);
         assert_eq!(batched_async.network.backend_setups, 1);
         assert!(packet_async.total_time >= packet.total_time);
+    }
+
+    #[test]
+    fn collectives_flag_parses_and_rejects_invalid_combos() {
+        let opts = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --collectives backend",
+        ))
+        .unwrap();
+        assert_eq!(opts.collectives, Some(CollectiveMode::Backend));
+        let opts = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --collectives analytical",
+        ))
+        .unwrap();
+        assert_eq!(opts.collectives, Some(CollectiveMode::Analytical));
+        // Unknown mode names are reported back.
+        let e = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --collectives garnet",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("garnet"));
+        // Backend collectives ride the async NetworkAPI: the blocking
+        // reference path is rejected with a clear error, not a panic.
+        let e = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --collectives backend --p2p blocking",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("--p2p blocking"), "{e}");
+        // ...and so is the Themis planner, which only applies to the
+        // analytical fast path.
+        let e = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --collectives backend --themis",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("--themis"), "{e}");
+        // The valid combinations still parse.
+        assert!(parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --collectives backend --p2p async",
+        ))
+        .is_ok());
+        assert!(parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --collectives analytical --themis",
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn backend_collectives_run_on_every_network_backend() {
+        // `astra --collectives backend --network <each>` runs end-to-end,
+        // decomposing the collective into chunk ops; the analytical
+        // collective mode never issues chunk ops.
+        for backend in ["analytical", "packet", "batched", "flow"] {
+            let opts = parse_args(&args(&format!(
+                "--topology SW(8)@100_SW(2)@50 --all-reduce-mib 64 \
+                 --collectives backend --network {backend} --chunks 8"
+            )))
+            .unwrap();
+            let report = run(&opts).unwrap();
+            assert!(report.total_time > astra_core::Time::ZERO, "{backend}");
+            assert_eq!(report.collectives, 1, "{backend}");
+            assert_eq!(report.collective_ops, 8 * 4, "{backend}");
+        }
+        let opts = parse_args(&args(
+            "--topology SW(8)@100_SW(2)@50 --all-reduce-mib 64 --collectives analytical",
+        ))
+        .unwrap();
+        assert_eq!(run(&opts).unwrap().collective_ops, 0);
+    }
+
+    #[test]
+    fn usage_documents_the_collectives_flag() {
+        assert!(USAGE.contains("--collectives"));
+        assert!(USAGE.contains("backend"));
     }
 
     #[test]
