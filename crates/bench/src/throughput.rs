@@ -304,6 +304,8 @@ impl Report {
 }
 
 /// Best-of-`reps` wall-clock of `f`, in milliseconds, with the last result.
+// Sanctioned wall-clock use: throughput rows report host runtime.
+#[allow(clippy::disallowed_methods)]
 fn best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut result = None;

@@ -317,6 +317,7 @@ impl PartialOrd for Ready {
 /// bit-identical to `CollectiveMode::Backend` on the analytical backend
 /// (pinned by the system-crate proptests); it is also the uncongested
 /// lower bound for the stateful backends.
+// frozen-ref: d5429e819e9cf7bf
 pub fn reference_finish(
     program: &CollectiveProgram,
     start: Time,

@@ -18,7 +18,7 @@ use std::fmt;
 ///
 /// With synchronous training, All-Reduce is the dominant pattern and is
 /// logically Reduce-Scatter followed by All-Gather (§II-B).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Collective {
     /// Each NPU ends with one reduced shard of the group's data.
     ReduceScatter,

@@ -86,6 +86,7 @@ fn plan_themis(
                 best = Some((makespan, ci));
             }
         }
+        // astra-lint: allow(panic, the candidate set is a non-empty permutation pool by construction)
         let (_, ci) = best.expect("at least one candidate order");
         for &(d, t) in &costs[ci] {
             loads[d] += t;
@@ -156,7 +157,9 @@ fn interleave_by_first_dim(plan: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
     while !buckets.is_empty() {
         let keys: Vec<usize> = buckets.keys().copied().collect();
         for k in keys {
-            let bucket = buckets.get_mut(&k).expect("bucket exists");
+            let Some(bucket) = buckets.get_mut(&k) else {
+                continue;
+            };
             if let Some(order) = bucket.pop_front() {
                 out.push(order);
             }
@@ -275,7 +278,7 @@ mod tests {
             assert_eq!(sorted, vec![0, 1, 2, 3], "not a permutation: {order:?}");
         }
         // Load balancing requires order diversity on a heterogeneous system.
-        let distinct: std::collections::HashSet<_> = plan.iter().cloned().collect();
+        let distinct: std::collections::BTreeSet<_> = plan.iter().cloned().collect();
         assert!(distinct.len() > 1, "Themis never varied the order");
     }
 

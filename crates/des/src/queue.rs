@@ -173,10 +173,14 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `at` is in the simulated past (`at < self.now()`); a
-    /// causality violation always indicates a modeling bug.
+    /// Debug builds panic if `at` is in the simulated past
+    /// (`at < self.now()`); a causality violation always indicates a
+    /// modeling bug. Release builds skip the check — this is the hottest
+    /// call in the simulator, and the tier-1 test suite (which runs in
+    /// debug) exercises every scheduling path.
+    // astra-lint: hot-path
     pub fn schedule_at(&mut self, at: Time, event: E) {
-        assert!(
+        debug_assert!(
             at >= self.now,
             "event scheduled in the past: {:?} < {:?}",
             at,
@@ -343,6 +347,7 @@ impl<E> Calendar<E> {
         }
     }
 
+    // astra-lint: hot-path
     fn pop(&mut self) -> Option<Entry<E>> {
         if self.len == 0 {
             return None;
@@ -355,17 +360,19 @@ impl<E> Calendar<E> {
                 .front()
                 .is_some_and(|e| u128::from(e.time.as_ps()) < self.bucket_top);
             if in_year {
-                let entry = self.buckets[self.cursor].pop_front().expect("front exists");
-                self.finish_pop(entry.time.as_ps());
-                return Some(entry);
+                // The front exists: `in_year` just observed it.
+                if let Some(entry) = self.buckets[self.cursor].pop_front() {
+                    self.finish_pop(entry.time.as_ps());
+                    return Some(entry);
+                }
             }
             self.cursor = (self.cursor + 1) & (self.buckets.len() - 1);
             self.bucket_top += u128::from(self.width);
         }
         // Every pending event lies beyond the scanned year: jump straight
-        // to the global minimum.
-        let b = self.global_min().expect("len > 0");
-        let entry = self.buckets[b].pop_front().expect("front exists");
+        // to the global minimum (which exists: len > 0).
+        let b = self.global_min()?;
+        let entry = self.buckets[b].pop_front()?;
         self.seek(entry.time.as_ps());
         self.finish_pop(entry.time.as_ps());
         Some(entry)
@@ -398,7 +405,7 @@ impl<E> Calendar<E> {
             cursor = (cursor + 1) & (self.buckets.len() - 1);
             top += u128::from(self.width);
         }
-        let b = self.global_min().expect("len > 0");
+        let b = self.global_min()?;
         self.buckets[b].front().map(|e| e.time)
     }
 

@@ -176,6 +176,7 @@ impl FifoResource {
         self.free_at = prev_end;
         self.busy += service * (total - 1) + tail_service;
         TrainOccupancy {
+            // astra-lint: allow(panic, trains carry >= 1 packet by construction; the loop above always runs)
             first: first.expect("train has at least one packet"),
             last,
             completions,
@@ -315,11 +316,13 @@ impl TrainProfile {
 
     /// Time of the first packet.
     pub fn first(&self) -> Time {
+        // astra-lint: allow(panic, profiles are built non-empty; an empty one is a transport bug)
         self.runs.first().expect("non-empty train").first
     }
 
     /// Time of the last packet.
     pub fn last(&self) -> Time {
+        // astra-lint: allow(panic, profiles are built non-empty; an empty one is a transport bug)
         self.runs.last().expect("non-empty train").last()
     }
 

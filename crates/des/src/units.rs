@@ -133,6 +133,7 @@ impl Time {
 impl Add for Time {
     type Output = Time;
     fn add(self, rhs: Time) -> Time {
+        // astra-lint: allow(panic, operator traits cannot return Result; unit overflow is a modeling bug and must fail loudly)
         Time(self.0.checked_add(rhs.0).expect("simulation time overflow"))
     }
 }
@@ -149,6 +150,7 @@ impl Sub for Time {
         Time(
             self.0
                 .checked_sub(rhs.0)
+                // astra-lint: allow(panic, operator traits cannot return Result; unit overflow is a modeling bug and must fail loudly)
                 .expect("simulation time underflow"),
         )
     }
@@ -163,6 +165,7 @@ impl SubAssign for Time {
 impl Mul<u64> for Time {
     type Output = Time;
     fn mul(self, rhs: u64) -> Time {
+        // astra-lint: allow(panic, operator traits cannot return Result; unit overflow is a modeling bug and must fail loudly)
         Time(self.0.checked_mul(rhs).expect("simulation time overflow"))
     }
 }
@@ -302,6 +305,7 @@ impl DataSize {
 impl Add for DataSize {
     type Output = DataSize;
     fn add(self, rhs: DataSize) -> DataSize {
+        // astra-lint: allow(panic, operator traits cannot return Result; unit overflow is a modeling bug and must fail loudly)
         DataSize(self.0.checked_add(rhs.0).expect("data size overflow"))
     }
 }
@@ -315,6 +319,7 @@ impl AddAssign for DataSize {
 impl Sub for DataSize {
     type Output = DataSize;
     fn sub(self, rhs: DataSize) -> DataSize {
+        // astra-lint: allow(panic, operator traits cannot return Result; unit overflow is a modeling bug and must fail loudly)
         DataSize(self.0.checked_sub(rhs.0).expect("data size underflow"))
     }
 }
@@ -322,6 +327,7 @@ impl Sub for DataSize {
 impl Mul<u64> for DataSize {
     type Output = DataSize;
     fn mul(self, rhs: u64) -> DataSize {
+        // astra-lint: allow(panic, operator traits cannot return Result; unit overflow is a modeling bug and must fail loudly)
         DataSize(self.0.checked_mul(rhs).expect("data size overflow"))
     }
 }
@@ -417,11 +423,13 @@ impl Bandwidth {
             return Time::ZERO;
         }
         let ps = (size.as_bytes() as u128 * 1_000_000_000_000u128).div_ceil(self.0 as u128);
+        // astra-lint: allow(panic, operator traits cannot return Result; unit overflow is a modeling bug and must fail loudly)
         Time::from_ps(u64::try_from(ps).expect("transfer time overflow"))
     }
 
     /// Sums two bandwidths (aggregate of parallel links).
     pub fn aggregate(self, rhs: Bandwidth) -> Bandwidth {
+        // astra-lint: allow(panic, operator traits cannot return Result; unit overflow is a modeling bug and must fail loudly)
         Bandwidth(self.0.checked_add(rhs.0).expect("bandwidth overflow"))
     }
 

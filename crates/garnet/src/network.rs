@@ -1,6 +1,6 @@
 //! Store-and-forward packet network simulation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -234,7 +234,7 @@ pub struct PacketNetwork {
     queue: EventQueue<TransportEvent>,
     messages: Vec<MessageState>,
     routes: Vec<Vec<LinkId>>,
-    route_ids: HashMap<(NpuId, NpuId), usize>,
+    route_ids: BTreeMap<(NpuId, NpuId), usize>,
     config: PacketSimConfig,
     events_processed: u64,
     completed: Vec<Completion>,
@@ -259,7 +259,7 @@ impl PacketNetwork {
             queue: EventQueue::with_backend(config.queue_backend),
             messages: Vec::new(),
             routes: Vec::new(),
-            route_ids: HashMap::new(),
+            route_ids: BTreeMap::new(),
             config,
             events_processed: 0,
             completed: Vec::new(),
@@ -381,6 +381,7 @@ impl PacketNetwork {
         id
     }
 
+    // frozen-ref: 676562342dc72c66
     fn start_hop(&mut self, ready: Time, event: PacketEvent) {
         let link_id = self.routes[self.messages[event.message.0].route][event.hop];
         let props = self.graph.link(link_id);
@@ -499,6 +500,7 @@ impl PacketNetwork {
             let (now, event) = self
                 .queue
                 .pop()
+                // astra-lint: allow(panic, documented panic contract; send_at-injected messages always complete)
                 .expect("tracked message completes before the queue drains");
             self.events_processed += 1;
             self.dispatch(now, event);

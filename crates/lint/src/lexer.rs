@@ -1,0 +1,412 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint rules operate on token streams, not syntax trees: the same
+//! offline spirit as the vendored `serde_derive` proc-macro (no crates.io
+//! access in the build image, so no `syn`). The lexer keeps comments as
+//! tokens — waivers (`// astra-lint: allow(...)`) and frozen-reference
+//! annotations (`// frozen-ref: <hash>`) live in comments — and records
+//! the 1-based source line of every token so diagnostics are clickable.
+//!
+//! It does not need to be a complete Rust lexer: it must tokenize any
+//! source `rustc` accepts (strings, raw strings, char vs lifetime, nested
+//! block comments, numeric literals) well enough that identifier and
+//! punctuation sequences are faithful. Pathological macro token soup that
+//! never appears in this workspace is out of scope.
+
+/// Classification of a [`Token`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `match`, `HashMap`, ...).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (integer or float, any base/suffix).
+    Number,
+    /// String literal (incl. raw and byte strings), quotes included.
+    Str,
+    /// Character literal, quotes included.
+    Char,
+    /// Punctuation. Multi-char for `::`, `=>`, and `->`; single char
+    /// otherwise (so `>>` is two `>` tokens — good enough for the rules).
+    Punct,
+    /// A `//` line comment (text includes the `//`, excludes the newline).
+    LineComment,
+    /// A `/* ... */` block comment (text includes the delimiters).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's verbatim source text.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Tokenizes `src` (see module docs for the supported subset).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == 'r' && self.raw_string_ahead(1) {
+                self.raw_string(line, 1);
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_string_ahead(2) {
+                self.raw_string(line, 2);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.bump();
+                self.string(line, "b".to_string());
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump();
+                self.char_literal(line, "b".to_string());
+            } else if c == '"' {
+                self.string(line, String::new());
+            } else if c == '\'' {
+                self.quote(line);
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else {
+                self.punct(line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Whether `r`/`br` at the current position starts a raw string:
+    /// `prefix_len` chars of prefix followed by `#*"`.
+    fn raw_string_ahead(&self, prefix_len: usize) -> bool {
+        let mut i = prefix_len;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, line: u32, prefix_len: usize) {
+        let mut text = String::new();
+        for _ in 0..prefix_len {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        let closer: String = std::iter::once('"')
+            .chain((0..hashes).map(|_| '#'))
+            .collect();
+        loop {
+            if self.peek(0).is_none() {
+                break;
+            }
+            if self
+                .chars
+                .get(self.pos..self.pos + closer.len())
+                .is_some_and(|w| w.iter().collect::<String>() == closer)
+            {
+                for _ in 0..closer.len() {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                break;
+            }
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn string(&mut self, line: u32, mut text: String) {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// A `'`: lifetime (`'a`), loop label, or char literal (`'x'`, `'\n'`).
+    fn quote(&mut self, line: u32) {
+        // A char literal closes with a `'` after exactly one (possibly
+        // escaped) char; a lifetime/label is `'` + ident with no closing
+        // quote. `'a'` is a char, `'a` is a lifetime.
+        if self.peek(1) == Some('\\') || self.peek(2) == Some('\'') && self.peek(1) != Some('\'') {
+            self.char_literal(line, String::new());
+            return;
+        }
+        // Lifetime / label.
+        let mut text = String::from('\'');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Lifetime, text, line);
+    }
+
+    fn char_literal(&mut self, line: u32, mut text: String) {
+        text.push('\'');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        // Greedy: digits, `_`, base prefixes, float dots, exponents and
+        // suffixes all glue into one token. `1..2` must stay `1` `..` `2`,
+        // so a dot is only consumed when followed by a digit.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && text.to_ascii_lowercase().contains("e")
+                && !text.starts_with("0x")
+            {
+                // Float exponent sign (`1e-3`).
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = self.bump().unwrap_or(' ');
+        let two = |a: char, b: Option<char>| b == Some(a);
+        let text = match c {
+            ':' if two(':', self.peek(0)) => {
+                self.bump();
+                "::".to_string()
+            }
+            '=' if two('>', self.peek(0)) => {
+                self.bump();
+                "=>".to_string()
+            }
+            '-' if two('>', self.peek(0)) => {
+                self.bump();
+                "->".to_string()
+            }
+            _ => c.to_string(),
+        };
+        self.push(TokenKind::Punct, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_compounds() {
+        assert_eq!(
+            texts("fn f() -> Vec<u8> { a::b => c }"),
+            vec![
+                "fn", "f", "(", ")", "->", "Vec", "<", "u8", ">", "{", "a", "::", "b", "=>", "c",
+                "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let toks = lex("x\n// astra-lint: allow(panic, why)\ny");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "HashMap.iter() // not code"; y"#);
+        assert_eq!(toks[3].kind, TokenKind::Str);
+        assert!(toks[5].is_ident("y"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let toks = lex(r###"let s = r#"quote " inside"#; y"###);
+        assert_eq!(toks[3].kind, TokenKind::Str);
+        assert!(toks[5].is_ident("y"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'\\n'"));
+    }
+
+    #[test]
+    fn numbers_stay_whole_and_ranges_split() {
+        assert_eq!(texts("1..2"), vec!["1", ".", ".", "2"]);
+        assert_eq!(texts("1.5e-3f64"), vec!["1.5e-3f64"]);
+        assert_eq!(texts("0x1F_u64"), vec!["0x1F_u64"]);
+    }
+}

@@ -1,0 +1,110 @@
+//! CLI for `astra-lint`.
+//!
+//! ```text
+//! cargo run -p astra-lint -- --deny              # lint the workspace
+//! cargo run -p astra-lint -- --bless-frozen      # re-pin frozen-ref hashes
+//! cargo run -p astra-lint -- --deny FILE...      # strict mode (fixtures)
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings with
+//! `--deny`, 2 usage or I/O error.
+
+use astra_lint::{run, RunOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: astra-lint [--deny] [--bless-frozen] [--root DIR] [FILE...]\n\
+  --deny          exit non-zero when violations are found\n\
+  --bless-frozen  rewrite stale `// frozen-ref:` hashes in place\n\
+  --root DIR      workspace root (default: nearest ancestor with a [workspace] Cargo.toml)\n\
+  FILE...         lint only these files, in strict mode (all rules apply)";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut bless = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--bless-frozen" => bless = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("astra-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("astra-lint: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("astra-lint: no [workspace] Cargo.toml above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let opts = RunOptions { root, files, bless };
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("astra-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if opts.bless && report.blessed > 0 {
+        println!("astra-lint: blessed {} frozen-ref hash(es)", report.blessed);
+    }
+    if report.violations.is_empty() {
+        println!("astra-lint: clean ({} files)", report.files_checked);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "astra-lint: {} violation(s) in {} files",
+            report.violations.len(),
+            report.files_checked
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]` section.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Golden exit-code tests: each fixture seeds exactly one rule violation
+//! and the lint binary must flag it (exit 1 under `--deny`) with the rule
+//! name in its report; waived and clean fixtures must pass.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_astra-lint"))
+        .args(args)
+        .output()
+        .expect("lint binary runs")
+}
+
+/// Runs `astra-lint --deny` on one fixture and returns (exit code, stdout).
+fn deny_fixture(name: &str) -> (i32, String) {
+    let out = lint(&["--deny", fixture(name).to_str().expect("utf-8 path")]);
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+    )
+}
+
+#[test]
+fn r1_nondeterministic_iter_is_flagged() {
+    let (code, stdout) = deny_fixture("r1_nondeterministic_iter.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[nondeterministic-iter]"), "{stdout}");
+}
+
+#[test]
+fn r2_wall_clock_is_flagged() {
+    let (code, stdout) = deny_fixture("r2_wall_clock.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[wall-clock]"), "{stdout}");
+}
+
+#[test]
+fn r3_frozen_drift_is_flagged() {
+    let (code, stdout) = deny_fixture("r3_frozen_drift.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[frozen-ref]"), "{stdout}");
+    assert!(stdout.contains("0000000000000000"), "{stdout}");
+}
+
+#[test]
+fn r4_panic_is_flagged() {
+    let (code, stdout) = deny_fixture("r4_panic.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[panic]"), "{stdout}");
+}
+
+#[test]
+fn r5_wildcard_match_is_flagged() {
+    let (code, stdout) = deny_fixture("r5_wildcard_match.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[wildcard-match]"), "{stdout}");
+}
+
+#[test]
+fn waived_panic_passes() {
+    let (code, stdout) = deny_fixture("waiver.rs");
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let (code, stdout) = deny_fixture("clean.rs");
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn without_deny_violations_report_but_exit_zero() {
+    let out = lint(&[fixture("r4_panic.rs").to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("[panic]"), "{stdout}");
+}
+
+#[test]
+fn bless_repins_a_drifted_frozen_ref() {
+    // Work on a copy so the seeded-drift fixture stays drifted.
+    let dir = std::env::temp_dir().join(format!("astra-lint-bless-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let copy = dir.join("r3_frozen_drift.rs");
+    std::fs::copy(fixture("r3_frozen_drift.rs"), &copy).expect("copy fixture");
+    let copy_path = copy.to_str().expect("utf-8 path");
+
+    let out = lint(&["--bless-frozen", copy_path]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let blessed = std::fs::read_to_string(&copy).expect("read blessed copy");
+    assert!(
+        !blessed.contains("frozen-ref: 0000000000000000"),
+        "hash was not re-pinned:\n{blessed}"
+    );
+
+    let (code, stdout) = {
+        let out = lint(&["--deny", copy_path]);
+        (
+            out.status.code().expect("exit code"),
+            String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        )
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let out = lint(&["--deny", "--root", root.to_str().expect("utf-8 path")]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}

@@ -1,0 +1,19 @@
+//! Fixture: deterministic, panic-free simulator code passes every rule.
+
+use std::collections::BTreeMap;
+
+pub enum QueueBackend {
+    Calendar,
+    Heap,
+}
+
+pub fn name(backend: &QueueBackend) -> &'static str {
+    match backend {
+        QueueBackend::Calendar => "calendar",
+        QueueBackend::Heap => "heap",
+    }
+}
+
+pub fn total_per_flow(loads: &BTreeMap<u32, u64>) -> Vec<(u32, u64)> {
+    loads.iter().map(|(f, l)| (*f, *l)).collect()
+}

@@ -1,0 +1,11 @@
+//! Fixture: iterating a `HashMap` without sorting is nondeterministic.
+
+use std::collections::HashMap;
+
+pub fn total_per_flow(loads: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    for (flow, load) in loads.iter() {
+        out.push((*flow, *load));
+    }
+    out
+}

@@ -1,0 +1,5 @@
+//! Fixture: wall-clock reads leak host time into simulated time.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

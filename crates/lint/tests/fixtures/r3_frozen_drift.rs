@@ -1,0 +1,10 @@
+//! Fixture: the recorded frozen-ref hash no longer matches the body.
+
+// frozen-ref: 0000000000000000
+pub fn reference_sum(values: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for &v in values {
+        total = total.wrapping_add(v);
+    }
+    total
+}

@@ -1,0 +1,5 @@
+//! Fixture: `unwrap` in simulator library code aborts the whole run.
+
+pub fn pick(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,13 @@
+//! Fixture: a `_` arm over a config enum silently swallows new variants.
+
+pub enum QueueBackend {
+    Calendar,
+    Heap,
+}
+
+pub fn name(backend: &QueueBackend) -> &'static str {
+    match backend {
+        QueueBackend::Calendar => "calendar",
+        _ => "other",
+    }
+}

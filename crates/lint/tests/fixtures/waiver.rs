@@ -1,0 +1,6 @@
+//! Fixture: a waived deliberate invariant panic is accepted.
+
+pub fn head(values: &[u64]) -> u64 {
+    // astra-lint: allow(panic, callers guarantee a non-empty slice; an empty one is a construction bug)
+    *values.first().expect("non-empty by construction")
+}

@@ -61,12 +61,14 @@ pub fn max_min_completion(topo: &Topology, flows: &[Flow]) -> Vec<Time> {
         .collect();
     net.run_until_idle();
     ids.into_iter()
+        // astra-lint: allow(panic, run_until_idle drains every flow; a missing completion is a solver bug and must fail loudly)
         .map(|id| net.completion(id).expect("all flows complete"))
         .collect()
 }
 
 /// Progressive filling: repeatedly find the most-contended link, freeze
 /// its flows at the fair share, and continue with the residual capacities.
+// frozen-ref: 030d9ab16a4cdf66
 pub(crate) fn max_min_rates(graph: &LinkGraph, routes: &[&[LinkId]], active: &[usize]) -> Vec<f64> {
     let mut rates = vec![0.0f64; routes.len()];
     let mut residual: Vec<f64> = (0..graph.num_links())

@@ -16,7 +16,7 @@
 //! sharing the analytical backend ignores.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use astra_des::{DataSize, Time};
 use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
@@ -69,7 +69,7 @@ struct FlowState {
 pub struct FlowNetwork {
     graph: LinkGraph,
     routes: Vec<Vec<LinkId>>,
-    route_ids: HashMap<(NpuId, NpuId), usize>,
+    route_ids: BTreeMap<(NpuId, NpuId), usize>,
     flows: Vec<FlowState>,
     active: Vec<usize>,
     /// Flow index → its position in `active` (valid only while active).
@@ -99,7 +99,7 @@ impl FlowNetwork {
         FlowNetwork {
             graph,
             routes: Vec::new(),
-            route_ids: HashMap::new(),
+            route_ids: BTreeMap::new(),
             flows: Vec::new(),
             active: Vec::new(),
             position: Vec::new(),
@@ -223,6 +223,7 @@ impl FlowNetwork {
 
     /// One re-share step: drains all active flows at their current max-min
     /// rates until the next departure (or `horizon_ps`, if earlier).
+    // astra-lint: hot-path
     fn step(&mut self, horizon_ps: Option<f64>) {
         if self.active.is_empty() {
             if let Some(h) = horizon_ps {
@@ -238,7 +239,7 @@ impl FlowNetwork {
         if let Some(h) = horizon_ps {
             dt = dt.min((h - self.now_ps) / 1e12);
         }
-        assert!(dt.is_finite(), "live-locked flow set");
+        debug_assert!(dt.is_finite(), "live-locked flow set");
         self.now_ps += dt * 1e12;
         let now = self.now();
         for k in (0..self.active.len()).rev() {
@@ -262,11 +263,11 @@ impl FlowNetwork {
                 // A departure touches only its own links' member sets.
                 for &l in &self.routes[route] {
                     let members = &mut self.link_members[l.0];
-                    let at = members
-                        .iter()
-                        .position(|&m| m == idx)
-                        .expect("departing flow is a member of its links");
-                    members.swap_remove(at);
+                    let at = members.iter().position(|&m| m == idx);
+                    debug_assert!(at.is_some(), "departing flow is a member of its links");
+                    if let Some(at) = at {
+                        members.swap_remove(at);
+                    }
                 }
             }
         }

@@ -35,7 +35,7 @@
 pub mod congestion;
 mod flow;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -315,7 +315,7 @@ pub struct AnalyticalConfig {
 pub struct AnalyticalNetwork {
     topo: Topology,
     config: AnalyticalConfig,
-    cache: HashMap<(NpuId, NpuId, DataSize), Time>,
+    cache: BTreeMap<(NpuId, NpuId, DataSize), Time>,
     hits: u64,
     messages: u64,
     ready: Vec<Completion>,
@@ -332,7 +332,7 @@ impl AnalyticalNetwork {
         AnalyticalNetwork {
             topo,
             config,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             hits: 0,
             messages: 0,
             ready: Vec::new(),

@@ -1,6 +1,6 @@
 //! The graph execution engine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
@@ -143,6 +143,10 @@ pub enum SimError {
     /// ascending dimension order; the Themis planner only reorders the
     /// analytical fast path.
     BackendCollectivesNeedBaselineScheduler,
+    /// An internal engine invariant was violated. This is a bug in the
+    /// engine itself, never in the caller's trace or configuration; the
+    /// message names the broken invariant.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -168,6 +172,9 @@ impl fmt::Display for SimError {
                 "backend collective execution lowers the baseline dimension order; \
                  the Themis scheduler only applies to analytical collectives"
             ),
+            SimError::Internal(what) => {
+                write!(f, "internal engine invariant violated: {what}")
+            }
         }
     }
 }
@@ -444,15 +451,15 @@ struct Engine<'a> {
     local_res: Vec<FifoResource>,
     remote_res: Vec<FifoResource>,
     p2p_res: Vec<FifoResource>,
-    lanes: HashMap<(NpuId, usize), Time>,
+    lanes: BTreeMap<(NpuId, usize), Time>,
 
     logs: Vec<[IntervalLog; 4]>,
     finish: Vec<Time>,
 
-    meetings: HashMap<(u32, u64), Meeting>,
-    group_counters: HashMap<(NpuId, u32), u64>,
-    p2p_pending: HashMap<(NpuId, NpuId, u64), P2pPending>,
-    in_flight: HashMap<AsyncMessageId, Outbound>,
+    meetings: BTreeMap<(u32, u64), Meeting>,
+    group_counters: BTreeMap<(NpuId, u32), u64>,
+    p2p_pending: BTreeMap<(NpuId, NpuId, u64), P2pPending>,
+    in_flight: BTreeMap<AsyncMessageId, Outbound>,
     /// Per source (async path; the blocking path models the same NIC lane
     /// with `p2p_res`): whether an injected message's completion is still
     /// undiscovered, when the lane is known to free, and the messages
@@ -465,12 +472,12 @@ struct Engine<'a> {
 
     /// Backend-executed collectives in flight (`CollectiveMode::Backend`),
     /// keyed by instance id.
-    running_collectives: HashMap<u32, RunningCollective>,
+    running_collectives: BTreeMap<u32, RunningCollective>,
     next_collective: u32,
     /// Lowered programs memoized per `(group, collective, size)` — a
     /// training loop re-issues the same collective every iteration/layer,
     /// so lowering runs once per distinct shape.
-    program_memo: HashMap<(u32, Collective, DataSize), MemoizedProgram>,
+    program_memo: BTreeMap<(u32, Collective, DataSize), MemoizedProgram>,
     chunk_ops: u64,
 
     collectives: u64,
@@ -515,20 +522,20 @@ impl<'a> Engine<'a> {
             local_res: vec![FifoResource::new(); npus],
             remote_res: vec![FifoResource::new(); npus],
             p2p_res: vec![FifoResource::new(); npus],
-            lanes: HashMap::new(),
+            lanes: BTreeMap::new(),
             logs: (0..npus).map(|_| Default::default()).collect(),
             finish: vec![Time::ZERO; npus],
-            meetings: HashMap::new(),
-            group_counters: HashMap::new(),
-            p2p_pending: HashMap::new(),
-            in_flight: HashMap::new(),
+            meetings: BTreeMap::new(),
+            group_counters: BTreeMap::new(),
+            p2p_pending: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
             nic_occupied: vec![false; npus],
             nic_free: vec![Time::ZERO; npus],
             nic_queue: (0..npus).map(|_| VecDeque::new()).collect(),
             completions: Vec::new(),
-            running_collectives: HashMap::new(),
+            running_collectives: BTreeMap::new(),
             next_collective: 0,
-            program_memo: HashMap::new(),
+            program_memo: BTreeMap::new(),
             chunk_ops: 0,
             collectives: 0,
             p2p_messages: 0,
@@ -539,10 +546,12 @@ impl<'a> Engine<'a> {
     /// The shared async backend, built on first use.
     fn network_mut(&mut self) -> &mut dyn NetworkBackend {
         if self.network.is_none() {
-            self.network = Some(build_network(self.topo, self.config));
             self.net_stats.backend_setups += 1;
         }
-        self.network.as_mut().expect("just built").as_mut()
+        let (topo, config) = (self.topo, self.config);
+        self.network
+            .get_or_insert_with(|| build_network(topo, config))
+            .as_mut()
     }
 
     fn run(mut self) -> Result<SimReport, SimError> {
@@ -550,11 +559,11 @@ impl<'a> Engine<'a> {
         for npu in 0..self.trace.npus() {
             for idx in 0..self.trace.program(npu).len() {
                 if self.remaining_deps[npu][idx] == 0 {
-                    self.issue(npu, idx as u32, Time::ZERO);
+                    self.issue(npu, idx as u32, Time::ZERO)?;
                 }
             }
         }
-        self.drain_network();
+        self.drain_network()?;
         loop {
             // One shared clock: before popping the engine's next event,
             // give the backend every internal event up to (and including,
@@ -562,7 +571,9 @@ impl<'a> Engine<'a> {
             // later always carry later timestamps, so the backend never
             // has to run ahead of the engine frontier.
             while !self.in_flight.is_empty() {
-                let net = self.network.as_mut().expect("in-flight p2p has a backend");
+                let Some(net) = self.network.as_mut() else {
+                    return Err(SimError::Internal("in-flight p2p without a backend"));
+                };
                 let Some(t) = net.next_event_time() else {
                     break;
                 };
@@ -570,7 +581,7 @@ impl<'a> Engine<'a> {
                     break;
                 }
                 net.advance_until(t);
-                self.drain_network();
+                self.drain_network()?;
             }
             let Some((now, event)) = self.queue.pop() else {
                 break;
@@ -583,21 +594,23 @@ impl<'a> Engine<'a> {
                         let slot = &mut self.remaining_deps[event.npu][dependent as usize];
                         *slot -= 1;
                         if *slot == 0 {
-                            self.issue(event.npu, dependent, now);
+                            self.issue(event.npu, dependent, now)?;
                         }
                     }
                 }
                 EngineEvent::InjectP2p(src) => {
-                    let msg = self.nic_queue[src]
-                        .pop_front()
-                        .expect("a queued message scheduled this injection");
+                    let Some(msg) = self.nic_queue[src].pop_front() else {
+                        return Err(SimError::Internal(
+                            "InjectP2p event fired with an empty NIC queue",
+                        ));
+                    };
                     self.inject_p2p(msg, now);
                 }
                 EngineEvent::ChunkReady { coll, op } => {
                     self.enqueue_chunk_op(coll, op, now);
                 }
             }
-            self.drain_network();
+            self.drain_network()?;
         }
 
         let horizon = self.finish.iter().copied().fold(Time::ZERO, Time::max);
@@ -639,7 +652,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Dispatches a node whose dependencies are all complete at `now`.
-    fn issue(&mut self, npu: NpuId, node: u32, now: Time) {
+    fn issue(&mut self, npu: NpuId, node: u32, now: Time) -> Result<(), SimError> {
         let op = self.trace.program(npu)[node as usize].op;
         match op {
             EtOp::Compute { flops, tensor } => {
@@ -669,7 +682,7 @@ impl<'a> Engine<'a> {
                     .config
                     .remote_memory
                     .as_ref()
-                    .expect("checked before simulation");
+                    .ok_or(SimError::RemoteMemoryUnconfigured)?;
                 let mode = if gathered {
                     TransferMode::InSwitchCollective
                 } else {
@@ -696,31 +709,33 @@ impl<'a> Engine<'a> {
                     });
                 meeting.arrivals.push((npu, node, now));
                 if meeting.arrivals.len() == self.trace.group(group).len() {
-                    let meeting = self
-                        .meetings
-                        .remove(&(group.0, instance))
-                        .expect("meeting exists");
-                    self.run_collective(group.0, meeting);
+                    let Some(meeting) = self.meetings.remove(&(group.0, instance)) else {
+                        return Err(SimError::Internal(
+                            "a full meeting vanished before its collective launched",
+                        ));
+                    };
+                    self.run_collective(group.0, meeting)?;
                 }
             }
             EtOp::PeerSend { peer, size, tag } => {
                 let entry = self.p2p_pending.entry((npu, peer, tag)).or_default();
                 entry.send = Some((node, now));
                 if entry.recv.is_some() {
-                    self.resolve_p2p(npu, peer, tag, size);
+                    self.resolve_p2p(npu, peer, tag, size)?;
                 }
             }
             EtOp::PeerRecv { peer, size, tag } => {
                 let entry = self.p2p_pending.entry((peer, npu, tag)).or_default();
                 entry.recv = Some((node, now));
                 if entry.send.is_some() {
-                    self.resolve_p2p(peer, npu, tag, size);
+                    self.resolve_p2p(peer, npu, tag, size)?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn run_collective(&mut self, group: u32, meeting: Meeting) {
+    fn run_collective(&mut self, group: u32, meeting: Meeting) -> Result<(), SimError> {
         self.collectives += 1;
         let span = &self.spans[group as usize];
         let start = meeting
@@ -733,14 +748,14 @@ impl<'a> Engine<'a> {
                 EtOp::Collective {
                     collective, size, ..
                 } => (collective, size),
-                _ => unreachable!("meeting nodes are collectives"),
+                _ => return Err(SimError::Internal("a meeting node is not a collective")),
             };
         if self.config.collective_mode == CollectiveMode::Backend
             && !span.dims.is_empty()
             && size != DataSize::ZERO
         {
             self.launch_backend_collective(group, collective, size, start, meeting.arrivals);
-            return;
+            return Ok(());
         }
         let finish = if span.dims.is_empty() {
             // Single-member group: nothing to communicate.
@@ -772,6 +787,7 @@ impl<'a> Engine<'a> {
             self.queue
                 .schedule_at(finish, EngineEvent::Node(Event { npu, node }));
         }
+        Ok(())
     }
 
     /// Lowers a collective to its chunk-level program and starts executing
@@ -889,13 +905,23 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn resolve_p2p(&mut self, src: NpuId, dst: NpuId, tag: u64, size: DataSize) {
-        let entry = self
-            .p2p_pending
-            .remove(&(src, dst, tag))
-            .expect("pending p2p exists");
-        let (send_node, send_ready) = entry.send.expect("send side present");
-        let (recv_node, recv_ready) = entry.recv.expect("recv side present");
+    fn resolve_p2p(
+        &mut self,
+        src: NpuId,
+        dst: NpuId,
+        tag: u64,
+        size: DataSize,
+    ) -> Result<(), SimError> {
+        let Some(entry) = self.p2p_pending.remove(&(src, dst, tag)) else {
+            return Err(SimError::Internal("resolved p2p pair has no pending entry"));
+        };
+        let (Some((send_node, send_ready)), Some((recv_node, recv_ready))) =
+            (entry.send, entry.recv)
+        else {
+            return Err(SimError::Internal(
+                "p2p pair resolved before both sides arrived",
+            ));
+        };
         self.p2p_messages += 1;
         let ready = send_ready.max(recv_ready);
         match self.config.p2p_mode {
@@ -917,35 +943,58 @@ impl<'a> Engine<'a> {
                     recv_ready,
                 }));
             }
-            P2pMode::Blocking => {
-                // Frozen reference: a fresh backend sub-simulation measures
-                // the message alone (no co-residency), paying setup per
-                // message — the cost the async path amortizes away.
-                let mut probe = build_network(self.topo, self.config);
-                let delay = probe.p2p_delay(src, dst, size);
-                self.net_stats.merge(&probe.stats());
-                self.net_stats.backend_setups += 1;
-                let r = self.p2p_res[src].acquire(ready, delay);
-                self.logs[src][COMM].push(send_ready, r.end);
-                if r.end > recv_ready {
-                    self.logs[dst][COMM].push(recv_ready, r.end);
-                }
-                self.queue.schedule_at(
-                    r.end,
-                    EngineEvent::Node(Event {
-                        npu: src,
-                        node: send_node,
-                    }),
-                );
-                self.queue.schedule_at(
-                    r.end,
-                    EngineEvent::Node(Event {
-                        npu: dst,
-                        node: recv_node,
-                    }),
-                );
-            }
+            P2pMode::Blocking => self.blocking_p2p(
+                src,
+                dst,
+                size,
+                ready,
+                (send_node, send_ready),
+                (recv_node, recv_ready),
+            ),
         }
+        Ok(())
+    }
+
+    /// The blocking p2p path: a fresh backend sub-simulation measures the
+    /// message alone (no co-residency), paying setup per message — the
+    /// cost the async path amortizes away. This is the frozen reference
+    /// the async integration is pinned bit-identical to (modulo genuine
+    /// cross-source contention); see `tests/p2p_paths.rs`.
+    // frozen-ref: c78969ad4052024a
+    fn blocking_p2p(
+        &mut self,
+        src: NpuId,
+        dst: NpuId,
+        size: DataSize,
+        ready: Time,
+        send: (u32, Time),
+        recv: (u32, Time),
+    ) {
+        let (send_node, send_ready) = send;
+        let (recv_node, recv_ready) = recv;
+        let mut probe = build_network(self.topo, self.config);
+        let delay = probe.p2p_delay(src, dst, size);
+        self.net_stats.merge(&probe.stats());
+        self.net_stats.backend_setups += 1;
+        let r = self.p2p_res[src].acquire(ready, delay);
+        self.logs[src][COMM].push(send_ready, r.end);
+        if r.end > recv_ready {
+            self.logs[dst][COMM].push(recv_ready, r.end);
+        }
+        self.queue.schedule_at(
+            r.end,
+            EngineEvent::Node(Event {
+                npu: src,
+                node: send_node,
+            }),
+        );
+        self.queue.schedule_at(
+            r.end,
+            EngineEvent::Node(Event {
+                npu: dst,
+                node: recv_node,
+            }),
+        );
     }
 
     /// Hands a resolved message to the async backend at `at` (never ahead
@@ -972,26 +1021,28 @@ impl<'a> Engine<'a> {
     /// main loop pops one of those events — which keeps the engine queue
     /// non-empty whenever work remains, and calls back here after every
     /// pop.
-    fn drain_network(&mut self) {
+    fn drain_network(&mut self) -> Result<(), SimError> {
         let Some(net) = self.network.as_mut() else {
-            return;
+            return Ok(());
         };
         let mut batch = std::mem::take(&mut self.completions);
         net.drain_completions(&mut batch);
         for c in batch.drain(..) {
-            self.finish_p2p(c);
+            self.finish_p2p(c)?;
         }
         self.completions = batch;
+        Ok(())
     }
 
     /// Resumes whatever waited on a completed async message: the paired
     /// send/recv graph nodes for p2p traffic, the dependent chunk ops (and
     /// eventually the meeting) for a backend-executed collective.
-    fn finish_p2p(&mut self, c: Completion) {
-        let msg = self
-            .in_flight
-            .remove(&c.id)
-            .expect("completion matches an in-flight message");
+    fn finish_p2p(&mut self, c: Completion) -> Result<(), SimError> {
+        let Some(msg) = self.in_flight.remove(&c.id) else {
+            return Err(SimError::Internal(
+                "completion does not match an in-flight message",
+            ));
+        };
         match msg {
             Outbound::Peer(msg) => {
                 self.logs[msg.src][COMM].push(msg.send_ready, c.finish);
@@ -1013,6 +1064,7 @@ impl<'a> Engine<'a> {
                     }),
                 );
                 self.release_nic(msg.src, c.finish);
+                Ok(())
             }
             Outbound::Chunk(chunk) => self.finish_chunk_op(chunk, c.finish),
         }
@@ -1037,11 +1089,12 @@ impl<'a> Engine<'a> {
     /// dimension, exactly as in the closed-form engine), triggers
     /// dependents `extra_latency` after it, and — once the program drains
     /// — resumes the meeting's graph nodes at the collective's finish.
-    fn finish_chunk_op(&mut self, chunk: ChunkSend, wire_finish: Time) {
-        let rc = self
-            .running_collectives
-            .get_mut(&chunk.coll)
-            .expect("chunk op belongs to a running collective");
+    fn finish_chunk_op(&mut self, chunk: ChunkSend, wire_finish: Time) -> Result<(), SimError> {
+        let Some(rc) = self.running_collectives.get_mut(&chunk.coll) else {
+            return Err(SimError::Internal(
+                "chunk op does not belong to a running collective",
+            ));
+        };
         let meta = &rc.program.ops()[chunk.op as usize];
         let lane_free = wire_finish.saturating_sub(meta.wire_latency);
         let done = wire_finish + meta.extra_latency;
@@ -1055,10 +1108,11 @@ impl<'a> Engine<'a> {
         // queued before its ready instant could block its lane's FIFO head
         // while later-queued ops are already ready.
         for &d in &Rc::clone(&rc.dependents)[chunk.op as usize] {
-            let rc = self
-                .running_collectives
-                .get_mut(&coll)
-                .expect("still running");
+            let Some(rc) = self.running_collectives.get_mut(&coll) else {
+                return Err(SimError::Internal(
+                    "running collective vanished while its ops were pending",
+                ));
+            };
             rc.ready[d as usize] = rc.ready[d as usize].max(done);
             let slot = &mut rc.remaining_deps[d as usize];
             *slot -= 1;
@@ -1070,10 +1124,11 @@ impl<'a> Engine<'a> {
         }
         self.release_nic(chunk.src, lane_free);
         if finished {
-            let rc = self
-                .running_collectives
-                .remove(&chunk.coll)
-                .expect("last op removes the instance");
+            let Some(rc) = self.running_collectives.remove(&chunk.coll) else {
+                return Err(SimError::Internal(
+                    "drained collective was already removed before its last op",
+                ));
+            };
             for (npu, node, ready) in rc.arrivals {
                 if rc.finish > ready {
                     self.logs[npu][COMM].push(ready, rc.finish);
@@ -1082,6 +1137,7 @@ impl<'a> Engine<'a> {
                     .schedule_at(rc.finish, EngineEvent::Node(Event { npu, node }));
             }
         }
+        Ok(())
     }
 }
 

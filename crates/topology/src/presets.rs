@@ -11,6 +11,7 @@ use astra_des::Bandwidth;
 use crate::Topology;
 
 fn parse(s: &str) -> Topology {
+    // astra-lint: allow(panic, preset notation strings are compile-time constants covered by tests)
     Topology::parse(s).expect("preset notation is valid")
 }
 

@@ -196,6 +196,7 @@ impl Topology {
             .iter()
             .map(Dimension::bandwidth)
             .reduce(Bandwidth::aggregate)
+            // astra-lint: allow(panic, Topology::parse rejects empty dimension lists)
             .expect("topology has at least one dimension")
     }
 

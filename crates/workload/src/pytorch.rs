@@ -29,7 +29,7 @@
 use astra_collectives::Collective;
 use astra_des::DataSize;
 use serde::Deserialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -198,7 +198,7 @@ impl TraceConverter for PyTorchEgConverter {
         for (npu, nodes) in per_npu.iter().enumerate() {
             let order = topo_order(npu, nodes)?;
             // Map original ids to builder NodeIds as we emit.
-            let mut emitted = HashMap::new();
+            let mut emitted = BTreeMap::new();
             for &idx in &order {
                 let node = nodes[idx];
                 let op = to_op(node, &group_ids)?;
@@ -231,7 +231,7 @@ impl TraceConverter for PyTorchEgConverter {
 
 /// Kahn's algorithm over one rank's nodes (ids are arbitrary).
 fn topo_order(npu: usize, nodes: &[&EgNode]) -> Result<Vec<usize>, PyTorchEgError> {
-    let index_of: HashMap<u64, usize> = nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+    let index_of: BTreeMap<u64, usize> = nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
     let mut indegree = vec![0usize; nodes.len()];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for (i, node) in nodes.iter().enumerate() {

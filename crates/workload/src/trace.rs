@@ -436,8 +436,8 @@ impl TraceBuilder {
     /// found (dangling dependency, unknown group, non-member collective,
     /// out-of-range peer, or unmatched send/recv).
     pub fn build(self) -> Result<ExecutionTrace, TraceError> {
-        let mut sends: std::collections::HashMap<(NpuId, NpuId, u64), i64> =
-            std::collections::HashMap::new();
+        let mut sends: std::collections::BTreeMap<(NpuId, NpuId, u64), i64> =
+            std::collections::BTreeMap::new();
         for (npu, program) in self.programs.iter().enumerate() {
             for (idx, node) in program.iter().enumerate() {
                 let idx_u32 = idx as u32;
