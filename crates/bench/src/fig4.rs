@@ -39,11 +39,16 @@ pub fn payloads() -> Vec<DataSize> {
 
 /// Runs the full validation sweep (both ring sizes, all payloads).
 pub fn run() -> Vec<Row> {
+    run_payloads(&payloads())
+}
+
+/// Runs both ring sizes over a subset of payloads (used by quick sweeps).
+pub fn run_payloads(payloads: &[DataSize]) -> Vec<Row> {
     let mut rows = Vec::new();
     for npus in [4usize, 16] {
         let topo = Topology::parse(&format!("R({npus})@150")).expect("valid notation");
         let engine = CollectiveEngine::new(1, SchedulerPolicy::Baseline);
-        for size in payloads() {
+        for &size in payloads {
             let packet = collective_time(&topo, size, &PacketSimConfig::real_system_proxy());
             let analytical = engine.run(Collective::AllReduce, size, topo.dims());
             let p = packet.finish.as_us_f64();

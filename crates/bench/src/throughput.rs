@@ -11,7 +11,7 @@
 
 use astra_core::{
     experiments, simulate, CollectiveMode, DataSize, NetworkBackendKind, P2pMode, QueueBackend,
-    SystemConfig, Topology,
+    SimMode, SystemConfig, Topology,
 };
 use astra_garnet::{collective_time, PacketSimConfig, TransportMode};
 use astra_workload::parallelism::{
@@ -191,6 +191,102 @@ pub struct Table5Row {
     pub hiermem_opt: String,
 }
 
+/// One parallel-core measurement: the identical per-packet All-Reduce on
+/// the sequential reference core and on the domain-partitioned parallel
+/// core ([`SimMode::Parallel`]). The runner asserts finish time and event
+/// count are bit-identical — the row records the wall-clock the
+/// conservative-lookahead core saves (per-link FIFO lanes + per-domain
+/// merge heaps instead of one global heap).
+#[derive(Clone, Debug, Serialize)]
+pub struct ParallelDesRow {
+    /// Topology notation.
+    pub topology: String,
+    /// NPUs in the topology.
+    pub npus: usize,
+    /// All-Reduce payload in MiB.
+    pub payload_mib: u64,
+    /// Worker threads of the parallel core.
+    pub threads: usize,
+    /// Simulated completion in µs (identical across cores).
+    pub finish_us: f64,
+    /// Events processed (identical across cores).
+    pub events: u64,
+    /// Wall-clock of the sequential reference core (ms, best of N).
+    pub sequential_ms: f64,
+    /// Wall-clock of the parallel core (ms, best of N).
+    pub parallel_ms: f64,
+    /// `sequential_ms / parallel_ms` (CI gates this at ≥ 1.5 for the
+    /// 512-NPU case).
+    pub speedup: f64,
+}
+
+/// One Fig. 4 validation point in machine-readable form (the `fig4`
+/// sweep series).
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4Row {
+    /// Ring size (4 or 16 NPUs).
+    pub npus: usize,
+    /// All-Reduce payload in MiB.
+    pub payload_mib: f64,
+    /// Packet-level (ground truth) time (µs).
+    pub packet_us: f64,
+    /// Analytical backend time (µs).
+    pub analytical_us: f64,
+    /// Relative error of the analytical backend (%).
+    pub error_pct: f64,
+}
+
+/// One Fig. 9(a) bar in machine-readable form (the `fig9a` sweep series).
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9aRow {
+    /// Workload column.
+    pub workload: String,
+    /// System name (Table II).
+    pub system: String,
+    /// Collective scheduler (`baseline` / `themis`).
+    pub scheduler: String,
+    /// Compute portion (µs).
+    pub compute_us: f64,
+    /// Exposed communication portion (µs).
+    pub exposed_comm_us: f64,
+    /// End-to-end runtime (µs).
+    pub total_us: f64,
+    /// Runtime normalized to the workload's W-1D-500/baseline bar.
+    pub normalized: f64,
+}
+
+/// One Fig. 9(b) bar in machine-readable form (the `fig9b` sweep series).
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9bRow {
+    /// Workload column.
+    pub workload: String,
+    /// Scaling point (Base-512, Conv-1024, ..., W-4096).
+    pub system: String,
+    /// Total NPUs at this point.
+    pub npus: usize,
+    /// Compute portion (µs).
+    pub compute_us: f64,
+    /// Exposed communication portion (µs).
+    pub exposed_comm_us: f64,
+    /// End-to-end runtime (µs).
+    pub total_us: f64,
+    /// Runtime normalized to Base-512 for the same workload.
+    pub normalized: f64,
+}
+
+/// One Table IV row in machine-readable form (the `table4` sweep series).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table4Row {
+    /// System shape label (e.g. `"2_8_8_4"`).
+    pub system: String,
+    /// Total NPUs.
+    pub npus: usize,
+    /// Per-dimension message sizes in MiB (RS + AG phases).
+    pub dim_mib: Vec<f64>,
+    /// Collective completion time (µs).
+    pub collective_us: f64,
+}
+
 /// Which comparison series a run should produce (the `astra sweep --series`
 /// flag maps onto this).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -205,6 +301,16 @@ pub struct SeriesSelection {
     pub engine_p2p: bool,
     /// Backend-executed collectives vs the closed-form collective engine.
     pub collective_backend: bool,
+    /// Parallel conservative-lookahead core vs the sequential reference.
+    pub parallel_des: bool,
+    /// Fig. 4 analytical-backend validation (paper experiment runner).
+    pub fig4: bool,
+    /// Fig. 9(a) scheduler/system grid (paper experiment runner).
+    pub fig9a: bool,
+    /// Fig. 9(b) scale-out vs scale-up grid (paper experiment runner).
+    pub fig9b: bool,
+    /// Table IV message-size scaling table (paper experiment runner).
+    pub table4: bool,
     /// Fig. 11 disaggregated-memory breakdown (paper experiment runner).
     pub fig11: bool,
     /// Table V configuration table (paper experiment runner).
@@ -221,6 +327,11 @@ impl SeriesSelection {
         packet_scale: true,
         engine_p2p: true,
         collective_backend: true,
+        parallel_des: true,
+        fig4: false,
+        fig9a: false,
+        fig9b: false,
+        table4: false,
         fig11: false,
         table5: false,
     };
@@ -232,17 +343,27 @@ impl SeriesSelection {
         packet_scale: false,
         engine_p2p: false,
         collective_backend: false,
+        parallel_des: false,
+        fig4: false,
+        fig9a: false,
+        fig9b: false,
+        table4: false,
         fig11: false,
         table5: false,
     };
 
     /// Stable machine-readable series names, in report order.
-    pub const NAMES: [&'static str; 7] = [
+    pub const NAMES: [&'static str; 12] = [
         "trace-gen",
         "event-queue",
         "packet-scale",
         "engine-p2p",
         "collective-backend",
+        "parallel-des",
+        "fig4",
+        "fig9a",
+        "fig9b",
+        "table4",
         "fig11",
         "table5",
     ];
@@ -259,6 +380,11 @@ impl SeriesSelection {
             "packet-scale" => self.packet_scale = true,
             "engine-p2p" => self.engine_p2p = true,
             "collective-backend" => self.collective_backend = true,
+            "parallel-des" => self.parallel_des = true,
+            "fig4" => self.fig4 = true,
+            "fig9a" => self.fig9a = true,
+            "fig9b" => self.fig9b = true,
+            "table4" => self.table4 = true,
             "fig11" => self.fig11 = true,
             "table5" => self.table5 = true,
             other => return Err(other.to_owned()),
@@ -285,6 +411,16 @@ pub struct Report {
     pub engine_p2p: Vec<EngineP2pRow>,
     /// Backend-executed vs closed-form collective rows.
     pub collective_backend: Vec<CollectiveBackendRow>,
+    /// Parallel-core vs sequential-core rows.
+    pub parallel_des: Vec<ParallelDesRow>,
+    /// Fig. 4 rows (empty unless the `fig4` series is selected).
+    pub fig4: Vec<Fig4Row>,
+    /// Fig. 9(a) rows (empty unless the `fig9a` series is selected).
+    pub fig9a: Vec<Fig9aRow>,
+    /// Fig. 9(b) rows (empty unless the `fig9b` series is selected).
+    pub fig9b: Vec<Fig9bRow>,
+    /// Table IV rows (empty unless the `table4` series is selected).
+    pub table4: Vec<Table4Row>,
     /// Fig. 11 rows (empty unless the `fig11` series is selected).
     pub fig11: Vec<Fig11Row>,
     /// Table V rows (empty unless the `table5` series is selected).
@@ -546,6 +682,59 @@ pub fn run_packet_scale(quick: bool) -> Vec<PacketScaleRow> {
     if !quick {
         rows.push(packet_scale_row("R(16)@100_R(16)@100", 1, reps));
         rows.push(packet_scale_row("R(8)@100_R(8)@100_R(8)@50", 1, reps));
+    }
+    rows
+}
+
+fn parallel_des_row(
+    notation: &str,
+    payload_mib: u64,
+    threads: usize,
+    reps: usize,
+) -> ParallelDesRow {
+    let topo = Topology::parse(notation).expect("valid notation");
+    let size = DataSize::from_mib(payload_mib);
+    let config = PacketSimConfig::garnet_like().with_transport(TransportMode::PerPacket);
+    let (sequential_ms, sequential) = best_ms(reps, || collective_time(&topo, size, &config));
+    let (parallel_ms, parallel) = best_ms(reps, || {
+        collective_time(
+            &topo,
+            size,
+            &config.with_sim_mode(SimMode::Parallel { threads }),
+        )
+    });
+    assert_eq!(
+        sequential.finish, parallel.finish,
+        "parallel core diverged on {notation}"
+    );
+    assert_eq!(
+        sequential.events, parallel.events,
+        "parallel core processed a different event count on {notation}"
+    );
+    ParallelDesRow {
+        topology: notation.to_owned(),
+        npus: topo.npus(),
+        payload_mib,
+        threads,
+        finish_us: sequential.finish.as_us_f64(),
+        events: sequential.events,
+        sequential_ms,
+        parallel_ms,
+        speedup: sequential_ms / parallel_ms.max(1e-9),
+    }
+}
+
+/// Parallel-core comparison (ROADMAP "parallel DES core"): the identical
+/// `garnet_like` per-packet All-Reduce on the sequential reference core
+/// and the conservative-lookahead parallel core at 4 worker threads,
+/// asserted bit-identical. Quick mode runs the 512-NPU case the CI gate
+/// checks (≥ 1.5×); full mode adds the smaller scales.
+pub fn run_parallel_des(quick: bool) -> Vec<ParallelDesRow> {
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = vec![parallel_des_row("R(8)@100_R(8)@100_R(8)@50", 1, 4, reps)];
+    if !quick {
+        rows.push(parallel_des_row("R(16)@100_R(8)@100", 1, 4, reps));
+        rows.push(parallel_des_row("R(16)@100_R(16)@100", 1, 4, reps));
     }
     rows
 }
@@ -857,6 +1046,87 @@ pub fn run_collective_backend(quick: bool) -> Vec<CollectiveBackendRow> {
     rows
 }
 
+/// The Fig. 4 analytical-backend validation as sweep rows (paper
+/// experiment runner; `--series fig4`). Quick mode runs only the two
+/// smallest payloads.
+pub fn run_fig4(quick: bool) -> Vec<Fig4Row> {
+    let payloads = crate::fig4::payloads();
+    let payloads = if quick { &payloads[..2] } else { &payloads[..] };
+    crate::fig4::run_payloads(payloads)
+        .into_iter()
+        .map(|row| Fig4Row {
+            npus: row.npus,
+            payload_mib: row.size.as_mib_f64(),
+            packet_us: row.packet_us,
+            analytical_us: row.analytical_us,
+            error_pct: row.error_pct,
+        })
+        .collect()
+}
+
+/// The Fig. 9(a) scheduler/system grid as sweep rows (paper experiment
+/// runner; `--series fig9a`). Quick mode runs only the first workload
+/// column.
+pub fn run_fig9a(quick: bool) -> Vec<Fig9aRow> {
+    let workloads = &experiments::CaseWorkload::ALL;
+    let workloads = if quick {
+        &workloads[..1]
+    } else {
+        &workloads[..]
+    };
+    crate::fig9a::run_workloads(workloads)
+        .into_iter()
+        .map(|row| Fig9aRow {
+            workload: row.workload.to_owned(),
+            system: row.system,
+            scheduler: row.scheduler.to_owned(),
+            compute_us: row.compute.as_us_f64(),
+            exposed_comm_us: row.exposed_comm.as_us_f64(),
+            total_us: row.total.as_us_f64(),
+            normalized: row.normalized,
+        })
+        .collect()
+}
+
+/// The Fig. 9(b) scale-out vs scale-up grid as sweep rows (paper
+/// experiment runner; `--series fig9b`). Quick mode runs only the first
+/// workload column.
+pub fn run_fig9b(quick: bool) -> Vec<Fig9bRow> {
+    let workloads = &experiments::CaseWorkload::ALL;
+    let workloads = if quick {
+        &workloads[..1]
+    } else {
+        &workloads[..]
+    };
+    crate::fig9b::run_workloads(workloads)
+        .into_iter()
+        .map(|row| Fig9bRow {
+            workload: row.workload.to_owned(),
+            system: row.system,
+            npus: row.npus,
+            compute_us: row.compute.as_us_f64(),
+            exposed_comm_us: row.exposed_comm.as_us_f64(),
+            total_us: row.total.as_us_f64(),
+            normalized: row.normalized,
+        })
+        .collect()
+}
+
+/// The Table IV message-size scaling sweep as sweep rows (paper
+/// experiment runner; `--series table4`). Pure closed-form data —
+/// identical in quick and full modes.
+pub fn run_table4() -> Vec<Table4Row> {
+    crate::table4::run()
+        .into_iter()
+        .map(|row| Table4Row {
+            system: row.system,
+            npus: row.npus,
+            dim_mib: row.dim_mib,
+            collective_us: row.collective_us,
+        })
+        .collect()
+}
+
 /// The Fig. 11 disaggregated-memory breakdown as sweep rows (paper
 /// experiment runner; `--series fig11`). Quick mode truncates the MoE
 /// model to two layers.
@@ -923,6 +1193,31 @@ pub fn run_selected(quick: bool, series: SeriesSelection) -> Report {
         },
         collective_backend: if series.collective_backend {
             run_collective_backend(quick)
+        } else {
+            Vec::new()
+        },
+        parallel_des: if series.parallel_des {
+            run_parallel_des(quick)
+        } else {
+            Vec::new()
+        },
+        fig4: if series.fig4 {
+            run_fig4(quick)
+        } else {
+            Vec::new()
+        },
+        fig9a: if series.fig9a {
+            run_fig9a(quick)
+        } else {
+            Vec::new()
+        },
+        fig9b: if series.fig9b {
+            run_fig9b(quick)
+        } else {
+            Vec::new()
+        },
+        table4: if series.table4 {
+            run_table4()
         } else {
             Vec::new()
         },
@@ -1031,6 +1326,95 @@ pub fn print(report: &Report) {
             );
         }
     }
+    if !report.parallel_des.is_empty() {
+        println!("\n== parallel DES core: conservative lookahead vs sequential reference ==");
+        println!(
+            "{:<26} {:>5} {:>8} {:>11} {:>12} {:>12} {:>9}",
+            "Topology", "NPUs", "Threads", "Events", "Seq(ms)", "Par(ms)", "Speedup"
+        );
+        for r in &report.parallel_des {
+            println!(
+                "{:<26} {:>5} {:>8} {:>11} {:>12.2} {:>12.2} {:>8.2}x",
+                r.topology, r.npus, r.threads, r.events, r.sequential_ms, r.parallel_ms, r.speedup
+            );
+        }
+    }
+    if !report.fig4.is_empty() {
+        println!("\n== fig4: analytical backend validation (ring @150 GB/s) ==");
+        println!(
+            "{:<6} {:>12} {:>14} {:>16} {:>9}",
+            "NPUs", "Size(MiB)", "Packet(us)", "Analytical(us)", "Err %"
+        );
+        for r in &report.fig4 {
+            println!(
+                "{:<6} {:>12.0} {:>14.2} {:>16.2} {:>9.2}",
+                r.npus, r.payload_mib, r.packet_us, r.analytical_us, r.error_pct
+            );
+        }
+    }
+    if !report.fig9a.is_empty() {
+        println!("\n== fig9a: normalized runtime per scheduler and system ==");
+        println!(
+            "{:<16} {:<10} {:<10} {:>12} {:>14} {:>12} {:>11}",
+            "Workload",
+            "System",
+            "Scheduler",
+            "Compute(us)",
+            "ExpComm(us)",
+            "Total(us)",
+            "Normalized"
+        );
+        for r in &report.fig9a {
+            println!(
+                "{:<16} {:<10} {:<10} {:>12.1} {:>14.1} {:>12.1} {:>11.3}",
+                r.workload,
+                r.system,
+                r.scheduler,
+                r.compute_us,
+                r.exposed_comm_us,
+                r.total_us,
+                r.normalized
+            );
+        }
+    }
+    if !report.fig9b.is_empty() {
+        println!("\n== fig9b: scale-out vs wafer scale-up, normalized to Base-512 ==");
+        println!(
+            "{:<16} {:<10} {:>6} {:>12} {:>14} {:>12} {:>11}",
+            "Workload", "System", "NPUs", "Compute(us)", "ExpComm(us)", "Total(us)", "Normalized"
+        );
+        for r in &report.fig9b {
+            println!(
+                "{:<16} {:<10} {:>6} {:>12.1} {:>14.1} {:>12.1} {:>11.3}",
+                r.workload,
+                r.system,
+                r.npus,
+                r.compute_us,
+                r.exposed_comm_us,
+                r.total_us,
+                r.normalized
+            );
+        }
+    }
+    if !report.table4.is_empty() {
+        println!("\n== table4: 1 GB All-Reduce per-dimension message sizes (MiB) ==");
+        println!(
+            "{:<10} {:>6} {:>9} {:>9} {:>9} {:>9} {:>16}",
+            "System", "NPUs", "Dim 1", "Dim 2", "Dim 3", "Dim 4", "Collective (us)"
+        );
+        for r in &report.table4 {
+            println!(
+                "{:<10} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>16.2}",
+                r.system,
+                r.npus,
+                r.dim_mib[0],
+                r.dim_mib[1],
+                r.dim_mib[2],
+                r.dim_mib[3],
+                r.collective_us
+            );
+        }
+    }
     if !report.fig11.is_empty() {
         println!("\n== fig11: disaggregated-memory runtime breakdown (ms) ==");
         println!(
@@ -1095,7 +1479,12 @@ mod tests {
         assert!(!report.packet_scale.is_empty());
         assert!(!report.engine_p2p.is_empty());
         assert!(!report.collective_backend.is_empty());
+        assert!(!report.parallel_des.is_empty());
         // The paper experiment runners are opt-in, not part of ALL.
+        assert!(report.fig4.is_empty());
+        assert!(report.fig9a.is_empty());
+        assert!(report.fig9b.is_empty());
+        assert!(report.table4.is_empty());
         assert!(report.fig11.is_empty());
         assert!(report.table5.is_empty());
         let json = report.to_json().unwrap();
@@ -1106,6 +1495,7 @@ mod tests {
         );
         assert!(v["event_queue"][0]["heap_ms"].as_f64().unwrap() >= 0.0);
         assert!(v["packet_scale"][0]["per_packet_events"].as_f64().unwrap() > 0.0);
+        assert!(v["parallel_des"][0]["events"].as_f64().unwrap() > 0.0);
         assert!(v["engine_p2p"][0]["blocking_setups"].as_f64().unwrap() > 1.0);
         assert!(
             v["collective_backend"][0]["collective_ops"]
@@ -1162,6 +1552,37 @@ mod tests {
             let total = row["total_ms"].as_f64().unwrap();
             assert!((sum - total).abs() < 1e-3, "{sum} vs {total}");
         }
+    }
+
+    #[test]
+    fn scaling_series_fold_into_the_report() {
+        let sel = SeriesSelection::NONE
+            .enable("fig4")
+            .unwrap()
+            .enable("table4")
+            .unwrap();
+        let report = run_selected(true, sel);
+        assert!(report.fig9a.is_empty() && report.fig9b.is_empty());
+        // Quick fig4: 2 ring sizes x 2 payloads; Table IV: 7 systems.
+        assert_eq!(report.fig4.len(), 4);
+        assert_eq!(report.table4.len(), 7);
+        let json = report.to_json().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(v["fig4"][0]["error_pct"].as_f64().unwrap() >= 0.0);
+        assert_eq!(v["table4"][0]["dim_mib"].as_array().unwrap().len(), 4);
+        assert!(v["table4"][0]["collective_us"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn parallel_des_rows_are_bit_identical_by_construction() {
+        // `parallel_des_row` asserts finish and event-count equality
+        // between the cores; the row itself must carry a positive event
+        // count and wall-clock fields.
+        let rows = run_parallel_des(true);
+        let row = rows.iter().find(|r| r.npus == 512).expect("512-NPU row");
+        assert_eq!(row.threads, 4);
+        assert!(row.events > 0);
+        assert!(row.sequential_ms > 0.0 && row.parallel_ms > 0.0);
     }
 
     #[test]

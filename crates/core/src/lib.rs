@@ -35,7 +35,7 @@ pub use astra_collectives::{
     dimension_traffic, lowering, Algorithm, ChunkOp, Collective, CollectiveEngine, CollectiveMode,
     CollectiveOutcome, CollectiveProgram, SchedulerPolicy,
 };
-pub use astra_des::{Bandwidth, DataSize, QueueBackend, Time};
+pub use astra_des::{Bandwidth, DataSize, QueueBackend, SimMode, Time};
 pub use astra_memory::{
     AccessKind, HierPool, HierPoolConfig, LocalMemory, MeshPool, MultiLevelSwitchPool,
     PoolArchitecture, RemoteMemory, RingPool, TransferMode, ZeroInfinity,

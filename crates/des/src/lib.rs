@@ -26,11 +26,15 @@
 //! ```
 
 mod intervals;
+mod partition;
 mod queue;
 mod resource;
 mod units;
 
 pub use intervals::{attribute_exclusive, IntervalLog};
+pub use partition::{LaneId, Outbox, PartitionedEventQueue, SimMode, WindowOutcome};
 pub use queue::{EventQueue, QueueBackend};
-pub use resource::{ArrivalRun, FifoResource, Reservation, TrainOccupancy, TrainProfile};
+pub use resource::{
+    ArrivalRun, FifoCheckpoint, FifoResource, Reservation, TrainOccupancy, TrainProfile,
+};
 pub use units::{Bandwidth, DataSize, Time};

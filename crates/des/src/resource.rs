@@ -79,6 +79,27 @@ impl FifoResource {
         self.free_at
     }
 
+    /// Captures the resource's current timeline so a batch of speculative
+    /// reservations can later be undone with [`FifoResource::restore`].
+    ///
+    /// This is what lets the batched transport *re-plan* a link: when a new
+    /// train overlaps an already-reserved one, the transport rewinds the
+    /// link to the checkpoint taken before the first train's reservation and
+    /// re-serves the merged packet sequence.
+    pub fn checkpoint(&self) -> FifoCheckpoint {
+        FifoCheckpoint {
+            free_at: self.free_at,
+            busy: self.busy,
+        }
+    }
+
+    /// Rewinds the resource to a previously captured [`FifoCheckpoint`],
+    /// discarding every reservation made since.
+    pub fn restore(&mut self, checkpoint: FifoCheckpoint) {
+        self.free_at = checkpoint.free_at;
+        self.busy = checkpoint.busy;
+    }
+
     /// Total busy (serving) time accumulated so far.
     pub fn busy_time(&self) -> Time {
         self.busy
@@ -232,6 +253,14 @@ fn fold_body_run(
     prev_end + s * queued
 }
 
+/// An opaque snapshot of a [`FifoResource`] timeline, produced by
+/// [`FifoResource::checkpoint`] and consumed by [`FifoResource::restore`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FifoCheckpoint {
+    free_at: Time,
+    busy: Time,
+}
+
 /// One arithmetic run of packet times: `count` packets at `first`,
 /// `first + spacing`, `first + 2*spacing`, …
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -278,6 +307,26 @@ impl TrainProfile {
                 spacing: Time::ZERO,
             }],
         }
+    }
+
+    /// An empty profile, to be filled with [`TrainProfile::append`].
+    ///
+    /// Unlike the other constructors this may stay empty; callers that build
+    /// profiles incrementally must append at least one time before handing
+    /// the profile to [`FifoResource::acquire_train`].
+    pub fn empty() -> Self {
+        TrainProfile { runs: Vec::new() }
+    }
+
+    /// Appends a single packet time, merging it into the trailing run when
+    /// the combined sequence stays arithmetic. Times must be appended in
+    /// non-decreasing order.
+    pub fn append(&mut self, time: Time) {
+        self.push_run(ArrivalRun {
+            count: 1,
+            first: time,
+            spacing: Time::ZERO,
+        });
     }
 
     /// A profile made of a single arithmetic run.
@@ -509,6 +558,35 @@ mod tests {
         assert_eq!(d.last(), Time::from_us(3));
         assert_eq!(d.count(), 4);
         assert_eq!(d.runs().len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_reservations() {
+        let mut r = FifoResource::new();
+        r.acquire(Time::from_us(0), Time::from_us(4));
+        let cp = r.checkpoint();
+        r.acquire(Time::from_us(1), Time::from_us(7));
+        r.acquire(Time::from_us(2), Time::from_us(3));
+        r.restore(cp);
+        assert_eq!(r.free_at(), Time::from_us(4));
+        assert_eq!(r.busy_time(), Time::from_us(4));
+        // Replaying after a restore lands exactly where the original did.
+        let b = r.acquire(Time::from_us(1), Time::from_us(7));
+        assert_eq!(b.end, Time::from_us(11));
+    }
+
+    #[test]
+    fn append_builds_compact_profile() {
+        let mut p = TrainProfile::empty();
+        for i in 0..5 {
+            p.append(Time::from_us(10 + 2 * i));
+        }
+        p.append(Time::from_us(30));
+        assert_eq!(p.count(), 6);
+        assert_eq!(p.runs().len(), 2, "{p:?}");
+        let times: Vec<Time> = p.times().collect();
+        assert_eq!(times[0], Time::from_us(10));
+        assert_eq!(times[5], Time::from_us(30));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! ```
 
 mod network;
+mod parallel;
 mod runner;
 pub mod semantics;
 

@@ -4,13 +4,17 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
-use astra_des::{DataSize, EventQueue, FifoResource, QueueBackend, Time, TrainProfile};
+use astra_des::{
+    DataSize, EventQueue, FifoCheckpoint, FifoResource, QueueBackend, SimMode, Time, TrainProfile,
+};
 use astra_network::{AsyncMessageId, Completion, NetworkBackend, NetworkStats};
 use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
 
+use crate::parallel::ParallelCore;
+
 /// Identifier of an in-flight or completed message.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct MessageId(usize);
+pub struct MessageId(pub(crate) usize);
 
 /// How messages traverse the simulated links.
 ///
@@ -33,10 +37,18 @@ pub struct MessageId(usize);
 /// carry one train per link, and the staggered All-to-All drains each
 /// switch down-link from one sender at a time. The cross-mode property
 /// suite (`crates/garnet/tests/transport_equivalence.rs`) pins this over
-/// random topologies, collectives, and sizes. For arbitrary concurrent
-/// point-to-point traffic whose trains would interleave packet-by-packet
-/// on a shared link, batched mode is a (work-conserving) approximation
-/// that serves whole trains in head-arrival order.
+/// random topologies, collectives, and sizes.
+///
+/// When concurrent trains *would* interleave packet-by-packet on a shared
+/// link, batched mode splits them at the interleave points: the link is
+/// rewound to before the resident train's reservation and the merged
+/// per-packet FIFO sequence is replayed, keeping the result bit-identical
+/// to per-packet mode at `O(packets)` cost for just the overlapping trains
+/// (see [`PacketNetwork::train_splits`]). Only when a resident train's
+/// downstream events have already fired — its reservation can no longer be
+/// rewound — does batched mode fall back to serializing whole trains in
+/// head-arrival order, a (work-conserving) approximation counted by
+/// [`PacketNetwork::train_interleavings`].
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum TransportMode {
     /// One event per packet per hop (ground truth; the default).
@@ -99,6 +111,14 @@ pub struct PacketSimConfig {
     /// Event granularity (see [`TransportMode`]). Batched transport keeps
     /// fine packet sizes affordable at 256+ NPUs.
     pub transport: TransportMode,
+    /// Execution core (see [`SimMode`]). [`SimMode::Parallel`] partitions
+    /// the links into domains advanced in conservative-lookahead windows
+    /// (lookahead = minimum link propagation latency); results are
+    /// bit-identical across worker thread counts, and bit-identical to
+    /// [`SimMode::Sequential`] on the lockstep collective traffic the
+    /// runner generates. Topologies with a zero-latency link fall back to
+    /// the sequential core (no conservative window exists).
+    pub sim_mode: SimMode,
 }
 
 impl PacketSimConfig {
@@ -111,6 +131,7 @@ impl PacketSimConfig {
             step_overhead: Time::ZERO,
             queue_backend: QueueBackend::default(),
             transport: TransportMode::default(),
+            sim_mode: SimMode::default(),
         }
     }
 
@@ -123,6 +144,7 @@ impl PacketSimConfig {
             step_overhead: Time::ZERO,
             queue_backend: QueueBackend::default(),
             transport: TransportMode::default(),
+            sim_mode: SimMode::default(),
         }
     }
 
@@ -137,6 +159,7 @@ impl PacketSimConfig {
             step_overhead: Time::from_us(1),
             queue_backend: QueueBackend::default(),
             transport: TransportMode::default(),
+            sim_mode: SimMode::default(),
         }
     }
 
@@ -151,6 +174,12 @@ impl PacketSimConfig {
         self.transport = transport;
         self
     }
+
+    /// Selects the execution core (see [`SimMode`]).
+    pub fn with_sim_mode(mut self, sim_mode: SimMode) -> Self {
+        self.sim_mode = sim_mode;
+        self
+    }
 }
 
 impl Default for PacketSimConfig {
@@ -160,18 +189,23 @@ impl Default for PacketSimConfig {
 }
 
 #[derive(Clone, Debug)]
-struct MessageState {
+pub(crate) struct MessageState {
     /// Index into the memoized route table.
-    route: usize,
+    pub(crate) route: usize,
     /// Full-size packet payload (all packets but possibly the last).
-    packet_bytes: DataSize,
+    pub(crate) packet_bytes: DataSize,
     /// Payload of the last packet (== `packet_bytes` for exact multiples).
-    tail_bytes: DataSize,
-    packets_remaining: u64,
-    finish: Option<Time>,
+    pub(crate) tail_bytes: DataSize,
+    pub(crate) packets_remaining: u64,
+    /// Reservation generation (batched mode). Splitting a merged train
+    /// rewinds its link reservations and re-schedules its downstream
+    /// events; bumping the generation cancels the superseded events still
+    /// sitting in the queue (they are dropped on pop).
+    pub(crate) gen: u32,
+    pub(crate) finish: Option<Time>,
     /// Whether the message was injected through the async NetworkAPI and
     /// its completion must be reported via `drain_completions`.
-    tracked: bool,
+    pub(crate) tracked: bool,
 }
 
 /// One packet completing its traversal of `route[hop]`.
@@ -189,6 +223,9 @@ struct TrainEvent {
     message: MessageId,
     hop: usize,
     arrivals: TrainProfile,
+    /// Generation the event was scheduled under; stale events (superseded
+    /// by a train split) are dropped on pop.
+    gen: u32,
 }
 
 #[derive(Clone, Debug)]
@@ -197,8 +234,34 @@ enum TransportEvent {
     Packet(PacketEvent),
     /// Batched transport: a train's head reached the next link.
     Train(TrainEvent),
-    /// Batched transport: a train's tail arrived at the destination.
-    TrainDone(MessageId),
+    /// Batched transport: a train's tail arrived at the destination (the
+    /// generation guards against superseded schedules, as in `Train`).
+    TrainDone(MessageId, u32),
+}
+
+/// One train currently reserved on a link and still fully rewindable.
+#[derive(Clone, Debug)]
+struct TrainMember {
+    message: MessageId,
+    hop: usize,
+    /// The train's arrival profile *at this link*.
+    arrivals: TrainProfile,
+}
+
+/// The batched-mode re-planning unit for one link: the set of trains whose
+/// reservations can still be rewound (none of their downstream events have
+/// fired). When a new train's arrival window overlaps the group, the link
+/// is restored to `checkpoint` and the merged per-packet FIFO sequence is
+/// replayed, reproducing per-packet transport bit-identically.
+#[derive(Clone, Debug)]
+struct LinkTrainGroup {
+    /// Link timeline snapshot taken before the group's first reservation.
+    checkpoint: FifoCheckpoint,
+    members: Vec<TrainMember>,
+    /// Scheduled downstream event time of each member (its next-hop head
+    /// arrival or destination completion). The group is splittable only
+    /// while every entry is strictly in the future.
+    downstream: Vec<Time>,
 }
 
 /// A packet-granularity store-and-forward network DES.
@@ -229,20 +292,27 @@ enum TransportEvent {
 /// ```
 #[derive(Debug)]
 pub struct PacketNetwork {
-    graph: LinkGraph,
-    link_queues: Vec<FifoResource>,
+    pub(crate) graph: LinkGraph,
+    pub(crate) link_queues: Vec<FifoResource>,
     queue: EventQueue<TransportEvent>,
-    messages: Vec<MessageState>,
-    routes: Vec<Vec<LinkId>>,
+    pub(crate) messages: Vec<MessageState>,
+    pub(crate) routes: Vec<Vec<LinkId>>,
     route_ids: BTreeMap<(NpuId, NpuId), usize>,
-    config: PacketSimConfig,
-    events_processed: u64,
-    completed: Vec<Completion>,
+    pub(crate) config: PacketSimConfig,
+    pub(crate) events_processed: u64,
+    pub(crate) completed: Vec<Completion>,
     /// Per link: last arrival instant of the most recent train reserved on
     /// it (batched mode only) — the overlap detector behind
+    /// [`PacketNetwork::train_splits`] and
     /// [`PacketNetwork::train_interleavings`].
-    link_train_tail: Vec<Time>,
-    train_interleavings: u64,
+    pub(crate) link_train_tail: Vec<Time>,
+    /// Per link: the rewindable train group (batched sequential mode only).
+    link_groups: Vec<Option<LinkTrainGroup>>,
+    pub(crate) train_interleavings: u64,
+    train_splits: u64,
+    /// Domain-partitioned executor; present iff the config selects
+    /// [`SimMode::Parallel`] and the topology admits a positive lookahead.
+    pub(crate) parallel: Option<ParallelCore>,
 }
 
 impl PacketNetwork {
@@ -253,6 +323,10 @@ impl PacketNetwork {
             .map(|_| FifoResource::new())
             .collect();
         let num_links = graph.num_links();
+        let parallel = match config.sim_mode {
+            SimMode::Sequential => None,
+            SimMode::Parallel { .. } => ParallelCore::for_graph(&graph),
+        };
         PacketNetwork {
             graph,
             link_queues,
@@ -264,7 +338,10 @@ impl PacketNetwork {
             events_processed: 0,
             completed: Vec::new(),
             link_train_tail: vec![Time::ZERO; num_links],
+            link_groups: vec![None; num_links],
             train_interleavings: 0,
+            train_splits: 0,
+            parallel,
         }
     }
 
@@ -290,22 +367,36 @@ impl PacketNetwork {
         self.route_ids.len()
     }
 
+    /// Batched-mode train splits: overlapping trains whose reservations
+    /// were rewound and replayed as a merged per-packet FIFO sequence,
+    /// keeping batched mode **bit-identical** to per-packet transport (see
+    /// the regression test `batched_interleaving_is_counted_and_bounded`).
+    /// Each count marks one such merge. Always zero in per-packet mode.
+    pub fn train_splits(&self) -> u64 {
+        self.train_splits
+    }
+
     /// Batched-mode train serializations that per-packet mode would have
-    /// interleaved: counted whenever a train is reserved on a link while
-    /// the previous train's packets were still arriving there (overlapping
-    /// arrival windows). Each count marks one message whose completion may
-    /// diverge from per-packet ground truth — by at most the other train's
-    /// service time, since the link serves whole trains in head-arrival
-    /// order and stays work-conserving (see the regression test
-    /// `batched_interleaving_is_counted_and_bounded`). Always zero in
-    /// per-packet mode.
+    /// interleaved *and* that could no longer be split: the resident
+    /// train's downstream events had already fired, so its reservation was
+    /// not rewindable and the overlapping train was serialized behind it.
+    /// Each count marks one message whose completion may diverge from
+    /// per-packet ground truth — by at most the other train's service
+    /// time, since the link serves whole trains in head-arrival order and
+    /// stays work-conserving. The parallel core (see [`SimMode`]) always
+    /// serializes overlapping trains (a split would rewind effects across
+    /// domain boundaries), so it counts here, never under
+    /// [`PacketNetwork::train_splits`]. Always zero in per-packet mode.
     pub fn train_interleavings(&self) -> u64 {
         self.train_interleavings
     }
 
-    /// Current simulation time.
+    /// Current simulation time (the last processed event's time).
     pub fn now(&self) -> Time {
-        self.queue.now()
+        match &self.parallel {
+            Some(core) => core.clock(),
+            None => self.queue.now(),
+        }
     }
 
     /// Resolves (or reuses) the memoized route for a pair.
@@ -316,6 +407,9 @@ impl PacketNetwork {
         let idx = self.routes.len();
         self.routes.push(self.graph.route(src, dst));
         self.route_ids.insert((src, dst), idx);
+        if let Some(core) = self.parallel.as_mut() {
+            core.register_route(&self.routes[idx]);
+        }
         idx
     }
 
@@ -336,6 +430,7 @@ impl PacketNetwork {
                 packet_bytes: DataSize::ZERO,
                 tail_bytes: DataSize::ZERO,
                 packets_remaining: 0,
+                gen: 0,
                 finish: Some(at),
                 tracked: false,
             });
@@ -350,9 +445,24 @@ impl PacketNetwork {
             packet_bytes: DataSize::from_bytes(pkt),
             tail_bytes: DataSize::from_bytes(if tail > 0 { tail } else { pkt }),
             packets_remaining: count,
+            gen: 0,
             finish: None,
             tracked: false,
         });
+        if let Some(core) = self.parallel.as_mut() {
+            // Parallel core: the send is staged and enters the partitioned
+            // lanes (in stable time order) when the simulation advances.
+            core.stage_send(
+                at,
+                id,
+                route,
+                self.config.transport,
+                count,
+                DataSize::from_bytes(pkt),
+                DataSize::from_bytes(if tail > 0 { tail } else { pkt }),
+            );
+            return id;
+        }
         match self.config.transport {
             TransportMode::PerPacket => {
                 // Enter packets onto the first link in order; FIFO per link.
@@ -375,7 +485,7 @@ impl PacketNetwork {
             TransportMode::Batched => {
                 // The whole train queues on the first link at once — the
                 // same eager acquisition the per-packet loop above performs.
-                self.advance_train(id, 0, TrainProfile::simultaneous(count, at));
+                self.advance_train(id, 0, TrainProfile::simultaneous(count, at), true);
             }
         }
         id
@@ -393,10 +503,73 @@ impl PacketNetwork {
         );
     }
 
+    /// Routes a train arriving at the head of `route[hop]` (batched mode).
+    ///
+    /// Contiguous trains take the closed-form path ([`Self::reserve_train`])
+    /// and start a fresh rewindable group on the link. A train whose
+    /// arrival window overlaps the resident group is *split-merged*: the
+    /// link is rewound and the combined per-packet FIFO sequence replayed,
+    /// reproducing per-packet transport bit-identically. If the resident
+    /// group can no longer be rewound (a downstream event already fired),
+    /// the train is serialized behind it and the divergence is counted.
+    ///
+    /// `from_send` marks the eager hop-0 reservation `send_at` performs at
+    /// call time. Per-packet mode acquires those packets at the *call*
+    /// instant, not at their ready time `at`, so arrival-time order equals
+    /// acquisition order only when `at` is the current instant and no
+    /// same-instant events are still pending; otherwise the reservation
+    /// neither merges nor forms a rewindable group.
+    fn advance_train(
+        &mut self,
+        message: MessageId,
+        hop: usize,
+        arrivals: TrainProfile,
+        from_send: bool,
+    ) {
+        let slot = self.routes[self.messages[message.0].route][hop].0;
+        let now = self.queue.now();
+        if arrivals.first() < self.link_train_tail[slot] {
+            // Per-packet transport would interleave this train with the
+            // packets still arriving on the link.
+            let send_merge_safe =
+                !from_send || (arrivals.first() == now && self.queue.peek_time() != Some(now));
+            let splittable = send_merge_safe
+                && self.link_groups[slot]
+                    .as_ref()
+                    .is_some_and(|g| g.downstream.iter().all(|&t| t > now));
+            if splittable {
+                self.train_splits += 1;
+                self.split_merge_trains(message, hop, arrivals);
+            } else {
+                self.train_interleavings += 1;
+                self.reserve_train(message, hop, arrivals, None);
+            }
+            return;
+        }
+        let checkpoint = if from_send && arrivals.first() > now {
+            // Future-dated eager send: acquired now, ready later — not
+            // representable in arrival-time order, so not rewindable.
+            None
+        } else {
+            Some(self.link_queues[slot].checkpoint())
+        };
+        self.reserve_train(message, hop, arrivals, checkpoint);
+    }
+
     /// Reserves one whole train on `route[hop]` in closed form and schedules
     /// its head at the next link (or its tail's arrival at the destination).
-    fn advance_train(&mut self, message: MessageId, hop: usize, arrivals: TrainProfile) {
+    /// With `Some(checkpoint)` (taken before the reservation) the train
+    /// becomes the link's new single-member rewindable group; with `None`
+    /// the link keeps no group (future overlaps serialize).
+    fn reserve_train(
+        &mut self,
+        message: MessageId,
+        hop: usize,
+        arrivals: TrainProfile,
+        checkpoint: Option<FifoCheckpoint>,
+    ) {
         let msg = &self.messages[message.0];
+        let gen = msg.gen;
         let (packet_bytes, tail_bytes) = (msg.packet_bytes, msg.tail_bytes);
         let route = &self.routes[msg.route];
         let hops = route.len();
@@ -404,18 +577,10 @@ impl PacketNetwork {
         let props = self.graph.link(link_id);
         let service = props.bandwidth.transfer_time(packet_bytes);
         let tail_service = props.bandwidth.transfer_time(tail_bytes);
-        // Surface the batched-mode caveat instead of keeping it silent: if
-        // this train's head arrives while the previous train's packets are
-        // still arriving on the link, per-packet transport would have
-        // interleaved them — batched mode serializes whole trains.
-        let prev_tail = self.link_train_tail[link_id.0];
-        if arrivals.first() < prev_tail {
-            self.train_interleavings += 1;
-        }
-        self.link_train_tail[link_id.0] = prev_tail.max(arrivals.last());
+        self.link_train_tail[link_id.0] = self.link_train_tail[link_id.0].max(arrivals.last());
         let occupancy = self.link_queues[link_id.0].acquire_train(&arrivals, service, tail_service);
         let next = occupancy.completions.delayed_by(props.latency);
-        if hop + 1 < hops {
+        let downstream = if hop + 1 < hops {
             let head = next.first();
             self.queue.schedule_at(
                 head,
@@ -423,12 +588,114 @@ impl PacketNetwork {
                     message,
                     hop: hop + 1,
                     arrivals: next,
+                    gen,
                 }),
             );
+            head
         } else {
+            let tail = next.last();
             self.queue
-                .schedule_at(next.last(), TransportEvent::TrainDone(message));
+                .schedule_at(tail, TransportEvent::TrainDone(message, gen));
+            tail
+        };
+        self.link_groups[link_id.0] = checkpoint.map(|checkpoint| LinkTrainGroup {
+            checkpoint,
+            members: vec![TrainMember {
+                message,
+                hop,
+                arrivals,
+            }],
+            downstream: vec![downstream],
+        });
+    }
+
+    /// Splits the overlapping trains on `route[hop]` at their interleave
+    /// points: rewinds the link to before the resident group's first
+    /// reservation, replays the merged per-packet FIFO sequence (the new
+    /// train included), and re-schedules every member's downstream event
+    /// under a fresh generation. Bit-identical to per-packet transport at
+    /// `O(packets)` cost for the trains involved.
+    fn split_merge_trains(&mut self, message: MessageId, hop: usize, arrivals: TrainProfile) {
+        let link_id = self.routes[self.messages[message.0].route][hop];
+        let slot = link_id.0;
+        let props = self.graph.link(link_id);
+        self.link_train_tail[slot] = self.link_train_tail[slot].max(arrivals.last());
+        // astra-lint: allow(panic, the caller checked group eligibility)
+        let mut group = self.link_groups[slot].take().expect("splittable group");
+        group.members.push(TrainMember {
+            message,
+            hop,
+            arrivals,
+        });
+        // Cancel every member's scheduled downstream event: the replay
+        // below re-schedules them under the bumped generation.
+        for member in &group.members {
+            self.messages[member.message.0].gen =
+                self.messages[member.message.0].gen.wrapping_add(1);
         }
+        self.link_queues[slot].restore(group.checkpoint);
+        // Merged per-packet FIFO order: sort all packet arrivals by time;
+        // the stable sort keeps member (reservation) order on ties, which
+        // is exactly the per-packet event tie-break (FIFO by schedule
+        // order, and members reserved earlier scheduled their equal-time
+        // packets earlier).
+        let mut order: Vec<(Time, usize)> = Vec::new();
+        for (m, member) in group.members.iter().enumerate() {
+            order.extend(member.arrivals.times().map(|t| (t, m)));
+        }
+        order.sort_by_key(|&(t, _)| t);
+        let services: Vec<(Time, Time)> = group
+            .members
+            .iter()
+            .map(|member| {
+                let msg = &self.messages[member.message.0];
+                (
+                    props.bandwidth.transfer_time(msg.packet_bytes),
+                    props.bandwidth.transfer_time(msg.tail_bytes),
+                )
+            })
+            .collect();
+        let mut remaining: Vec<u64> = group.members.iter().map(|m| m.arrivals.count()).collect();
+        let mut completions: Vec<TrainProfile> = vec![TrainProfile::empty(); group.members.len()];
+        for &(t, m) in &order {
+            remaining[m] -= 1;
+            let service = if remaining[m] == 0 {
+                services[m].1
+            } else {
+                services[m].0
+            };
+            let end = self.link_queues[slot].acquire(t, service).end;
+            completions[m].append(end);
+        }
+        // Re-schedule each member's downstream under its new generation.
+        // Replaying with *more* packets only pushes completions later, so
+        // every re-scheduled time is >= its superseded one (> now).
+        group.downstream.clear();
+        for (m, member) in group.members.iter().enumerate() {
+            let next = completions[m].delayed_by(props.latency);
+            let gen = self.messages[member.message.0].gen;
+            let hops = self.routes[self.messages[member.message.0].route].len();
+            let t = if member.hop + 1 < hops {
+                let head = next.first();
+                self.queue.schedule_at(
+                    head,
+                    TransportEvent::Train(TrainEvent {
+                        message: member.message,
+                        hop: member.hop + 1,
+                        arrivals: next,
+                        gen,
+                    }),
+                );
+                head
+            } else {
+                let tail = next.last();
+                self.queue
+                    .schedule_at(tail, TransportEvent::TrainDone(member.message, gen));
+                tail
+            };
+            group.downstream.push(t);
+        }
+        self.link_groups[slot] = Some(group);
     }
 
     fn dispatch(&mut self, now: Time, event: TransportEvent) {
@@ -453,9 +720,14 @@ impl PacketNetwork {
                 }
             }
             TransportEvent::Train(train) => {
-                self.advance_train(train.message, train.hop, train.arrivals);
+                if train.gen == self.messages[train.message.0].gen {
+                    self.advance_train(train.message, train.hop, train.arrivals, false);
+                }
             }
-            TransportEvent::TrainDone(message) => {
+            TransportEvent::TrainDone(message, gen) => {
+                if gen != self.messages[message.0].gen {
+                    return;
+                }
                 let msg = &mut self.messages[message.0];
                 msg.packets_remaining = 0;
                 msg.finish = Some(now);
@@ -465,7 +737,7 @@ impl PacketNetwork {
     }
 
     /// Buffers an async completion callback for a tracked message.
-    fn record_completion(&mut self, message: MessageId, finish: Time) {
+    pub(crate) fn record_completion(&mut self, message: MessageId, finish: Time) {
         if self.messages[message.0].tracked {
             self.completed.push(Completion {
                 id: AsyncMessageId(message.0 as u64),
@@ -477,6 +749,9 @@ impl PacketNetwork {
     /// Runs the simulation until no events remain, returning the final
     /// simulation time.
     pub fn run_until_idle(&mut self) -> Time {
+        if self.parallel.is_some() {
+            return self.run_parallel(None, None);
+        }
         while let Some((now, event)) = self.queue.pop() {
             self.events_processed += 1;
             self.dispatch(now, event);
@@ -493,6 +768,11 @@ impl PacketNetwork {
     /// Panics if the event queue drains before the message completes (it
     /// cannot for messages injected through [`PacketNetwork::send_at`]).
     pub fn run_until_complete(&mut self, id: MessageId) -> Time {
+        if self.parallel.is_some() {
+            self.run_parallel(None, Some(id));
+            // astra-lint: allow(panic, documented panic contract; send_at-injected messages always complete)
+            return self.completion(id).expect("tracked message completes");
+        }
         loop {
             if let Some(finish) = self.completion(id) {
                 return finish;
@@ -558,14 +838,21 @@ impl NetworkBackend for PacketNetwork {
     /// The packet simulator cannot schedule hops in its processed past:
     /// new sends must enter at or after the internal clock.
     fn earliest_send_time(&self) -> Time {
-        self.queue.now()
+        self.now()
     }
 
     fn next_event_time(&self) -> Option<Time> {
-        self.queue.peek_time()
+        match &self.parallel {
+            Some(core) => core.next_event_time(),
+            None => self.queue.peek_time(),
+        }
     }
 
     fn advance_until(&mut self, limit: Time) {
+        if self.parallel.is_some() {
+            self.run_parallel(Some(limit), None);
+            return;
+        }
         while let Some((now, event)) = self.queue.pop_up_to(limit) {
             self.events_processed += 1;
             self.dispatch(now, event);
@@ -581,6 +868,7 @@ impl NetworkBackend for PacketNetwork {
             messages: self.messages.len() as u64,
             events: self.events_processed,
             train_serializations: self.train_interleavings,
+            train_splits: self.train_splits,
             ..NetworkStats::default()
         }
     }
@@ -790,13 +1078,13 @@ mod tests {
         assert!(net.completion(backlog).unwrap() == idle);
     }
 
-    /// Regression for the batched-mode caveat: when two trains' arrival
-    /// windows overlap on a link, per-packet transport interleaves them
-    /// while batched transport serializes whole trains in head-arrival
-    /// order. That serialization used to be silent; now it is counted, and
-    /// this test documents the divergence bound: the link stays
-    /// work-conserving, so the *last* completion is bit-identical and any
-    /// individual message moves by at most the other train's service time.
+    /// Regression for the batched-mode interleaving fix: when two trains'
+    /// arrival windows overlap on a link, per-packet transport interleaves
+    /// them packet-by-packet. Batched transport used to serialize whole
+    /// trains (a counted, bounded divergence); it now splits the trains at
+    /// the interleave points — rewinding the link and replaying the merged
+    /// per-packet FIFO sequence — so **every individual completion is
+    /// bit-identical** to per-packet ground truth.
     #[test]
     fn batched_interleaving_is_counted_and_bounded() {
         // Incast through a switch: both sources' trains arrive at the
@@ -818,37 +1106,46 @@ mod tests {
         }
         per_packet.run_until_idle();
         batched.run_until_idle();
-        // The interleaving was detected (once, on the shared down-link)
-        // and only in batched mode.
-        assert_eq!(batched.train_interleavings(), 1);
+        // The overlap was detected (once, on the shared down-link) and
+        // resolved by a split, not a serialization.
+        assert_eq!(batched.train_splits(), 1);
+        assert_eq!(batched.train_interleavings(), 0);
+        assert_eq!(per_packet.train_splits(), 0);
         assert_eq!(per_packet.train_interleavings(), 0);
-        // Work conservation: the last message out is bit-identical.
-        let last_pp = pairs
-            .iter()
-            .map(|&(pp, _)| per_packet.completion(pp).unwrap())
-            .max()
-            .unwrap();
-        let last_b = pairs
-            .iter()
-            .map(|&(_, b)| batched.completion(b).unwrap())
-            .max()
-            .unwrap();
-        assert_eq!(last_pp, last_b);
-        // Divergence bound per message: at most the rival train's service
-        // time on the shared link (here both trains are equal, so one
-        // train's full serialization).
-        let bound = t.dims()[0].link_bandwidth().transfer_time(size);
+        // Exact equality, message by message — not just the last one.
         for &(pp, b) in &pairs {
-            let pp_finish = per_packet.completion(pp).unwrap();
-            let b_finish = batched.completion(b).unwrap();
-            let diff = pp_finish.max(b_finish) - pp_finish.min(b_finish);
-            assert!(
-                diff <= bound,
-                "divergence {diff} exceeds one-train bound {bound}"
-            );
+            assert_eq!(per_packet.completion(pp), batched.completion(b));
         }
         // The counter surfaces through the backend stats.
-        assert_eq!(batched.stats().train_serializations, 1);
+        assert_eq!(batched.stats().train_splits, 1);
+        assert_eq!(batched.stats().train_serializations, 0);
+    }
+
+    /// Three-way incast: the rewindable group re-merges on every new
+    /// overlapping train, staying bit-identical to per-packet transport.
+    #[test]
+    fn batched_three_way_incast_splits_bit_identical() {
+        let t = topo("SW(8)@150");
+        let size = DataSize::from_kib(2048 + 37); // short tail packet
+        let mut per_packet = PacketNetwork::new(&t, PacketSimConfig::fast());
+        let mut batched = PacketNetwork::new(
+            &t,
+            PacketSimConfig::fast().with_transport(TransportMode::Batched),
+        );
+        let mut pairs = Vec::new();
+        for &src in &[0usize, 1, 2] {
+            pairs.push((
+                per_packet.send_at(Time::ZERO, src, 5, size),
+                batched.send_at(Time::ZERO, src, 5, size),
+            ));
+        }
+        per_packet.run_until_idle();
+        batched.run_until_idle();
+        assert_eq!(batched.train_splits(), 2);
+        assert_eq!(batched.train_interleavings(), 0);
+        for &(pp, b) in &pairs {
+            assert_eq!(per_packet.completion(pp), batched.completion(b));
+        }
     }
 
     /// Contiguous trains (the collective / sequential-probe regime) never

@@ -81,6 +81,7 @@ pub const CONFIG_ENUMS: &[&str] = &[
     "P2pMode",
     "CollectiveMode",
     "NetworkBackendKind",
+    "SimMode",
 ];
 
 /// Methods whose call on a hash collection yields arbitrary order.

@@ -15,7 +15,7 @@
 //! matches the analytical equation; under contention it captures link
 //! sharing the analytical backend ignores.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 use astra_des::{DataSize, Time};
@@ -89,6 +89,15 @@ pub struct FlowNetwork {
     /// turn; rates only change on arrivals and re-share steps, so caching
     /// turns those polls from `O(active × links)` into `O(1)`.
     next_dep: Cell<Option<Option<Time>>>,
+    /// Memoized positional max-min allocation, aligned to `active`
+    /// (`rates[k]` belongs to `active[k]`); `None` = stale. An arrival or
+    /// departure whose route links carry no other flow cannot change
+    /// anyone else's rate, so those events adjust the allocation in place
+    /// instead of discarding it and the next re-share skips progressive
+    /// filling entirely (see [`FlowNetwork::active_rates`]).
+    rates_cache: RefCell<Option<Vec<f64>>>,
+    /// Re-share computations answered from the maintained allocation.
+    reuses: Cell<u64>,
 }
 
 impl FlowNetwork {
@@ -108,6 +117,8 @@ impl FlowNetwork {
             reshares: 0,
             completed: Vec::new(),
             next_dep: Cell::new(None),
+            rates_cache: RefCell::new(Some(Vec::new())),
+            reuses: Cell::new(0),
         }
     }
 
@@ -130,6 +141,13 @@ impl FlowNetwork {
     /// metric, analogous to the packet backend's event count.
     pub fn reshare_events(&self) -> u64 {
         self.reshares
+    }
+
+    /// Re-share computations answered from the incrementally maintained
+    /// allocation instead of running progressive filling (link-disjoint
+    /// arrivals and departures leave every other flow's rate untouched).
+    pub fn reshare_reuses(&self) -> u64 {
+        self.reuses.get()
     }
 
     fn route_index(&mut self, src: NpuId, dst: NpuId) -> usize {
@@ -175,6 +193,26 @@ impl FlowNetwork {
         });
         self.position.push(self.active.len());
         self.active.push(id.0);
+        // A flow whose route links carry no other traffic cannot change
+        // anyone else's max-min rate, and its own rate is exactly the
+        // route's minimum capacity (crossing count 1 on every link) — the
+        // memoized allocation stays valid, extended in place. A shared
+        // link invalidates it.
+        let private_route = self.routes[route]
+            .iter()
+            .all(|&l| self.link_members[l.0].is_empty());
+        let rates_cache = self.rates_cache.get_mut();
+        if private_route {
+            if let Some(rates) = rates_cache.as_mut() {
+                let rate = self.routes[route]
+                    .iter()
+                    .map(|&l| self.graph.link(l).bandwidth.as_bytes_per_sec() as f64)
+                    .fold(f64::INFINITY, f64::min);
+                rates.push(rate);
+            }
+        } else {
+            *rates_cache = None;
+        }
         // Memoized membership: only this flow's own links change.
         for &l in &self.routes[route] {
             self.link_members[l.0].push(id.0);
@@ -261,13 +299,27 @@ impl FlowNetwork {
                     self.position[moved] = k;
                 }
                 // A departure touches only its own links' member sets.
+                let mut sole_member = true;
                 for &l in &self.routes[route] {
                     let members = &mut self.link_members[l.0];
+                    sole_member &= members.len() == 1;
                     let at = members.iter().position(|&m| m == idx);
                     debug_assert!(at.is_some(), "departing flow is a member of its links");
                     if let Some(at) = at {
                         members.swap_remove(at);
                     }
+                }
+                // A flow that was alone on all its links leaves every
+                // other rate untouched: mirror the positional
+                // `swap_remove` on the memoized allocation. A shared
+                // link invalidates it.
+                let rates_cache = self.rates_cache.get_mut();
+                if sole_member {
+                    if let Some(rates) = rates_cache.as_mut() {
+                        rates.swap_remove(k);
+                    }
+                } else {
+                    *rates_cache = None;
                 }
             }
         }
@@ -310,7 +362,49 @@ impl FlowNetwork {
     /// in ascending id order and all flows frozen in one round subtract
     /// the identical share, so the result is bit-identical to the frozen
     /// [`max_min_rates`] reference (asserted in debug builds).
+    ///
+    /// When every arrival/departure since the last computation touched
+    /// only links private to that flow, the allocation memoized in
+    /// [`FlowNetwork::rates_cache`] is still exact and even the filling is
+    /// skipped (counted by [`FlowNetwork::reshare_reuses`]).
     fn active_rates(&self) -> (Vec<f64>, f64) {
+        let cached = self.rates_cache.borrow().clone();
+        let rates = match cached {
+            Some(rates) => {
+                self.reuses.set(self.reuses.get() + 1);
+                rates
+            }
+            None => {
+                let rates = self.fill_rates();
+                *self.rates_cache.borrow_mut() = Some(rates.clone());
+                rates
+            }
+        };
+        debug_assert_eq!(
+            rates,
+            {
+                let routes: Vec<&[LinkId]> = self
+                    .active
+                    .iter()
+                    .map(|&i| self.routes[self.flows[i].route].as_slice())
+                    .collect();
+                let positions: Vec<usize> = (0..routes.len()).collect();
+                max_min_rates(&self.graph, &routes, &positions)
+            },
+            "incremental max-min diverged from the reference"
+        );
+        let mut dt = f64::INFINITY;
+        for (k, &i) in self.active.iter().enumerate() {
+            if rates[k] > 0.0 {
+                dt = dt.min(self.flows[i].remaining / rates[k]);
+            }
+        }
+        (rates, dt)
+    }
+
+    /// Progressive filling over the memoized per-link member sets — the
+    /// slow path of [`FlowNetwork::active_rates`].
+    fn fill_rates(&self) -> Vec<f64> {
         let mut rates = vec![0.0f64; self.active.len()];
         // Busy links in ascending id order — the reference's visit order.
         let busy: Vec<usize> = (0..self.graph.num_links())
@@ -364,26 +458,7 @@ impl FlowNetwork {
                 }
             }
         }
-        debug_assert_eq!(
-            rates,
-            {
-                let routes: Vec<&[LinkId]> = self
-                    .active
-                    .iter()
-                    .map(|&i| self.routes[self.flows[i].route].as_slice())
-                    .collect();
-                let positions: Vec<usize> = (0..routes.len()).collect();
-                max_min_rates(&self.graph, &routes, &positions)
-            },
-            "incremental max-min diverged from the reference"
-        );
-        let mut dt = f64::INFINITY;
-        for (k, &i) in self.active.iter().enumerate() {
-            if rates[k] > 0.0 {
-                dt = dt.min(self.flows[i].remaining / rates[k]);
-            }
-        }
-        (rates, dt)
+        rates
     }
 }
 
@@ -499,6 +574,37 @@ mod tests {
         assert_eq!(net.completion(short), Some(Time::from_ms(1) + lat));
         assert_eq!(net.completion(long), Some(Time::from_ms(2) + lat));
         assert_eq!(net.reshare_events(), 2);
+    }
+
+    #[test]
+    fn link_disjoint_traffic_reuses_the_allocation() {
+        // Two flows on disjoint ring links: every arrival and departure is
+        // private to its own route, so the memoized allocation stays valid
+        // and no re-share runs progressive filling (the debug build also
+        // asserts each reused allocation against the frozen reference).
+        let t = topo("R(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let a = net.inject_at(Time::ZERO, 0, 1, DataSize::from_bytes(100_000_000));
+        let b = net.inject_at(Time::ZERO, 2, 3, DataSize::from_bytes(100_000_000));
+        net.run_until_idle();
+        assert_eq!(net.completion(a), net.completion(b));
+        assert!(net.reshare_events() > 0);
+        assert!(net.reshare_reuses() >= net.reshare_events());
+    }
+
+    #[test]
+    fn shared_bottlenecks_always_refill() {
+        // Incast pair: the second arrival and the first departure both
+        // touch the shared down-link, so every re-share of this run must
+        // recompute the allocation from scratch.
+        let t = topo("SW(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        let short = net.inject_at(Time::ZERO, 0, 3, DataSize::from_bytes(50_000_000));
+        let long = net.inject_at(Time::ZERO, 1, 3, DataSize::from_bytes(150_000_000));
+        net.run_until_idle();
+        assert_eq!(net.reshare_reuses(), 0);
+        assert_eq!(net.reshare_events(), 2);
+        assert!(net.completion(short).is_some() && net.completion(long).is_some());
     }
 
     #[test]

@@ -77,10 +77,15 @@ pub struct NetworkStats {
     /// closed form.
     pub events: u64,
     /// Batched-transport train serializations on links where per-packet
-    /// transport would have interleaved two trains packet-by-packet (an
-    /// approximation the counter makes visible; see
-    /// `astra_garnet::TransportMode`).
+    /// transport would have interleaved two trains packet-by-packet and
+    /// the resident train could no longer be rewound (an approximation the
+    /// counter makes visible; see `astra_garnet::TransportMode`).
     pub train_serializations: u64,
+    /// Batched-transport train splits: overlapping trains rewound and
+    /// replayed as a merged per-packet sequence, keeping the result
+    /// bit-identical to per-packet transport (the fixed fast path; see
+    /// `astra_garnet::TransportMode`).
+    pub train_splits: u64,
     /// Backend instances constructed to serve the traffic. The async
     /// engine path builds one; the blocking reference path rebuilds a
     /// fresh sub-simulation per message. Filled in by the engine, not by
@@ -96,6 +101,7 @@ impl NetworkStats {
         self.cache_hits += other.cache_hits;
         self.events += other.events;
         self.train_serializations += other.train_serializations;
+        self.train_splits += other.train_splits;
         self.backend_setups += other.backend_setups;
     }
 }
@@ -574,7 +580,8 @@ mod tests {
             cache_hits: 2,
             events: 3,
             train_serializations: 4,
-            backend_setups: 5,
+            train_splits: 5,
+            backend_setups: 6,
         };
         let b = a;
         a.merge(&b);
@@ -582,7 +589,8 @@ mod tests {
         assert_eq!(a.cache_hits, 4);
         assert_eq!(a.events, 6);
         assert_eq!(a.train_serializations, 8);
-        assert_eq!(a.backend_setups, 10);
+        assert_eq!(a.train_splits, 10);
+        assert_eq!(a.backend_setups, 12);
     }
 
     #[test]

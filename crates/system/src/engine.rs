@@ -9,7 +9,8 @@ use astra_collectives::{
     lowering, Collective, CollectiveEngine, CollectiveMode, CollectiveProgram, SchedulerPolicy,
 };
 use astra_des::{
-    attribute_exclusive, DataSize, EventQueue, FifoResource, IntervalLog, QueueBackend, Time,
+    attribute_exclusive, DataSize, EventQueue, FifoResource, IntervalLog, QueueBackend, SimMode,
+    Time,
 };
 use astra_garnet::{PacketNetwork, PacketSimConfig, TransportMode};
 use astra_memory::{LocalMemory, PoolArchitecture, RemoteMemory, TransferMode};
@@ -79,6 +80,13 @@ pub struct SystemConfig {
     /// ascending dimension order (the Themis planner only applies to the
     /// analytical fast path); `simulate` rejects the invalid combinations.
     pub collective_mode: CollectiveMode,
+    /// Execution core of the packet-level backends (see [`SimMode`]).
+    /// [`SimMode::Parallel`] partitions the packet network's links into
+    /// domains advanced by worker threads in conservative-lookahead
+    /// windows; results stay bit-identical across thread counts. The
+    /// analytical and flow backends ignore this (they are closed-form /
+    /// rate-based, not event-partitioned).
+    pub sim_mode: SimMode,
 }
 
 impl Default for SystemConfig {
@@ -93,6 +101,7 @@ impl Default for SystemConfig {
             network_backend: NetworkBackendKind::default(),
             p2p_mode: P2pMode::default(),
             collective_mode: CollectiveMode::default(),
+            sim_mode: SimMode::default(),
         }
     }
 }
@@ -103,6 +112,7 @@ fn build_network(topo: &Topology, config: &SystemConfig) -> Box<dyn NetworkBacke
         PacketSimConfig::fast()
             .with_queue_backend(config.queue_backend)
             .with_transport(transport)
+            .with_sim_mode(config.sim_mode)
     };
     match config.network_backend {
         NetworkBackendKind::Analytical => Box::new(AnalyticalNetwork::new(topo.clone())),

@@ -24,7 +24,9 @@
 //! order — the output is byte-identical for every thread count (see the
 //! `determinism` integration tests). NPUs known to run identical programs
 //! (SPMD strategies, or the NPUs of one expert group in the MoE workload)
-//! are built once per equivalence class and cloned, which also speeds up
+//! are built once per equivalence class and cloned — programs identical up
+//! to their communicator ids (the hybrid MP×DP strategy) are cloned and
+//! retargeted by rewriting group ids — which also speeds up
 //! single-threaded generation. [`generate_trace_reference`] keeps the
 //! naive one-NPU-at-a-time path as the equivalence/benchmark baseline.
 
@@ -121,34 +123,47 @@ fn default_threads() -> usize {
 /// Builds every NPU's program and installs them on `b` in NPU order.
 ///
 /// `class` assigns each NPU an optional equivalence key: NPUs with equal
-/// keys **must** build byte-identical programs (`build` must not depend on
-/// anything but the key for them), letting the builder construct one
-/// representative per class and clone the rest. `None` means the NPU's
-/// program is unique.
+/// keys **must** build programs that are byte-identical after `retarget`
+/// (for a fresh build nothing is applied; for a reuse the representative's
+/// program is cloned and `retarget(representative, npu, &mut clone)` runs
+/// on it). Generators whose classes build literally identical programs
+/// pass a no-op retarget; generators whose programs differ only in
+/// embedded communicator ids remap them (see
+/// [`ProgramBuilder::map_groups`]). `None` means the NPU's program is
+/// unique and always built fresh.
 ///
 /// With more than one thread, NPUs are split into contiguous chunks built
 /// on scoped worker threads; the merge is by NPU index, so the resulting
 /// trace is byte-identical regardless of the thread count.
-fn install_programs<K, B>(b: &mut TraceBuilder, npus: usize, cfg: GenConfig, class: K, build: B)
-where
+fn install_programs<K, B, R>(
+    b: &mut TraceBuilder,
+    npus: usize,
+    cfg: GenConfig,
+    class: K,
+    build: B,
+    retarget: R,
+) where
     K: Fn(usize) -> Option<u64> + Sync,
     B: Fn(usize, &mut ProgramBuilder) + Sync,
+    R: Fn(usize, usize, &mut ProgramBuilder) + Sync,
 {
     // Cap the fan-out so tiny traces stay on the caller's thread.
     let threads = cfg.threads.clamp(1, (npus / 16).max(1));
     let build_range = |range: Range<usize>, out: &mut [ProgramBuilder]| {
-        // Per-worker memo: key -> chunk-local slot of the representative.
-        let mut memo: BTreeMap<u64, usize> = BTreeMap::new();
+        // Per-worker memo: key -> (chunk-local slot, npu) of the
+        // representative.
+        let mut memo: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
         for npu in range.clone() {
             let slot = npu - range.start;
             if cfg.memoize {
                 if let Some(key) = class(npu) {
-                    if let Some(&src) = memo.get(&key) {
-                        let clone = out[src].clone();
+                    if let Some(&(src, rep)) = memo.get(&key) {
+                        let mut clone = out[src].clone();
+                        retarget(rep, npu, &mut clone);
                         out[slot] = clone;
                         continue;
                     }
-                    memo.insert(key, slot);
+                    memo.insert(key, (slot, npu));
                 }
             }
             let mut program = ProgramBuilder::new();
@@ -347,6 +362,7 @@ fn fully_sharded(model: &Model, npus: usize, cfg: GenConfig) -> ExecutionTrace {
                 );
             }
         },
+        |_, _, _| {},
     );
     // astra-lint: allow(panic, the generator emits structurally valid traces; a build failure is a generator bug)
     b.build().expect("generated FSDP trace is valid")
@@ -420,6 +436,7 @@ fn data_parallel(model: &Model, npus: usize, cfg: GenConfig) -> ExecutionTrace {
                 );
             }
         },
+        |_, _, _| {},
     );
     // astra-lint: allow(panic, the generator emits structurally valid traces; a build failure is a generator bug)
     b.build().expect("generated data-parallel trace is valid")
@@ -447,13 +464,18 @@ fn hybrid(
         .map(|lane| b.add_group((0..dp).map(|g| g * mp + lane).collect()))
         .collect();
 
-    // Every NPU has a distinct (mp_group, dp_group) pair, so programs are
-    // unique (class `None`); the win here is the thread fan-out.
+    // Every NPU has a distinct (mp_group, dp_group) pair, but the programs
+    // are byte-identical *up to those two group ids*: names, sizes and
+    // dependencies depend only on the model and `mp`. So all NPUs form one
+    // equivalence class whose clones are retargeted by rewriting the group
+    // ids — much cheaper than rebuilding every node. (Classing them `None`
+    // defeated memoization here and left parallel generation slower than
+    // the serial baseline on large hybrid shapes.)
     install_programs(
         &mut b,
         npus,
         cfg,
-        |_| None,
+        |_| Some(0),
         |npu, prog| {
             let mp_group = mp_groups[npu / mp];
             let dp_group = dp_groups[npu % mp];
@@ -528,6 +550,19 @@ fn hybrid(
                     );
                 }
             }
+        },
+        |rep, npu, prog| {
+            let from = (mp_groups[rep / mp], dp_groups[rep % mp]);
+            let to = (mp_groups[npu / mp], dp_groups[npu % mp]);
+            prog.map_groups(|g| {
+                if g == from.0 {
+                    to.0
+                } else if g == from.1 {
+                    to.1
+                } else {
+                    g
+                }
+            });
         },
     );
     // astra-lint: allow(panic, the generator emits structurally valid traces; a build failure is a generator bug)
@@ -671,6 +706,7 @@ fn pipeline(
                 );
             }
         },
+        |_, _, _| {},
     );
     // astra-lint: allow(panic, the generator emits structurally valid traces; a build failure is a generator bug)
     Ok(b.build().expect("generated pipeline trace is valid"))
@@ -774,139 +810,146 @@ fn disaggregated_moe(
     // A program depends on the NPU only through its expert group, so NPUs
     // of one expert replicate the same program (class = expert index).
     let class = |npu: usize| Some((npu / dp_per_expert) as u64);
-    install_programs(&mut b, npus, cfg, class, |npu, prog| {
-        let expert_group = expert_groups[npu / dp_per_expert];
-        let mut prev: Option<NodeId> = None;
-        let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
-        for layer in &model.layers {
-            let expert_params = layer.params / experts as u64; // fp16 bytes
-            let expert_param_count = expert_params.as_bytes() / 2;
-            // Weight fetch: in-switch All-Gather delivers the expert's full
-            // fp16 weights; `size` is the per-GPU shard convention of the
-            // Memory API (gathered payload = size × total GPUs).
-            let weights = if plan.gather_weights {
-                prog.node(
-                    format!("{}.weights.gather", layer.name),
-                    EtOp::Memory {
-                        direction: MemoryDirection::Load,
-                        location: TensorLocation::Remote { gathered: true },
-                        size: expert_params / npus as u64,
+    install_programs(
+        &mut b,
+        npus,
+        cfg,
+        class,
+        |npu, prog| {
+            let expert_group = expert_groups[npu / dp_per_expert];
+            let mut prev: Option<NodeId> = None;
+            let dep = |p: Option<NodeId>| p.map(|n| vec![n]).unwrap_or_default();
+            for layer in &model.layers {
+                let expert_params = layer.params / experts as u64; // fp16 bytes
+                let expert_param_count = expert_params.as_bytes() / 2;
+                // Weight fetch: in-switch All-Gather delivers the expert's full
+                // fp16 weights; `size` is the per-GPU shard convention of the
+                // Memory API (gathered payload = size × total GPUs).
+                let weights = if plan.gather_weights {
+                    prog.node(
+                        format!("{}.weights.gather", layer.name),
+                        EtOp::Memory {
+                            direction: MemoryDirection::Load,
+                            location: TensorLocation::Remote { gathered: true },
+                            size: expert_params / npus as u64,
+                        },
+                        &dep(prev),
+                    )
+                } else {
+                    prog.node(
+                        format!("{}.weights.load", layer.name),
+                        EtOp::Memory {
+                            direction: MemoryDirection::Load,
+                            location: TensorLocation::Remote { gathered: false },
+                            size: expert_params,
+                        },
+                        &dep(prev),
+                    )
+                };
+                let route_in = prog.node(
+                    format!("{}.a2a.fwd", layer.name),
+                    EtOp::Collective {
+                        collective: Collective::AllToAll,
+                        size: layer.a2a.unwrap_or(layer.activations),
+                        group: world,
                     },
                     &dep(prev),
-                )
-            } else {
-                prog.node(
-                    format!("{}.weights.load", layer.name),
+                );
+                let act_load = prog.node(
+                    format!("{}.act.load", layer.name),
+                    EtOp::Memory {
+                        direction: MemoryDirection::Load,
+                        location: TensorLocation::Local,
+                        size: layer.activations,
+                    },
+                    &[route_in],
+                );
+                let fwd = prog.node(
+                    format!("{}.fwd", layer.name),
+                    EtOp::Compute {
+                        flops: layer.fwd_flops / experts as f64,
+                        tensor: expert_params + layer.activations,
+                    },
+                    &[weights, act_load],
+                );
+                prev = Some(prog.node(
+                    format!("{}.a2a.fwd.return", layer.name),
+                    EtOp::Collective {
+                        collective: Collective::AllToAll,
+                        size: layer.a2a.unwrap_or(layer.activations),
+                        group: world,
+                    },
+                    &[fwd],
+                ));
+                let _ = expert_param_count;
+            }
+            for layer in model.layers.iter().rev() {
+                let expert_params = layer.params / experts as u64;
+                let expert_param_count = expert_params.as_bytes() / 2;
+                let bwd = prog.node(
+                    format!("{}.bwd", layer.name),
+                    EtOp::Compute {
+                        flops: layer.bwd_flops / experts as f64,
+                        tensor: expert_params + layer.activations,
+                    },
+                    &dep(prev),
+                );
+                let act_store = prog.node(
+                    format!("{}.act.store", layer.name),
+                    EtOp::Memory {
+                        direction: MemoryDirection::Store,
+                        location: TensorLocation::Local,
+                        size: layer.activations,
+                    },
+                    &[bwd],
+                );
+                // fp16 gradients reduce-scattered into the pool (in-switch) or
+                // synchronized over the NPU fabric when in-switch is off.
+                let grads = if plan.gather_weights {
+                    prog.node(
+                        format!("{}.grads.scatter", layer.name),
+                        EtOp::Memory {
+                            direction: MemoryDirection::Store,
+                            location: TensorLocation::Remote { gathered: true },
+                            size: expert_params / npus as u64,
+                        },
+                        &[bwd],
+                    )
+                } else {
+                    prog.node(
+                        format!("{}.gradAR", layer.name),
+                        EtOp::Collective {
+                            collective: Collective::AllReduce,
+                            size: expert_params / dp_per_expert as u64,
+                            group: expert_group,
+                        },
+                        &[bwd],
+                    )
+                };
+                // Optimizer-state streaming: plain remote read + write.
+                let half = plan.optimizer_bytes_per_param / 2;
+                let opt_load = prog.node(
+                    format!("{}.opt.load", layer.name),
                     EtOp::Memory {
                         direction: MemoryDirection::Load,
                         location: TensorLocation::Remote { gathered: false },
-                        size: expert_params,
+                        size: DataSize::from_bytes(expert_param_count * half),
                     },
-                    &dep(prev),
-                )
-            };
-            let route_in = prog.node(
-                format!("{}.a2a.fwd", layer.name),
-                EtOp::Collective {
-                    collective: Collective::AllToAll,
-                    size: layer.a2a.unwrap_or(layer.activations),
-                    group: world,
-                },
-                &dep(prev),
-            );
-            let act_load = prog.node(
-                format!("{}.act.load", layer.name),
-                EtOp::Memory {
-                    direction: MemoryDirection::Load,
-                    location: TensorLocation::Local,
-                    size: layer.activations,
-                },
-                &[route_in],
-            );
-            let fwd = prog.node(
-                format!("{}.fwd", layer.name),
-                EtOp::Compute {
-                    flops: layer.fwd_flops / experts as f64,
-                    tensor: expert_params + layer.activations,
-                },
-                &[weights, act_load],
-            );
-            prev = Some(prog.node(
-                format!("{}.a2a.fwd.return", layer.name),
-                EtOp::Collective {
-                    collective: Collective::AllToAll,
-                    size: layer.a2a.unwrap_or(layer.activations),
-                    group: world,
-                },
-                &[fwd],
-            ));
-            let _ = expert_param_count;
-        }
-        for layer in model.layers.iter().rev() {
-            let expert_params = layer.params / experts as u64;
-            let expert_param_count = expert_params.as_bytes() / 2;
-            let bwd = prog.node(
-                format!("{}.bwd", layer.name),
-                EtOp::Compute {
-                    flops: layer.bwd_flops / experts as f64,
-                    tensor: expert_params + layer.activations,
-                },
-                &dep(prev),
-            );
-            let act_store = prog.node(
-                format!("{}.act.store", layer.name),
-                EtOp::Memory {
-                    direction: MemoryDirection::Store,
-                    location: TensorLocation::Local,
-                    size: layer.activations,
-                },
-                &[bwd],
-            );
-            // fp16 gradients reduce-scattered into the pool (in-switch) or
-            // synchronized over the NPU fabric when in-switch is off.
-            let grads = if plan.gather_weights {
-                prog.node(
-                    format!("{}.grads.scatter", layer.name),
+                    &[grads],
+                );
+                prev = Some(prog.node(
+                    format!("{}.opt.store", layer.name),
                     EtOp::Memory {
                         direction: MemoryDirection::Store,
-                        location: TensorLocation::Remote { gathered: true },
-                        size: expert_params / npus as u64,
+                        location: TensorLocation::Remote { gathered: false },
+                        size: DataSize::from_bytes(expert_param_count * half),
                     },
-                    &[bwd],
-                )
-            } else {
-                prog.node(
-                    format!("{}.gradAR", layer.name),
-                    EtOp::Collective {
-                        collective: Collective::AllReduce,
-                        size: expert_params / dp_per_expert as u64,
-                        group: expert_group,
-                    },
-                    &[bwd],
-                )
-            };
-            // Optimizer-state streaming: plain remote read + write.
-            let half = plan.optimizer_bytes_per_param / 2;
-            let opt_load = prog.node(
-                format!("{}.opt.load", layer.name),
-                EtOp::Memory {
-                    direction: MemoryDirection::Load,
-                    location: TensorLocation::Remote { gathered: false },
-                    size: DataSize::from_bytes(expert_param_count * half),
-                },
-                &[grads],
-            );
-            prev = Some(prog.node(
-                format!("{}.opt.store", layer.name),
-                EtOp::Memory {
-                    direction: MemoryDirection::Store,
-                    location: TensorLocation::Remote { gathered: false },
-                    size: DataSize::from_bytes(expert_param_count * half),
-                },
-                &[opt_load, act_store],
-            ));
-        }
-    });
+                    &[opt_load, act_store],
+                ));
+            }
+        },
+        |_, _, _| {},
+    );
     // astra-lint: allow(panic, the generator emits structurally valid traces; a build failure is a generator bug)
     Ok(b.build().expect("generated MoE trace is valid"))
 }

@@ -325,6 +325,22 @@ impl ProgramBuilder {
         id
     }
 
+    /// Rewrites every collective's group id through `f`, leaving all other
+    /// node state (names, ops, dependencies) untouched.
+    ///
+    /// This lets a trace generator clone one representative program and
+    /// retarget the clone at another NPU's communicator groups instead of
+    /// rebuilding the program node by node — the programs of the hybrid
+    /// (MP×DP) generator, for instance, differ only in which group ids
+    /// their collectives reference.
+    pub fn map_groups(&mut self, mut f: impl FnMut(GroupId) -> GroupId) {
+        for node in &mut self.nodes {
+            if let EtOp::Collective { group, .. } = &mut node.op {
+                *group = f(*group);
+            }
+        }
+    }
+
     /// Id of the most recently added node, if any.
     pub fn last_node(&self) -> Option<NodeId> {
         let len = self.nodes.len();

@@ -8,7 +8,7 @@
 
 use astra_core::{
     simulate, CollectiveMode, NetworkBackendKind, P2pMode, Parallelism, PoolArchitecture,
-    QueueBackend, Roofline, SchedulerPolicy, SimReport, SystemConfig, Topology,
+    QueueBackend, Roofline, SchedulerPolicy, SimMode, SimReport, SystemConfig, Topology,
 };
 use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
 use std::error::Error;
@@ -47,6 +47,9 @@ pub struct CliOptions {
     /// How collectives execute: `analytical` (closed form, default) or
     /// `backend` (chunk-level send/recv programs on the network backend).
     pub collectives: Option<CollectiveMode>,
+    /// Worker threads for the packet backends' parallel core (`None` =
+    /// the sequential reference core).
+    pub sim_threads: Option<usize>,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
 }
@@ -106,6 +109,11 @@ OPTIONS:
                             (chunk-level send/recv programs executed on the
                             --network backend, contending with p2p traffic;
                             requires --p2p async and the baseline scheduler)
+    --sim-threads <N>       run the packet backends on the parallel
+                            (domain-partitioned, conservative-lookahead)
+                            core with N worker threads; results are
+                            bit-identical for every N >= 1 (default: the
+                            sequential reference core)
     --json                  machine-readable output
     --help                  this text
 
@@ -115,9 +123,11 @@ SWEEP (throughput benchmark runner, writes BENCH_throughput.json-style JSON):
     --out <PATH>            output JSON path (default BENCH_sweep.json)
     --series <LIST>         comma-separated subset of
                             trace-gen,event-queue,packet-scale,engine-p2p,
-                            collective-backend,fig11,table5 (default: the
-                            five throughput series; fig11/table5 fold the
-                            paper experiment runners into the JSON)
+                            collective-backend,parallel-des,fig4,fig9a,
+                            fig9b,table4,fig11,table5 (default: the six
+                            throughput series; fig4/fig9a/fig9b/table4/
+                            fig11/table5 fold the paper experiment runners
+                            into the JSON)
 ";
 
 /// Parses raw arguments (without the program name).
@@ -141,6 +151,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         network: None,
         p2p: None,
         collectives: None,
+        sim_threads: None,
         json: false,
     };
     let mut it = args.iter();
@@ -180,6 +191,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             "--p2p" => opts.p2p = Some(value("--p2p")?.parse().map_err(err)?),
             "--collectives" => {
                 opts.collectives = Some(value("--collectives")?.parse().map_err(err)?);
+            }
+            "--sim-threads" => {
+                let threads: usize = value("--sim-threads")?
+                    .parse()
+                    .map_err(|_| err("--sim-threads expects a thread count"))?;
+                if threads == 0 {
+                    return Err(err("--sim-threads must be at least 1"));
+                }
+                opts.sim_threads = Some(threads);
             }
             "--pipeline" => {
                 opts.pipeline = Some(
@@ -241,6 +261,10 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
         network_backend: opts.network.unwrap_or_default(),
         p2p_mode: opts.p2p.unwrap_or_default(),
         collective_mode: opts.collectives.unwrap_or_default(),
+        sim_mode: match opts.sim_threads {
+            Some(threads) => SimMode::Parallel { threads },
+            None => SimMode::Sequential,
+        },
         ..SystemConfig::default()
     };
     if let Some(chunks) = opts.chunks {
@@ -412,7 +436,8 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
                 "  \"network_backend_setups\": {},\n",
                 "  \"network_events\": {},\n",
                 "  \"p2p_cache_hits\": {},\n",
-                "  \"train_serializations\": {}\n",
+                "  \"train_serializations\": {},\n",
+                "  \"train_splits\": {}\n",
                 "}}"
             ),
             report.total_time.as_us_f64(),
@@ -429,6 +454,7 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
             report.network.events,
             report.network.cache_hits,
             report.network.train_serializations,
+            report.network.train_splits,
         )
     } else {
         let mut text = format!(
@@ -449,10 +475,16 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
                 "\nnetwork: {} setup(s)  {} events  {} cache hits",
                 n.backend_setups, n.events, n.cache_hits
             ));
+            if n.train_splits > 0 {
+                // Overlapping trains were split at their interleave points
+                // and replayed per-packet (bit-identical fast path).
+                text.push_str(&format!("  {} train split(s)", n.train_splits));
+            }
             if n.train_serializations > 0 {
                 // The batched-transport approximation fired: concurrent
                 // trains that per-packet mode would interleave were
-                // serialized whole.
+                // serialized whole (their reservations were no longer
+                // rewindable).
                 text.push_str(&format!(
                     "  {} train serialization(s) (batched-mode approximation)",
                     n.train_serializations
@@ -602,11 +634,13 @@ mod tests {
         assert_eq!(packet.p2p_messages, batched.p2p_messages);
         // Under the async path this 2-lane pipeline's multi-hop ring sends
         // interleave packet-by-packet on shared links: batched transport
-        // serializes those trains (the counted approximation) and the
-        // packet backend models the contention the blocking probes miss.
+        // splits the overlapping trains where it can rewind them (the
+        // bit-identical fast path) and serializes the rest (the counted
+        // approximation); either way the overlap is surfaced.
         let packet_async = run_with("packet", "async");
         let batched_async = run_with("batched", "async");
-        assert!(batched_async.network.train_serializations > 0);
+        let n = &batched_async.network;
+        assert!(n.train_splits + n.train_serializations > 0);
         assert_eq!(batched_async.network.backend_setups, 1);
         assert!(packet_async.total_time >= packet.total_time);
     }
@@ -778,6 +812,7 @@ mod tests {
             "network_events",
             "p2p_cache_hits",
             "train_serializations",
+            "train_splits",
         ] {
             assert!(v[key].as_f64().is_some(), "missing {key}");
         }
