@@ -14,6 +14,7 @@ use astra_core::{
     SimMode, SystemConfig, Topology,
 };
 use astra_garnet::{collective_time, PacketSimConfig, TransportMode};
+use astra_serve::{execute_once, run_batch, SimRequest, WarmCache};
 use astra_workload::parallelism::{
     generate_disaggregated_moe, generate_disaggregated_moe_reference, generate_trace,
     generate_trace_reference, generate_trace_with_threads, OffloadPlan,
@@ -220,6 +221,34 @@ pub struct ParallelDesRow {
     pub speedup: f64,
 }
 
+/// One batch-service measurement: a mixed repeated request sweep executed
+/// fully cold (fresh caches for every request) and replayed against the
+/// `astra serve` cross-request warm caches. The runner asserts the warm
+/// replay's response rows are byte-identical to a cold sequential batch
+/// before timing anything — the row records what the cache layer saves.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeThroughputRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Distinct requests in the sweep.
+    pub distinct: usize,
+    /// Total requests per batch (distinct × repeats).
+    pub requests: usize,
+    /// Worker threads of the batch pool.
+    pub workers: usize,
+    /// Wall-clock of the cold path: every request executed with fresh
+    /// caches, sequentially (ms, best of N).
+    pub cold_ms: f64,
+    /// Wall-clock of a warm replay of the same batch (ms, best of N).
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms` (CI gates this at ≥ 5 on the quick sweep).
+    pub speedup: f64,
+    /// Sustained cold throughput (requests/second).
+    pub cold_req_per_s: f64,
+    /// Sustained warm throughput (requests/second).
+    pub warm_req_per_s: f64,
+}
+
 /// One Fig. 4 validation point in machine-readable form (the `fig4`
 /// sweep series).
 #[derive(Clone, Debug, Serialize)]
@@ -303,6 +332,8 @@ pub struct SeriesSelection {
     pub collective_backend: bool,
     /// Parallel conservative-lookahead core vs the sequential reference.
     pub parallel_des: bool,
+    /// Warm `astra serve` batch replay vs fully cold request execution.
+    pub serve_throughput: bool,
     /// Fig. 4 analytical-backend validation (paper experiment runner).
     pub fig4: bool,
     /// Fig. 9(a) scheduler/system grid (paper experiment runner).
@@ -328,6 +359,7 @@ impl SeriesSelection {
         engine_p2p: true,
         collective_backend: true,
         parallel_des: true,
+        serve_throughput: true,
         fig4: false,
         fig9a: false,
         fig9b: false,
@@ -344,6 +376,7 @@ impl SeriesSelection {
         engine_p2p: false,
         collective_backend: false,
         parallel_des: false,
+        serve_throughput: false,
         fig4: false,
         fig9a: false,
         fig9b: false,
@@ -353,13 +386,14 @@ impl SeriesSelection {
     };
 
     /// Stable machine-readable series names, in report order.
-    pub const NAMES: [&'static str; 12] = [
+    pub const NAMES: [&'static str; 13] = [
         "trace-gen",
         "event-queue",
         "packet-scale",
         "engine-p2p",
         "collective-backend",
         "parallel-des",
+        "serve-throughput",
         "fig4",
         "fig9a",
         "fig9b",
@@ -381,6 +415,7 @@ impl SeriesSelection {
             "engine-p2p" => self.engine_p2p = true,
             "collective-backend" => self.collective_backend = true,
             "parallel-des" => self.parallel_des = true,
+            "serve-throughput" => self.serve_throughput = true,
             "fig4" => self.fig4 = true,
             "fig9a" => self.fig9a = true,
             "fig9b" => self.fig9b = true,
@@ -413,6 +448,8 @@ pub struct Report {
     pub collective_backend: Vec<CollectiveBackendRow>,
     /// Parallel-core vs sequential-core rows.
     pub parallel_des: Vec<ParallelDesRow>,
+    /// Warm-vs-cold batch-service rows.
+    pub serve_throughput: Vec<ServeThroughputRow>,
     /// Fig. 4 rows (empty unless the `fig4` series is selected).
     pub fig4: Vec<Fig4Row>,
     /// Fig. 9(a) rows (empty unless the `fig9a` series is selected).
@@ -735,6 +772,100 @@ pub fn run_parallel_des(quick: bool) -> Vec<ParallelDesRow> {
     if !quick {
         rows.push(parallel_des_row("R(16)@100_R(8)@100", 1, 4, reps));
         rows.push(parallel_des_row("R(16)@100_R(16)@100", 1, 4, reps));
+    }
+    rows
+}
+
+fn serve_throughput_row(
+    scenario: &str,
+    distinct: &[&str],
+    repeats: usize,
+    workers: usize,
+    reps: usize,
+) -> ServeThroughputRow {
+    let batch: Vec<String> = (0..repeats)
+        .flat_map(|_| distinct.iter().map(|s| (*s).to_owned()))
+        .collect();
+    let requests: Vec<SimRequest> = batch
+        .iter()
+        .map(|line| SimRequest::from_json_line(line).expect("bench request parses"))
+        .collect();
+    // Determinism first: a cold sequential batch is the pinned reference;
+    // the concurrent warm replay must reproduce its rows byte-for-byte.
+    let (reference, _) = run_batch(&batch, 1, &WarmCache::new());
+    let cache = WarmCache::new();
+    let (primed, _) = run_batch(&batch, workers, &cache);
+    assert_eq!(primed, reference, "priming pass diverged on {scenario}");
+    let (cold_ms, cold_reports) = best_ms(reps, || {
+        requests
+            .iter()
+            .map(|req| execute_once(req).expect("bench request runs"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(cold_reports.len(), batch.len());
+    let (warm_ms, replay) = best_ms(reps, || run_batch(&batch, workers, &cache).0);
+    assert_eq!(replay, reference, "warm replay diverged on {scenario}");
+    ServeThroughputRow {
+        scenario: scenario.to_owned(),
+        distinct: distinct.len(),
+        requests: batch.len(),
+        workers,
+        cold_ms,
+        warm_ms,
+        speedup: cold_ms / warm_ms.max(1e-9),
+        cold_req_per_s: batch.len() as f64 / (cold_ms / 1e3).max(1e-9),
+        warm_req_per_s: batch.len() as f64 / (warm_ms / 1e3).max(1e-9),
+    }
+}
+
+/// The mixed repeated sweep behind the `serve-throughput` series: every
+/// execution path the batch service caches (analytical delay memo, fluid
+/// routes, backend-collective lowering, trace generation, whole-report
+/// memoization) appears at least once.
+const SERVE_MIXED_SWEEP: [&str; 8] = [
+    r#"{"topology": "R(8)@100", "workload": "gpt3", "pipeline": 4}"#,
+    r#"{"topology": "R(8)@100", "workload": "gpt3", "pipeline": 4, "chunks": 64}"#,
+    r#"{"topology": "SW(8)@400", "all_reduce_mib": 64}"#,
+    r#"{"topology": "SW(16)@400", "all_reduce_mib": 256}"#,
+    r#"{"topology": "R(4)@100_SW(4)@50", "workload": "dlrm"}"#,
+    r#"{"topology": "SW(8)@100_SW(2)@50", "all_reduce_mib": 64, "collectives": "backend", "chunks": 8}"#,
+    r#"{"topology": "R(5)@200_SW(2)@25", "all_reduce_mib": 32, "network": "flow"}"#,
+    r#"{"topology": "SW(8)@400", "workload": "gpt3", "fsdp": true}"#,
+];
+
+/// Warm-vs-cold batch service comparison (the `astra serve` cache layer):
+/// a mixed repeated request sweep executed fully cold and replayed against
+/// warm cross-request caches, rows asserted byte-identical. Quick mode
+/// runs the 3× repeat the CI gate checks (≥ 5× warm-over-cold); full mode
+/// extends the repeat factor and adds the memory/scheduler sweep.
+pub fn run_serve_throughput(quick: bool) -> Vec<ServeThroughputRow> {
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = vec![serve_throughput_row(
+        "mixed-sweep x3",
+        &SERVE_MIXED_SWEEP,
+        3,
+        4,
+        reps,
+    )];
+    if !quick {
+        rows.push(serve_throughput_row(
+            "mixed-sweep x16",
+            &SERVE_MIXED_SWEEP,
+            16,
+            8,
+            reps,
+        ));
+        rows.push(serve_throughput_row(
+            "memory-and-scheduler x8",
+            &[
+                r#"{"topology": "SW(16)@256_SW(16)@100", "workload": "moe", "memory": "hiermem-opt"}"#,
+                r#"{"topology": "SW(16)@256_SW(16)@100", "workload": "moe", "memory": "zero-infinity"}"#,
+                r#"{"topology": "SW(8)@400", "workload": "gpt3", "themis": true}"#,
+            ],
+            8,
+            4,
+            reps,
+        ));
     }
     rows
 }
@@ -1201,6 +1332,11 @@ pub fn run_selected(quick: bool, series: SeriesSelection) -> Report {
         } else {
             Vec::new()
         },
+        serve_throughput: if series.serve_throughput {
+            run_serve_throughput(quick)
+        } else {
+            Vec::new()
+        },
         fig4: if series.fig4 {
             run_fig4(quick)
         } else {
@@ -1336,6 +1472,35 @@ pub fn print(report: &Report) {
             println!(
                 "{:<26} {:>5} {:>8} {:>11} {:>12.2} {:>12.2} {:>8.2}x",
                 r.topology, r.npus, r.threads, r.events, r.sequential_ms, r.parallel_ms, r.speedup
+            );
+        }
+    }
+    if !report.serve_throughput.is_empty() {
+        println!("\n== batch service: warm cross-request caches vs cold runs ==");
+        println!(
+            "{:<26} {:>8} {:>9} {:>8} {:>11} {:>11} {:>9} {:>11} {:>11}",
+            "Scenario",
+            "Distinct",
+            "Requests",
+            "Workers",
+            "Cold(ms)",
+            "Warm(ms)",
+            "Speedup",
+            "Cold(r/s)",
+            "Warm(r/s)"
+        );
+        for r in &report.serve_throughput {
+            println!(
+                "{:<26} {:>8} {:>9} {:>8} {:>11.2} {:>11.2} {:>8.2}x {:>11.1} {:>11.1}",
+                r.scenario,
+                r.distinct,
+                r.requests,
+                r.workers,
+                r.cold_ms,
+                r.warm_ms,
+                r.speedup,
+                r.cold_req_per_s,
+                r.warm_req_per_s
             );
         }
     }
@@ -1480,6 +1645,7 @@ mod tests {
         assert!(!report.engine_p2p.is_empty());
         assert!(!report.collective_backend.is_empty());
         assert!(!report.parallel_des.is_empty());
+        assert!(!report.serve_throughput.is_empty());
         // The paper experiment runners are opt-in, not part of ALL.
         assert!(report.fig4.is_empty());
         assert!(report.fig9a.is_empty());
@@ -1496,6 +1662,7 @@ mod tests {
         assert!(v["event_queue"][0]["heap_ms"].as_f64().unwrap() >= 0.0);
         assert!(v["packet_scale"][0]["per_packet_events"].as_f64().unwrap() > 0.0);
         assert!(v["parallel_des"][0]["events"].as_f64().unwrap() > 0.0);
+        assert!(v["serve_throughput"][0]["requests"].as_f64().unwrap() > 0.0);
         assert!(v["engine_p2p"][0]["blocking_setups"].as_f64().unwrap() > 1.0);
         assert!(
             v["collective_backend"][0]["collective_ops"]
@@ -1583,6 +1750,25 @@ mod tests {
         assert_eq!(row.threads, 4);
         assert!(row.events > 0);
         assert!(row.sequential_ms > 0.0 && row.parallel_ms > 0.0);
+    }
+
+    #[test]
+    fn serve_throughput_gate_holds_on_the_mixed_sweep() {
+        // The CI bench-smoke gate for the batch service: replaying the
+        // mixed repeated sweep against warm cross-request caches is at
+        // least 5x faster than cold runs, with rows asserted
+        // byte-identical inside `serve_throughput_row`.
+        let rows = run_serve_throughput(true);
+        let row = &rows[0];
+        assert_eq!(row.distinct, SERVE_MIXED_SWEEP.len());
+        assert_eq!(row.requests, row.distinct * 3);
+        assert!(
+            row.speedup >= 5.0,
+            "warm-over-cold speedup {} < 5 on {}",
+            row.speedup,
+            row.scenario
+        );
+        assert!(row.warm_req_per_s > row.cold_req_per_s);
     }
 
     #[test]

@@ -42,9 +42,11 @@ mod engine;
 pub mod lowering;
 mod pattern;
 mod scheduler;
+mod warm;
 
 pub use algorithm::Algorithm;
 pub use engine::{dimension_traffic, CollectiveEngine, CollectiveOutcome};
 pub use lowering::{ChunkOp, CollectiveMode, CollectiveProgram};
 pub use pattern::Collective;
 pub use scheduler::SchedulerPolicy;
+pub use warm::{LoweringKey, SharedLoweringCache, SharedProgram};

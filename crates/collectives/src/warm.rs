@@ -1,0 +1,151 @@
+//! Cross-run warm cache for lowered collective programs.
+//!
+//! [`crate::lowering::lower`] is a pure function of the collective, the
+//! payload size, the dimension stack (block shape, bandwidth, link
+//! latency per dimension), and the chunk count — so its output can be
+//! shared across concurrent simulation runs. The system engine keeps its
+//! per-run program memo and consults this handle **only on a local-memo
+//! miss**, which keeps per-run counters and reports bit-identical to a
+//! cold run while skipping the `O(chunks × dims)` expansion when another
+//! run already lowered the same program.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use astra_des::{Bandwidth, DataSize, Time};
+use astra_topology::{BuildingBlock, Dimension};
+
+use crate::{Collective, CollectiveProgram};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked —
+/// the table holds pure memoized values, so a poisoned lock is still
+/// consistent.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One dimension of a [`LoweringKey`] in canonical, orderable form:
+/// block tag + block size, bandwidth, link latency — exactly the inputs
+/// [`crate::lowering::lower`] reads from a [`Dimension`].
+type DimKey = (u8, usize, Bandwidth, Time);
+
+fn dim_key(dim: &Dimension) -> DimKey {
+    let tag = match dim.block() {
+        BuildingBlock::Ring(_) => 0,
+        BuildingBlock::FullyConnected(_) => 1,
+        BuildingBlock::Switch(_) => 2,
+    };
+    (tag, dim.npus(), dim.bandwidth(), dim.link_latency())
+}
+
+/// Canonical content key of one lowering: two groups with the same shape
+/// (same per-dimension blocks, bandwidths, and latencies) lower to the
+/// same program regardless of which concrete NPUs they bind.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LoweringKey {
+    collective: Collective,
+    size: DataSize,
+    chunks: u64,
+    dims: Vec<DimKey>,
+}
+
+impl LoweringKey {
+    /// Builds the canonical key for `lower(collective, size, dims, chunks)`.
+    pub fn new(collective: Collective, size: DataSize, dims: &[Dimension], chunks: u64) -> Self {
+        LoweringKey {
+            collective,
+            size,
+            chunks,
+            dims: dims.iter().map(dim_key).collect(),
+        }
+    }
+}
+
+/// A lowered program plus its precomputed reverse dependency lists, as
+/// the system engine memoizes them.
+pub type SharedProgram = (Arc<CollectiveProgram>, Arc<Vec<Vec<u32>>>);
+
+/// A shareable, thread-safe memo of lowered collective programs keyed by
+/// [`LoweringKey`].
+#[derive(Debug, Default)]
+pub struct SharedLoweringCache {
+    map: Mutex<BTreeMap<LoweringKey, SharedProgram>>,
+    queries: AtomicU64,
+}
+
+impl SharedLoweringCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a memoized program (counted as one query).
+    pub fn get(&self, key: &LoweringKey) -> Option<SharedProgram> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&self.map).get(key).cloned()
+    }
+
+    /// Publishes a freshly lowered program for other runs to reuse.
+    pub fn insert(&self, key: LoweringKey, program: SharedProgram) {
+        lock_unpoisoned(&self.map).insert(key, program);
+    }
+
+    /// Distinct lowerings memoized so far.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.map).len()
+    }
+
+    /// Whether the cache is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups served (hits plus misses). Runs consult the shared
+    /// cache only on local-memo misses, so this count is a deterministic
+    /// function of the request set, independent of worker interleaving.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowering;
+
+    #[test]
+    fn key_is_shape_sensitive() {
+        let ring = Dimension::new(BuildingBlock::Ring(4));
+        let sw = Dimension::new(BuildingBlock::Switch(4));
+        let size = DataSize::from_mib(64);
+        let a = LoweringKey::new(Collective::AllReduce, size, &[ring], 8);
+        let b = LoweringKey::new(Collective::AllReduce, size, &[sw], 8);
+        let c = LoweringKey::new(Collective::AllGather, size, &[ring], 8);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, LoweringKey::new(Collective::AllReduce, size, &[ring], 8));
+    }
+
+    #[test]
+    fn cache_round_trips_programs() {
+        let cache = SharedLoweringCache::new();
+        let dims = [Dimension::new(BuildingBlock::Ring(4))];
+        let size = DataSize::from_mib(8);
+        let key = LoweringKey::new(Collective::AllReduce, size, &dims, 4);
+        assert!(cache.get(&key).is_none());
+        let program = Arc::new(lowering::lower(Collective::AllReduce, size, &dims, 4));
+        let deps = Arc::new(program.dependents());
+        cache.insert(key.clone(), (Arc::clone(&program), deps));
+        let (hit, _) = match cache.get(&key) {
+            Some(entry) => entry,
+            None => unreachable!("entry was just inserted"),
+        };
+        assert!(Arc::ptr_eq(&hit, &program));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.queries(), 2);
+    }
+}

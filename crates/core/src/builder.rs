@@ -2,7 +2,7 @@
 
 use astra_collectives::SchedulerPolicy;
 use astra_memory::{LocalMemory, PoolArchitecture};
-use astra_system::{simulate, SimError, SimReport, SystemConfig};
+use astra_system::{simulate_with, SimError, SimReport, SystemConfig, WarmState};
 use astra_topology::{ParseTopologyError, Topology};
 use astra_workload::{
     parallelism::{self, GenerateError},
@@ -94,6 +94,7 @@ pub struct SimulationBuilder {
     topology: Option<Topology>,
     workload: Option<WorkloadSource>,
     config: SystemConfig,
+    warm: WarmState,
 }
 
 impl SimulationBuilder {
@@ -104,6 +105,7 @@ impl SimulationBuilder {
             topology: None,
             workload: None,
             config: SystemConfig::default(),
+            warm: WarmState::default(),
         }
     }
 
@@ -233,6 +235,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches cross-run warm state (shared delay/route/lowering memo
+    /// handles, see [`WarmState`]). Warm state is a pure speed knob: the
+    /// resulting report is bit-identical to a cold run's. A batch service
+    /// threads the same handles through many builders to amortize
+    /// recomputation across requests.
+    pub fn warm_state(mut self, warm: WarmState) -> Self {
+        self.warm = warm;
+        self
+    }
+
     /// Builds and runs the simulation.
     ///
     /// # Errors
@@ -250,7 +262,7 @@ impl SimulationBuilder {
                 crate::experiments::all_reduce_trace(topo.npus(), size)
             }
         };
-        Ok(simulate(&trace, &topo, &self.config)?)
+        Ok(simulate_with(&trace, &topo, &self.config, &self.warm)?)
     }
 }
 

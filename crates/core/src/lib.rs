@@ -35,6 +35,7 @@ pub use astra_collectives::{
     dimension_traffic, lowering, Algorithm, ChunkOp, Collective, CollectiveEngine, CollectiveMode,
     CollectiveOutcome, CollectiveProgram, SchedulerPolicy,
 };
+pub use astra_collectives::{LoweringKey, SharedLoweringCache, SharedProgram};
 pub use astra_des::{Bandwidth, DataSize, QueueBackend, SimMode, Time};
 pub use astra_memory::{
     AccessKind, HierPool, HierPoolConfig, LocalMemory, MeshPool, MultiLevelSwitchPool,
@@ -42,12 +43,15 @@ pub use astra_memory::{
 };
 pub use astra_network::{
     AnalyticalConfig, AnalyticalNetwork, AsyncMessageId, Completion, FlowId, FlowNetwork,
-    NetworkBackend, NetworkBackendKind, NetworkStats, P2pMode,
+    NetworkBackend, NetworkBackendKind, NetworkStats, P2pMode, SharedDelayMemo, SharedRouteTable,
 };
-pub use astra_system::{simulate, Breakdown, SimError, SimReport, SystemConfig};
+pub use astra_system::{
+    simulate, simulate_with, Breakdown, CacheStats, SimError, SimReport, SystemConfig, WarmState,
+};
 pub use astra_topology::{
     BuildingBlock, Dimension, LinkGraph, NpuId, ParseTopologyError, Topology,
 };
+pub use astra_workload::SharedTraceCache;
 pub use astra_workload::{
     EtNode, EtOp, ExecutionTrace, JsonEtConverter, Model, Parallelism, Roofline, TraceBuilder,
     TraceConverter,

@@ -21,8 +21,21 @@ use std::collections::BTreeMap;
 use astra_des::{DataSize, Time};
 use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
 
+use std::sync::Arc;
+
 use crate::congestion::max_min_rates;
-use crate::{AsyncMessageId, Completion, NetworkBackend, NetworkStats};
+use crate::{AsyncMessageId, Completion, NetworkBackend, NetworkStats, SharedRouteTable};
+
+/// Relative capacity head-room a shared link must keep for an arrival or
+/// departure to extend the memoized max-min allocation instead of
+/// invalidating it. A link whose total allocated load stays strictly
+/// below `capacity * (1 - SHARE_SLACK)` can never be selected as a
+/// bottleneck by progressive filling (selection consumes the link's full
+/// capacity), so the event provably leaves every other flow's rate
+/// bit-identical — the margin only absorbs float summation error and tie
+/// ambiguity, and every reused allocation is still debug-asserted against
+/// the frozen [`max_min_rates`] reference.
+const SHARE_SLACK: f64 = 1e-6;
 
 /// Identifier of an injected (possibly completed) flow.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -91,13 +104,18 @@ pub struct FlowNetwork {
     next_dep: Cell<Option<Option<Time>>>,
     /// Memoized positional max-min allocation, aligned to `active`
     /// (`rates[k]` belongs to `active[k]`); `None` = stale. An arrival or
-    /// departure whose route links carry no other flow cannot change
-    /// anyone else's rate, so those events adjust the allocation in place
-    /// instead of discarding it and the next re-share skips progressive
-    /// filling entirely (see [`FlowNetwork::active_rates`]).
+    /// departure that touches only links private to the flow or shared
+    /// links with strict capacity head-room ([`SHARE_SLACK`]) cannot
+    /// change anyone else's rate, so those events adjust the allocation
+    /// in place instead of discarding it and the next re-share skips
+    /// progressive filling entirely (see [`FlowNetwork::active_rates`]).
     rates_cache: RefCell<Option<Vec<f64>>>,
     /// Re-share computations answered from the maintained allocation.
     reuses: Cell<u64>,
+    /// Optional cross-run route table for the same topology, consulted
+    /// only when a pair misses the local `route_ids` memo. Routing is
+    /// deterministic, so a shared hit is bit-identical to recomputing.
+    shared_routes: Option<Arc<SharedRouteTable>>,
 }
 
 impl FlowNetwork {
@@ -119,7 +137,17 @@ impl FlowNetwork {
             next_dep: Cell::new(None),
             rates_cache: RefCell::new(Some(Vec::new())),
             reuses: Cell::new(0),
+            shared_routes: None,
         }
+    }
+
+    /// Builds the fluid simulator with a cross-run [`SharedRouteTable`]
+    /// created for this same topology: route misses consult (and fill)
+    /// the shared table before falling back to computing the route.
+    pub fn with_shared_routes(topo: &Topology, shared: Arc<SharedRouteTable>) -> Self {
+        let mut net = Self::new(topo);
+        net.shared_routes = Some(shared);
+        net
     }
 
     /// The expanded link graph being simulated.
@@ -144,8 +172,10 @@ impl FlowNetwork {
     }
 
     /// Re-share computations answered from the incrementally maintained
-    /// allocation instead of running progressive filling (link-disjoint
-    /// arrivals and departures leave every other flow's rate untouched).
+    /// allocation instead of running progressive filling (arrivals and
+    /// departures that touch only private links, or shared links with
+    /// strict capacity head-room, leave every other flow's rate
+    /// untouched).
     pub fn reshare_reuses(&self) -> u64 {
         self.reuses.get()
     }
@@ -155,7 +185,17 @@ impl FlowNetwork {
             return idx;
         }
         let idx = self.routes.len();
-        self.routes.push(self.graph.route(src, dst));
+        let route = match self.shared_routes.as_ref().and_then(|s| s.get(src, dst)) {
+            Some(route) => route,
+            None => {
+                let route = self.graph.route(src, dst);
+                if let Some(shared) = &self.shared_routes {
+                    shared.insert(src, dst, route.clone());
+                }
+                route
+            }
+        };
+        self.routes.push(route);
         self.route_ids.insert((src, dst), idx);
         idx
     }
@@ -193,25 +233,39 @@ impl FlowNetwork {
         });
         self.position.push(self.active.len());
         self.active.push(id.0);
-        // A flow whose route links carry no other traffic cannot change
-        // anyone else's max-min rate, and its own rate is exactly the
-        // route's minimum capacity (crossing count 1 on every link) — the
-        // memoized allocation stays valid, extended in place. A shared
-        // link invalidates it.
-        let private_route = self.routes[route]
-            .iter()
-            .all(|&l| self.link_members[l.0].is_empty());
-        let rates_cache = self.rates_cache.get_mut();
-        if private_route {
-            if let Some(rates) = rates_cache.as_mut() {
+        // A flow with at least one private link (no other traffic) whose
+        // shared links all keep strict capacity head-room freezes at its
+        // minimum private capacity without ever making a shared link a
+        // bottleneck, so nobody else's rate moves — the memoized
+        // allocation stays valid, extended in place. Anything else
+        // (no private link, or a shared link near saturation)
+        // invalidates it.
+        let admitted = match self.rates_cache.get_mut().as_mut() {
+            Some(rates) => {
                 let rate = self.routes[route]
                     .iter()
+                    .filter(|&&l| self.link_members[l.0].is_empty())
                     .map(|&l| self.graph.link(l).bandwidth.as_bytes_per_sec() as f64)
                     .fold(f64::INFINITY, f64::min);
-                rates.push(rate);
+                let admissible = rate.is_finite()
+                    && self.routes[route].iter().all(|&l| {
+                        let members = &self.link_members[l.0];
+                        members.is_empty() || {
+                            let capacity = self.graph.link(l).bandwidth.as_bytes_per_sec() as f64;
+                            let load: f64 = members.iter().map(|&m| rates[self.position[m]]).sum();
+                            load + rate < capacity * (1.0 - SHARE_SLACK)
+                        }
+                    });
+                if admissible {
+                    rates.push(rate);
+                }
+                admissible
             }
-        } else {
-            *rates_cache = None;
+            // Already stale: nothing to keep consistent.
+            None => true,
+        };
+        if !admitted {
+            *self.rates_cache.get_mut() = None;
         }
         // Memoized membership: only this flow's own links change.
         for &l in &self.routes[route] {
@@ -294,27 +348,43 @@ impl FlowNetwork {
                         finish,
                     });
                 }
+                // Departure reuse check — while the departing flow is
+                // still a member and the memoized allocation is still
+                // aligned with `active`: a link that was private to the
+                // flow is trivially fine, and a shared link whose total
+                // allocated load (departing flow included) keeps strict
+                // head-room was never a bottleneck, so removing the flow
+                // leaves every survivor's rate untouched. A shared link
+                // at capacity invalidates the allocation.
+                let reusable = match self.rates_cache.get_mut().as_ref() {
+                    Some(cached) => self.routes[route].iter().all(|&l| {
+                        let members = &self.link_members[l.0];
+                        members.len() == 1 || {
+                            let capacity = self.graph.link(l).bandwidth.as_bytes_per_sec() as f64;
+                            let load: f64 = members.iter().map(|&m| cached[self.position[m]]).sum();
+                            load < capacity * (1.0 - SHARE_SLACK)
+                        }
+                    }),
+                    None => false,
+                };
                 self.active.swap_remove(k);
                 if let Some(&moved) = self.active.get(k) {
                     self.position[moved] = k;
                 }
                 // A departure touches only its own links' member sets.
-                let mut sole_member = true;
                 for &l in &self.routes[route] {
                     let members = &mut self.link_members[l.0];
-                    sole_member &= members.len() == 1;
                     let at = members.iter().position(|&m| m == idx);
                     debug_assert!(at.is_some(), "departing flow is a member of its links");
                     if let Some(at) = at {
                         members.swap_remove(at);
                     }
                 }
-                // A flow that was alone on all its links leaves every
-                // other rate untouched: mirror the positional
-                // `swap_remove` on the memoized allocation. A shared
-                // link invalidates it.
+                // Mirror the positional `swap_remove` on the memoized
+                // allocation when the departure provably changed nobody
+                // else's rate.
                 let rates_cache = self.rates_cache.get_mut();
-                if sole_member {
+                if reusable {
                     if let Some(rates) = rates_cache.as_mut() {
                         rates.swap_remove(k);
                     }
@@ -364,7 +434,8 @@ impl FlowNetwork {
     /// [`max_min_rates`] reference (asserted in debug builds).
     ///
     /// When every arrival/departure since the last computation touched
-    /// only links private to that flow, the allocation memoized in
+    /// only links private to that flow or shared links with strict
+    /// capacity head-room, the allocation memoized in
     /// [`FlowNetwork::rates_cache`] is still exact and even the filling is
     /// skipped (counted by [`FlowNetwork::reshare_reuses`]).
     fn active_rates(&self) -> (Vec<f64>, f64) {
@@ -590,6 +661,52 @@ mod tests {
         assert_eq!(net.completion(a), net.completion(b));
         assert!(net.reshare_events() > 0);
         assert!(net.reshare_reuses() >= net.reshare_events());
+    }
+
+    #[test]
+    fn shared_nonbottleneck_links_extend_the_allocation() {
+        // Two flows cross ring link 1->2 but are both throttled to
+        // 25 GB/s by their private switch hops, leaving the shared
+        // 100 GB/s ring link (200 GB/s split across the two ring
+        // directions) three-quarters idle: the second arrival and
+        // the first departure both keep strict head-room on it, so every
+        // re-share of this run is answered from the maintained allocation
+        // (each reuse is debug-asserted against the frozen reference).
+        let t = topo("R(5)@200_SW(2)@25");
+        let mut net = FlowNetwork::new(&t);
+        // (ring 0, plane 0) -> (ring 2, plane 1): ring 0->1->2, then the
+        // private 25 GB/s switch at ring position 2.
+        let a = net.inject_at(Time::ZERO, 0, 7, DataSize::from_bytes(50_000_000));
+        // (ring 1, plane 0) -> (ring 3, plane 1): ring 1->2->3 (sharing
+        // link 1->2 with `a`), then the private switch at position 3.
+        let b = net.inject_at(Time::ZERO, 1, 8, DataSize::from_bytes(25_000_000));
+        net.run_until_idle();
+        // Both drain at their private 25 GB/s bottleneck: b's departure
+        // at 1 ms leaves a's rate untouched, and a finishes 1 ms later.
+        let (fa, fb) = (net.completion(a).unwrap(), net.completion(b).unwrap());
+        assert_eq!(fa - fb, Time::from_ms(1));
+        assert_eq!(net.reshare_events(), 2);
+        assert_eq!(net.reshare_reuses(), 2);
+    }
+
+    #[test]
+    fn shared_links_without_headroom_still_refill() {
+        // Same shared ring link, but the second flow's private capacity
+        // (100 GB/s) exceeds the link's remaining head-room, so its true
+        // rate depends on the shared link — the arrival must invalidate
+        // the allocation, and so must its later departure (the link runs
+        // at capacity while both flows overlap).
+        let t = topo("R(5)@200_SW(2)@25");
+        let mut net = FlowNetwork::new(&t);
+        let a = net.inject_at(Time::ZERO, 0, 7, DataSize::from_bytes(50_000_000));
+        // (ring 1, plane 0) -> (ring 3, plane 0): ring 1->2->3 only, no
+        // switch hop: its 100 GB/s private link cannot cap it below the
+        // shared link's 75 GB/s of remaining head-room.
+        let c = net.inject_at(Time::ZERO, 1, 3, DataSize::from_bytes(75_000_000));
+        net.run_until_idle();
+        assert!(net.completion(a).is_some() && net.completion(c).is_some());
+        assert_eq!(net.reshare_reuses(), 0);
+        assert_eq!(net.reshare_events(), 2);
     }
 
     #[test]

@@ -34,16 +34,19 @@
 
 pub mod congestion;
 mod flow;
+mod warm;
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use astra_des::{DataSize, Time};
 use astra_topology::{NpuId, Topology};
 use serde::{Deserialize, Serialize};
 
 pub use flow::{FlowId, FlowNetwork};
+pub use warm::{SharedDelayMemo, SharedRouteTable};
 
 /// Identifier of a message in flight on the async NetworkAPI
 /// ([`NetworkBackend::send_async`]). Ids are backend-scoped and stable for
@@ -171,6 +174,13 @@ pub trait NetworkBackend {
     /// Work counters accumulated so far (see [`NetworkStats`];
     /// `backend_setups` is always zero here — the engine fills it in).
     fn stats(&self) -> NetworkStats;
+
+    /// `(hits, misses)` of the backend's per-`(src, dst, size)` delay
+    /// memo, for the system layer's cache report. `(0, 0)` for backends
+    /// without one (the default).
+    fn delay_memo_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// How the system engine drives its [`NetworkBackend`] for point-to-point
@@ -323,8 +333,13 @@ pub struct AnalyticalNetwork {
     config: AnalyticalConfig,
     cache: BTreeMap<(NpuId, NpuId, DataSize), Time>,
     hits: u64,
+    misses: u64,
     messages: u64,
     ready: Vec<Completion>,
+    /// Optional cross-run memo for the same topology, consulted only on a
+    /// local-memo miss — local counters and answers stay bit-identical to
+    /// a cold run whether or not the shared memo is warm.
+    shared: Option<Arc<SharedDelayMemo>>,
 }
 
 impl AnalyticalNetwork {
@@ -340,14 +355,32 @@ impl AnalyticalNetwork {
             config,
             cache: BTreeMap::new(),
             hits: 0,
+            misses: 0,
             messages: 0,
             ready: Vec::new(),
+            shared: None,
         }
+    }
+
+    /// Creates a backend whose local-memo misses consult (and fill) a
+    /// cross-run [`SharedDelayMemo`]. The memo must have been created for
+    /// this same topology and configuration — the closed form is a pure
+    /// function of both, so a hit is then bit-identical to recomputing.
+    pub fn with_shared_memo(topo: Topology, shared: Arc<SharedDelayMemo>) -> Self {
+        let mut net = Self::new(topo);
+        net.shared = Some(shared);
+        net
     }
 
     /// Delay queries answered from the `(src, dst, size)` memo so far.
     pub fn cache_hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Delay queries that missed the local memo (computed fresh or
+    /// answered from the shared memo).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
     }
 
     /// The closed-form delay, memoized per `(src, dst, size)`.
@@ -359,8 +392,18 @@ impl AnalyticalNetwork {
             self.hits += 1;
             return delay;
         }
+        self.misses += 1;
+        if let Some(shared) = &self.shared {
+            if let Some(delay) = shared.get(src, dst, size) {
+                self.cache.insert((src, dst, size), delay);
+                return delay;
+            }
+        }
         let delay = self.latency_term(src, dst) + self.serialization_term(src, dst, size);
         self.cache.insert((src, dst, size), delay);
+        if let Some(shared) = &self.shared {
+            shared.insert(src, dst, size, delay);
+        }
         delay
     }
 
@@ -437,6 +480,10 @@ impl NetworkBackend for AnalyticalNetwork {
             cache_hits: self.hits,
             ..NetworkStats::default()
         }
+    }
+
+    fn delay_memo_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 

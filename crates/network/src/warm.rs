@@ -1,0 +1,147 @@
+//! Cross-run warm caches for the network layer.
+//!
+//! A single simulation already memoizes its closed-form delays and its
+//! routes per run. A batch service (`astra serve`) executes many runs over
+//! the same few topologies, so these handles lift the per-run memos into
+//! shared, thread-safe tables consulted **only on a local-memo miss**:
+//! per-run counters and results stay bit-identical to a cold run, the
+//! warm path merely skips recomputing values another run already derived.
+//!
+//! Both tables are append-only maps of pure functions of the topology
+//! (the closed-form delay equation, dimension-ordered routing), so a hit
+//! returns exactly the value a cold run would compute — callers must key
+//! one handle per topology.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use astra_des::{DataSize, Time};
+use astra_topology::{LinkId, NpuId};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked —
+/// the tables hold pure memoized values, so a poisoned lock is still
+/// consistent (an interrupted writer inserts either nothing or a complete
+/// entry).
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A shareable per-`(src, dst, size)` closed-form delay memo for one
+/// topology (see [`crate::AnalyticalNetwork::with_shared_memo`]).
+#[derive(Debug, Default)]
+pub struct SharedDelayMemo {
+    map: Mutex<BTreeMap<(NpuId, NpuId, DataSize), Time>>,
+    queries: AtomicU64,
+}
+
+impl SharedDelayMemo {
+    /// Creates an empty shared memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a memoized delay (counted as one query).
+    pub fn get(&self, src: NpuId, dst: NpuId, size: DataSize) -> Option<Time> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&self.map).get(&(src, dst, size)).copied()
+    }
+
+    /// Publishes a freshly computed delay for other runs to reuse.
+    pub fn insert(&self, src: NpuId, dst: NpuId, size: DataSize, delay: Time) {
+        lock_unpoisoned(&self.map).insert((src, dst, size), delay);
+    }
+
+    /// Distinct `(src, dst, size)` triples memoized so far.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.map).len()
+    }
+
+    /// Whether the memo is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups served (hits plus misses). Runs consult the shared
+    /// memo only on local-memo misses, so this count is a deterministic
+    /// function of the request set, independent of worker interleaving.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+/// A shareable `(src, dst) → route` table for one topology (see
+/// [`crate::FlowNetwork::with_shared_routes`]). Routing is
+/// dimension-ordered and deterministic, so a shared hit is bit-identical
+/// to recomputing the route.
+#[derive(Debug, Default)]
+pub struct SharedRouteTable {
+    map: Mutex<BTreeMap<(NpuId, NpuId), Vec<LinkId>>>,
+    queries: AtomicU64,
+}
+
+impl SharedRouteTable {
+    /// Creates an empty shared route table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a memoized route (counted as one query).
+    pub fn get(&self, src: NpuId, dst: NpuId) -> Option<Vec<LinkId>> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&self.map).get(&(src, dst)).cloned()
+    }
+
+    /// Publishes a freshly computed route for other runs to reuse.
+    pub fn insert(&self, src: NpuId, dst: NpuId, route: Vec<LinkId>) {
+        lock_unpoisoned(&self.map).insert((src, dst), route);
+    }
+
+    /// Distinct `(src, dst)` pairs memoized so far.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.map).len()
+    }
+
+    /// Whether the table is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups served (hits plus misses).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_memo_round_trips_and_counts_queries() {
+        let memo = SharedDelayMemo::new();
+        assert!(memo.is_empty());
+        assert_eq!(memo.get(0, 1, DataSize::from_kib(4)), None);
+        memo.insert(0, 1, DataSize::from_kib(4), Time::from_us(3));
+        assert_eq!(
+            memo.get(0, 1, DataSize::from_kib(4)),
+            Some(Time::from_us(3))
+        );
+        assert_eq!(memo.get(1, 0, DataSize::from_kib(4)), None);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.queries(), 3);
+    }
+
+    #[test]
+    fn route_table_round_trips_and_counts_queries() {
+        let table = SharedRouteTable::new();
+        assert_eq!(table.get(0, 2), None);
+        table.insert(0, 2, vec![LinkId(0), LinkId(1)]);
+        assert_eq!(table.get(0, 2), Some(vec![LinkId(0), LinkId(1)]));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.queries(), 2);
+    }
+}

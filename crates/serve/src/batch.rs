@@ -1,0 +1,261 @@
+//! Deterministic batch execution: a worker pool draining JSONL requests.
+//!
+//! [`run_batch`] executes every request of a batch concurrently and emits
+//! one JSON response row per input line, **in input order**. The rows are
+//! a pinned surface: byte-identical regardless of worker count, request
+//! order within the batch, or cache state — workers only race for *which
+//! request to claim next*, never for what a response contains.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use astra_core::SimReport;
+use serde_json::Value;
+
+use crate::exec::{execute, WarmCache};
+use crate::request::SimRequest;
+
+/// Totals of one [`run_batch`] call, for the end-of-batch summary line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Response rows emitted (non-blank input lines).
+    pub requests: u64,
+    /// Rows with `"ok": true`.
+    pub ok: u64,
+    /// Rows with `"ok": false`.
+    pub errors: u64,
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn time_pair(label_ps: &str, t: astra_core::Time) -> (String, Value) {
+    (label_ps.to_owned(), Value::UInt(t.as_ps()))
+}
+
+/// Renders a report as a JSON value with exact (picosecond-integer)
+/// times, so equal reports always serialize to equal bytes.
+pub fn report_value(report: &SimReport) -> Value {
+    let b = &report.breakdown;
+    let n = &report.network;
+    let c = &report.cache;
+    Value::Object(vec![
+        time_pair("total_ps", report.total_time),
+        (
+            "breakdown_ps".to_owned(),
+            Value::Object(vec![
+                time_pair("compute_ps", b.compute),
+                time_pair("exposed_comm_ps", b.exposed_comm),
+                time_pair("exposed_remote_mem_ps", b.exposed_remote_mem),
+                time_pair("exposed_local_mem_ps", b.exposed_local_mem),
+                time_pair("exposed_idle_ps", b.exposed_idle),
+            ]),
+        ),
+        (
+            "per_npu_finish_ps".to_owned(),
+            Value::Array(
+                report
+                    .per_npu_finish
+                    .iter()
+                    .map(|t| Value::UInt(t.as_ps()))
+                    .collect(),
+            ),
+        ),
+        ("collectives".to_owned(), Value::UInt(report.collectives)),
+        (
+            "collective_ops".to_owned(),
+            Value::UInt(report.collective_ops),
+        ),
+        ("p2p_messages".to_owned(), Value::UInt(report.p2p_messages)),
+        (
+            "network".to_owned(),
+            Value::Object(vec![
+                ("messages".to_owned(), Value::UInt(n.messages)),
+                ("backend_setups".to_owned(), Value::UInt(n.backend_setups)),
+                ("events".to_owned(), Value::UInt(n.events)),
+                ("cache_hits".to_owned(), Value::UInt(n.cache_hits)),
+                (
+                    "train_serializations".to_owned(),
+                    Value::UInt(n.train_serializations),
+                ),
+                ("train_splits".to_owned(), Value::UInt(n.train_splits)),
+            ]),
+        ),
+        (
+            "cache".to_owned(),
+            Value::Object(vec![
+                ("delay_hits".to_owned(), Value::UInt(c.delay_hits)),
+                ("delay_misses".to_owned(), Value::UInt(c.delay_misses)),
+                ("lowering_hits".to_owned(), Value::UInt(c.lowering_hits)),
+                ("lowering_misses".to_owned(), Value::UInt(c.lowering_misses)),
+            ]),
+        ),
+    ])
+}
+
+/// One response row: executes the line and renders success or a
+/// structured error (never a panic or process exit).
+fn response_row(index: usize, line_number: usize, line: &str, cache: &WarmCache) -> String {
+    let id = |req: &Option<SimRequest>| match req.as_ref().and_then(|r| r.id.clone()) {
+        Some(id) => Value::Str(id),
+        None => Value::Null,
+    };
+    let (parsed, outcome) = match SimRequest::from_json_line(line) {
+        Ok(req) => {
+            let outcome = execute(&req, cache);
+            (Some(req), outcome.map_err(|e| e.0))
+        }
+        Err(e) => (None, Err(e.0)),
+    };
+    let row = match outcome {
+        Ok(report) => obj(vec![
+            ("index", Value::UInt(index as u64)),
+            ("id", id(&parsed)),
+            ("ok", Value::Bool(true)),
+            ("report", report_value(&report)),
+        ]),
+        Err(message) => obj(vec![
+            ("index", Value::UInt(index as u64)),
+            ("id", id(&parsed)),
+            ("ok", Value::Bool(false)),
+            (
+                "error",
+                Value::Str(format!("line {line_number}: {message}")),
+            ),
+        ]),
+    };
+    serde_json::to_string(&row).unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"))
+}
+
+/// Executes a batch of JSONL request lines on `workers` threads sharing
+/// `cache`, returning one response row per non-blank line, in input
+/// order, plus the batch totals.
+///
+/// Every row is bit-identical to what a cold, sequential execution of the
+/// same line would produce; only wall-clock time depends on `workers` and
+/// cache warmth.
+pub fn run_batch(
+    lines: &[String],
+    workers: usize,
+    cache: &WarmCache,
+) -> (Vec<String>, BatchSummary) {
+    let work: Vec<(usize, &str)> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(n, line)| (n + 1, line.as_str()))
+        .collect();
+    let workers = workers.clamp(1, work.len().max(1));
+    let next = AtomicUsize::new(0);
+    let rows = Mutex::new(vec![None; work.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(line_number, line)) = work.get(i) else {
+                    break;
+                };
+                let row = response_row(i, line_number, line, cache);
+                match rows.lock() {
+                    Ok(mut slots) => slots[i] = Some(row),
+                    Err(poisoned) => poisoned.into_inner()[i] = Some(row),
+                }
+            });
+        }
+    });
+    let rows = match rows.into_inner() {
+        Ok(slots) => slots,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let rows: Vec<String> = rows.into_iter().flatten().collect();
+    let mut summary = BatchSummary {
+        requests: rows.len() as u64,
+        ..BatchSummary::default()
+    };
+    for row in &rows {
+        if row.contains("\"ok\":true") {
+            summary.ok += 1;
+        } else {
+            summary.errors += 1;
+        }
+    }
+    (rows, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn rows_come_back_in_input_order_with_ids() {
+        let cache = WarmCache::new();
+        let (rows, summary) = run_batch(
+            &lines(&[
+                r#"{"id": "b", "topology": "SW(8)@400", "all_reduce_mib": 64}"#,
+                "",
+                r#"{"id": "a", "topology": "SW(4)@400", "all_reduce_mib": 32}"#,
+            ]),
+            2,
+            &cache,
+        );
+        assert_eq!(rows.len(), 2, "blank lines are skipped");
+        assert_eq!(summary.ok, 2);
+        assert_eq!(summary.errors, 0);
+        assert!(rows[0].contains(r#""id":"b""#), "{}", rows[0]);
+        assert!(rows[1].contains(r#""id":"a""#), "{}", rows[1]);
+        assert!(rows[0].contains(r#""index":0"#));
+        assert!(rows[1].contains(r#""index":1"#));
+    }
+
+    #[test]
+    fn malformed_lines_become_structured_error_rows() {
+        let cache = WarmCache::new();
+        let (rows, summary) = run_batch(
+            &lines(&[
+                "{not json",
+                r#"{"topology": "SW(4)@400", "all_reduce_mib": 32}"#,
+                r#"{"id": "x", "topology": "Mesh(9)", "workload": "dlrm"}"#,
+            ]),
+            1,
+            &cache,
+        );
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.errors, 2);
+        assert!(rows[0].contains(r#""ok":false"#));
+        assert!(rows[0].contains("line 1:"), "{}", rows[0]);
+        // A request that parsed but failed execution still echoes its id.
+        assert!(rows[2].contains(r#""id":"x""#), "{}", rows[2]);
+        assert!(rows[2].contains("line 3:"), "{}", rows[2]);
+        // Every row (including errors) is valid JSON.
+        for row in &rows {
+            serde_json::parse(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn rows_are_bit_identical_across_worker_counts() {
+        let batch = lines(&[
+            r#"{"topology": "R(8)@100", "workload": "gpt3", "pipeline": 4}"#,
+            r#"{"topology": "SW(8)@400", "all_reduce_mib": 64}"#,
+            r#"{"topology": "R(8)@100", "workload": "gpt3", "pipeline": 4}"#,
+            r#"{"topology": "SW(8)@400", "all_reduce_mib": 64, "queue": "calendar"}"#,
+            "{broken",
+        ]);
+        let (reference, _) = run_batch(&batch, 1, &WarmCache::new());
+        for workers in [2, 8] {
+            let (rows, _) = run_batch(&batch, workers, &WarmCache::new());
+            assert_eq!(rows, reference, "workers={workers}");
+        }
+        // Re-running against an already-warm cache changes nothing either.
+        let warm = WarmCache::new();
+        run_batch(&batch, 4, &warm);
+        let (rows, _) = run_batch(&batch, 4, &warm);
+        assert_eq!(rows, reference);
+    }
+}

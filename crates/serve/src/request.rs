@@ -1,0 +1,238 @@
+//! Simulation requests: the JSONL schema of the batch service.
+//!
+//! One request is one JSON object per line. Field names mirror the
+//! `astra` CLI flags (`topology` ↔ `--topology`, `all_reduce_mib` ↔
+//! `--all-reduce-mib`, …) and carry the same semantics — a request is a
+//! CLI invocation in data form, and resolving one produces exactly the
+//! report the equivalent single-run invocation would.
+
+use astra_core::{CollectiveMode, NetworkBackendKind, P2pMode, QueueBackend};
+use std::error::Error;
+use std::fmt;
+
+use serde_json::Value;
+
+/// An error resolving or executing one request. The message is
+/// user-facing and mirrors the CLI's wording (field names are spelled as
+/// their CLI flags).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError(pub String);
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for RequestError {}
+
+pub(crate) fn err(msg: impl Into<String>) -> RequestError {
+    RequestError(msg.into())
+}
+
+/// One simulation request (one JSONL line of the batch service).
+///
+/// Every field except [`SimRequest::id`] affects the result; together
+/// they form the canonical result-cache key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimRequest {
+    /// Opaque client tag echoed back in the response row (not part of the
+    /// result-cache key).
+    pub id: Option<String>,
+    /// Topology notation (required), e.g. `"R(4)@250_SW(2)@50"`.
+    pub topology: String,
+    /// Workload name: `dlrm`, `gpt3`, `t1t`, or `moe`.
+    pub workload: Option<String>,
+    /// All-Reduce microbenchmark payload in MiB (alternative to a
+    /// workload).
+    pub all_reduce_mib: Option<u64>,
+    /// Model-parallel width for `gpt3` / `t1t`.
+    pub mp: Option<usize>,
+    /// FSDP instead of hybrid/data parallelism.
+    pub fsdp: bool,
+    /// Pipeline parallelism with this many stages (and as many
+    /// micro-batches).
+    pub pipeline: Option<usize>,
+    /// Use the Themis greedy collective scheduler.
+    pub themis: bool,
+    /// Collective pipeline chunks.
+    pub chunks: Option<u64>,
+    /// Remote memory system: `hiermem-base`, `hiermem-opt`,
+    /// `zero-infinity`.
+    pub memory: Option<String>,
+    /// Event-queue backend: `heap` or `calendar`.
+    pub queue: Option<QueueBackend>,
+    /// Network backend: `analytical`, `packet`, `batched`, or `flow`.
+    pub network: Option<NetworkBackendKind>,
+    /// Engine/network integration: `async` or `blocking`.
+    pub p2p: Option<P2pMode>,
+    /// Collective execution: `analytical` or `backend`.
+    pub collectives: Option<CollectiveMode>,
+    /// Worker threads for the packet backends' parallel core.
+    pub sim_threads: Option<usize>,
+}
+
+fn string_field(key: &str, v: &Value) -> Result<String, RequestError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(err(format!("`{key}` expects a string"))),
+    }
+}
+
+fn uint_field(key: &str, v: &Value) -> Result<u64, RequestError> {
+    v.as_u64()
+        .ok_or_else(|| err(format!("`{key}` expects a non-negative integer")))
+}
+
+fn bool_field(key: &str, v: &Value) -> Result<bool, RequestError> {
+    v.as_bool()
+        .ok_or_else(|| err(format!("`{key}` expects true or false")))
+}
+
+impl SimRequest {
+    /// Parses one request from a decoded JSON value. Unknown fields are
+    /// rejected so a typo cannot silently run the wrong configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RequestError`] naming the offending field when the
+    /// value is not an object, a field has the wrong type or an unknown
+    /// name, or the required `topology` is missing.
+    pub fn from_value(value: &Value) -> Result<Self, RequestError> {
+        let Some(fields) = value.as_object() else {
+            return Err(err("request must be a JSON object"));
+        };
+        let mut req = SimRequest::default();
+        for (key, v) in fields {
+            match key.as_str() {
+                "id" => {
+                    req.id = Some(match v {
+                        Value::Str(s) => s.clone(),
+                        Value::UInt(n) => n.to_string(),
+                        Value::Int(n) => n.to_string(),
+                        _ => return Err(err("`id` expects a string or integer")),
+                    });
+                }
+                "topology" => req.topology = string_field(key, v)?,
+                "workload" => req.workload = Some(string_field(key, v)?),
+                "all_reduce_mib" => req.all_reduce_mib = Some(uint_field(key, v)?),
+                "mp" => req.mp = Some(uint_field(key, v)? as usize),
+                "fsdp" => req.fsdp = bool_field(key, v)?,
+                "pipeline" => req.pipeline = Some(uint_field(key, v)? as usize),
+                "themis" => req.themis = bool_field(key, v)?,
+                "chunks" => req.chunks = Some(uint_field(key, v)?),
+                "memory" => req.memory = Some(string_field(key, v)?),
+                "queue" => req.queue = Some(string_field(key, v)?.parse().map_err(err)?),
+                "network" => req.network = Some(string_field(key, v)?.parse().map_err(err)?),
+                "p2p" => req.p2p = Some(string_field(key, v)?.parse().map_err(err)?),
+                "collectives" => {
+                    req.collectives = Some(string_field(key, v)?.parse().map_err(err)?);
+                }
+                "sim_threads" => {
+                    let threads = uint_field(key, v)? as usize;
+                    if threads == 0 {
+                        return Err(err("`sim_threads` must be at least 1"));
+                    }
+                    req.sim_threads = Some(threads);
+                }
+                other => return Err(err(format!("unknown request field `{other}`"))),
+            }
+        }
+        if req.topology.is_empty() {
+            return Err(err("`topology` is required"));
+        }
+        if req.workload.is_none() && req.all_reduce_mib.is_none() {
+            return Err(err("one of `workload` or `all_reduce_mib` is required"));
+        }
+        Ok(req)
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RequestError`] with the JSON parse error (byte offset
+    /// included) or the schema problem.
+    pub fn from_json_line(line: &str) -> Result<Self, RequestError> {
+        let value = serde_json::parse(line).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        Self::from_value(&value)
+    }
+
+    /// The canonical result-cache key: every result-affecting field in a
+    /// fixed order. Two requests with equal keys produce bit-identical
+    /// reports, so the batch service memoizes whole reports under it.
+    /// `id` is deliberately excluded.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "topology={};workload={:?};all_reduce_mib={:?};mp={:?};fsdp={};pipeline={:?};\
+             themis={};chunks={:?};memory={:?};queue={:?};network={:?};p2p={:?};\
+             collectives={:?};sim_threads={:?}",
+            self.topology,
+            self.workload,
+            self.all_reduce_mib,
+            self.mp,
+            self.fsdp,
+            self.pipeline,
+            self.themis,
+            self.chunks,
+            self.memory,
+            self.queue,
+            self.network,
+            self.p2p,
+            self.collectives,
+            self.sim_threads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let req = SimRequest::from_json_line(
+            r#"{"id": "r1", "topology": "R(4)@200_SW(4)@50", "workload": "gpt3",
+                "mp": 4, "themis": true, "chunks": 64, "queue": "calendar",
+                "network": "flow", "p2p": "async", "collectives": "analytical"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id.as_deref(), Some("r1"));
+        assert_eq!(req.topology, "R(4)@200_SW(4)@50");
+        assert_eq!(req.mp, Some(4));
+        assert!(req.themis);
+        assert_eq!(req.queue, Some(QueueBackend::Calendar));
+        assert_eq!(req.network, Some(NetworkBackendKind::Flow));
+    }
+
+    #[test]
+    fn rejects_malformed_and_unknown() {
+        assert!(SimRequest::from_json_line("{not json").is_err());
+        assert!(SimRequest::from_json_line(r#"{"topology": 4}"#).is_err());
+        assert!(
+            SimRequest::from_json_line(r#"{"topology": "R(4)@100", "frobnicate": 1}"#).is_err()
+        );
+        // Missing topology / workload are schema errors, not panics.
+        assert!(SimRequest::from_json_line(r#"{"workload": "dlrm"}"#).is_err());
+        assert!(SimRequest::from_json_line(r#"{"topology": "R(4)@100"}"#).is_err());
+        assert!(SimRequest::from_json_line("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn canonical_key_ignores_id_only() {
+        let base = SimRequest::from_json_line(
+            r#"{"topology": "R(4)@100", "workload": "dlrm", "id": "a"}"#,
+        )
+        .unwrap();
+        let renamed = SimRequest::from_json_line(
+            r#"{"topology": "R(4)@100", "workload": "dlrm", "id": "b"}"#,
+        )
+        .unwrap();
+        let changed = SimRequest::from_json_line(
+            r#"{"topology": "R(4)@100", "workload": "dlrm", "themis": true}"#,
+        )
+        .unwrap();
+        assert_eq!(base.canonical_key(), renamed.canonical_key());
+        assert_ne!(base.canonical_key(), changed.canonical_key());
+    }
+}

@@ -1,0 +1,122 @@
+//! Unix-domain-socket front end of the batch service.
+//!
+//! Each connection sends one batch: JSONL request lines, then a write
+//! shutdown (EOF). The service answers with one JSON response row per
+//! line, in input order, and closes the connection. The warm caches are
+//! shared across connections, so a long-lived service keeps getting
+//! faster while every response stays bit-identical to a cold run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+
+use crate::batch::{run_batch, BatchSummary};
+use crate::exec::WarmCache;
+
+/// Handles one connection: reads the batch to EOF, executes it on
+/// `workers` threads, writes the response rows.
+fn handle_connection(
+    stream: UnixStream,
+    workers: usize,
+    cache: &WarmCache,
+) -> std::io::Result<BatchSummary> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    let (rows, summary) = run_batch(&lines, workers, cache);
+    let mut writer = stream;
+    for row in rows {
+        writer.write_all(row.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(summary)
+}
+
+/// Serves batches on a unix socket at `path` until `max_connections`
+/// connections have been handled (`None` = forever). Existing files at
+/// `path` are replaced. Per-connection I/O errors end that connection
+/// only; the accept loop keeps running.
+///
+/// Returns the totals over all handled connections.
+///
+/// # Errors
+///
+/// Returns the error if the socket cannot be bound.
+pub fn serve_unix(
+    path: &Path,
+    workers: usize,
+    cache: &WarmCache,
+    max_connections: Option<usize>,
+) -> std::io::Result<BatchSummary> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    let mut totals = BatchSummary::default();
+    for (handled, stream) in listener.incoming().enumerate() {
+        match stream.and_then(|s| handle_connection(s, workers, cache)) {
+            Ok(summary) => {
+                totals.requests += summary.requests;
+                totals.ok += summary.ok;
+                totals.errors += summary.errors;
+            }
+            Err(e) => eprintln!("astra serve: connection error: {e}"),
+        }
+        if max_connections.is_some_and(|max| handled + 1 >= max) {
+            break;
+        }
+    }
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::Shutdown;
+
+    #[test]
+    fn serves_batches_over_a_socket_with_warm_state_across_connections() {
+        let dir = std::env::temp_dir().join(format!("astra-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("astra.sock");
+        let cache = WarmCache::new();
+
+        let totals = std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_unix(&path, 2, &cache, Some(2)).unwrap());
+            let send_batch = |batch: &str| {
+                // The server may not have bound yet; retry briefly.
+                let mut stream = loop {
+                    match UnixStream::connect(&path) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::yield_now(),
+                    }
+                };
+                stream.write_all(batch.as_bytes()).unwrap();
+                stream.shutdown(Shutdown::Write).unwrap();
+                let mut response = String::new();
+                stream.read_to_string(&mut response).unwrap();
+                response
+            };
+            let batch = concat!(
+                r#"{"id": "a", "topology": "SW(8)@400", "all_reduce_mib": 64}"#,
+                "\n",
+                "{bad line\n",
+            );
+            let first = send_batch(batch);
+            let second = send_batch(batch);
+            assert_eq!(first, second, "warm responses are bit-identical");
+            assert_eq!(first.lines().count(), 2);
+            assert!(first.lines().next().unwrap().contains(r#""ok":true"#));
+            assert!(first.lines().nth(1).unwrap().contains(r#""ok":false"#));
+            server.join().unwrap()
+        });
+        assert_eq!(totals.requests, 4);
+        assert_eq!(totals.ok, 2);
+        assert_eq!(totals.errors, 2);
+        // The second connection's repeat request hit the result cache.
+        assert_eq!(cache.summary().result_hits, 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

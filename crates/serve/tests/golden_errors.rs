@@ -1,0 +1,27 @@
+//! Golden-error fixture: a batch of malformed requests yields one
+//! structured error row per line — never a panic or process exit — and
+//! the exact rows are pinned so error-message regressions are visible.
+
+use astra_serve::{run_batch, WarmCache};
+
+const FIXTURE: &str = include_str!("fixtures/malformed_requests.jsonl");
+const GOLDEN: &str = include_str!("fixtures/malformed_requests.golden.jsonl");
+
+#[test]
+fn malformed_requests_yield_the_golden_error_rows() {
+    let lines: Vec<String> = FIXTURE.lines().map(str::to_owned).collect();
+    let (rows, summary) = run_batch(&lines, 4, &WarmCache::new());
+    assert_eq!(summary.ok, 0, "every fixture line is malformed");
+    assert_eq!(summary.errors, summary.requests);
+    for row in &rows {
+        serde_json::parse(row).expect("error rows are valid JSON");
+        assert!(row.contains(r#""ok":false"#), "{row}");
+    }
+    let expected: Vec<&str> = GOLDEN.lines().collect();
+    assert_eq!(
+        rows.iter().map(String::as_str).collect::<Vec<_>>(),
+        expected,
+        "error rows drifted from the golden fixture; if the change is \
+         intentional, regenerate tests/fixtures/malformed_requests.golden.jsonl"
+    );
+}

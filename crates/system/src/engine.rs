@@ -3,10 +3,11 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use astra_collectives::{
-    lowering, Collective, CollectiveEngine, CollectiveMode, CollectiveProgram, SchedulerPolicy,
+    lowering, Collective, CollectiveEngine, CollectiveMode, CollectiveProgram, LoweringKey,
+    SchedulerPolicy, SharedLoweringCache,
 };
 use astra_des::{
     attribute_exclusive, DataSize, EventQueue, FifoResource, IntervalLog, QueueBackend, SimMode,
@@ -16,15 +17,15 @@ use astra_garnet::{PacketNetwork, PacketSimConfig, TransportMode};
 use astra_memory::{LocalMemory, PoolArchitecture, RemoteMemory, TransferMode};
 use astra_network::{
     AnalyticalNetwork, AsyncMessageId, Completion, FlowNetwork, NetworkBackend, NetworkBackendKind,
-    NetworkStats, P2pMode,
+    NetworkStats, P2pMode, SharedDelayMemo, SharedRouteTable,
 };
 use astra_topology::{BuildingBlock, Dimension, NpuId, Topology};
 use astra_workload::{EtOp, ExecutionTrace, Roofline, TensorLocation};
 
-use crate::{Breakdown, SimReport};
+use crate::{Breakdown, CacheStats, SimReport};
 
 /// A memoized lowered program plus its reverse dependency adjacency.
-type MemoizedProgram = (Rc<CollectiveProgram>, Rc<Vec<Vec<u32>>>);
+type MemoizedProgram = (Arc<CollectiveProgram>, Arc<Vec<Vec<u32>>>);
 
 /// System-layer configuration (Fig. 1c "System Parameters").
 #[derive(Clone, Debug)]
@@ -124,6 +125,54 @@ fn build_network(topo: &Topology, config: &SystemConfig) -> Box<dyn NetworkBacke
         }
         NetworkBackendKind::Flow => Box::new(FlowNetwork::new(topo)),
     }
+}
+
+/// Cross-run warm state: shareable memo handles a batch service threads
+/// through many simulation runs. Every handle is optional — a default
+/// (fully cold) `WarmState` makes [`simulate_with`] behave exactly like
+/// [`simulate`].
+///
+/// Determinism contract: warm handles are consulted **only on local-memo
+/// misses** and hold pure functions of their keys, so a warm run produces
+/// a `SimReport` (counters included) bit-identical to a cold run's.
+#[derive(Clone, Debug, Default)]
+pub struct WarmState {
+    /// Cross-run `(src, dst, size)` analytical delay memo; used by the
+    /// co-resident analytical backend.
+    pub delay_memo: Option<Arc<SharedDelayMemo>>,
+    /// Cross-run lowered-collective-program cache, keyed by group shape,
+    /// collective, size, and chunk count (`CollectiveMode::Backend`).
+    pub lowering: Option<Arc<SharedLoweringCache>>,
+    /// Cross-run route table; used by the co-resident fluid backend.
+    pub routes: Option<Arc<SharedRouteTable>>,
+}
+
+/// Instantiates the configured backend with the warm handles attached.
+/// Only the co-resident async backend is built this way; the frozen
+/// blocking reference path keeps calling [`build_network`] so its
+/// per-message probe sub-simulations stay cold and bit-identical.
+fn build_network_warm(
+    topo: &Topology,
+    config: &SystemConfig,
+    warm: &WarmState,
+) -> Box<dyn NetworkBackend> {
+    match config.network_backend {
+        NetworkBackendKind::Analytical => {
+            if let Some(memo) = &warm.delay_memo {
+                return Box::new(AnalyticalNetwork::with_shared_memo(
+                    topo.clone(),
+                    Arc::clone(memo),
+                ));
+            }
+        }
+        NetworkBackendKind::Flow => {
+            if let Some(routes) = &warm.routes {
+                return Box::new(FlowNetwork::with_shared_routes(topo, Arc::clone(routes)));
+            }
+        }
+        NetworkBackendKind::Packet | NetworkBackendKind::Batched => {}
+    }
+    build_network(topo, config)
 }
 
 /// Errors detected while setting up or running a simulation.
@@ -299,8 +348,8 @@ impl Outbound {
 /// executor's dependency counters and the meeting it resumes on finish.
 struct RunningCollective {
     arrivals: Vec<(NpuId, u32, Time)>,
-    program: Rc<CollectiveProgram>,
-    dependents: Rc<Vec<Vec<u32>>>,
+    program: Arc<CollectiveProgram>,
+    dependents: Arc<Vec<Vec<u32>>>,
     remaining_deps: Vec<u32>,
     /// Per op: latest dependency completion seen so far — the op's ready
     /// instant once its counter reaches zero.
@@ -349,6 +398,24 @@ pub fn simulate(
     topo: &Topology,
     config: &SystemConfig,
 ) -> Result<SimReport, SimError> {
+    simulate_with(trace, topo, config, &WarmState::default())
+}
+
+/// [`simulate`] with cross-run warm state: shared memo tables are
+/// consulted on local-memo misses, skipping recomputation of delays,
+/// routes, and lowered collective programs another run already produced.
+/// The report is bit-identical to [`simulate`]'s — warm state is a pure
+/// speed knob.
+///
+/// # Errors
+///
+/// Exactly [`simulate`]'s errors; warm state introduces none.
+pub fn simulate_with(
+    trace: &ExecutionTrace,
+    topo: &Topology,
+    config: &SystemConfig,
+    warm: &WarmState,
+) -> Result<SimReport, SimError> {
     if trace.npus() != topo.npus() {
         return Err(SimError::NpuCountMismatch {
             trace: trace.npus(),
@@ -384,7 +451,7 @@ pub fn simulate(
         spans.push(group_span(topo, members).ok_or(SimError::UnalignedGroup { group: gi })?);
     }
 
-    Engine::new(trace, topo, config, spans).run()
+    Engine::new(trace, topo, config, warm, spans).run()
 }
 
 /// Determines which topology dimensions a group spans. Members must form a
@@ -446,6 +513,7 @@ struct Engine<'a> {
     trace: &'a ExecutionTrace,
     topo: &'a Topology,
     config: &'a SystemConfig,
+    warm: &'a WarmState,
     collective_engine: CollectiveEngine,
     /// The co-resident async backend, built lazily on the first p2p
     /// message (collective-only workloads never pay for it). Unused in
@@ -488,6 +556,10 @@ struct Engine<'a> {
     /// training loop re-issues the same collective every iteration/layer,
     /// so lowering runs once per distinct shape.
     program_memo: BTreeMap<(u32, Collective, DataSize), MemoizedProgram>,
+    /// Per-run program-memo hit/miss counters. A warm-cache hit still
+    /// counts as a local miss, so these are identical warm vs cold.
+    lowering_hits: u64,
+    lowering_misses: u64,
     chunk_ops: u64,
 
     collectives: u64,
@@ -500,6 +572,7 @@ impl<'a> Engine<'a> {
         trace: &'a ExecutionTrace,
         topo: &'a Topology,
         config: &'a SystemConfig,
+        warm: &'a WarmState,
         spans: Vec<GroupSpan>,
     ) -> Self {
         let npus = trace.npus();
@@ -522,6 +595,7 @@ impl<'a> Engine<'a> {
             trace,
             topo,
             config,
+            warm,
             collective_engine: CollectiveEngine::new(config.collective_chunks, config.scheduler),
             network: None,
             spans,
@@ -546,6 +620,8 @@ impl<'a> Engine<'a> {
             running_collectives: BTreeMap::new(),
             next_collective: 0,
             program_memo: BTreeMap::new(),
+            lowering_hits: 0,
+            lowering_misses: 0,
             chunk_ops: 0,
             collectives: 0,
             p2p_messages: 0,
@@ -558,9 +634,9 @@ impl<'a> Engine<'a> {
         if self.network.is_none() {
             self.net_stats.backend_setups += 1;
         }
-        let (topo, config) = (self.topo, self.config);
+        let (topo, config, warm) = (self.topo, self.config, self.warm);
         self.network
-            .get_or_insert_with(|| build_network(topo, config))
+            .get_or_insert_with(|| build_network_warm(topo, config, warm))
             .as_mut()
     }
 
@@ -643,6 +719,12 @@ impl<'a> Engine<'a> {
             exposed_idle: sums[4] / npus,
         };
         let mut network = self.net_stats;
+        let (delay_hits, delay_misses) = match &self.network {
+            // Per-message blocking probes discard their fresh backends, so
+            // only the co-resident backend's memo is reported.
+            Some(net) => net.delay_memo_stats(),
+            None => (0, 0),
+        };
         if let Some(net) = &self.network {
             network.merge(&net.stats());
         }
@@ -658,6 +740,13 @@ impl<'a> Engine<'a> {
             collective_ops: self.chunk_ops,
             p2p_messages: self.p2p_messages,
             network,
+            cache: CacheStats {
+                delay_hits,
+                delay_misses,
+                lowering_hits: self.lowering_hits,
+                lowering_misses: self.lowering_misses,
+                ..CacheStats::default()
+            },
         })
     }
 
@@ -812,24 +901,53 @@ impl<'a> Engine<'a> {
         start: Time,
         arrivals: Vec<(NpuId, u32, Time)>,
     ) {
-        let span = &self.spans[group as usize];
-        let endpoints: Vec<(NpuId, NpuId)> = span.dims.iter().map(|&(_, _, ep)| ep).collect();
-        let (program, dependents) = match self.program_memo.get(&(group, collective, size)) {
-            Some((p, d)) => (Rc::clone(p), Rc::clone(d)),
+        let endpoints: Vec<(NpuId, NpuId)> = self.spans[group as usize]
+            .dims
+            .iter()
+            .map(|&(_, _, ep)| ep)
+            .collect();
+        let memoized = self
+            .program_memo
+            .get(&(group, collective, size))
+            .map(|(p, d)| (Arc::clone(p), Arc::clone(d)));
+        let (program, dependents) = match memoized {
+            Some(entry) => {
+                self.lowering_hits += 1;
+                entry
+            }
             None => {
-                let dims: Vec<Dimension> = span.dims.iter().map(|&(_, d, _)| d).collect();
-                let program = Rc::new(lowering::lower(
-                    collective,
-                    size,
-                    &dims,
-                    self.config.collective_chunks,
-                ));
-                let dependents = Rc::new(program.dependents());
+                self.lowering_misses += 1;
+                let dims: Vec<Dimension> = self.spans[group as usize]
+                    .dims
+                    .iter()
+                    .map(|&(_, d, _)| d)
+                    .collect();
+                let chunks = self.config.collective_chunks;
+                // Local miss: another run may already have lowered this
+                // shape — the shared program is the same pure function of
+                // the key, so reusing it cannot change the result.
+                let key = || LoweringKey::new(collective, size, &dims, chunks);
+                let entry = match self
+                    .warm
+                    .lowering
+                    .as_ref()
+                    .and_then(|shared| shared.get(&key()))
+                {
+                    Some(entry) => entry,
+                    None => {
+                        let program = Arc::new(lowering::lower(collective, size, &dims, chunks));
+                        let dependents = Arc::new(program.dependents());
+                        if let Some(shared) = &self.warm.lowering {
+                            shared.insert(key(), (Arc::clone(&program), Arc::clone(&dependents)));
+                        }
+                        (program, dependents)
+                    }
+                };
                 self.program_memo.insert(
                     (group, collective, size),
-                    (Rc::clone(&program), Rc::clone(&dependents)),
+                    (Arc::clone(&entry.0), Arc::clone(&entry.1)),
                 );
-                (program, dependents)
+                entry
             }
         };
         let id = self.next_collective;
@@ -1117,7 +1235,7 @@ impl<'a> Engine<'a> {
         // backends report `done` far ahead of the engine clock, and an op
         // queued before its ready instant could block its lane's FIFO head
         // while later-queued ops are already ready.
-        for &d in &Rc::clone(&rc.dependents)[chunk.op as usize] {
+        for &d in &Arc::clone(&rc.dependents)[chunk.op as usize] {
             let Some(rc) = self.running_collectives.get_mut(&coll) else {
                 return Err(SimError::Internal(
                     "running collective vanished while its ops were pending",

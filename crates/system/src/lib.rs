@@ -29,10 +29,12 @@
 mod engine;
 mod report;
 
-pub use engine::{simulate, SimError, SystemConfig};
-pub use report::{Breakdown, SimReport};
+pub use engine::{simulate, simulate_with, SimError, SystemConfig, WarmState};
+pub use report::{Breakdown, CacheStats, SimReport};
 
 // Re-exported so `SystemConfig.network_backend` / `SystemConfig.p2p_mode`
 // can be set (and `SimReport.network` read) without a direct
 // `astra_network` dependency.
-pub use astra_network::{NetworkBackendKind, NetworkStats, P2pMode};
+pub use astra_network::{
+    NetworkBackendKind, NetworkStats, P2pMode, SharedDelayMemo, SharedRouteTable,
+};

@@ -57,6 +57,71 @@ impl fmt::Display for Breakdown {
     }
 }
 
+/// Hit/miss counters of the memo layers consulted while producing a
+/// report, one pair per cache.
+///
+/// The `delay` and `lowering` pairs count the engine's **per-run** memos
+/// (the analytical backend's `(src, dst, size)` delay table and the
+/// lowered-collective-program memo). They are deterministic functions of
+/// the trace, topology, and configuration: warm state only changes *how*
+/// a local miss is filled (shared table vs recompute), never whether it
+/// is a miss — so a warm run's report is bit-identical to a cold run's.
+///
+/// The `trace` and `result` pairs belong to **batch-level** caches
+/// (generated-trace and whole-report memoization in `astra serve`); they
+/// stay zero in reports produced by [`crate::simulate`] and are filled
+/// only in batch summaries, never in per-request reports.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Analytical `(src, dst, size)` delay-memo hits.
+    pub delay_hits: u64,
+    /// Analytical `(src, dst, size)` delay-memo misses (closed-form
+    /// evaluations).
+    pub delay_misses: u64,
+    /// Lowered-collective-program memo hits (`CollectiveMode::Backend`).
+    pub lowering_hits: u64,
+    /// Lowered-collective-program memo misses (full lowerings, unless a
+    /// shared warm cache already holds the program).
+    pub lowering_misses: u64,
+    /// Generated-trace cache hits (batch service only).
+    pub trace_hits: u64,
+    /// Generated-trace cache misses (batch service only).
+    pub trace_misses: u64,
+    /// Whole-report result-cache hits (batch service only).
+    pub result_hits: u64,
+    /// Whole-report result-cache misses (batch service only).
+    pub result_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits across all four caches.
+    pub fn total_hits(&self) -> u64 {
+        self.delay_hits + self.lowering_hits + self.trace_hits + self.result_hits
+    }
+
+    /// Total misses across all four caches.
+    pub fn total_misses(&self) -> u64 {
+        self.delay_misses + self.lowering_misses + self.trace_misses + self.result_misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delay {}/{} | lowering {}/{} | trace {}/{} | result {}/{}",
+            self.delay_hits,
+            self.delay_hits + self.delay_misses,
+            self.lowering_hits,
+            self.lowering_hits + self.lowering_misses,
+            self.trace_hits,
+            self.trace_hits + self.trace_misses,
+            self.result_hits,
+            self.result_hits + self.result_misses
+        )
+    }
+}
+
 /// Result of simulating an execution trace on a platform.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
@@ -80,6 +145,9 @@ pub struct SimReport {
     /// reference), internal events, and the analytical backend's
     /// `(src, dst, size)` delay-memo hits.
     pub network: NetworkStats,
+    /// Per-cache hit/miss counters (see [`CacheStats`]); deterministic,
+    /// so warm and cold runs report identical values.
+    pub cache: CacheStats,
 }
 
 impl SimReport {
@@ -124,6 +192,26 @@ mod tests {
     #[test]
     fn empty_breakdown_has_zero_comm_fraction() {
         assert_eq!(Breakdown::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn cache_stats_totals_and_display() {
+        let c = CacheStats {
+            delay_hits: 3,
+            delay_misses: 1,
+            lowering_hits: 2,
+            lowering_misses: 2,
+            trace_hits: 1,
+            trace_misses: 1,
+            result_hits: 5,
+            result_misses: 1,
+        };
+        assert_eq!(c.total_hits(), 11);
+        assert_eq!(c.total_misses(), 5);
+        let text = c.to_string();
+        for word in ["delay 3/4", "lowering 2/4", "trace 1/2", "result 5/6"] {
+            assert!(text.contains(word), "{text} missing {word}");
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod pytorch;
 mod roofline;
 mod stats;
 mod trace;
+mod warm;
 
 pub use convert::{JsonEtConverter, TraceConverter};
 pub use footprint::Footprint;
@@ -55,3 +56,4 @@ pub use trace::{
     EtNode, EtOp, ExecutionTrace, GroupId, MemoryDirection, NodeId, ProgramBuilder, TensorLocation,
     TraceBuilder, TraceError,
 };
+pub use warm::SharedTraceCache;

@@ -1,0 +1,106 @@
+//! Cross-run warm cache for generated execution traces.
+//!
+//! Trace generation ([`crate::parallelism::generate_trace`]) is a pure,
+//! deterministic function of the model, the parallelization strategy, and
+//! the NPU count — so a batch service executing many requests over the
+//! same few workloads can share the generated [`ExecutionTrace`] across
+//! runs instead of regenerating it per request. Callers provide a
+//! canonical key string covering every generation input.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::ExecutionTrace;
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked —
+/// the table holds pure memoized values, so a poisoned lock is still
+/// consistent.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A shareable, thread-safe memo of generated traces keyed by a
+/// caller-supplied canonical description of the generation inputs.
+#[derive(Debug, Default)]
+pub struct SharedTraceCache {
+    map: Mutex<BTreeMap<String, Arc<ExecutionTrace>>>,
+    queries: AtomicU64,
+}
+
+impl SharedTraceCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized trace for `key`, or builds, publishes, and
+    /// returns it via `build`. The lock is not held while building, so
+    /// concurrent misses on distinct keys generate in parallel (two
+    /// racing misses on the same key both build; the table keeps one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error on a miss whose generation fails.
+    pub fn get_or_try_build<E>(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<ExecutionTrace, E>,
+    ) -> Result<Arc<ExecutionTrace>, E> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = lock_unpoisoned(&self.map).get(key) {
+            return Ok(Arc::clone(trace));
+        }
+        let built = Arc::new(build()?);
+        let mut map = lock_unpoisoned(&self.map);
+        let entry = map
+            .entry(key.to_owned())
+            .or_insert_with(|| Arc::clone(&built));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Distinct traces memoized so far.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.map).len()
+    }
+
+    /// Whether the cache is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups served (hits plus misses).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::parallelism::generate_trace;
+    use crate::Parallelism;
+
+    #[test]
+    fn repeat_keys_share_one_trace() {
+        let cache = SharedTraceCache::new();
+        let build = || generate_trace(&models::dlrm_57m(), Parallelism::Data, 4);
+        let first = cache.get_or_try_build("dlrm/data/4", build).unwrap();
+        let second = cache.get_or_try_build("dlrm/data/4", build).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.queries(), 2);
+    }
+
+    #[test]
+    fn build_errors_propagate_and_cache_nothing() {
+        let cache = SharedTraceCache::new();
+        let err: Result<_, &str> = cache.get_or_try_build("bad", || Err("nope"));
+        assert_eq!(err.err(), Some("nope"));
+        assert!(cache.is_empty());
+    }
+}

@@ -22,6 +22,23 @@ fn main() -> ExitCode {
             }
         };
     }
+    // `astra serve …` runs the JSONL batch service on warm caches.
+    if args.first().map(String::as_str) == Some("serve") {
+        let opts = match astra_sim2::cli::parse_serve_args(&args[1..]) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match astra_sim2::cli::run_serve(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match astra_sim2::cli::parse_args(&args) {
         Ok(opts) => opts,
         Err(e) => {

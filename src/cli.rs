@@ -6,11 +6,8 @@
 //! astra --topology "SW(16)@256_SW(16)@100" --workload moe --memory hiermem-opt --json
 //! ```
 
-use astra_core::{
-    simulate, CollectiveMode, NetworkBackendKind, P2pMode, Parallelism, PoolArchitecture,
-    QueueBackend, Roofline, SchedulerPolicy, SimMode, SimReport, SystemConfig, Topology,
-};
-use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
+use astra_core::{CollectiveMode, NetworkBackendKind, P2pMode, QueueBackend, SimReport};
+use astra_serve::SimRequest;
 use std::error::Error;
 use std::fmt;
 
@@ -77,6 +74,7 @@ astra — ASTRA-sim 2.0 reproduction CLI
 USAGE:
     astra --topology <NOTATION> (--workload <NAME> | --all-reduce-mib <MiB>) [OPTIONS]
     astra sweep [--quick] [--out <PATH>] [--series <LIST>]
+    astra serve [--workers <N>] [--socket <PATH>] [--max-connections <N>]
 
 REQUIRED:
     --topology <NOTATION>   e.g. \"R(4)@250_SW(2)@50\" (Ring/R, FullyConnected/FC, Switch/SW)
@@ -123,11 +121,26 @@ SWEEP (throughput benchmark runner, writes BENCH_throughput.json-style JSON):
     --out <PATH>            output JSON path (default BENCH_sweep.json)
     --series <LIST>         comma-separated subset of
                             trace-gen,event-queue,packet-scale,engine-p2p,
-                            collective-backend,parallel-des,fig4,fig9a,
-                            fig9b,table4,fig11,table5 (default: the six
-                            throughput series; fig4/fig9a/fig9b/table4/
-                            fig11/table5 fold the paper experiment runners
-                            into the JSON)
+                            collective-backend,parallel-des,serve-throughput,
+                            fig4,fig9a,fig9b,table4,fig11,table5 (default:
+                            the seven throughput series; fig4/fig9a/fig9b/
+                            table4/fig11/table5 fold the paper experiment
+                            runners into the JSON)
+
+SERVE (batch service: JSONL requests in, one JSON report row per line out):
+    astra serve [--workers <N>] [--socket <PATH>] [--max-connections <N>]
+    --workers <N>           worker threads for the request pool (default:
+                            available cores); response rows are
+                            bit-identical for every N
+    --socket <PATH>         listen on a unix socket instead of reading
+                            stdin (one batch per connection; warm caches
+                            persist across connections)
+    --max-connections <N>   stop after N socket connections
+    Request fields mirror the single-run flags (topology, workload,
+    all_reduce_mib, mp, fsdp, pipeline, themis, chunks, memory, queue,
+    network, p2p, collectives, sim_threads) plus an echoed `id`. Warm
+    caches only change speed: every row is bit-identical to a cold
+    single run of the same request.
 ";
 
 /// Parses raw arguments (without the program name).
@@ -241,6 +254,28 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     Ok(opts)
 }
 
+/// The batch-service request equivalent to a single-run CLI invocation;
+/// [`run`] and `astra serve` share one execution path through it.
+pub fn to_request(opts: &CliOptions) -> SimRequest {
+    SimRequest {
+        id: None,
+        topology: opts.topology.clone(),
+        workload: opts.workload.clone(),
+        all_reduce_mib: opts.all_reduce_mib,
+        mp: opts.mp,
+        fsdp: opts.fsdp,
+        pipeline: opts.pipeline,
+        themis: opts.themis,
+        chunks: opts.chunks,
+        memory: opts.memory.clone(),
+        queue: opts.queue,
+        network: opts.network,
+        p2p: opts.p2p,
+        collectives: opts.collectives,
+        sim_threads: opts.sim_threads,
+    }
+}
+
 /// Runs a parsed CLI invocation, returning the report.
 ///
 /// # Errors
@@ -248,92 +283,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
 /// Returns a [`CliError`] on invalid notation, unknown workload/memory
 /// names, or simulation setup problems.
 pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
-    let topo = Topology::parse(&opts.topology).map_err(|e| err(format!("topology: {e}")))?;
-    let npus = topo.npus();
-
-    let mut config = SystemConfig {
-        scheduler: if opts.themis {
-            SchedulerPolicy::Themis
-        } else {
-            SchedulerPolicy::Baseline
-        },
-        queue_backend: opts.queue.unwrap_or_default(),
-        network_backend: opts.network.unwrap_or_default(),
-        p2p_mode: opts.p2p.unwrap_or_default(),
-        collective_mode: opts.collectives.unwrap_or_default(),
-        sim_mode: match opts.sim_threads {
-            Some(threads) => SimMode::Parallel { threads },
-            None => SimMode::Sequential,
-        },
-        ..SystemConfig::default()
-    };
-    if let Some(chunks) = opts.chunks {
-        if chunks == 0 {
-            return Err(err("--chunks must be positive"));
-        }
-        config.collective_chunks = chunks;
-    }
-    if let Some(memory) = &opts.memory {
-        config.remote_memory = Some(match memory.as_str() {
-            "hiermem-base" => {
-                PoolArchitecture::Hierarchical(astra_core::memory_presets::hiermem_baseline())
-            }
-            "hiermem-opt" => {
-                PoolArchitecture::Hierarchical(astra_core::memory_presets::hiermem_opt())
-            }
-            "zero-infinity" => {
-                PoolArchitecture::ZeroInfinity(astra_core::memory_presets::zero_infinity())
-            }
-            other => return Err(err(format!("unknown memory system `{other}`"))),
-        });
-        config.roofline = Roofline::table5_gpu();
-        config.local_memory = astra_core::memory_presets::case_study_hbm();
-    }
-
-    let trace = if let Some(mib) = opts.all_reduce_mib {
-        astra_core::experiments::all_reduce_trace(npus, astra_core::DataSize::from_mib(mib))
-    } else {
-        let name = opts.workload.as_deref().expect("validated by parse_args");
-        let (model, default_parallelism) = match name {
-            "dlrm" => (astra_core::models::dlrm_57m(), Parallelism::Data),
-            "gpt3" => {
-                let model = astra_core::models::gpt3_175b();
-                let mp = opts.mp.unwrap_or(model.default_mp).min(npus);
-                (model, Parallelism::Hybrid { mp })
-            }
-            "t1t" => {
-                let model = astra_core::models::transformer_1t();
-                let mp = opts.mp.unwrap_or(model.default_mp).min(npus);
-                (model, Parallelism::Hybrid { mp })
-            }
-            "moe" => {
-                let model = astra_core::models::moe_1t();
-                if config.remote_memory.is_none() {
-                    return Err(err("--workload moe requires --memory <SYSTEM>"));
-                }
-                let trace = generate_disaggregated_moe(&model, npus, &OffloadPlan::default())
-                    .map_err(|e| err(format!("workload: {e}")))?;
-                return simulate(&trace, &topo, &config)
-                    .map_err(|e| err(format!("simulation: {e}")));
-            }
-            other => return Err(err(format!("unknown workload `{other}`"))),
-        };
-        let parallelism = if let Some(stages) = opts.pipeline {
-            if stages == 0 {
-                return Err(err("--pipeline must be positive"));
-            }
-            Parallelism::Pipeline {
-                stages,
-                microbatches: stages,
-            }
-        } else if opts.fsdp {
-            Parallelism::FullyShardedData
-        } else {
-            default_parallelism
-        };
-        generate_trace(&model, parallelism, npus).map_err(|e| err(format!("workload: {e}")))?
-    };
-    simulate(&trace, &topo, &config).map_err(|e| err(format!("simulation: {e}")))
+    astra_serve::execute_once(&to_request(opts)).map_err(|e| err(e.0))
 }
 
 /// Options of the `astra sweep` subcommand, which drives the `astra-bench`
@@ -416,6 +366,103 @@ pub fn run_sweep(opts: &SweepOptions) -> Result<String, CliError> {
     Ok(json)
 }
 
+/// Options of the `astra serve` subcommand, the JSONL batch service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads draining the request pool.
+    pub workers: usize,
+    /// Unix-socket path to listen on (`None` = one batch on stdin).
+    pub socket: Option<String>,
+    /// Stop after this many socket connections (`None` = serve forever).
+    pub max_connections: Option<usize>,
+}
+
+/// Parses `astra serve` arguments (everything after the `serve` keyword).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on unknown flags, missing values, or a zero
+/// worker/connection count.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
+    let mut opts = ServeOptions {
+        workers: std::thread::available_parallelism().map_or(1, usize::from),
+        socket: None,
+        max_connections: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let workers: usize = value("--workers")?
+                    .parse()
+                    .map_err(|_| err("--workers expects a thread count"))?;
+                if workers == 0 {
+                    return Err(err("--workers must be at least 1"));
+                }
+                opts.workers = workers;
+            }
+            "--socket" => opts.socket = Some(value("--socket")?),
+            "--max-connections" => {
+                let max: usize = value("--max-connections")?
+                    .parse()
+                    .map_err(|_| err("--max-connections expects a count"))?;
+                if max == 0 {
+                    return Err(err("--max-connections must be at least 1"));
+                }
+                opts.max_connections = Some(max);
+            }
+            "--help" | "-h" => return Err(err(USAGE)),
+            other => return Err(err(format!("unknown serve argument `{other}`\n\n{USAGE}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs a parsed `astra serve` invocation: drains one JSONL batch from
+/// stdin (or serves batches on a unix socket), writing one response row
+/// per request to stdout and a cache summary to stderr.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if stdin cannot be read or the socket cannot
+/// be bound; per-request problems become structured error rows instead.
+pub fn run_serve(opts: &ServeOptions) -> Result<(), CliError> {
+    use std::io::{BufRead, Write};
+    let cache = astra_serve::WarmCache::new();
+    let totals = if let Some(path) = &opts.socket {
+        astra_serve::serve_unix(
+            std::path::Path::new(path),
+            opts.workers,
+            &cache,
+            opts.max_connections,
+        )
+        .map_err(|e| err(format!("serve: {e}")))?
+    } else {
+        let lines: Vec<String> = std::io::stdin()
+            .lock()
+            .lines()
+            .collect::<Result<_, _>>()
+            .map_err(|e| err(format!("serve: stdin: {e}")))?;
+        let (rows, totals) = astra_serve::run_batch(&lines, opts.workers, &cache);
+        let mut stdout = std::io::stdout().lock();
+        for row in &rows {
+            writeln!(stdout, "{row}").map_err(|e| err(format!("serve: stdout: {e}")))?;
+        }
+        totals
+    };
+    eprintln!(
+        "astra serve: {} request(s): {} ok, {} error(s)",
+        totals.requests, totals.ok, totals.errors
+    );
+    eprintln!("astra serve: caches: {}", cache.summary());
+    Ok(())
+}
+
 /// Renders a report as text or JSON per the options.
 pub fn render(opts: &CliOptions, report: &SimReport) -> String {
     if opts.json {
@@ -437,7 +484,15 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
                 "  \"network_events\": {},\n",
                 "  \"p2p_cache_hits\": {},\n",
                 "  \"train_serializations\": {},\n",
-                "  \"train_splits\": {}\n",
+                "  \"train_splits\": {},\n",
+                "  \"cache_delay_hits\": {},\n",
+                "  \"cache_delay_misses\": {},\n",
+                "  \"cache_lowering_hits\": {},\n",
+                "  \"cache_lowering_misses\": {},\n",
+                "  \"cache_trace_hits\": {},\n",
+                "  \"cache_trace_misses\": {},\n",
+                "  \"cache_result_hits\": {},\n",
+                "  \"cache_result_misses\": {}\n",
                 "}}"
             ),
             report.total_time.as_us_f64(),
@@ -455,6 +510,14 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
             report.network.cache_hits,
             report.network.train_serializations,
             report.network.train_splits,
+            report.cache.delay_hits,
+            report.cache.delay_misses,
+            report.cache.lowering_hits,
+            report.cache.lowering_misses,
+            report.cache.trace_hits,
+            report.cache.trace_misses,
+            report.cache.result_hits,
+            report.cache.result_misses,
         )
     } else {
         let mut text = format!(
@@ -490,6 +553,12 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
                     n.train_serializations
                 ));
             }
+        }
+        let c = &report.cache;
+        if c.total_hits() + c.total_misses() > 0 {
+            // Per-cache hit/miss pairs; deterministic, so warm and cold
+            // runs print identical counters.
+            text.push_str(&format!("\ncaches: {c}"));
         }
         text
     }
@@ -751,6 +820,38 @@ mod tests {
     }
 
     #[test]
+    fn serve_args_parse_and_validate() {
+        let opts = parse_serve_args(&args("--workers 4 --socket /tmp/a.sock")).unwrap();
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.socket.as_deref(), Some("/tmp/a.sock"));
+        assert_eq!(opts.max_connections, None);
+        let opts = parse_serve_args(&args("--max-connections 2")).unwrap();
+        assert_eq!(opts.max_connections, Some(2));
+        assert!(parse_serve_args(&[]).unwrap().workers >= 1);
+        assert!(parse_serve_args(&args("--workers 0")).is_err());
+        assert!(parse_serve_args(&args("--max-connections 0")).is_err());
+        assert!(parse_serve_args(&args("--frobnicate")).is_err());
+        assert!(parse_serve_args(&args("--socket")).is_err());
+    }
+
+    #[test]
+    fn usage_documents_the_serve_subcommand() {
+        assert!(USAGE.contains("astra serve"));
+        assert!(USAGE.contains("--workers"));
+        assert!(USAGE.contains("bit-identical"));
+    }
+
+    #[test]
+    fn single_run_matches_its_serve_request() {
+        // `run` and the batch service share one execution path; the
+        // request form of an invocation produces the same report.
+        let opts = parse_args(&args("--topology SW(8)@400 --all-reduce-mib 64")).unwrap();
+        let report = run(&opts).unwrap();
+        let via_serve = astra_serve::execute_once(&to_request(&opts)).unwrap();
+        assert_eq!(report, via_serve);
+    }
+
+    #[test]
     fn pipeline_flag_parses_and_validates() {
         let opts = parse_args(&args("--topology R(8)@100 --workload gpt3 --pipeline 4")).unwrap();
         assert_eq!(opts.pipeline, Some(4));
@@ -813,9 +914,28 @@ mod tests {
             "p2p_cache_hits",
             "train_serializations",
             "train_splits",
+            "cache_delay_hits",
+            "cache_delay_misses",
+            "cache_lowering_hits",
+            "cache_lowering_misses",
+            "cache_trace_hits",
+            "cache_trace_misses",
+            "cache_result_hits",
+            "cache_result_misses",
         ] {
             assert!(v[key].as_f64().is_some(), "missing {key}");
         }
+        // The analytical backend memoizes (src, dst, size) delays for p2p
+        // traffic; a pipeline run's report carries the per-run pair.
+        let opts = parse_args(&args(
+            "--topology R(8)@100 --workload gpt3 --pipeline 4 --json",
+        ))
+        .unwrap();
+        let report = run(&opts).unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&render(&opts, &report)).expect("valid JSON");
+        assert!(v["cache_delay_misses"].as_f64().unwrap() > 0.0);
+        assert!(v["cache_delay_hits"].as_f64().unwrap() > 0.0);
     }
 
     #[test]
