@@ -10,8 +10,8 @@
 //! `cargo run --release -p astra-bench --bin throughput`).
 
 use astra_core::{
-    experiments, simulate, CollectiveMode, DataSize, NetworkBackendKind, P2pMode, QueueBackend,
-    SimMode, SystemConfig, Topology,
+    experiments, simulate, CollectiveMode, DataSize, FaultKind, FaultSchedule, NetworkBackendKind,
+    P2pMode, QueueBackend, SimMode, SystemConfig, Time, Topology,
 };
 use astra_garnet::{collective_time, PacketSimConfig, TransportMode};
 use astra_serve::{execute_once, run_batch, SimRequest, WarmCache};
@@ -316,6 +316,40 @@ pub struct Table4Row {
     pub collective_us: f64,
 }
 
+/// One fault-injection measurement: the same workload simulated fault-free
+/// and under a deterministic [`FaultSchedule`], on one network backend. The
+/// runner asserts the faulted run is never faster than the fault-free
+/// baseline and that every fault event shows up in the report's
+/// per-fault attribution.
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultInjectionRow {
+    /// Fault scenario label (e.g. `"link-degrade bw=50%"`).
+    pub scenario: String,
+    /// Topology notation.
+    pub topology: String,
+    /// NPUs in the topology.
+    pub npus: usize,
+    /// Network backend kind under test.
+    pub backend: String,
+    /// Fault-free simulated finish (µs).
+    pub baseline_us: f64,
+    /// Faulted simulated finish (µs).
+    pub faulted_us: f64,
+    /// `faulted_us / baseline_us` (>= 1 by the runner's assertion).
+    pub slowdown: f64,
+    /// Events in the injected fault schedule.
+    pub fault_events: usize,
+    /// Total affected entities over the report's fault attribution
+    /// (link directions killed/degraded, compute ops stretched).
+    pub affected: u64,
+    /// Total attributed extra simulated time over all faults (µs).
+    pub extra_us: f64,
+    /// Wall-clock of the fault-free run (ms, best of N).
+    pub baseline_ms: f64,
+    /// Wall-clock of the faulted run (ms, best of N).
+    pub faulted_ms: f64,
+}
+
 /// Which comparison series a run should produce (the `astra sweep --series`
 /// flag maps onto this).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -334,6 +368,8 @@ pub struct SeriesSelection {
     pub parallel_des: bool,
     /// Warm `astra serve` batch replay vs fully cold request execution.
     pub serve_throughput: bool,
+    /// Deterministic fault injection vs the fault-free baseline.
+    pub fault_injection: bool,
     /// Fig. 4 analytical-backend validation (paper experiment runner).
     pub fig4: bool,
     /// Fig. 9(a) scheduler/system grid (paper experiment runner).
@@ -360,6 +396,7 @@ impl SeriesSelection {
         collective_backend: true,
         parallel_des: true,
         serve_throughput: true,
+        fault_injection: true,
         fig4: false,
         fig9a: false,
         fig9b: false,
@@ -377,6 +414,7 @@ impl SeriesSelection {
         collective_backend: false,
         parallel_des: false,
         serve_throughput: false,
+        fault_injection: false,
         fig4: false,
         fig9a: false,
         fig9b: false,
@@ -386,7 +424,7 @@ impl SeriesSelection {
     };
 
     /// Stable machine-readable series names, in report order.
-    pub const NAMES: [&'static str; 13] = [
+    pub const NAMES: [&'static str; 14] = [
         "trace-gen",
         "event-queue",
         "packet-scale",
@@ -394,6 +432,7 @@ impl SeriesSelection {
         "collective-backend",
         "parallel-des",
         "serve-throughput",
+        "fault-injection",
         "fig4",
         "fig9a",
         "fig9b",
@@ -416,6 +455,7 @@ impl SeriesSelection {
             "collective-backend" => self.collective_backend = true,
             "parallel-des" => self.parallel_des = true,
             "serve-throughput" => self.serve_throughput = true,
+            "fault-injection" => self.fault_injection = true,
             "fig4" => self.fig4 = true,
             "fig9a" => self.fig9a = true,
             "fig9b" => self.fig9b = true,
@@ -450,6 +490,8 @@ pub struct Report {
     pub parallel_des: Vec<ParallelDesRow>,
     /// Warm-vs-cold batch-service rows.
     pub serve_throughput: Vec<ServeThroughputRow>,
+    /// Fault-injection rows (faulted vs fault-free baseline).
+    pub fault_injection: Vec<FaultInjectionRow>,
     /// Fig. 4 rows (empty unless the `fig4` series is selected).
     pub fig4: Vec<Fig4Row>,
     /// Fig. 9(a) rows (empty unless the `fig9a` series is selected).
@@ -867,6 +909,136 @@ pub fn run_serve_throughput(quick: bool) -> Vec<ServeThroughputRow> {
             reps,
         ));
     }
+    rows
+}
+
+fn fault_injection_row(
+    scenario: &str,
+    notation: &str,
+    backend: NetworkBackendKind,
+    trace: &ExecutionTrace,
+    faults: &FaultSchedule,
+    reps: usize,
+) -> FaultInjectionRow {
+    let topo = Topology::parse(notation).expect("valid notation");
+    let config = |faults: FaultSchedule| SystemConfig {
+        network_backend: backend,
+        faults,
+        ..SystemConfig::default()
+    };
+    let (baseline_ms, baseline) = best_ms(reps, || {
+        simulate(trace, &topo, &config(FaultSchedule::new())).expect("fault-free baseline runs")
+    });
+    let (faulted_ms, faulted) = best_ms(reps, || {
+        simulate(trace, &topo, &config(faults.clone())).expect("faulted scenario stays routable")
+    });
+    assert!(
+        baseline.faults.is_empty(),
+        "fault-free run attributes no faults"
+    );
+    assert_eq!(
+        faulted.faults.len(),
+        faults.len(),
+        "every injected fault appears in the attribution ({scenario})"
+    );
+    assert!(
+        faulted.total_time >= baseline.total_time,
+        "a fault must not speed up {scenario} on {}",
+        backend.name()
+    );
+    let baseline_us = baseline.total_time.as_us_f64();
+    let faulted_us = faulted.total_time.as_us_f64();
+    FaultInjectionRow {
+        scenario: scenario.to_owned(),
+        topology: notation.to_owned(),
+        npus: topo.npus(),
+        backend: backend.name().to_owned(),
+        baseline_us,
+        faulted_us,
+        slowdown: faulted_us / baseline_us.max(1e-9),
+        fault_events: faults.len(),
+        affected: faulted.faults.iter().map(|f| f.affected).sum(),
+        extra_us: faulted
+            .faults
+            .iter()
+            .map(|f| f.extra_time.as_us_f64())
+            .sum(),
+        baseline_ms,
+        faulted_ms,
+    }
+}
+
+/// Deterministic fault injection vs the fault-free baseline: a p2p
+/// deep-pipeline under a half-bandwidth link and under a dead link
+/// (traffic rerouted the long way around the ring) on every network
+/// backend, the 64 MiB ring All-Reduce under a degraded link (collective
+/// lowering on degraded dimensions), and a 2× compute straggler. Quick
+/// mode keeps the closed-form backends; full mode adds the packet-level
+/// ones.
+pub fn run_fault_injection(quick: bool) -> Vec<FaultInjectionRow> {
+    let reps = if quick { 1 } else { 3 };
+    let backends: &[NetworkBackendKind] = if quick {
+        &[NetworkBackendKind::Analytical, NetworkBackendKind::Flow]
+    } else {
+        &NetworkBackendKind::ALL
+    };
+    let mut degrade = FaultSchedule::new();
+    degrade.push(
+        Time::ZERO,
+        FaultKind::LinkDegrade {
+            src: 0,
+            dst: 1,
+            bandwidth_pct: 50,
+            latency_x: 1,
+        },
+    );
+    let mut link_down = FaultSchedule::new();
+    link_down.push(Time::ZERO, FaultKind::LinkDown { src: 0, dst: 1 });
+    let pipeline = deep_pipeline_trace(8, 4, DataSize::from_mib(1));
+    let mut rows = Vec::new();
+    for &backend in backends {
+        rows.push(fault_injection_row(
+            "p2p link-degrade bw=50%",
+            "R(8)@100",
+            backend,
+            &pipeline,
+            &degrade,
+            reps,
+        ));
+        rows.push(fault_injection_row(
+            "p2p link-down reroute",
+            "R(8)@100",
+            backend,
+            &pipeline,
+            &link_down,
+            reps,
+        ));
+    }
+    let all_reduce = experiments::all_reduce_trace(8, DataSize::from_mib(64));
+    rows.push(fault_injection_row(
+        "collective link-degrade bw=50%",
+        "R(8)@100",
+        NetworkBackendKind::Analytical,
+        &all_reduce,
+        &degrade,
+        reps,
+    ));
+    let mut straggler = FaultSchedule::new();
+    straggler.push(
+        Time::ZERO,
+        FaultKind::NpuSlowdown {
+            npu: 0,
+            slowdown_pct: 200,
+        },
+    );
+    rows.push(fault_injection_row(
+        "npu-straggler 2x",
+        "R(8)@100",
+        NetworkBackendKind::Analytical,
+        &pipeline,
+        &straggler,
+        reps,
+    ));
     rows
 }
 
@@ -1337,6 +1509,11 @@ pub fn run_selected(quick: bool, series: SeriesSelection) -> Report {
         } else {
             Vec::new()
         },
+        fault_injection: if series.fault_injection {
+            run_fault_injection(quick)
+        } else {
+            Vec::new()
+        },
         fig4: if series.fig4 {
             run_fig4(quick)
         } else {
@@ -1504,6 +1681,35 @@ pub fn print(report: &Report) {
             );
         }
     }
+    if !report.fault_injection.is_empty() {
+        println!("\n== fault injection: degraded fabric / stragglers vs fault-free baseline ==");
+        println!(
+            "{:<30} {:<10} {:>5} {:>10} {:>12} {:>12} {:>9} {:>9} {:>10}",
+            "Scenario",
+            "Topology",
+            "NPUs",
+            "Backend",
+            "Base(us)",
+            "Fault(us)",
+            "Slowdown",
+            "Affected",
+            "Extra(us)"
+        );
+        for r in &report.fault_injection {
+            println!(
+                "{:<30} {:<10} {:>5} {:>10} {:>12.2} {:>12.2} {:>8.2}x {:>9} {:>10.2}",
+                r.scenario,
+                r.topology,
+                r.npus,
+                r.backend,
+                r.baseline_us,
+                r.faulted_us,
+                r.slowdown,
+                r.affected,
+                r.extra_us
+            );
+        }
+    }
     if !report.fig4.is_empty() {
         println!("\n== fig4: analytical backend validation (ring @150 GB/s) ==");
         println!(
@@ -1646,6 +1852,7 @@ mod tests {
         assert!(!report.collective_backend.is_empty());
         assert!(!report.parallel_des.is_empty());
         assert!(!report.serve_throughput.is_empty());
+        assert!(!report.fault_injection.is_empty());
         // The paper experiment runners are opt-in, not part of ALL.
         assert!(report.fig4.is_empty());
         assert!(report.fig9a.is_empty());
@@ -1663,6 +1870,7 @@ mod tests {
         assert!(v["packet_scale"][0]["per_packet_events"].as_f64().unwrap() > 0.0);
         assert!(v["parallel_des"][0]["events"].as_f64().unwrap() > 0.0);
         assert!(v["serve_throughput"][0]["requests"].as_f64().unwrap() > 0.0);
+        assert!(v["fault_injection"][0]["slowdown"].as_f64().unwrap() >= 1.0);
         assert!(v["engine_p2p"][0]["blocking_setups"].as_f64().unwrap() > 1.0);
         assert!(
             v["collective_backend"][0]["collective_ops"]
@@ -1769,6 +1977,40 @@ mod tests {
             row.scenario
         );
         assert!(row.warm_req_per_s > row.cold_req_per_s);
+    }
+
+    #[test]
+    fn fault_injection_gate_holds_on_the_quick_scenarios() {
+        // The CI bench-smoke gate for fault injection: every scenario's
+        // faulted run is no faster than its fault-free baseline, every
+        // injected event is attributed, and the structurally-slower
+        // scenarios (dead ring link rerouted the long way, 2x compute
+        // straggler) are strictly slower.
+        let rows = run_fault_injection(true);
+        // 2 backends x 2 p2p scenarios + collective degrade + straggler.
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.slowdown >= 1.0,
+                "{} on {} sped up: {}",
+                row.scenario,
+                row.backend,
+                row.slowdown
+            );
+            assert_eq!(row.fault_events, 1);
+        }
+        let reroute = rows
+            .iter()
+            .find(|r| r.scenario == "p2p link-down reroute" && r.backend == "flow")
+            .expect("flow reroute row");
+        assert!(reroute.slowdown > 1.0, "{}", reroute.slowdown);
+        assert!(reroute.affected > 0, "dead link directions attributed");
+        let straggler = rows
+            .iter()
+            .find(|r| r.scenario == "npu-straggler 2x")
+            .expect("straggler row");
+        assert!(straggler.slowdown > 1.0, "{}", straggler.slowdown);
+        assert!(straggler.affected > 0 && straggler.extra_us > 0.0);
     }
 
     #[test]

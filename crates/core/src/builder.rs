@@ -229,6 +229,30 @@ impl SimulationBuilder {
         self
     }
 
+    /// Applies a deterministic fault schedule (link failures, bandwidth
+    /// degradation, NPU stragglers, switch outages — see
+    /// [`astra_system::FaultSchedule`]). An empty schedule (the default)
+    /// leaves every backend bit-identical to its fault-free reference.
+    pub fn faults(mut self, faults: astra_system::FaultSchedule) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Caps the number of events the run may process before failing with
+    /// [`astra_system::SimError::BudgetExceeded`]. Deterministic across
+    /// queue backends, sim modes, and warm state.
+    pub fn max_events(mut self, cap: u64) -> Self {
+        self.config.max_events = Some(cap);
+        self
+    }
+
+    /// Caps the simulated horizon the run may reach before failing with
+    /// [`astra_system::SimError::BudgetExceeded`].
+    pub fn max_sim_time(mut self, cap: astra_des::Time) -> Self {
+        self.config.max_sim_time = Some(cap);
+        self
+    }
+
     /// Overrides the full system configuration.
     pub fn system_config(mut self, config: SystemConfig) -> Self {
         self.config = config;

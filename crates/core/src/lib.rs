@@ -46,10 +46,12 @@ pub use astra_network::{
     NetworkBackend, NetworkBackendKind, NetworkStats, P2pMode, SharedDelayMemo, SharedRouteTable,
 };
 pub use astra_system::{
-    simulate, simulate_with, Breakdown, CacheStats, SimError, SimReport, SystemConfig, WarmState,
+    simulate, simulate_with, Breakdown, CacheStats, FaultImpact, SimError, SimReport, SystemConfig,
+    WarmState,
 };
 pub use astra_topology::{
-    BuildingBlock, Dimension, LinkGraph, NpuId, ParseTopologyError, Topology,
+    BuildingBlock, Dimension, FaultError, FaultEvent, FaultKind, FaultSchedule, LinkGraph, NpuId,
+    ParseTopologyError, Topology,
 };
 pub use astra_workload::SharedTraceCache;
 pub use astra_workload::{

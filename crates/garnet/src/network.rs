@@ -1,6 +1,6 @@
 //! Store-and-forward packet network simulation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::str::FromStr;
 
@@ -8,7 +8,9 @@ use astra_des::{
     DataSize, EventQueue, FifoCheckpoint, FifoResource, QueueBackend, SimMode, Time, TrainProfile,
 };
 use astra_network::{AsyncMessageId, Completion, NetworkBackend, NetworkStats};
-use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
+use astra_topology::{
+    route_avoiding, FaultError, FaultSchedule, FaultedGraph, LinkGraph, LinkId, NpuId, Topology,
+};
 
 use crate::parallel::ParallelCore;
 
@@ -313,12 +315,44 @@ pub struct PacketNetwork {
     /// Domain-partitioned executor; present iff the config selects
     /// [`SimMode::Parallel`] and the topology admits a positive lookahead.
     pub(crate) parallel: Option<ParallelCore>,
+    /// Failed links (fault injection): excluded from routing; empty for a
+    /// pristine fabric. Bandwidth/latency degradations live in `graph`.
+    dead_links: BTreeSet<LinkId>,
 }
 
 impl PacketNetwork {
     /// Builds the packet simulator for `topo`.
     pub fn new(topo: &Topology, config: PacketSimConfig) -> Self {
-        let graph = LinkGraph::new(topo);
+        Self::from_graph(LinkGraph::new(topo), BTreeSet::new(), config)
+    }
+
+    /// Builds the packet simulator with a fault schedule applied: packets
+    /// traverse the degraded links (reduced bandwidth, stretched latency)
+    /// and routes are re-derived around dead links. An empty (or
+    /// fabric-free) schedule is bit-identical to [`PacketNetwork::new`].
+    ///
+    /// The caller must have verified the live fabric is still connected
+    /// (see [`FaultedGraph::unreachable_pair`]); routing a disconnected
+    /// pair panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule's first [`FaultError`] if it does not fit the
+    /// topology.
+    pub fn with_faults(
+        topo: &Topology,
+        config: PacketSimConfig,
+        schedule: &FaultSchedule,
+    ) -> Result<Self, FaultError> {
+        if !schedule.has_fabric_faults() {
+            schedule.validate(topo)?;
+            return Ok(Self::new(topo, config));
+        }
+        let (graph, dead) = FaultedGraph::new(topo, schedule)?.into_parts();
+        Ok(Self::from_graph(graph, dead, config))
+    }
+
+    fn from_graph(graph: LinkGraph, dead_links: BTreeSet<LinkId>, config: PacketSimConfig) -> Self {
         let link_queues = (0..graph.num_links())
             .map(|_| FifoResource::new())
             .collect();
@@ -342,6 +376,7 @@ impl PacketNetwork {
             train_interleavings: 0,
             train_splits: 0,
             parallel,
+            dead_links,
         }
     }
 
@@ -405,7 +440,14 @@ impl PacketNetwork {
             return idx;
         }
         let idx = self.routes.len();
-        self.routes.push(self.graph.route(src, dst));
+        let route = if self.dead_links.is_empty() {
+            self.graph.route(src, dst)
+        } else {
+            route_avoiding(&self.graph, src, dst, &self.dead_links)
+                // astra-lint: allow(panic, callers reject disconnected fault schedules before building backends)
+                .expect("fault-aware route exists")
+        };
+        self.routes.push(route);
         self.route_ids.insert((src, dst), idx);
         if let Some(core) = self.parallel.as_mut() {
             core.register_route(&self.routes[idx]);

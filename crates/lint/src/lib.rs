@@ -82,6 +82,7 @@ pub const CONFIG_ENUMS: &[&str] = &[
     "CollectiveMode",
     "NetworkBackendKind",
     "SimMode",
+    "FaultKind",
 ];
 
 /// Methods whose call on a hash collection yields arbitrary order.

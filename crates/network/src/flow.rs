@@ -16,10 +16,12 @@
 //! sharing the analytical backend ignores.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use astra_des::{DataSize, Time};
-use astra_topology::{LinkGraph, LinkId, NpuId, Topology};
+use astra_topology::{
+    route_avoiding, FaultError, FaultSchedule, FaultedGraph, LinkGraph, LinkId, NpuId, Topology,
+};
 
 use std::sync::Arc;
 
@@ -116,12 +118,18 @@ pub struct FlowNetwork {
     /// only when a pair misses the local `route_ids` memo. Routing is
     /// deterministic, so a shared hit is bit-identical to recomputing.
     shared_routes: Option<Arc<SharedRouteTable>>,
+    /// Failed links (fault injection): excluded from routing; empty for a
+    /// pristine fabric. Capacity degradations live in `graph` itself.
+    dead_links: BTreeSet<LinkId>,
 }
 
 impl FlowNetwork {
     /// Builds the fluid simulator for `topo`.
     pub fn new(topo: &Topology) -> Self {
-        let graph = LinkGraph::new(topo);
+        Self::from_graph(LinkGraph::new(topo), BTreeSet::new())
+    }
+
+    fn from_graph(graph: LinkGraph, dead_links: BTreeSet<LinkId>) -> Self {
         let num_links = graph.num_links();
         FlowNetwork {
             graph,
@@ -138,6 +146,7 @@ impl FlowNetwork {
             rates_cache: RefCell::new(Some(Vec::new())),
             reuses: Cell::new(0),
             shared_routes: None,
+            dead_links,
         }
     }
 
@@ -148,6 +157,29 @@ impl FlowNetwork {
         let mut net = Self::new(topo);
         net.shared_routes = Some(shared);
         net
+    }
+
+    /// Builds the fluid simulator with a fault schedule applied: degraded
+    /// link capacities and latencies fold straight into the max-min
+    /// re-share (every capacity read goes through the degraded graph), and
+    /// dead links are excluded from routing. An empty (or fabric-free)
+    /// schedule is bit-identical to [`FlowNetwork::new`].
+    ///
+    /// The caller must have verified the live fabric is still connected
+    /// (see [`FaultedGraph::unreachable_pair`]); routing a disconnected
+    /// pair panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule's first [`FaultError`] if it does not fit the
+    /// topology.
+    pub fn with_faults(topo: &Topology, schedule: &FaultSchedule) -> Result<Self, FaultError> {
+        if !schedule.has_fabric_faults() {
+            schedule.validate(topo)?;
+            return Ok(Self::new(topo));
+        }
+        let (graph, dead) = FaultedGraph::new(topo, schedule)?.into_parts();
+        Ok(Self::from_graph(graph, dead))
     }
 
     /// The expanded link graph being simulated.
@@ -185,14 +217,22 @@ impl FlowNetwork {
             return idx;
         }
         let idx = self.routes.len();
-        let route = match self.shared_routes.as_ref().and_then(|s| s.get(src, dst)) {
-            Some(route) => route,
-            None => {
-                let route = self.graph.route(src, dst);
-                if let Some(shared) = &self.shared_routes {
-                    shared.insert(src, dst, route.clone());
+        let route = if !self.dead_links.is_empty() {
+            // Fault-aware routing never consults the shared table (it was
+            // built for the pristine fabric).
+            route_avoiding(&self.graph, src, dst, &self.dead_links)
+                // astra-lint: allow(panic, callers reject disconnected fault schedules before building backends)
+                .expect("fault-aware route exists")
+        } else {
+            match self.shared_routes.as_ref().and_then(|s| s.get(src, dst)) {
+                Some(route) => route,
+                None => {
+                    let route = self.graph.route(src, dst);
+                    if let Some(shared) = &self.shared_routes {
+                        shared.insert(src, dst, route.clone());
+                    }
+                    route
                 }
-                route
             }
         };
         self.routes.push(route);

@@ -42,7 +42,7 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use astra_des::{DataSize, Time};
-use astra_topology::{NpuId, Topology};
+use astra_topology::{FaultError, FaultSchedule, FaultedGraph, NpuId, Topology};
 use serde::{Deserialize, Serialize};
 
 pub use flow::{FlowId, FlowNetwork};
@@ -340,6 +340,9 @@ pub struct AnalyticalNetwork {
     /// local-memo miss — local counters and answers stay bit-identical to
     /// a cold run whether or not the shared memo is warm.
     shared: Option<Arc<SharedDelayMemo>>,
+    /// When fabric faults are active, delays are computed from routes over
+    /// this degraded link graph instead of the pristine closed form.
+    faulted: Option<FaultedGraph>,
 }
 
 impl AnalyticalNetwork {
@@ -359,6 +362,7 @@ impl AnalyticalNetwork {
             messages: 0,
             ready: Vec::new(),
             shared: None,
+            faulted: None,
         }
     }
 
@@ -370,6 +374,33 @@ impl AnalyticalNetwork {
         let mut net = Self::new(topo);
         net.shared = Some(shared);
         net
+    }
+
+    /// Creates a backend with a fault schedule applied. With fabric faults
+    /// present, delays are computed from fault-aware routes over the
+    /// degraded link graph (dead links avoided, degraded bandwidth and
+    /// latency honored) instead of the pristine per-dimension closed form;
+    /// an empty (or fabric-free) schedule leaves the backend bit-identical
+    /// to [`AnalyticalNetwork::new`].
+    ///
+    /// The caller must have verified the live fabric is still connected
+    /// (see `FaultedGraph::unreachable_pair`); querying a disconnected
+    /// pair panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule's first [`FaultError`] if it does not fit the
+    /// topology.
+    pub fn with_faults(topo: Topology, schedule: &FaultSchedule) -> Result<Self, FaultError> {
+        let faulted = if schedule.has_fabric_faults() {
+            Some(FaultedGraph::new(&topo, schedule)?)
+        } else {
+            schedule.validate(&topo)?;
+            None
+        };
+        let mut net = Self::new(topo);
+        net.faulted = faulted;
+        Ok(net)
     }
 
     /// Delay queries answered from the `(src, dst, size)` memo so far.
@@ -399,7 +430,10 @@ impl AnalyticalNetwork {
                 return delay;
             }
         }
-        let delay = self.latency_term(src, dst) + self.serialization_term(src, dst, size);
+        let delay = match &self.faulted {
+            Some(faulted) => faulted_route_delay(faulted, self.config, src, dst, size),
+            None => self.latency_term(src, dst) + self.serialization_term(src, dst, size),
+        };
         self.cache.insert((src, dst, size), delay);
         if let Some(shared) = &self.shared {
             shared.insert(src, dst, size, delay);
@@ -441,6 +475,36 @@ impl AnalyticalNetwork {
             None => Time::ZERO,
         }
     }
+}
+
+/// The fault-aware analogue of the closed form, evaluated over one
+/// fault-aware route: `Σ link latency + size / min link bandwidth` along
+/// the path (plus the fixed per-message overhead).
+fn faulted_route_delay(
+    faulted: &FaultedGraph,
+    config: AnalyticalConfig,
+    src: NpuId,
+    dst: NpuId,
+    size: DataSize,
+) -> Time {
+    let route = faulted
+        .route(src, dst)
+        // astra-lint: allow(panic, callers reject disconnected fault schedules before building backends)
+        .expect("fault-aware route exists");
+    let mut t = config.per_message_overhead;
+    let mut bottleneck = None;
+    for &link in &route {
+        let props = faulted.graph().link(link);
+        t += props.latency;
+        bottleneck = Some(match bottleneck {
+            None => props.bandwidth,
+            Some(bw) => props.bandwidth.min(bw),
+        });
+    }
+    if let Some(bw) = bottleneck {
+        t += bw.transfer_time(size);
+    }
+    t
 }
 
 impl NetworkBackend for AnalyticalNetwork {

@@ -6,14 +6,31 @@
 //! order within the batch, or cache state — workers only race for *which
 //! request to claim next*, never for what a response contains.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use astra_core::SimReport;
 use serde_json::Value;
 
 use crate::exec::{execute, WarmCache};
-use crate::request::SimRequest;
+use crate::request::{ErrorKind, RequestError, SimRequest};
+
+/// One unit of batch input: a request line, or a placeholder for a line
+/// the transport refused to buffer (see the socket front end's
+/// line-length bound). Placeholders still get a response row at their
+/// input position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchLine {
+    /// A JSONL request line.
+    Request(String),
+    /// A line that exceeded the transport's length bound; only its size
+    /// was retained.
+    TooLong {
+        /// Bytes the line carried (excluding the newline).
+        bytes: u64,
+    },
+}
 
 /// Totals of one [`run_batch`] call, for the end-of-batch summary line.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -94,19 +111,63 @@ pub fn report_value(report: &SimReport) -> Value {
     ])
 }
 
+/// Renders one failed request as a structured row. Plain request errors
+/// keep the historical free-text `error` bytes; the hardened kinds
+/// (budget, panic, shutdown, line length) put a stable token in `error`
+/// and the free text in `detail`, so clients can branch without parsing
+/// prose.
+fn error_row(index: usize, line_number: usize, id: Value, e: &RequestError) -> Value {
+    let text = format!("line {line_number}: {}", e.message);
+    let mut pairs = vec![
+        ("index", Value::UInt(index as u64)),
+        ("id", id),
+        ("ok", Value::Bool(false)),
+    ];
+    match e.kind {
+        ErrorKind::Request => pairs.push(("error", Value::Str(text))),
+        kind => {
+            pairs.push(("error", Value::Str(kind.token().to_owned())));
+            pairs.push(("detail", Value::Str(text)));
+        }
+    }
+    obj(pairs)
+}
+
 /// One response row: executes the line and renders success or a
-/// structured error (never a panic or process exit).
-fn response_row(index: usize, line_number: usize, line: &str, cache: &WarmCache) -> String {
+/// structured error (never a panic or process exit). A panic inside
+/// execution is caught here, so one poisoned request cannot take down
+/// its worker or the batch.
+fn response_row(index: usize, line_number: usize, item: &BatchLine, cache: &WarmCache) -> String {
     let id = |req: &Option<SimRequest>| match req.as_ref().and_then(|r| r.id.clone()) {
         Some(id) => Value::Str(id),
         None => Value::Null,
     };
-    let (parsed, outcome) = match SimRequest::from_json_line(line) {
-        Ok(req) => {
-            let outcome = execute(&req, cache);
-            (Some(req), outcome.map_err(|e| e.0))
-        }
-        Err(e) => (None, Err(e.0)),
+    let (parsed, outcome) = match item {
+        BatchLine::TooLong { bytes } => (
+            None,
+            Err(RequestError::with_kind(
+                ErrorKind::LineTooLong,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes ({bytes} bytes)"),
+            )),
+        ),
+        BatchLine::Request(line) => match SimRequest::from_json_line(line) {
+            Ok(req) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| execute(&req, cache)))
+                    .unwrap_or_else(|payload| {
+                        let what = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".to_owned());
+                        Err(RequestError::with_kind(
+                            ErrorKind::Panic,
+                            format!("request panicked: {what}"),
+                        ))
+                    });
+                (Some(req), outcome)
+            }
+            Err(e) => (None, Err(e)),
+        },
     };
     let row = match outcome {
         Ok(report) => obj(vec![
@@ -115,18 +176,15 @@ fn response_row(index: usize, line_number: usize, line: &str, cache: &WarmCache)
             ("ok", Value::Bool(true)),
             ("report", report_value(&report)),
         ]),
-        Err(message) => obj(vec![
-            ("index", Value::UInt(index as u64)),
-            ("id", id(&parsed)),
-            ("ok", Value::Bool(false)),
-            (
-                "error",
-                Value::Str(format!("line {line_number}: {message}")),
-            ),
-        ]),
+        Err(e) => error_row(index, line_number, id(&parsed), &e),
     };
     serde_json::to_string(&row).unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"))
 }
+
+/// The socket front end's per-line byte bound (see
+/// [`crate::serve_unix`]); re-declared here so [`BatchLine::TooLong`]
+/// rows can name it.
+pub(crate) const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Executes a batch of JSONL request lines on `workers` threads sharing
 /// `cache`, returning one response row per non-blank line, in input
@@ -140,11 +198,30 @@ pub fn run_batch(
     workers: usize,
     cache: &WarmCache,
 ) -> (Vec<String>, BatchSummary) {
-    let work: Vec<(usize, &str)> = lines
+    let items: Vec<BatchLine> = lines
+        .iter()
+        .map(|line| BatchLine::Request(line.clone()))
+        .collect();
+    run_batch_items(&items, workers, cache, &AtomicBool::new(false))
+}
+
+/// [`run_batch`] over pre-classified input items with a shutdown flag:
+/// once `shutdown` is set, workers finish the request they already
+/// claimed but claim no further ones — every unclaimed line gets a
+/// structured `shutdown` rejection row at its input position. Rows stay
+/// in input order and (absent a shutdown) bit-identical across worker
+/// counts.
+pub fn run_batch_items(
+    items: &[BatchLine],
+    workers: usize,
+    cache: &WarmCache,
+    shutdown: &AtomicBool,
+) -> (Vec<String>, BatchSummary) {
+    let work: Vec<(usize, &BatchLine)> = items
         .iter()
         .enumerate()
-        .filter(|(_, line)| !line.trim().is_empty())
-        .map(|(n, line)| (n + 1, line.as_str()))
+        .filter(|(_, item)| !matches!(item, BatchLine::Request(line) if line.trim().is_empty()))
+        .map(|(n, item)| (n + 1, item))
         .collect();
     let workers = workers.clamp(1, work.len().max(1));
     let next = AtomicUsize::new(0);
@@ -152,11 +229,28 @@ pub fn run_batch(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                let draining = shutdown.load(Ordering::Acquire);
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(line_number, line)) = work.get(i) else {
+                let Some(&(line_number, item)) = work.get(i) else {
                     break;
                 };
-                let row = response_row(i, line_number, line, cache);
+                let row = if draining {
+                    let rejection = RequestError::with_kind(
+                        ErrorKind::Shutdown,
+                        "service shutting down; request was not started",
+                    );
+                    let id = match item {
+                        BatchLine::Request(line) => SimRequest::from_json_line(line)
+                            .ok()
+                            .and_then(|r| r.id)
+                            .map_or(Value::Null, Value::Str),
+                        BatchLine::TooLong { .. } => Value::Null,
+                    };
+                    serde_json::to_string(&error_row(i, line_number, id, &rejection))
+                        .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"))
+                } else {
+                    response_row(i, line_number, item, cache)
+                };
                 match rows.lock() {
                     Ok(mut slots) => slots[i] = Some(row),
                     Err(poisoned) => poisoned.into_inner()[i] = Some(row),

@@ -22,13 +22,13 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use astra_core::{
     simulate_with, DataSize, Parallelism, PoolArchitecture, Roofline, SchedulerPolicy,
-    SharedDelayMemo, SharedLoweringCache, SharedRouteTable, SharedTraceCache, SimMode, SimReport,
-    SystemConfig, Topology, WarmState,
+    SharedDelayMemo, SharedLoweringCache, SharedRouteTable, SharedTraceCache, SimError, SimMode,
+    SimReport, SystemConfig, Time, Topology, WarmState,
 };
 use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
 use astra_workload::ExecutionTrace;
 
-use crate::request::{err, RequestError, SimRequest};
+use crate::request::{err, ErrorKind, RequestError, SimRequest};
 
 /// Locks `mutex`, recovering the guard if a previous holder panicked —
 /// the tables hold pure memoized values, so a poisoned lock is still
@@ -123,18 +123,13 @@ impl WarmCache {
 
     /// The warm handles for one request: per-topology delay memo and
     /// route table (created on first use), plus the global lowering
-    /// cache.
-    fn warm_state_for(&self, topology: &str) -> WarmState {
-        let delay = Arc::clone(
-            lock_unpoisoned(&self.delay)
-                .entry(topology.to_owned())
-                .or_default(),
-        );
-        let routes = Arc::clone(
-            lock_unpoisoned(&self.routes)
-                .entry(topology.to_owned())
-                .or_default(),
-        );
+    /// cache. The table key carries the request's fault signature, so a
+    /// fault-laden request can never alias (or poison) the tables of
+    /// fault-free runs over the same topology.
+    fn warm_state_for(&self, req: &SimRequest) -> WarmState {
+        let key = format!("{}|{}", req.topology, req.faults.signature());
+        let delay = Arc::clone(lock_unpoisoned(&self.delay).entry(key.clone()).or_default());
+        let routes = Arc::clone(lock_unpoisoned(&self.routes).entry(key).or_default());
         WarmState {
             delay_memo: Some(delay),
             lowering: Some(Arc::clone(&self.lowering)),
@@ -179,6 +174,9 @@ fn build_config(req: &SimRequest) -> Result<SystemConfig, RequestError> {
             Some(threads) => SimMode::Parallel { threads },
             None => SimMode::Sequential,
         },
+        faults: req.faults.clone(),
+        max_events: req.max_events,
+        max_sim_time: req.max_sim_time_ps.map(Time::from_ps),
         ..SystemConfig::default()
     };
     if let Some(chunks) = req.chunks {
@@ -229,6 +227,10 @@ fn resolve_trace(
         .as_deref()
         .ok_or_else(|| err("one of `workload` or `all_reduce_mib` is required"))?;
     let (model, default_parallelism) = match name {
+        // Reserved self-test workload: panics inside execution so panic
+        // isolation (catch per request, pool stays alive) can be
+        // exercised end to end without a real engine bug.
+        "__panic" => panic!("reserved workload `__panic` requested"),
         "dlrm" => (astra_core::models::dlrm_57m(), Parallelism::Data),
         "gpt3" => {
             let model = astra_core::models::gpt3_175b();
@@ -290,11 +292,14 @@ pub fn execute(req: &SimRequest, cache: &WarmCache) -> Result<Arc<SimReport>, Re
     let topo = Topology::parse(&req.topology).map_err(|e| err(format!("topology: {e}")))?;
     let config = build_config(req)?;
     let trace = resolve_trace(req, topo.npus(), &config, &cache.traces)?;
-    let warm = cache.warm_state_for(&req.topology);
-    let report = Arc::new(
-        simulate_with(&trace, &topo, &config, &warm)
-            .map_err(|e| err(format!("simulation: {e}")))?,
-    );
+    let warm = cache.warm_state_for(req);
+    let report = Arc::new(simulate_with(&trace, &topo, &config, &warm).map_err(|e| {
+        let kind = match e {
+            SimError::BudgetExceeded { .. } => ErrorKind::BudgetExceeded,
+            _ => ErrorKind::Request,
+        };
+        RequestError::with_kind(kind, format!("simulation: {e}"))
+    })?);
     // Two racing misses on the same key both simulate (bit-identically);
     // the table keeps the first.
     let mut results = lock_unpoisoned(&cache.results);

@@ -26,7 +26,7 @@ mod exec;
 mod request;
 mod socket;
 
-pub use batch::{report_value, run_batch, BatchSummary};
+pub use batch::{report_value, run_batch, run_batch_items, BatchLine, BatchSummary};
 pub use exec::{execute, execute_once, CacheSummary, WarmCache};
-pub use request::{RequestError, SimRequest};
-pub use socket::serve_unix;
+pub use request::{parse_faults_json, ErrorKind, RequestError, SimRequest};
+pub use socket::{serve_unix, serve_unix_with, ServeOptions};

@@ -6,28 +6,83 @@
 //! CLI invocation in data form, and resolving one produces exactly the
 //! report the equivalent single-run invocation would.
 
-use astra_core::{CollectiveMode, NetworkBackendKind, P2pMode, QueueBackend};
+use astra_core::{
+    CollectiveMode, FaultKind, FaultSchedule, NetworkBackendKind, P2pMode, QueueBackend, Time,
+};
 use std::error::Error;
 use std::fmt;
 
 use serde_json::Value;
 
+/// Classification of a request failure, surfaced as the machine-readable
+/// `error` field of a response row. [`ErrorKind::Request`] (bad input /
+/// setup) keeps the historical free-text error bytes; the hardened kinds
+/// emit a stable token (`budget_exceeded`, `panic`, …) with the free text
+/// relegated to a `detail` field.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed or inconsistent request (parse/schema/setup errors).
+    #[default]
+    Request,
+    /// The run exhausted its `max_events` / `max_sim_time_ps` budget.
+    BudgetExceeded,
+    /// The request's execution panicked; the worker caught it and the
+    /// pool stayed alive.
+    Panic,
+    /// The service was shutting down before this request started.
+    Shutdown,
+    /// The request line exceeded the service's line-length bound.
+    LineTooLong,
+}
+
+impl ErrorKind {
+    /// The stable token emitted in the `error` field for hardened kinds.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorKind::Request => "request",
+            ErrorKind::BudgetExceeded => "budget_exceeded",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Shutdown => "shutdown",
+            ErrorKind::LineTooLong => "line_too_long",
+        }
+    }
+}
+
 /// An error resolving or executing one request. The message is
 /// user-facing and mirrors the CLI's wording (field names are spelled as
-/// their CLI flags).
+/// their CLI flags); the kind classifies the failure for structured
+/// response rows.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RequestError(pub String);
+pub struct RequestError {
+    /// Human-readable description.
+    pub message: String,
+    /// Machine-readable classification.
+    pub kind: ErrorKind,
+}
+
+impl RequestError {
+    /// A classified error.
+    pub fn with_kind(kind: ErrorKind, message: impl Into<String>) -> Self {
+        RequestError {
+            message: message.into(),
+            kind,
+        }
+    }
+}
 
 impl fmt::Display for RequestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl Error for RequestError {}
 
 pub(crate) fn err(msg: impl Into<String>) -> RequestError {
-    RequestError(msg.into())
+    RequestError {
+        message: msg.into(),
+        kind: ErrorKind::Request,
+    }
 }
 
 /// One simulation request (one JSONL line of the batch service).
@@ -70,6 +125,102 @@ pub struct SimRequest {
     pub collectives: Option<CollectiveMode>,
     /// Worker threads for the packet backends' parallel core.
     pub sim_threads: Option<usize>,
+    /// Deterministic fault schedule (see [`FaultSchedule`]); empty by
+    /// default. Part of the canonical key via its signature, so
+    /// fault-laden requests never alias fault-free cache entries.
+    pub faults: FaultSchedule,
+    /// Event budget: fail with a `budget_exceeded` row once engine plus
+    /// network backends have processed this many events.
+    pub max_events: Option<u64>,
+    /// Simulated-time budget in picoseconds.
+    pub max_sim_time_ps: Option<u64>,
+}
+
+/// Parses the `faults` array of a request (or of an `astra --faults`
+/// spec file): one object per fault event, e.g.
+/// `{"at_us": 10, "kind": "link_down", "src": 0, "dst": 1}`. Kinds:
+/// `link_down` (src, dst), `link_degrade` (src, dst, optional
+/// `bandwidth_pct` ≤ 100 and `latency_x` ≥ 1), `npu_slowdown` (npu,
+/// `slowdown_pct` ≥ 100), `switch_down` (dim, group). `at_us` defaults
+/// to 0. Unknown fields are rejected.
+pub(crate) fn parse_faults(value: &Value) -> Result<FaultSchedule, RequestError> {
+    let Value::Array(items) = value else {
+        return Err(err("`faults` expects an array of fault objects"));
+    };
+    let mut schedule = FaultSchedule::new();
+    for (i, item) in items.iter().enumerate() {
+        let Some(fields) = item.as_object() else {
+            return Err(err(format!("`faults[{i}]` must be an object")));
+        };
+        let mut kind_name: Option<String> = None;
+        let mut at_us = 0u64;
+        let mut nums: Vec<(String, u64)> = Vec::new();
+        for (k, v) in fields {
+            match k.as_str() {
+                "kind" => kind_name = Some(string_field("kind", v)?),
+                "at_us" => at_us = uint_field("at_us", v)?,
+                "src" | "dst" | "npu" | "dim" | "group" | "bandwidth_pct" | "latency_x"
+                | "slowdown_pct" => nums.push((k.clone(), uint_field(k, v)?)),
+                other => {
+                    return Err(err(format!(
+                        "unknown fault field `{other}` in `faults[{i}]`"
+                    )));
+                }
+            }
+        }
+        let take = |name: &str| -> Result<u64, RequestError> {
+            nums.iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+                .ok_or_else(|| err(format!("`faults[{i}]` is missing `{name}`")))
+        };
+        let take_or = |name: &str, default: u64| {
+            nums.iter()
+                .find(|(k, _)| k == name)
+                .map_or(default, |&(_, v)| v)
+        };
+        let kind = match kind_name.as_deref() {
+            Some("link_down") => FaultKind::LinkDown {
+                src: take("src")? as usize,
+                dst: take("dst")? as usize,
+            },
+            Some("link_degrade") => FaultKind::LinkDegrade {
+                src: take("src")? as usize,
+                dst: take("dst")? as usize,
+                bandwidth_pct: take_or("bandwidth_pct", 100) as u32,
+                latency_x: take_or("latency_x", 1) as u32,
+            },
+            Some("npu_slowdown") => FaultKind::NpuSlowdown {
+                npu: take("npu")? as usize,
+                slowdown_pct: take("slowdown_pct")? as u32,
+            },
+            Some("switch_down") => FaultKind::SwitchDown {
+                dim: take("dim")? as usize,
+                group: take("group")? as usize,
+            },
+            Some(other) => {
+                return Err(err(format!(
+                    "unknown fault kind `{other}` in `faults[{i}]` (expected `link_down`, \
+                     `link_degrade`, `npu_slowdown`, or `switch_down`)"
+                )));
+            }
+            None => return Err(err(format!("`faults[{i}]` is missing `kind`"))),
+        };
+        schedule.push(Time::from_us(at_us), kind);
+    }
+    Ok(schedule)
+}
+
+/// Parses a standalone fault-schedule JSON document (the `astra --faults
+/// <spec.json>` format): a top-level array of fault objects, the same
+/// schema as a request's `faults` field.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] describing the JSON or schema problem.
+pub fn parse_faults_json(text: &str) -> Result<FaultSchedule, RequestError> {
+    let value = serde_json::parse(text).map_err(|e| err(format!("invalid JSON: {e}")))?;
+    parse_faults(&value)
 }
 
 fn string_field(key: &str, v: &Value) -> Result<String, RequestError> {
@@ -135,6 +286,21 @@ impl SimRequest {
                     }
                     req.sim_threads = Some(threads);
                 }
+                "faults" => req.faults = parse_faults(v)?,
+                "max_events" => {
+                    let cap = uint_field(key, v)?;
+                    if cap == 0 {
+                        return Err(err("`max_events` must be at least 1"));
+                    }
+                    req.max_events = Some(cap);
+                }
+                "max_sim_time_ps" => {
+                    let cap = uint_field(key, v)?;
+                    if cap == 0 {
+                        return Err(err("`max_sim_time_ps` must be at least 1"));
+                    }
+                    req.max_sim_time_ps = Some(cap);
+                }
                 other => return Err(err(format!("unknown request field `{other}`"))),
             }
         }
@@ -166,7 +332,7 @@ impl SimRequest {
         format!(
             "topology={};workload={:?};all_reduce_mib={:?};mp={:?};fsdp={};pipeline={:?};\
              themis={};chunks={:?};memory={:?};queue={:?};network={:?};p2p={:?};\
-             collectives={:?};sim_threads={:?}",
+             collectives={:?};sim_threads={:?};faults={};max_events={:?};max_sim_time_ps={:?}",
             self.topology,
             self.workload,
             self.all_reduce_mib,
@@ -181,6 +347,9 @@ impl SimRequest {
             self.p2p,
             self.collectives,
             self.sim_threads,
+            self.faults.signature(),
+            self.max_events,
+            self.max_sim_time_ps,
         )
     }
 }

@@ -6,23 +6,104 @@
 //! shared across connections, so a long-lived service keeps getting
 //! faster while every response stays bit-identical to a cold run.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::fs::FileTypeExt;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use crate::batch::{run_batch, BatchSummary};
+use crate::batch::{run_batch_items, BatchLine, BatchSummary, MAX_LINE_BYTES};
 use crate::exec::WarmCache;
 
-/// Handles one connection: reads the batch to EOF, executes it on
-/// `workers` threads, writes the response rows.
+/// Knobs of [`serve_unix_with`]. [`Default`] matches the historical
+/// [`serve_unix`] behavior apart from the hardening bounds.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads per batch.
+    pub workers: usize,
+    /// Stop after this many connections (`None` = forever).
+    pub max_connections: Option<usize>,
+    /// Connections handled concurrently; further clients queue in the
+    /// OS accept backlog until a slot frees. Bounds the service's thread
+    /// and memory footprint under a connection flood.
+    pub max_parallel_connections: usize,
+    /// Cooperative shutdown flag: once set (e.g. from a signal handler
+    /// thread), in-flight requests finish, queued requests get
+    /// structured `shutdown` rejection rows, and the accept loop exits.
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 1,
+            max_connections: None,
+            max_parallel_connections: 4,
+            shutdown: None,
+        }
+    }
+}
+
+/// Reads one batch with a per-line byte bound: a line longer than
+/// [`MAX_LINE_BYTES`] is drained (so framing stays intact) but only its
+/// size is kept — the batch layer turns it into a structured
+/// `line_too_long` row instead of buffering unbounded client input.
+fn read_batch_lines<R: BufRead>(reader: &mut R) -> std::io::Result<Vec<BatchLine>> {
+    let mut items = Vec::new();
+    let mut line: Vec<u8> = Vec::new();
+    let mut line_bytes: u64 = 0;
+    let mut pending = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if pending {
+                items.push(classify_line(&mut line, line_bytes));
+            }
+            return Ok(items);
+        }
+        let (chunk, ended) = match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&buf[..nl], true),
+            None => (buf, false),
+        };
+        pending = pending || !chunk.is_empty();
+        line_bytes += chunk.len() as u64;
+        if line.len() < MAX_LINE_BYTES {
+            let room = MAX_LINE_BYTES - line.len();
+            line.extend_from_slice(&chunk[..chunk.len().min(room)]);
+        }
+        let consumed = chunk.len() + usize::from(ended);
+        reader.consume(consumed);
+        if ended {
+            items.push(classify_line(&mut line, line_bytes));
+            line_bytes = 0;
+            pending = false;
+        }
+    }
+}
+
+fn classify_line(line: &mut Vec<u8>, bytes: u64) -> BatchLine {
+    let item = if bytes > MAX_LINE_BYTES as u64 {
+        BatchLine::TooLong { bytes }
+    } else {
+        BatchLine::Request(String::from_utf8_lossy(line).into_owned())
+    };
+    line.clear();
+    item
+}
+
+/// Handles one connection: reads the batch to EOF (bounded per line),
+/// executes it on `workers` threads, writes the response rows.
 fn handle_connection(
     stream: UnixStream,
     workers: usize,
     cache: &WarmCache,
+    shutdown: &AtomicBool,
 ) -> std::io::Result<BatchSummary> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
-    let (rows, summary) = run_batch(&lines, workers, cache);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let items = read_batch_lines(&mut reader)?;
+    let (rows, summary) = run_batch_items(&items, workers, cache, shutdown);
     let mut writer = stream;
     for row in rows {
         writer.write_all(row.as_bytes())?;
@@ -32,10 +113,107 @@ fn handle_connection(
     Ok(summary)
 }
 
+/// Removes a stale socket file at `path`, but refuses to delete anything
+/// that is not a unix socket — a mistyped path must not silently destroy
+/// a regular file.
+fn unlink_stale_socket(path: &Path) -> std::io::Result<()> {
+    match std::fs::symlink_metadata(path) {
+        Ok(meta) if meta.file_type().is_socket() => std::fs::remove_file(path),
+        Ok(_) => Err(std::io::Error::new(
+            ErrorKind::AlreadyExists,
+            format!(
+                "{} exists and is not a socket; refusing to replace it",
+                path.display()
+            ),
+        )),
+        Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// [`serve_unix`] with explicit [`ServeOptions`]: bounded per-line input,
+/// bounded connection concurrency, and cooperative graceful shutdown.
+/// A stale socket file at `path` is replaced; any other existing file is
+/// an error. Per-connection I/O errors end that connection only.
+///
+/// Returns the totals over all handled connections.
+///
+/// # Errors
+///
+/// Returns the error if the socket cannot be bound or `path` holds a
+/// non-socket file.
+pub fn serve_unix_with(
+    path: &Path,
+    cache: &WarmCache,
+    options: &ServeOptions,
+) -> std::io::Result<BatchSummary> {
+    unlink_stale_socket(path)?;
+    let listener = UnixListener::bind(path)?;
+    let shutdown = options
+        .shutdown
+        .clone()
+        .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
+    // Nonblocking accepts so the loop can observe the shutdown flag
+    // promptly instead of parking inside accept(2) forever.
+    listener.set_nonblocking(true)?;
+    let totals = Mutex::new(BatchSummary::default());
+    let workers = options.workers;
+    let parallel = options.max_parallel_connections.max(1);
+    let active = std::sync::atomic::AtomicUsize::new(0);
+    let active = &active;
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut handled = 0usize;
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            if options.max_connections.is_some_and(|max| handled >= max) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    handled += 1;
+                    // Bounded backlog: wait for a slot before spawning.
+                    while active.load(Ordering::Acquire) >= parallel {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    active.fetch_add(1, Ordering::AcqRel);
+                    let _ = stream.set_nonblocking(false);
+                    let (shutdown, totals) = (&shutdown, &totals);
+                    scope.spawn(move || {
+                        match handle_connection(stream, workers, cache, shutdown) {
+                            Ok(summary) => {
+                                let mut t = match totals.lock() {
+                                    Ok(t) => t,
+                                    Err(poisoned) => poisoned.into_inner(),
+                                };
+                                t.requests += summary.requests;
+                                t.ok += summary.ok;
+                                t.errors += summary.errors;
+                            }
+                            Err(e) => eprintln!("astra serve: connection error: {e}"),
+                        }
+                        active.fetch_sub(1, Ordering::AcqRel);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    })?;
+    Ok(match totals.into_inner() {
+        Ok(t) => t,
+        Err(poisoned) => poisoned.into_inner(),
+    })
+}
+
 /// Serves batches on a unix socket at `path` until `max_connections`
-/// connections have been handled (`None` = forever). Existing files at
-/// `path` are replaced. Per-connection I/O errors end that connection
-/// only; the accept loop keeps running.
+/// connections have been handled (`None` = forever). A stale socket file
+/// at `path` is replaced (non-socket files are refused). Per-connection
+/// I/O errors end that connection only; the accept loop keeps running.
 ///
 /// Returns the totals over all handled connections.
 ///
@@ -48,25 +226,15 @@ pub fn serve_unix(
     cache: &WarmCache,
     max_connections: Option<usize>,
 ) -> std::io::Result<BatchSummary> {
-    if path.exists() {
-        std::fs::remove_file(path)?;
-    }
-    let listener = UnixListener::bind(path)?;
-    let mut totals = BatchSummary::default();
-    for (handled, stream) in listener.incoming().enumerate() {
-        match stream.and_then(|s| handle_connection(s, workers, cache)) {
-            Ok(summary) => {
-                totals.requests += summary.requests;
-                totals.ok += summary.ok;
-                totals.errors += summary.errors;
-            }
-            Err(e) => eprintln!("astra serve: connection error: {e}"),
-        }
-        if max_connections.is_some_and(|max| handled + 1 >= max) {
-            break;
-        }
-    }
-    Ok(totals)
+    serve_unix_with(
+        path,
+        cache,
+        &ServeOptions {
+            workers,
+            max_connections,
+            ..ServeOptions::default()
+        },
+    )
 }
 
 #[cfg(test)]

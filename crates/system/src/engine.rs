@@ -19,9 +19,13 @@ use astra_network::{
     AnalyticalNetwork, AsyncMessageId, Completion, FlowNetwork, NetworkBackend, NetworkBackendKind,
     NetworkStats, P2pMode, SharedDelayMemo, SharedRouteTable,
 };
-use astra_topology::{BuildingBlock, Dimension, NpuId, Topology};
+use astra_topology::{
+    BuildingBlock, Dimension, FaultError, FaultKind, FaultSchedule, FaultedGraph, LinkGraph,
+    NodeId, NodeKind, NpuId, Topology,
+};
 use astra_workload::{EtOp, ExecutionTrace, Roofline, TensorLocation};
 
+use crate::report::FaultImpact;
 use crate::{Breakdown, CacheStats, SimReport};
 
 /// A memoized lowered program plus its reverse dependency adjacency.
@@ -88,6 +92,19 @@ pub struct SystemConfig {
     /// analytical and flow backends ignore this (they are closed-form /
     /// rate-based, not event-partitioned).
     pub sim_mode: SimMode,
+    /// Deterministic fault schedule applied to the run (see
+    /// [`FaultSchedule`]). Empty by default; an empty schedule leaves
+    /// every backend bit-identical to the frozen fault-free references.
+    pub faults: FaultSchedule,
+    /// Deterministic event budget: the run fails with
+    /// [`SimError::BudgetExceeded`] once the engine plus network backends
+    /// have processed more than this many events. `None` (default) means
+    /// unlimited.
+    pub max_events: Option<u64>,
+    /// Deterministic simulated-time budget: the run fails with
+    /// [`SimError::BudgetExceeded`] once the engine clock passes this
+    /// horizon. `None` (default) means unlimited.
+    pub max_sim_time: Option<Time>,
 }
 
 impl Default for SystemConfig {
@@ -103,12 +120,18 @@ impl Default for SystemConfig {
             p2p_mode: P2pMode::default(),
             collective_mode: CollectiveMode::default(),
             sim_mode: SimMode::default(),
+            faults: FaultSchedule::new(),
+            max_events: None,
+            max_sim_time: None,
         }
     }
 }
 
 /// Instantiates the configured [`NetworkBackend`] for a topology.
 fn build_network(topo: &Topology, config: &SystemConfig) -> Box<dyn NetworkBackend> {
+    if config.faults.has_fabric_faults() {
+        return build_network_faulted(topo, config);
+    }
     let packet = |transport| {
         PacketSimConfig::fast()
             .with_queue_backend(config.queue_backend)
@@ -124,6 +147,41 @@ fn build_network(topo: &Topology, config: &SystemConfig) -> Box<dyn NetworkBacke
             Box::new(PacketNetwork::new(topo, packet(TransportMode::Batched)))
         }
         NetworkBackendKind::Flow => Box::new(FlowNetwork::new(topo)),
+    }
+}
+
+/// Instantiates the configured backend with the fault schedule's fabric
+/// faults applied: dead links removed from routing, degraded link
+/// properties folded into every delay/rate computation.
+fn build_network_faulted(topo: &Topology, config: &SystemConfig) -> Box<dyn NetworkBackend> {
+    let schedule = &config.faults;
+    let packet = |transport| {
+        PacketSimConfig::fast()
+            .with_queue_backend(config.queue_backend)
+            .with_transport(transport)
+            .with_sim_mode(config.sim_mode)
+    };
+    let checked = |r: Result<Box<dyn NetworkBackend>, FaultError>| {
+        // astra-lint: allow(panic, simulate_with validates fault schedules before any backend is built)
+        r.expect("fault schedule validated before backend construction")
+    };
+    match config.network_backend {
+        NetworkBackendKind::Analytical => checked(
+            AnalyticalNetwork::with_faults(topo.clone(), schedule)
+                .map(|n| Box::new(n) as Box<dyn NetworkBackend>),
+        ),
+        NetworkBackendKind::Packet => checked(
+            PacketNetwork::with_faults(topo, packet(TransportMode::PerPacket), schedule)
+                .map(|n| Box::new(n) as Box<dyn NetworkBackend>),
+        ),
+        NetworkBackendKind::Batched => checked(
+            PacketNetwork::with_faults(topo, packet(TransportMode::Batched), schedule)
+                .map(|n| Box::new(n) as Box<dyn NetworkBackend>),
+        ),
+        NetworkBackendKind::Flow => checked(
+            FlowNetwork::with_faults(topo, schedule)
+                .map(|n| Box::new(n) as Box<dyn NetworkBackend>),
+        ),
     }
 }
 
@@ -156,6 +214,11 @@ fn build_network_warm(
     config: &SystemConfig,
     warm: &WarmState,
 ) -> Box<dyn NetworkBackend> {
+    if config.faults.has_fabric_faults() {
+        // Warm delay/route tables are computed on the pristine fabric;
+        // a degraded run must not consult them. Build cold instead.
+        return build_network(topo, config);
+    }
     match config.network_backend {
         NetworkBackendKind::Analytical => {
             if let Some(memo) = &warm.delay_memo {
@@ -202,6 +265,29 @@ pub enum SimError {
     /// ascending dimension order; the Themis planner only reorders the
     /// analytical fast path.
     BackendCollectivesNeedBaselineScheduler,
+    /// The fault schedule references entities the topology does not have,
+    /// or carries out-of-range degradation factors.
+    InvalidFaults(FaultError),
+    /// The fault schedule disconnects the fabric: no live route exists
+    /// between the named NPU pair, so traffic between them can never be
+    /// delivered.
+    Unreachable {
+        /// One endpoint of a disconnected pair.
+        src: NpuId,
+        /// The other endpoint.
+        dst: NpuId,
+    },
+    /// A configured budget ([`SystemConfig::max_events`] /
+    /// [`SystemConfig::max_sim_time`]) was exhausted before the trace
+    /// finished. Deterministic: the same run exceeds its budget at the
+    /// same point regardless of queue backend, sim mode, or warm state.
+    BudgetExceeded {
+        /// Events processed (engine plus network backends) when the
+        /// budget tripped.
+        events: u64,
+        /// Engine clock when the budget tripped.
+        sim_time: Time,
+    },
     /// An internal engine invariant was violated. This is a bug in the
     /// engine itself, never in the caller's trace or configuration; the
     /// message names the broken invariant.
@@ -231,6 +317,14 @@ impl fmt::Display for SimError {
                 "backend collective execution lowers the baseline dimension order; \
                  the Themis scheduler only applies to analytical collectives"
             ),
+            SimError::InvalidFaults(err) => write!(f, "invalid fault schedule: {err}"),
+            SimError::Unreachable { src, dst } => write!(
+                f,
+                "fault schedule disconnects the fabric: no route from NPU {src} to NPU {dst}"
+            ),
+            SimError::BudgetExceeded { events, sim_time } => {
+                write!(f, "budget exceeded after {events} events at {sim_time}")
+            }
             SimError::Internal(what) => {
                 write!(f, "internal engine invariant violated: {what}")
             }
@@ -370,6 +464,12 @@ struct GroupSpan {
     /// dimension's ops serialize on a distinct source NIC lane while
     /// different dimensions (and sibling groups) stream in parallel.
     dims: Vec<(usize, Dimension, (NpuId, NpuId))>,
+    /// Aligned with `dims`: when a fault schedule degrades the spanned
+    /// dimension, holds the pristine dimension plus the index of the
+    /// schedule's first event touching it, for per-fault attribution of
+    /// the collective slowdown. `None` entries mean the dimension is
+    /// unaffected.
+    degraded: Vec<Option<(Dimension, usize)>>,
 }
 
 /// Simulates one execution trace on a topology, returning the end-to-end
@@ -445,13 +545,94 @@ pub fn simulate_with(
         return Err(SimError::RemoteMemoryUnconfigured);
     }
 
+    // Validate the fault schedule up front: every later fault consumer
+    // (backend constructors, span degradation, straggler stretching) may
+    // then assume a well-formed, connectivity-preserving schedule.
+    config
+        .faults
+        .validate(topo)
+        .map_err(SimError::InvalidFaults)?;
+    let faulted = if config.faults.has_fabric_faults() {
+        let faulted = FaultedGraph::new(topo, &config.faults).map_err(SimError::InvalidFaults)?;
+        if let Some((src, dst)) = faulted.unreachable_pair() {
+            return Err(SimError::Unreachable { src, dst });
+        }
+        Some(faulted)
+    } else {
+        None
+    };
+
     // Pre-compute the dimension span of every communicator group.
     let mut spans = Vec::with_capacity(trace.groups().len());
     for (gi, members) in trace.groups().iter().enumerate() {
-        spans.push(group_span(topo, members).ok_or(SimError::UnalignedGroup { group: gi })?);
+        let mut span = group_span(topo, members).ok_or(SimError::UnalignedGroup { group: gi })?;
+        if let Some(faulted) = &faulted {
+            degrade_span(&mut span, faulted);
+        }
+        spans.push(span);
     }
 
-    Engine::new(trace, topo, config, warm, spans).run()
+    let impacts = fault_impacts(topo, &config.faults);
+    Engine::new(trace, topo, config, warm, spans, impacts).run()
+}
+
+/// Folds a fault schedule's per-dimension degradation into a group span:
+/// the spanned sub-dimension's bandwidth is scaled by the dimension's
+/// live-link fraction and worst degradation factor, its latency by the
+/// worst latency multiplier. The pristine dimension is kept alongside for
+/// per-fault attribution of the resulting collective slowdown.
+fn degrade_span(span: &mut GroupSpan, faulted: &FaultedGraph) {
+    for (slot, (dim_idx, dim, _)) in span.degraded.iter_mut().zip(span.dims.iter_mut()) {
+        let Some(degrade) = faulted.dim_degrade(*dim_idx) else {
+            continue;
+        };
+        let pristine = *dim;
+        *dim = Dimension::new(dim.block())
+            .with_bandwidth(degrade.scale_bandwidth(dim.bandwidth()))
+            .with_link_latency(degrade.scale_latency(dim.link_latency()));
+        *slot = Some((pristine, degrade.first_event));
+    }
+}
+
+/// Seeds one [`FaultImpact`] row per schedule event. Fabric events start
+/// with their affected-link counts (both directions of a killed/degraded
+/// link, every port of a downed switch); slowdown/attribution counters are
+/// filled in as the engine runs.
+fn fault_impacts(topo: &Topology, schedule: &FaultSchedule) -> Vec<FaultImpact> {
+    let graph = LinkGraph::new(topo);
+    schedule
+        .events()
+        .iter()
+        .enumerate()
+        .map(|(idx, ev)| {
+            let affected = match ev.kind {
+                FaultKind::LinkDown { src, dst } | FaultKind::LinkDegrade { src, dst, .. } => {
+                    let a = NodeId(src);
+                    let b = NodeId(dst);
+                    [(a, b), (b, a)]
+                        .iter()
+                        .filter(|&&(x, y)| graph.link_between(x, y).is_some())
+                        .count() as u64
+                }
+                FaultKind::SwitchDown { dim, group } => (0..graph.num_nodes())
+                    .filter(|&n| {
+                        matches!(
+                            graph.node_kind(NodeId(n)),
+                            NodeKind::Switch { dim: d, group: g } if d == dim && g == group
+                        )
+                    })
+                    .map(|n| graph.neighbors(NodeId(n)).count() as u64 * 2)
+                    .sum(),
+                FaultKind::NpuSlowdown { .. } => 0,
+            };
+            FaultImpact {
+                event: idx,
+                kind: ev.kind.label(),
+                affected,
+                extra_time: Time::ZERO,
+            }
+        })
+        .collect()
 }
 
 /// Determines which topology dimensions a group spans. Members must form a
@@ -506,7 +687,12 @@ fn group_span(topo: &Topology, members: &[NpuId]) -> Option<GroupSpan> {
             ));
         }
     }
-    (product == members.len()).then_some(GroupSpan { rep, dims })
+    let degraded = vec![None; dims.len()];
+    (product == members.len()).then_some(GroupSpan {
+        rep,
+        dims,
+        degraded,
+    })
 }
 
 struct Engine<'a> {
@@ -565,6 +751,16 @@ struct Engine<'a> {
     collectives: u64,
     p2p_messages: u64,
     net_stats: NetworkStats,
+
+    /// Per-NPU straggler faults, `(onset, slowdown_pct, event index)`.
+    /// Compute ops issued at or after the onset are stretched by the
+    /// worst active percentage.
+    stragglers: Vec<Vec<(Time, u32, usize)>>,
+    /// Per-fault attribution rows, one per schedule event (see
+    /// [`FaultImpact`]); returned in the report.
+    fault_impacts: Vec<FaultImpact>,
+    /// Engine events popped so far, for [`SystemConfig::max_events`].
+    events_popped: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -574,6 +770,7 @@ impl<'a> Engine<'a> {
         config: &'a SystemConfig,
         warm: &'a WarmState,
         spans: Vec<GroupSpan>,
+        fault_impacts: Vec<FaultImpact>,
     ) -> Self {
         let npus = trace.npus();
         let mut remaining_deps = Vec::with_capacity(npus);
@@ -590,6 +787,14 @@ impl<'a> Engine<'a> {
             }
             remaining_deps.push(deps);
             dependents.push(dnts);
+        }
+        let mut stragglers: Vec<Vec<(Time, u32, usize)>> = vec![Vec::new(); npus];
+        for (idx, ev) in config.faults.events().iter().enumerate() {
+            if let FaultKind::NpuSlowdown { npu, slowdown_pct } = ev.kind {
+                if npu < npus {
+                    stragglers[npu].push((ev.at, slowdown_pct, idx));
+                }
+            }
         }
         Engine {
             trace,
@@ -626,7 +831,54 @@ impl<'a> Engine<'a> {
             collectives: 0,
             p2p_messages: 0,
             net_stats: NetworkStats::default(),
+            stragglers,
+            fault_impacts,
+            events_popped: 0,
         }
+    }
+
+    /// Applies any active straggler slowdown to a compute service time:
+    /// the worst (maximum) percentage among this NPU's faults with
+    /// `onset <= now` stretches the op, and the stretch is attributed to
+    /// that fault's impact row. Fault-free NPUs return the service
+    /// unchanged.
+    fn stretched_compute(&mut self, npu: NpuId, now: Time, service: Time) -> Time {
+        let mut worst: Option<(u32, usize)> = None;
+        for &(at, pct, idx) in &self.stragglers[npu] {
+            if now >= at && worst.is_none_or(|(w, _)| pct > w) {
+                worst = Some((pct, idx));
+            }
+        }
+        let Some((pct, idx)) = worst else {
+            return service;
+        };
+        let stretched = Time::from_ps(
+            (service.as_ps() as u128 * pct as u128 / 100).min(u64::MAX as u128) as u64,
+        );
+        let impact = &mut self.fault_impacts[idx];
+        impact.affected += 1;
+        impact.extra_time += stretched.saturating_sub(service);
+        stretched
+    }
+
+    /// Enforces the deterministic event/time budgets, counting engine
+    /// events plus whatever the network backends have processed.
+    fn check_budget(&mut self, now: Time) -> Result<(), SimError> {
+        if self.config.max_events.is_none() && self.config.max_sim_time.is_none() {
+            return Ok(());
+        }
+        let events = self.events_popped
+            + self.net_stats.events
+            + self.network.as_ref().map_or(0, |n| n.stats().events);
+        let over_events = self.config.max_events.is_some_and(|cap| events > cap);
+        let over_time = self.config.max_sim_time.is_some_and(|cap| now > cap);
+        if over_events || over_time {
+            return Err(SimError::BudgetExceeded {
+                events,
+                sim_time: now,
+            });
+        }
+        Ok(())
     }
 
     /// The shared async backend, built on first use.
@@ -668,10 +920,13 @@ impl<'a> Engine<'a> {
                 }
                 net.advance_until(t);
                 self.drain_network()?;
+                self.check_budget(t)?;
             }
             let Some((now, event)) = self.queue.pop() else {
                 break;
             };
+            self.events_popped += 1;
+            self.check_budget(now)?;
             match event {
                 EngineEvent::Node(event) => {
                     self.finish[event.npu] = self.finish[event.npu].max(now);
@@ -747,6 +1002,7 @@ impl<'a> Engine<'a> {
                 lowering_misses: self.lowering_misses,
                 ..CacheStats::default()
             },
+            faults: self.fault_impacts,
         })
     }
 
@@ -756,6 +1012,7 @@ impl<'a> Engine<'a> {
         match op {
             EtOp::Compute { flops, tensor } => {
                 let service = self.config.roofline.compute_time(flops, tensor);
+                let service = self.stretched_compute(npu, now, service);
                 let r = self.compute_res[npu].acquire(now, service);
                 self.logs[npu][COMPUTE].push(r.start, r.end);
                 self.queue
@@ -876,6 +1133,25 @@ impl<'a> Engine<'a> {
                 .run_at(collective, size, &dims, start, &available);
             for (&(dim_idx, _, _), &free) in span.dims.iter().zip(&outcome.free_at) {
                 self.lanes.insert((span.rep, dim_idx), free);
+            }
+            // Per-fault attribution: re-run the closed form with the
+            // pristine dimensions (run_at is pure) and charge the finish
+            // delta to the first schedule event that degraded a spanned
+            // dimension. Fault-free spans skip the second run entirely.
+            if span.degraded.iter().any(Option::is_some) {
+                let pristine: Vec<Dimension> = span
+                    .dims
+                    .iter()
+                    .zip(&span.degraded)
+                    .map(|(&(_, d, _), degraded)| degraded.map_or(d, |(p, _)| p))
+                    .collect();
+                let baseline = self
+                    .collective_engine
+                    .run_at(collective, size, &pristine, start, &available);
+                if let Some(event) = span.degraded.iter().flatten().map(|&(_, e)| e).min() {
+                    let impact = &mut self.fault_impacts[event];
+                    impact.extra_time += outcome.finish.saturating_sub(baseline.finish);
+                }
             }
             outcome.finish
         };

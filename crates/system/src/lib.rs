@@ -30,7 +30,7 @@ mod engine;
 mod report;
 
 pub use engine::{simulate, simulate_with, SimError, SystemConfig, WarmState};
-pub use report::{Breakdown, CacheStats, SimReport};
+pub use report::{Breakdown, CacheStats, FaultImpact, SimReport};
 
 // Re-exported so `SystemConfig.network_backend` / `SystemConfig.p2p_mode`
 // can be set (and `SimReport.network` read) without a direct
@@ -38,3 +38,7 @@ pub use report::{Breakdown, CacheStats, SimReport};
 pub use astra_network::{
     NetworkBackendKind, NetworkStats, P2pMode, SharedDelayMemo, SharedRouteTable,
 };
+
+// Re-exported so fault schedules (`SystemConfig.faults`) can be built
+// without a direct `astra_topology` dependency.
+pub use astra_topology::{FaultError, FaultEvent, FaultKind, FaultSchedule};

@@ -122,6 +122,25 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Attribution of one injected fault's impact on the run (see
+/// `astra_topology::faults`). Deterministic: identical across queue
+/// backends, sim modes, and worker counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultImpact {
+    /// Index of the fault event in the schedule.
+    pub event: usize,
+    /// Human-readable fault label (e.g. `link_down 0->1`).
+    pub kind: String,
+    /// Entities affected: links killed/degraded for fabric faults,
+    /// compute operations stretched for NPU slowdowns.
+    pub affected: u64,
+    /// Simulated time attributed to the fault: exact added compute time
+    /// for NPU slowdowns; for fabric faults, the closed-form collective
+    /// slowdown attributed to the dimension's first touching event (p2p
+    /// rerouting/serialization costs surface in the total, not here).
+    pub extra_time: Time,
+}
+
 /// Result of simulating an execution trace on a platform.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
@@ -148,6 +167,9 @@ pub struct SimReport {
     /// Per-cache hit/miss counters (see [`CacheStats`]); deterministic,
     /// so warm and cold runs report identical values.
     pub cache: CacheStats,
+    /// Per-fault impact attribution, one entry per schedule event; empty
+    /// for fault-free runs (the overwhelmingly common case).
+    pub faults: Vec<FaultImpact>,
 }
 
 impl SimReport {

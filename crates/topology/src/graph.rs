@@ -193,6 +193,27 @@ impl LinkGraph {
         self.adjacency.get(&(src, dst)).copied()
     }
 
+    /// Iterates over the outgoing neighbors of a node in ascending
+    /// destination order (deterministic: the adjacency map is ordered).
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
+        self.adjacency
+            .range((node, NodeId(0))..=(node, NodeId(usize::MAX)))
+            .map(|(&(_, dst), &link)| (dst, link))
+    }
+
+    /// Overwrites a link's bandwidth and latency in place. Used by fault
+    /// injection to degrade individual links; the graph structure (nodes,
+    /// link ids, adjacency) is never changed.
+    pub(crate) fn degrade_link(&mut self, id: LinkId, bandwidth: Bandwidth, latency: Time) {
+        self.links[id.0].bandwidth = bandwidth;
+        self.links[id.0].latency = latency;
+    }
+
+    /// The topology this graph was expanded from.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
     /// Computes the dimension-ordered route between two NPUs: coordinates
     /// are corrected dimension by dimension (innermost first), taking the
     /// shortest direction around rings and traversing switches via their

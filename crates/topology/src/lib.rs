@@ -32,6 +32,7 @@
 
 mod block;
 mod dimension;
+pub mod faults;
 mod graph;
 mod notation;
 pub mod presets;
@@ -39,6 +40,9 @@ mod topo;
 
 pub use block::BuildingBlock;
 pub use dimension::Dimension;
+pub use faults::{
+    route_avoiding, DimDegrade, FaultError, FaultEvent, FaultKind, FaultSchedule, FaultedGraph,
+};
 pub use graph::{LinkGraph, LinkId, LinkProps, NodeId, NodeKind};
 pub use notation::ParseTopologyError;
 pub use topo::{NpuId, Topology};

@@ -47,6 +47,8 @@ pub struct CliOptions {
     /// Worker threads for the packet backends' parallel core (`None` =
     /// the sequential reference core).
     pub sim_threads: Option<usize>,
+    /// Path to a fault-schedule JSON file (array of fault objects).
+    pub faults: Option<String>,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
 }
@@ -112,6 +114,14 @@ OPTIONS:
                             core with N worker threads; results are
                             bit-identical for every N >= 1 (default: the
                             sequential reference core)
+    --faults <SPEC.json>    deterministic fault schedule: a JSON array of
+                            fault objects, e.g.
+                            [{\"at_us\": 0, \"kind\": \"link_down\",
+                              \"src\": 0, \"dst\": 1}]; kinds: link_down,
+                            link_degrade (bandwidth_pct/latency_x),
+                            npu_slowdown (slowdown_pct), switch_down
+                            (dim/group); applied identically on every
+                            --network backend
     --json                  machine-readable output
     --help                  this text
 
@@ -122,10 +132,10 @@ SWEEP (throughput benchmark runner, writes BENCH_throughput.json-style JSON):
     --series <LIST>         comma-separated subset of
                             trace-gen,event-queue,packet-scale,engine-p2p,
                             collective-backend,parallel-des,serve-throughput,
-                            fig4,fig9a,fig9b,table4,fig11,table5 (default:
-                            the seven throughput series; fig4/fig9a/fig9b/
-                            table4/fig11/table5 fold the paper experiment
-                            runners into the JSON)
+                            fault-injection,fig4,fig9a,fig9b,table4,fig11,
+                            table5 (default: the eight throughput series;
+                            fig4/fig9a/fig9b/table4/fig11/table5 fold the
+                            paper experiment runners into the JSON)
 
 SERVE (batch service: JSONL requests in, one JSON report row per line out):
     astra serve [--workers <N>] [--socket <PATH>] [--max-connections <N>]
@@ -165,6 +175,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         p2p: None,
         collectives: None,
         sim_threads: None,
+        faults: None,
         json: false,
     };
     let mut it = args.iter();
@@ -221,6 +232,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                         .map_err(|_| err("--pipeline expects a stage count"))?,
                 );
             }
+            "--faults" => opts.faults = Some(value("--faults")?),
             "--fsdp" => opts.fsdp = true,
             "--themis" => opts.themis = true,
             "--json" => opts.json = true,
@@ -273,6 +285,9 @@ pub fn to_request(opts: &CliOptions) -> SimRequest {
         p2p: opts.p2p,
         collectives: opts.collectives,
         sim_threads: opts.sim_threads,
+        faults: astra_core::FaultSchedule::new(),
+        max_events: None,
+        max_sim_time_ps: None,
     }
 }
 
@@ -283,7 +298,14 @@ pub fn to_request(opts: &CliOptions) -> SimRequest {
 /// Returns a [`CliError`] on invalid notation, unknown workload/memory
 /// names, or simulation setup problems.
 pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
-    astra_serve::execute_once(&to_request(opts)).map_err(|e| err(e.0))
+    let mut req = to_request(opts);
+    if let Some(path) = &opts.faults {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("--faults: failed to read {path}: {e}")))?;
+        req.faults =
+            astra_serve::parse_faults_json(&text).map_err(|e| err(format!("--faults: {e}")))?;
+    }
+    astra_serve::execute_once(&req).map_err(|e| err(e.message))
 }
 
 /// Options of the `astra sweep` subcommand, which drives the `astra-bench`
