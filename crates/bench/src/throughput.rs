@@ -10,8 +10,8 @@
 //! `cargo run --release -p astra-bench --bin throughput`).
 
 use astra_core::{
-    experiments, simulate, CollectiveMode, DataSize, FaultKind, FaultSchedule, NetworkBackendKind,
-    P2pMode, QueueBackend, SimMode, SystemConfig, Time, Topology,
+    experiments, simulate, simulate_traced, CollectiveMode, DataSize, FaultKind, FaultSchedule,
+    NetworkBackendKind, P2pMode, QueueBackend, SimMode, SystemConfig, Time, Topology,
 };
 use astra_garnet::{collective_time, PacketSimConfig, TransportMode};
 use astra_serve::{execute_once, run_batch, SimRequest, WarmCache};
@@ -350,6 +350,34 @@ pub struct FaultInjectionRow {
     pub faulted_ms: f64,
 }
 
+/// One telemetry-overhead measurement: the same simulation executed
+/// plain ([`simulate`]), through the traced entry point with telemetry
+/// off (`simulate_traced` on a default config — the production default),
+/// and with full recording plus trace assembly on. The disabled path is
+/// the zero-cost-when-off guarantee: the runner asserts its report is
+/// bit-identical to the plain run's, and CI gates its wall-clock
+/// overhead at <= 2% (measurement noise).
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceOverheadRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// NPUs in the topology.
+    pub npus: usize,
+    /// Wall-clock of the plain `simulate` run (ms, best of N).
+    pub base_ms: f64,
+    /// Wall-clock through `simulate_traced` with telemetry off (ms,
+    /// best of N).
+    pub disabled_ms: f64,
+    /// Wall-clock with recording and trace assembly on (ms, best of N).
+    pub enabled_ms: f64,
+    /// Disabled-path overhead over the plain run, in percent: the median
+    /// of per-rep back-to-back ratios (negative medians clamp to 0).
+    pub overhead_pct: f64,
+    /// Recording-path overhead over the plain run, in percent (same
+    /// median-of-ratios estimator, >= 0).
+    pub enabled_overhead_pct: f64,
+}
+
 /// Which comparison series a run should produce (the `astra sweep --series`
 /// flag maps onto this).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -370,6 +398,8 @@ pub struct SeriesSelection {
     pub serve_throughput: bool,
     /// Deterministic fault injection vs the fault-free baseline.
     pub fault_injection: bool,
+    /// Telemetry overhead: plain vs disabled-sink vs recording runs.
+    pub trace_overhead: bool,
     /// Fig. 4 analytical-backend validation (paper experiment runner).
     pub fig4: bool,
     /// Fig. 9(a) scheduler/system grid (paper experiment runner).
@@ -397,6 +427,7 @@ impl SeriesSelection {
         parallel_des: true,
         serve_throughput: true,
         fault_injection: true,
+        trace_overhead: true,
         fig4: false,
         fig9a: false,
         fig9b: false,
@@ -415,6 +446,7 @@ impl SeriesSelection {
         parallel_des: false,
         serve_throughput: false,
         fault_injection: false,
+        trace_overhead: false,
         fig4: false,
         fig9a: false,
         fig9b: false,
@@ -424,7 +456,7 @@ impl SeriesSelection {
     };
 
     /// Stable machine-readable series names, in report order.
-    pub const NAMES: [&'static str; 14] = [
+    pub const NAMES: [&'static str; 15] = [
         "trace-gen",
         "event-queue",
         "packet-scale",
@@ -433,6 +465,7 @@ impl SeriesSelection {
         "parallel-des",
         "serve-throughput",
         "fault-injection",
+        "trace-overhead",
         "fig4",
         "fig9a",
         "fig9b",
@@ -456,6 +489,7 @@ impl SeriesSelection {
             "parallel-des" => self.parallel_des = true,
             "serve-throughput" => self.serve_throughput = true,
             "fault-injection" => self.fault_injection = true,
+            "trace-overhead" => self.trace_overhead = true,
             "fig4" => self.fig4 = true,
             "fig9a" => self.fig9a = true,
             "fig9b" => self.fig9b = true,
@@ -492,6 +526,8 @@ pub struct Report {
     pub serve_throughput: Vec<ServeThroughputRow>,
     /// Fault-injection rows (faulted vs fault-free baseline).
     pub fault_injection: Vec<FaultInjectionRow>,
+    /// Telemetry-overhead rows (plain vs disabled-sink vs recording).
+    pub trace_overhead: Vec<TraceOverheadRow>,
     /// Fig. 4 rows (empty unless the `fig4` series is selected).
     pub fig4: Vec<Fig4Row>,
     /// Fig. 9(a) rows (empty unless the `fig9a` series is selected).
@@ -1042,6 +1078,143 @@ pub fn run_fault_injection(quick: bool) -> Vec<FaultInjectionRow> {
     rows
 }
 
+fn trace_overhead_row(
+    scenario: &str,
+    notation: &str,
+    config: &SystemConfig,
+    trace: &ExecutionTrace,
+    reps: usize,
+) -> TraceOverheadRow {
+    let topo = Topology::parse(notation).expect("valid notation");
+    let mut traced_config = config.clone();
+    traced_config.telemetry = true;
+    // Comparing a path against itself (the disabled sink is one branch)
+    // needs aggressive noise control: each timed sample batches `INNER`
+    // simulations so millisecond-scale scheduler bursts amortize; the
+    // base and disabled samples alternate order across reps so position
+    // bias (frequency decay, allocator state) cancels; and the gated
+    // overhead is the *best* per-rep back-to-back ratio — a real
+    // regression inflates every rep's ratio, while noise needs to hit
+    // all `reps` pairs to produce a false positive.
+    const INNER: usize = 8;
+    let mut base_ms = f64::INFINITY;
+    let mut disabled_ms = f64::INFINITY;
+    let mut enabled_ms = f64::INFINITY;
+    let mut best_disabled_ratio = f64::INFINITY;
+    let mut best_enabled_ratio = f64::INFINITY;
+    let mut runs = None;
+    for rep in 0..reps.max(1) {
+        let base_batch = || {
+            let mut last = None;
+            for _ in 0..INNER {
+                last = Some(simulate(trace, &topo, config).expect("plain run"));
+            }
+            last.expect("at least one inner run")
+        };
+        let disabled_batch = || {
+            let mut last = None;
+            for _ in 0..INNER {
+                last = Some(
+                    simulate_traced(trace, &topo, config)
+                        .0
+                        .expect("disabled-sink run"),
+                );
+            }
+            last.expect("at least one inner run")
+        };
+        let (b_ms, base, d_ms, disabled) = if rep % 2 == 0 {
+            let (b_ms, base) = best_ms(1, base_batch);
+            let (d_ms, disabled) = best_ms(1, disabled_batch);
+            (b_ms, base, d_ms, disabled)
+        } else {
+            let (d_ms, disabled) = best_ms(1, disabled_batch);
+            let (b_ms, base) = best_ms(1, base_batch);
+            (b_ms, base, d_ms, disabled)
+        };
+        base_ms = base_ms.min(b_ms / INNER as f64);
+        disabled_ms = disabled_ms.min(d_ms / INNER as f64);
+        let (e_ms, traced) = best_ms(1, || {
+            let mut last = None;
+            for _ in 0..INNER {
+                let (result, t) = simulate_traced(trace, &topo, &traced_config);
+                last = Some((result.expect("traced run"), t.expect("trace assembled")));
+            }
+            last.expect("at least one inner run")
+        });
+        enabled_ms = enabled_ms.min(e_ms / INNER as f64);
+        best_disabled_ratio = best_disabled_ratio.min(d_ms / b_ms.max(1e-9));
+        best_enabled_ratio = best_enabled_ratio.min(e_ms / b_ms.max(1e-9));
+        runs = Some((base, disabled, traced));
+    }
+    let (base, disabled, (enabled, sim_trace)) = runs.expect("at least one rep");
+    let pct = |ratio: f64| ((ratio - 1.0) * 100.0).max(0.0);
+    let overhead_pct = pct(best_disabled_ratio);
+    let enabled_overhead_pct = pct(best_enabled_ratio);
+    // Zero-cost-when-off: the traced entry point with telemetry off is
+    // the plain path, bit for bit.
+    assert_eq!(
+        base, disabled,
+        "a disabled sink must not perturb the report ({scenario})"
+    );
+    // Recording is report-invisible apart from the attached metrics.
+    assert!(enabled.metrics.is_some(), "traced run carries metrics");
+    let mut stripped = enabled;
+    stripped.metrics = None;
+    assert_eq!(
+        base, stripped,
+        "recording must not perturb the report ({scenario})"
+    );
+    assert_eq!(sim_trace.horizon, base.total_time);
+    TraceOverheadRow {
+        scenario: scenario.to_owned(),
+        npus: topo.npus(),
+        base_ms,
+        disabled_ms,
+        enabled_ms,
+        overhead_pct,
+        enabled_overhead_pct,
+    }
+}
+
+/// Telemetry-overhead series (ROADMAP "observability"): the p2p
+/// deep-pipeline on the per-packet backend and the chunked All-Reduce
+/// executed as backend chunk programs, each run plain, through the
+/// disabled-sink entry point, and with full recording. The disabled rows
+/// back the CI bench-smoke gate (<= 2% overhead); the enabled rows
+/// document what recording actually costs.
+pub fn run_trace_overhead(quick: bool) -> Vec<TraceOverheadRow> {
+    // The gate compares two runs of the *same* code path, so the budget
+    // goes into samples (the median needs enough reps to discard noisy
+    // ones) rather than payload size.
+    let reps = 7;
+    let packet = SystemConfig {
+        network_backend: NetworkBackendKind::Packet,
+        ..SystemConfig::default()
+    };
+    let mb = if quick { 8 } else { 16 };
+    let mut rows = vec![trace_overhead_row(
+        "p2p deep-pipeline packet",
+        "R(32)@100",
+        &packet,
+        &deep_pipeline_trace(32, mb, DataSize::from_mib(1)),
+        reps,
+    )];
+    let chunked = SystemConfig {
+        collective_mode: CollectiveMode::Backend,
+        network_backend: NetworkBackendKind::Batched,
+        collective_chunks: 64,
+        ..SystemConfig::default()
+    };
+    rows.push(trace_overhead_row(
+        "all-reduce backend chunks",
+        "SW(16)@100_SW(4)@50",
+        &chunked,
+        &experiments::all_reduce_trace(64, DataSize::from_mib(64)),
+        reps,
+    ));
+    rows
+}
+
 /// A deep GPipe-style pipeline: every NPU is one stage, each microbatch's
 /// activation hops stage-to-stage with a compute between — thousands of
 /// identical-size p2p messages whose routes never share a link, so the
@@ -1514,6 +1687,11 @@ pub fn run_selected(quick: bool, series: SeriesSelection) -> Report {
         } else {
             Vec::new()
         },
+        trace_overhead: if series.trace_overhead {
+            run_trace_overhead(quick)
+        } else {
+            Vec::new()
+        },
         fig4: if series.fig4 {
             run_fig4(quick)
         } else {
@@ -1710,6 +1888,25 @@ pub fn print(report: &Report) {
             );
         }
     }
+    if !report.trace_overhead.is_empty() {
+        println!("\n== telemetry: plain vs disabled-sink vs recording runs ==");
+        println!(
+            "{:<28} {:>5} {:>10} {:>12} {:>12} {:>9} {:>11}",
+            "Scenario", "NPUs", "Base(ms)", "NoSink(ms)", "Record(ms)", "Off(%)", "Record(%)"
+        );
+        for r in &report.trace_overhead {
+            println!(
+                "{:<28} {:>5} {:>10.2} {:>12.2} {:>12.2} {:>9.2} {:>11.2}",
+                r.scenario,
+                r.npus,
+                r.base_ms,
+                r.disabled_ms,
+                r.enabled_ms,
+                r.overhead_pct,
+                r.enabled_overhead_pct
+            );
+        }
+    }
     if !report.fig4.is_empty() {
         println!("\n== fig4: analytical backend validation (ring @150 GB/s) ==");
         println!(
@@ -1853,6 +2050,7 @@ mod tests {
         assert!(!report.parallel_des.is_empty());
         assert!(!report.serve_throughput.is_empty());
         assert!(!report.fault_injection.is_empty());
+        assert!(!report.trace_overhead.is_empty());
         // The paper experiment runners are opt-in, not part of ALL.
         assert!(report.fig4.is_empty());
         assert!(report.fig9a.is_empty());
@@ -1871,6 +2069,7 @@ mod tests {
         assert!(v["parallel_des"][0]["events"].as_f64().unwrap() > 0.0);
         assert!(v["serve_throughput"][0]["requests"].as_f64().unwrap() > 0.0);
         assert!(v["fault_injection"][0]["slowdown"].as_f64().unwrap() >= 1.0);
+        assert!(v["trace_overhead"][0]["overhead_pct"].as_f64().unwrap() >= 0.0);
         assert!(v["engine_p2p"][0]["blocking_setups"].as_f64().unwrap() > 1.0);
         assert!(
             v["collective_backend"][0]["collective_ops"]
@@ -2011,6 +2210,34 @@ mod tests {
             .expect("straggler row");
         assert!(straggler.slowdown > 1.0, "{}", straggler.slowdown);
         assert!(straggler.affected > 0 && straggler.extra_us > 0.0);
+    }
+
+    #[test]
+    fn trace_overhead_gate_holds_on_the_quick_scenarios() {
+        // The CI bench-smoke gate for telemetry: with no sink installed
+        // the traced entry point is the plain path (reports asserted
+        // bit-identical inside `trace_overhead_row`), so its wall-clock
+        // overhead is measurement noise — gated at <= 2%.
+        let rows = run_trace_overhead(true);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            println!(
+                "{}: base {:.2}ms no-sink {:.2}ms record {:.2}ms off {:.2}% record {:.2}%",
+                row.scenario,
+                row.base_ms,
+                row.disabled_ms,
+                row.enabled_ms,
+                row.overhead_pct,
+                row.enabled_overhead_pct
+            );
+            assert!(
+                row.overhead_pct <= 2.0,
+                "disabled-sink overhead {:.2}% > 2% on {}",
+                row.overhead_pct,
+                row.scenario
+            );
+            assert!(row.base_ms > 0.0 && row.enabled_ms > 0.0);
+        }
     }
 
     #[test]

@@ -46,8 +46,12 @@ pub use astra_network::{
     NetworkBackend, NetworkBackendKind, NetworkStats, P2pMode, SharedDelayMemo, SharedRouteTable,
 };
 pub use astra_system::{
-    simulate, simulate_with, Breakdown, CacheStats, FaultImpact, SimError, SimReport, SystemConfig,
-    WarmState,
+    simulate, simulate_traced, simulate_traced_with, simulate_with, Breakdown, CacheStats,
+    FaultImpact, SimError, SimReport, SystemConfig, WarmState,
+};
+pub use astra_system::{
+    ChunkOpSpan, CollectiveSpan, DepEdge, LinkMetrics, LinkTrace, Marker, MetricsReport,
+    NpuMetrics, NpuTimeline, PercentileSummary, SimTrace, TraceFormat,
 };
 pub use astra_topology::{
     BuildingBlock, Dimension, FaultError, FaultEvent, FaultKind, FaultSchedule, LinkGraph, NpuId,

@@ -114,6 +114,24 @@ impl IntervalLog {
 /// assert_eq!(out, vec![Time::from_us(5), Time::from_us(3), Time::from_us(2)]);
 /// ```
 pub fn attribute_exclusive(logs: &[&IntervalLog], horizon: Time) -> Vec<Time> {
+    let segments = attribute_exclusive_intervals(logs, horizon);
+    segments
+        .iter()
+        .map(|spans| spans.iter().map(|&(s, e)| e - s).sum())
+        .collect()
+}
+
+/// The segment-level form of [`attribute_exclusive`]: the same sweep, but
+/// instead of summing each category's exclusive time it returns the actual
+/// attributed segments, coalesced, in time order.
+///
+/// Returns one span list per input log, followed by a final list holding the
+/// idle segments. Summing each list's lengths reproduces
+/// [`attribute_exclusive`]'s output exactly — the two share one sweep.
+pub fn attribute_exclusive_intervals(
+    logs: &[&IntervalLog],
+    horizon: Time,
+) -> Vec<Vec<(Time, Time)>> {
     // Boundary sweep: at every segment between consecutive boundaries, find
     // the highest-priority active category.
     let mut boundaries: Vec<Time> = vec![Time::ZERO, horizon];
@@ -137,7 +155,7 @@ pub fn attribute_exclusive(logs: &[&IntervalLog], horizon: Time) -> Vec<Time> {
         .collect();
     let mut cursors = vec![0usize; logs.len()];
 
-    let mut out = vec![Time::ZERO; logs.len() + 1];
+    let mut out: Vec<Vec<(Time, Time)>> = vec![Vec::new(); logs.len() + 1];
     for w in boundaries.windows(2) {
         let (seg_s, seg_e) = (w[0], w[1]);
         if seg_e <= seg_s {
@@ -164,7 +182,11 @@ pub fn attribute_exclusive(logs: &[&IntervalLog], horizon: Time) -> Vec<Time> {
                 break;
             }
         }
-        out[winner] += seg_e - seg_s;
+        // Coalesce: consecutive segments with the same winner merge.
+        match out[winner].last_mut() {
+            Some(last) if last.1 == seg_s => last.1 = seg_e,
+            _ => out[winner].push((seg_s, seg_e)),
+        }
     }
     out
 }
@@ -246,5 +268,24 @@ mod tests {
     fn attribution_no_categories_is_all_idle() {
         let out = attribute_exclusive(&[], us(9));
         assert_eq!(out, vec![us(9)]);
+    }
+
+    #[test]
+    fn attribution_intervals_match_measures_and_coalesce() {
+        let mut a = IntervalLog::new();
+        a.push(us(0), us(2));
+        a.push(us(2), us(5)); // adjacent: must coalesce into one span
+        let mut b = IntervalLog::new();
+        b.push(us(3), us(8));
+        b.push(us(12), us(14));
+        let spans = attribute_exclusive_intervals(&[&a, &b], us(20));
+        assert_eq!(spans[0], vec![(us(0), us(5))]);
+        assert_eq!(spans[1], vec![(us(5), us(8)), (us(12), us(14))]);
+        assert_eq!(spans[2], vec![(us(8), us(12)), (us(14), us(20))]);
+        let sums: Vec<Time> = spans
+            .iter()
+            .map(|s| s.iter().map(|&(x, y)| y - x).sum())
+            .collect();
+        assert_eq!(sums, attribute_exclusive(&[&a, &b], us(20)));
     }
 }

@@ -31,10 +31,11 @@ mod queue;
 mod resource;
 mod units;
 
-pub use intervals::{attribute_exclusive, IntervalLog};
+pub use intervals::{attribute_exclusive, attribute_exclusive_intervals, IntervalLog};
 pub use partition::{LaneId, Outbox, PartitionedEventQueue, SimMode, WindowOutcome};
 pub use queue::{EventQueue, QueueBackend};
 pub use resource::{
-    ArrivalRun, FifoCheckpoint, FifoResource, Reservation, TrainOccupancy, TrainProfile,
+    ArrivalRun, FifoCheckpoint, FifoResource, RecordedReservation, Reservation, TrainOccupancy,
+    TrainProfile,
 };
 pub use units::{Bandwidth, DataSize, Time};

@@ -47,6 +47,22 @@ impl Reservation {
 pub struct FifoResource {
     free_at: Time,
     busy: Time,
+    /// When set, every grant is appended to `log` (telemetry surface).
+    recording: bool,
+    log: Vec<RecordedReservation>,
+}
+
+/// One recorded grant of a recording [`FifoResource`]: the request's ready
+/// time plus the granted interval. A bulk [`FifoResource::acquire_train`]
+/// records a single entry spanning the whole train.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RecordedReservation {
+    /// When the request became ready (entered the queue).
+    pub ready: Time,
+    /// When the resource started serving it.
+    pub start: Time,
+    /// When it completed.
+    pub end: Time,
 }
 
 impl FifoResource {
@@ -60,7 +76,7 @@ impl FifoResource {
     pub fn available_from(t: Time) -> Self {
         FifoResource {
             free_at: t,
-            busy: Time::ZERO,
+            ..FifoResource::default()
         }
     }
 
@@ -71,7 +87,23 @@ impl FifoResource {
         let end = start + service;
         self.free_at = end;
         self.busy += service;
+        if self.recording {
+            self.log.push(RecordedReservation { ready, start, end });
+        }
         Reservation { start, end }
+    }
+
+    /// Turns grant recording on or off. Recording is off by default; while
+    /// off, [`FifoResource::acquire`] and [`FifoResource::acquire_train`]
+    /// cost exactly what they did before recording existed (one branch).
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// The grants recorded so far, in grant order. Empty unless
+    /// [`FifoResource::set_recording`] was enabled.
+    pub fn recorded(&self) -> &[RecordedReservation] {
+        &self.log
     }
 
     /// The earliest time a new request could start.
@@ -90,14 +122,16 @@ impl FifoResource {
         FifoCheckpoint {
             free_at: self.free_at,
             busy: self.busy,
+            log_len: self.log.len(),
         }
     }
 
     /// Rewinds the resource to a previously captured [`FifoCheckpoint`],
-    /// discarding every reservation made since.
+    /// discarding every reservation (and recorded grant) made since.
     pub fn restore(&mut self, checkpoint: FifoCheckpoint) {
         self.free_at = checkpoint.free_at;
         self.busy = checkpoint.busy;
+        self.log.truncate(checkpoint.log_len);
     }
 
     /// Total busy (serving) time accumulated so far.
@@ -196,6 +230,15 @@ impl FifoResource {
         }
         self.free_at = prev_end;
         self.busy += service * (total - 1) + tail_service;
+        if self.recording {
+            // One coarse entry for the whole train: per-packet grants would
+            // blow the log up by the packet count for no telemetry value.
+            self.log.push(RecordedReservation {
+                ready: arrivals.first(),
+                start: first.map_or(last.start, |f| f.start),
+                end: prev_end,
+            });
+        }
         TrainOccupancy {
             // astra-lint: allow(panic, trains carry >= 1 packet by construction; the loop above always runs)
             first: first.expect("train has at least one packet"),
@@ -259,6 +302,7 @@ fn fold_body_run(
 pub struct FifoCheckpoint {
     free_at: Time,
     busy: Time,
+    log_len: usize,
 }
 
 /// One arithmetic run of packet times: `count` packets at `first`,
@@ -573,6 +617,48 @@ mod tests {
         // Replaying after a restore lands exactly where the original did.
         let b = r.acquire(Time::from_us(1), Time::from_us(7));
         assert_eq!(b.end, Time::from_us(11));
+    }
+
+    #[test]
+    fn recording_logs_grants_and_restore_truncates() {
+        let mut r = FifoResource::new();
+        r.acquire(Time::from_us(0), Time::from_us(4));
+        assert!(r.recorded().is_empty(), "recording is off by default");
+        r.set_recording(true);
+        let a = r.acquire(Time::from_us(1), Time::from_us(2));
+        let cp = r.checkpoint();
+        r.acquire(Time::from_us(2), Time::from_us(3));
+        r.acquire_train(
+            &TrainProfile::simultaneous(3, Time::from_us(2)),
+            Time::from_us(1),
+            Time::from_us(1),
+        );
+        assert_eq!(r.recorded().len(), 3);
+        r.restore(cp);
+        assert_eq!(
+            r.recorded(),
+            &[RecordedReservation {
+                ready: Time::from_us(1),
+                start: a.start,
+                end: a.end,
+            }]
+        );
+    }
+
+    #[test]
+    fn recorded_train_is_one_coarse_entry() {
+        let mut r = FifoResource::new();
+        r.set_recording(true);
+        let t = TrainProfile::simultaneous(4, Time::from_us(3));
+        let occ = r.acquire_train(&t, Time::from_us(2), Time::from_us(1));
+        assert_eq!(
+            r.recorded(),
+            &[RecordedReservation {
+                ready: Time::from_us(3),
+                start: occ.first.start,
+                end: occ.last.end,
+            }]
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::str::FromStr;
 use astra_des::{
     DataSize, EventQueue, FifoCheckpoint, FifoResource, QueueBackend, SimMode, Time, TrainProfile,
 };
-use astra_network::{AsyncMessageId, Completion, NetworkBackend, NetworkStats};
+use astra_network::{AsyncMessageId, Completion, LinkTrace, NetworkBackend, NetworkStats};
 use astra_topology::{
     route_avoiding, FaultError, FaultSchedule, FaultedGraph, LinkGraph, LinkId, NpuId, Topology,
 };
@@ -914,6 +914,28 @@ impl NetworkBackend for PacketNetwork {
             ..NetworkStats::default()
         }
     }
+
+    /// Toggles grant recording on every link queue. The parallel core
+    /// operates on these same resources (its domains own contiguous
+    /// slices of `link_queues`), so the flag — and the recorded grants —
+    /// carry across `SimMode`s unchanged.
+    fn set_telemetry(&mut self, enabled: bool) {
+        for q in &mut self.link_queues {
+            q.set_recording(enabled);
+        }
+    }
+
+    fn link_traces(&self) -> Vec<LinkTrace> {
+        self.link_queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.recorded().is_empty())
+            .map(|(link, q)| LinkTrace {
+                link,
+                reservations: q.recorded().to_vec(),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -1225,5 +1247,49 @@ mod tests {
         );
         // The backlog drained first (FIFO link), so it completed too.
         assert!(net.completion(backlog).is_some());
+    }
+
+    /// Link grant traces are a pure function of config: identical across
+    /// execution cores and queue backends, and recording them does not
+    /// perturb message completions.
+    #[test]
+    fn telemetry_link_traces_are_mode_invariant() {
+        let t = topo("R(8)@100");
+        let run = |cfg: PacketSimConfig, record: bool| {
+            let mut net = PacketNetwork::new(&t, cfg);
+            net.set_telemetry(record);
+            // Overlapping incast plus cross traffic so several links carry
+            // queued grants.
+            let msgs = [
+                net.send_at(Time::ZERO, 0, 2, DataSize::from_mib(1)),
+                net.send_at(Time::ZERO, 1, 2, DataSize::from_mib(1)),
+                net.send_at(Time::from_us(1), 3, 2, DataSize::from_kib(256)),
+                net.send_at(Time::ZERO, 4, 6, DataSize::from_mib(2)),
+            ];
+            net.run_until_idle();
+            let finishes: Vec<_> = msgs.iter().map(|&m| net.completion(m).unwrap()).collect();
+            (finishes, net.link_traces())
+        };
+
+        let (quiet_finishes, quiet_traces) = run(PacketSimConfig::fast(), false);
+        assert!(quiet_traces.is_empty(), "recording must be off by default");
+
+        let (base_finishes, base_traces) = run(PacketSimConfig::fast(), true);
+        assert_eq!(
+            base_finishes, quiet_finishes,
+            "recording changed simulated behavior"
+        );
+        assert!(!base_traces.is_empty());
+
+        for threads in [1usize, 2, 8] {
+            for backend in [QueueBackend::BinaryHeap, QueueBackend::Calendar] {
+                let cfg = PacketSimConfig::fast()
+                    .with_sim_mode(SimMode::Parallel { threads })
+                    .with_queue_backend(backend);
+                let (finishes, traces) = run(cfg, true);
+                assert_eq!(finishes, base_finishes, "{threads} threads, {backend:?}");
+                assert_eq!(traces, base_traces, "{threads} threads, {backend:?}");
+            }
+        }
     }
 }

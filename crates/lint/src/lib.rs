@@ -72,6 +72,7 @@ pub const SIM_CRATES: &[&str] = &[
     "workload",
     "memory",
     "system",
+    "telemetry",
 ];
 
 /// Mode/backend config enums that must never be matched with a bare `_`.
@@ -83,6 +84,7 @@ pub const CONFIG_ENUMS: &[&str] = &[
     "NetworkBackendKind",
     "SimMode",
     "FaultKind",
+    "TraceFormat",
 ];
 
 /// Methods whose call on a hash collection yields arbitrary order.
@@ -1027,10 +1029,14 @@ fn scope_for(rel: &str) -> Scope {
     let sim_crate = SIM_CRATES
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    // `crates/serve/src/stats.rs` is the serve crate's one sanctioned
+    // wall-clock site: it measures host-side service latency, which by
+    // definition is not simulated time.
     let wall_clock_exempt = rel.starts_with("crates/bench/")
         || rel.starts_with("vendor/")
         || rel.starts_with("src/bin/")
-        || rel == "src/cli.rs";
+        || rel == "src/cli.rs"
+        || rel == "crates/serve/src/stats.rs";
     Scope {
         sim_crate,
         wall_clock_exempt,
@@ -1338,6 +1344,31 @@ mod tests {
              }\n",
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r5_flags_wildcard_on_trace_format() {
+        let v = strict(
+            "fn f(fmt: TraceFormat) -> &'static str {\n\
+                 match fmt {\n\
+                     TraceFormat::Chrome => \"chrome\",\n\
+                     _ => \"other\",\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_WILDCARD);
+    }
+
+    #[test]
+    fn telemetry_is_a_sim_crate_and_serve_stats_may_read_the_clock() {
+        let telemetry = scope_for("crates/telemetry/src/lib.rs");
+        assert!(telemetry.sim_crate);
+        assert!(!telemetry.wall_clock_exempt);
+        let stats = scope_for("crates/serve/src/stats.rs");
+        assert!(stats.wall_clock_exempt);
+        let serve_rest = scope_for("crates/serve/src/socket.rs");
+        assert!(!serve_rest.wall_clock_exempt);
     }
 
     #[test]

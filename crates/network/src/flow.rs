@@ -18,7 +18,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 
-use astra_des::{DataSize, Time};
+use astra_des::{DataSize, RecordedReservation, Time};
 use astra_topology::{
     route_avoiding, FaultError, FaultSchedule, FaultedGraph, LinkGraph, LinkId, NpuId, Topology,
 };
@@ -26,7 +26,9 @@ use astra_topology::{
 use std::sync::Arc;
 
 use crate::congestion::max_min_rates;
-use crate::{AsyncMessageId, Completion, NetworkBackend, NetworkStats, SharedRouteTable};
+use crate::{
+    AsyncMessageId, Completion, LinkTrace, NetworkBackend, NetworkStats, SharedRouteTable,
+};
 
 /// Relative capacity head-room a shared link must keep for an arrival or
 /// departure to extend the memoized max-min allocation instead of
@@ -51,6 +53,8 @@ struct FlowState {
     remaining: f64,
     /// Total propagation latency of the route, paid once at completion.
     latency: Time,
+    /// Injection instant (telemetry span start).
+    start: Time,
     finish: Option<Time>,
     /// Whether the flow was injected through the async NetworkAPI and its
     /// completion must be reported via `drain_completions`.
@@ -121,6 +125,11 @@ pub struct FlowNetwork {
     /// Failed links (fault injection): excluded from routing; empty for a
     /// pristine fabric. Capacity degradations live in `graph` itself.
     dead_links: BTreeSet<LinkId>,
+    /// Telemetry switch: when set, completed flows record their
+    /// `(start, finish, route)` span for [`NetworkBackend::link_traces`].
+    telemetry: bool,
+    /// Completed-flow spans, in completion order (telemetry only).
+    flow_spans: Vec<(Time, Time, usize)>,
 }
 
 impl FlowNetwork {
@@ -147,6 +156,8 @@ impl FlowNetwork {
             reuses: Cell::new(0),
             shared_routes: None,
             dead_links,
+            telemetry: false,
+            flow_spans: Vec::new(),
         }
     }
 
@@ -254,6 +265,7 @@ impl FlowNetwork {
                 route,
                 remaining: 0.0,
                 latency: Time::ZERO,
+                start: self.now().max(at),
                 finish: Some(self.now().max(at)),
                 tracked: false,
             });
@@ -268,6 +280,7 @@ impl FlowNetwork {
             route,
             remaining: size.as_bytes() as f64,
             latency,
+            start: self.now(),
             finish: None,
             tracked: false,
         });
@@ -382,11 +395,15 @@ impl FlowNetwork {
                 let finish = now + flow.latency;
                 flow.finish = Some(finish);
                 let route = flow.route;
+                let span_start = flow.start;
                 if flow.tracked {
                     self.completed.push(Completion {
                         id: AsyncMessageId(idx as u64),
                         finish,
                     });
+                }
+                if self.telemetry {
+                    self.flow_spans.push((span_start, finish, route));
                 }
                 // Departure reuse check — while the departing flow is
                 // still a member and the memoized allocation is still
@@ -636,6 +653,33 @@ impl NetworkBackend for FlowNetwork {
             events: self.reshares,
             ..NetworkStats::default()
         }
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled;
+    }
+
+    /// Fluid flows have no per-hop queueing; each completed flow's whole
+    /// `(start, finish)` span is attributed to every link of its route,
+    /// so queue depth reads as link concurrency.
+    fn link_traces(&self) -> Vec<LinkTrace> {
+        let mut per_link: BTreeMap<usize, Vec<RecordedReservation>> = BTreeMap::new();
+        for &(start, finish, route) in &self.flow_spans {
+            for &l in &self.routes[route] {
+                per_link.entry(l.0).or_default().push(RecordedReservation {
+                    ready: start,
+                    start,
+                    end: finish,
+                });
+            }
+        }
+        per_link
+            .into_iter()
+            .map(|(link, mut reservations)| {
+                reservations.sort_unstable_by_key(|r| (r.ready, r.start, r.end));
+                LinkTrace { link, reservations }
+            })
+            .collect()
     }
 }
 
@@ -898,5 +942,36 @@ mod tests {
     fn backend_reports_name() {
         let net = FlowNetwork::new(&topo("R(2)@100"));
         assert_eq!(net.name(), "flow-level");
+    }
+
+    #[test]
+    fn telemetry_records_flow_spans_per_link() {
+        let t = topo("SW(4)@100");
+        let mut net = FlowNetwork::new(&t);
+        net.set_telemetry(true);
+        let a = net.inject_at(Time::ZERO, 0, 3, DataSize::from_bytes(50_000_000));
+        let b = net.inject_at(Time::ZERO, 1, 3, DataSize::from_bytes(50_000_000));
+        net.run_until_idle();
+        let traces = net.link_traces();
+        assert!(!traces.is_empty());
+        // The shared down-link into NPU 3 carries both flows.
+        let shared = traces
+            .iter()
+            .find(|l| l.reservations.len() == 2)
+            .expect("shared down-link recorded both flows");
+        let finish = net.completion(a).unwrap();
+        assert_eq!(net.completion(b), Some(finish));
+        for r in &shared.reservations {
+            assert_eq!(r.ready, Time::ZERO);
+            assert_eq!(r.start, Time::ZERO);
+            assert_eq!(r.end, finish);
+        }
+        // Telemetry never perturbs the simulation itself.
+        let mut quiet = FlowNetwork::new(&t);
+        let qa = quiet.inject_at(Time::ZERO, 0, 3, DataSize::from_bytes(50_000_000));
+        quiet.inject_at(Time::ZERO, 1, 3, DataSize::from_bytes(50_000_000));
+        quiet.run_until_idle();
+        assert_eq!(quiet.completion(qa), Some(finish));
+        assert!(quiet.link_traces().is_empty());
     }
 }

@@ -45,6 +45,8 @@ use astra_des::{DataSize, Time};
 use astra_topology::{FaultError, FaultSchedule, FaultedGraph, NpuId, Topology};
 use serde::{Deserialize, Serialize};
 
+/// Re-exported so backend implementors and consumers share one type.
+pub use astra_telemetry::LinkTrace;
 pub use flow::{FlowId, FlowNetwork};
 pub use warm::{SharedDelayMemo, SharedRouteTable};
 
@@ -180,6 +182,19 @@ pub trait NetworkBackend {
     /// without one (the default).
     fn delay_memo_stats(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Turns link-level telemetry recording on or off. Backends without
+    /// per-link state (the analytical closed form) ignore it — that is
+    /// the default. Recording never changes simulated behavior; it only
+    /// logs the grants that happen anyway.
+    fn set_telemetry(&mut self, _enabled: bool) {}
+
+    /// The per-link busy intervals recorded since telemetry was enabled,
+    /// sorted by link index; empty when telemetry is off or the backend
+    /// has no per-link state (the default).
+    fn link_traces(&self) -> Vec<LinkTrace> {
+        Vec::new()
     }
 }
 

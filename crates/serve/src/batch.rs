@@ -15,6 +15,7 @@ use serde_json::Value;
 
 use crate::exec::{execute, WarmCache};
 use crate::request::{ErrorKind, RequestError, SimRequest};
+use crate::stats::ServeStats;
 
 /// One unit of batch input: a request line, or a placeholder for a line
 /// the transport refused to buffer (see the socket front end's
@@ -133,11 +134,34 @@ fn error_row(index: usize, line_number: usize, id: Value, e: &RequestError) -> V
     obj(pairs)
 }
 
+/// Recognizes the `{"stats": true}` control line: exactly one field,
+/// `stats`, set to `true`. Anything else — including `{"stats": false}`
+/// or a request that happens to contain the word — parses as a normal
+/// request.
+fn is_stats_control(line: &str) -> bool {
+    if !line.contains("\"stats\"") {
+        return false;
+    }
+    match serde_json::parse(line) {
+        Ok(Value::Object(fields)) => {
+            fields.len() == 1 && fields[0].0 == "stats" && matches!(fields[0].1, Value::Bool(true))
+        }
+        _ => false,
+    }
+}
+
 /// One response row: executes the line and renders success or a
-/// structured error (never a panic or process exit). A panic inside
-/// execution is caught here, so one poisoned request cannot take down
-/// its worker or the batch.
-fn response_row(index: usize, line_number: usize, item: &BatchLine, cache: &WarmCache) -> String {
+/// structured error (never a panic or process exit), plus the outcome
+/// classification (`None` = success) so summary and stats counters never
+/// have to string-match response bytes. A panic inside execution is
+/// caught here, so one poisoned request cannot take down its worker or
+/// the batch.
+fn response_row(
+    index: usize,
+    line_number: usize,
+    item: &BatchLine,
+    cache: &WarmCache,
+) -> (String, Option<ErrorKind>) {
     let id = |req: &Option<SimRequest>| match req.as_ref().and_then(|r| r.id.clone()) {
         Some(id) => Value::Str(id),
         None => Value::Null,
@@ -169,16 +193,23 @@ fn response_row(index: usize, line_number: usize, item: &BatchLine, cache: &Warm
             Err(e) => (None, Err(e)),
         },
     };
-    let row = match outcome {
-        Ok(report) => obj(vec![
-            ("index", Value::UInt(index as u64)),
-            ("id", id(&parsed)),
-            ("ok", Value::Bool(true)),
-            ("report", report_value(&report)),
-        ]),
-        Err(e) => error_row(index, line_number, id(&parsed), &e),
+    let (row, kind) = match outcome {
+        Ok(report) => (
+            obj(vec![
+                ("index", Value::UInt(index as u64)),
+                ("id", id(&parsed)),
+                ("ok", Value::Bool(true)),
+                ("report", report_value(&report)),
+            ]),
+            None,
+        ),
+        Err(e) => (error_row(index, line_number, id(&parsed), &e), Some(e.kind)),
     };
-    serde_json::to_string(&row).unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"))
+    (
+        serde_json::to_string(&row)
+            .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}")),
+        kind,
+    )
 }
 
 /// The socket front end's per-line byte bound (see
@@ -217,6 +248,24 @@ pub fn run_batch_items(
     cache: &WarmCache,
     shutdown: &AtomicBool,
 ) -> (Vec<String>, BatchSummary) {
+    run_batch_items_with(items, workers, cache, shutdown, &ServeStats::new())
+}
+
+/// [`run_batch_items`] recording into an external [`ServeStats`] window —
+/// the socket service passes its service-lifetime instance here, so
+/// `{"stats": true}` control rows observe totals across connections.
+///
+/// A control row (exactly `{"stats": true}`) answers with a volatile
+/// statistics snapshot instead of a report; it is the one deliberately
+/// non-deterministic response row, emitted only when a client explicitly
+/// asks. Everything else keeps the pinned-surface guarantee.
+pub fn run_batch_items_with(
+    items: &[BatchLine],
+    workers: usize,
+    cache: &WarmCache,
+    shutdown: &AtomicBool,
+    stats: &ServeStats,
+) -> (Vec<String>, BatchSummary) {
     let work: Vec<(usize, &BatchLine)> = items
         .iter()
         .enumerate()
@@ -234,7 +283,7 @@ pub fn run_batch_items(
                 let Some(&(line_number, item)) = work.get(i) else {
                     break;
                 };
-                let row = if draining {
+                let (row, outcome) = if draining {
                     let rejection = RequestError::with_kind(
                         ErrorKind::Shutdown,
                         "service shutting down; request was not started",
@@ -246,14 +295,30 @@ pub fn run_batch_items(
                             .map_or(Value::Null, Value::Str),
                         BatchLine::TooLong { .. } => Value::Null,
                     };
-                    serde_json::to_string(&error_row(i, line_number, id, &rejection))
-                        .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"))
+                    stats.record(Some(ErrorKind::Shutdown), 0);
+                    let row = serde_json::to_string(&error_row(i, line_number, id, &rejection))
+                        .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"));
+                    (row, Some(ErrorKind::Shutdown))
+                } else if matches!(item, BatchLine::Request(line) if is_stats_control(line.trim()))
+                {
+                    stats.record_stats_request();
+                    let snapshot = obj(vec![
+                        ("index", Value::UInt(i as u64)),
+                        ("ok", Value::Bool(true)),
+                        ("stats", stats.value(workers, &cache.summary())),
+                    ]);
+                    let row = serde_json::to_string(&snapshot)
+                        .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{e}\"}}"));
+                    (row, None)
                 } else {
-                    response_row(i, line_number, item, cache)
+                    let ((row, outcome), micros) =
+                        ServeStats::timed(|| response_row(i, line_number, item, cache));
+                    stats.record(outcome, micros);
+                    (row, outcome)
                 };
                 match rows.lock() {
-                    Ok(mut slots) => slots[i] = Some(row),
-                    Err(poisoned) => poisoned.into_inner()[i] = Some(row),
+                    Ok(mut slots) => slots[i] = Some((row, outcome)),
+                    Err(poisoned) => poisoned.into_inner()[i] = Some((row, outcome)),
                 }
             });
         }
@@ -262,18 +327,19 @@ pub fn run_batch_items(
         Ok(slots) => slots,
         Err(poisoned) => poisoned.into_inner(),
     };
-    let rows: Vec<String> = rows.into_iter().flatten().collect();
-    let mut summary = BatchSummary {
-        requests: rows.len() as u64,
-        ..BatchSummary::default()
-    };
-    for row in &rows {
-        if row.contains("\"ok\":true") {
-            summary.ok += 1;
-        } else {
-            summary.errors += 1;
-        }
-    }
+    let mut summary = BatchSummary::default();
+    let rows: Vec<String> = rows
+        .into_iter()
+        .flatten()
+        .map(|(row, outcome)| {
+            summary.requests += 1;
+            match outcome {
+                None => summary.ok += 1,
+                Some(_) => summary.errors += 1,
+            }
+            row
+        })
+        .collect();
     (rows, summary)
 }
 
@@ -327,6 +393,36 @@ mod tests {
         assert!(rows[2].contains(r#""id":"x""#), "{}", rows[2]);
         assert!(rows[2].contains("line 3:"), "{}", rows[2]);
         // Every row (including errors) is valid JSON.
+        for row in &rows {
+            serde_json::parse(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_control_rows_answer_with_a_snapshot() {
+        let cache = WarmCache::new();
+        let stats = ServeStats::new();
+        let batch: Vec<BatchLine> = lines(&[
+            r#"{"topology": "SW(8)@400", "all_reduce_mib": 64}"#,
+            r#"{"stats": true}"#,
+            r#"{"stats": false}"#,
+        ])
+        .into_iter()
+        .map(BatchLine::Request)
+        .collect();
+        let (rows, summary) =
+            run_batch_items_with(&batch, 2, &cache, &AtomicBool::new(false), &stats);
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.ok, 2, "the control row counts as ok");
+        assert_eq!(
+            summary.errors, 1,
+            "`stats: false` is an unknown request field"
+        );
+        assert!(rows[1].contains(r#""stats":{"#), "{}", rows[1]);
+        assert!(rows[1].contains("\"occupancy_permille\":"), "{}", rows[1]);
+        assert!(rows[1].contains("\"latency_us\":"), "{}", rows[1]);
+        assert!(rows[2].contains(r#""ok":false"#), "{}", rows[2]);
+        // The snapshot is valid JSON like every other row.
         for row in &rows {
             serde_json::parse(row).unwrap();
         }

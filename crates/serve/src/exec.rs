@@ -21,9 +21,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use astra_core::{
-    simulate_with, DataSize, Parallelism, PoolArchitecture, Roofline, SchedulerPolicy,
-    SharedDelayMemo, SharedLoweringCache, SharedRouteTable, SharedTraceCache, SimError, SimMode,
-    SimReport, SystemConfig, Time, Topology, WarmState,
+    simulate_traced_with, simulate_with, DataSize, Parallelism, PoolArchitecture, Roofline,
+    SchedulerPolicy, SharedDelayMemo, SharedLoweringCache, SharedRouteTable, SharedTraceCache,
+    SimError, SimMode, SimReport, SimTrace, SystemConfig, Time, Topology, WarmState,
 };
 use astra_workload::parallelism::{generate_disaggregated_moe, generate_trace, OffloadPlan};
 use astra_workload::ExecutionTrace;
@@ -317,6 +317,39 @@ pub fn execute_once(req: &SimRequest) -> Result<SimReport, RequestError> {
     execute(req, &WarmCache::new()).map(|report| (*report).clone())
 }
 
+/// Executes one request with telemetry recording on, returning the report
+/// plus the recorded [`SimTrace`]. The report is bit-identical to
+/// [`execute`]'s apart from [`SimReport::metrics`] (filled from the
+/// trace); the trace itself is a pure function of the request — identical
+/// warm vs cold, across worker counts, queue backends, and sim modes.
+///
+/// Traced runs bypass the whole-report result cache (their reports carry
+/// metrics, which untraced requests must never observe) but still share
+/// the trace/delay/route/lowering tables.
+///
+/// # Errors
+///
+/// Exactly [`execute`]'s errors.
+pub fn execute_traced(
+    req: &SimRequest,
+    cache: &WarmCache,
+) -> Result<(SimReport, Option<SimTrace>), RequestError> {
+    let topo = Topology::parse(&req.topology).map_err(|e| err(format!("topology: {e}")))?;
+    let mut config = build_config(req)?;
+    config.telemetry = true;
+    let trace = resolve_trace(req, topo.npus(), &config, &cache.traces)?;
+    let warm = cache.warm_state_for(req);
+    let (result, sim_trace) = simulate_traced_with(&trace, &topo, &config, &warm);
+    let report = result.map_err(|e| {
+        let kind = match e {
+            SimError::BudgetExceeded { .. } => ErrorKind::BudgetExceeded,
+            _ => ErrorKind::Request,
+        };
+        RequestError::with_kind(kind, format!("simulation: {e}"))
+    })?;
+    Ok((report, sim_trace))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +385,21 @@ mod tests {
         let s = cache.summary();
         assert_eq!(s.trace_entries, 1, "both requests share one trace");
         assert_eq!(s.delay_tables, 1);
+    }
+
+    #[test]
+    fn traced_execution_matches_untraced_apart_from_metrics() {
+        let cache = WarmCache::new();
+        let r = req(r#"{"topology": "SW(8)@400", "all_reduce_mib": 64}"#);
+        let (mut traced, trace) = execute_traced(&r, &cache).unwrap();
+        let trace = trace.expect("telemetry was on, a trace must come back");
+        assert_eq!(trace.npus, 8);
+        assert_eq!(trace.horizon, traced.total_time);
+        assert!(traced.metrics.is_some(), "traced reports carry metrics");
+        traced.metrics = None;
+        assert_eq!(traced, execute_once(&r).unwrap());
+        // Traced runs never pollute the result cache.
+        assert_eq!(cache.summary().result_entries, 0);
     }
 
     #[test]

@@ -14,8 +14,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::batch::{run_batch_items, BatchLine, BatchSummary, MAX_LINE_BYTES};
+use crate::batch::{run_batch_items_with, BatchLine, BatchSummary, MAX_LINE_BYTES};
 use crate::exec::WarmCache;
+use crate::stats::ServeStats;
 
 /// Knobs of [`serve_unix_with`]. [`Default`] matches the historical
 /// [`serve_unix`] behavior apart from the hardening bounds.
@@ -94,16 +95,18 @@ fn classify_line(line: &mut Vec<u8>, bytes: u64) -> BatchLine {
 }
 
 /// Handles one connection: reads the batch to EOF (bounded per line),
-/// executes it on `workers` threads, writes the response rows.
+/// executes it on `workers` threads, writes the response rows. Wall-clock
+/// statistics accumulate into the service-lifetime `stats` window.
 fn handle_connection(
     stream: UnixStream,
     workers: usize,
     cache: &WarmCache,
     shutdown: &AtomicBool,
+    stats: &ServeStats,
 ) -> std::io::Result<BatchSummary> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let items = read_batch_lines(&mut reader)?;
-    let (rows, summary) = run_batch_items(&items, workers, cache, shutdown);
+    let (rows, summary) = run_batch_items_with(&items, workers, cache, shutdown, stats);
     let mut writer = stream;
     for row in rows {
         writer.write_all(row.as_bytes())?;
@@ -161,6 +164,10 @@ pub fn serve_unix_with(
     let parallel = options.max_parallel_connections.max(1);
     let active = std::sync::atomic::AtomicUsize::new(0);
     let active = &active;
+    // Service-lifetime wall-clock stats: `{"stats": true}` control rows
+    // observe totals across every connection handled so far.
+    let stats = ServeStats::new();
+    let stats = &stats;
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut handled = 0usize;
         loop {
@@ -181,7 +188,7 @@ pub fn serve_unix_with(
                     let _ = stream.set_nonblocking(false);
                     let (shutdown, totals) = (&shutdown, &totals);
                     scope.spawn(move || {
-                        match handle_connection(stream, workers, cache, shutdown) {
+                        match handle_connection(stream, workers, cache, shutdown, stats) {
                             Ok(summary) => {
                                 let mut t = match totals.lock() {
                                     Ok(t) => t,
@@ -190,6 +197,16 @@ pub fn serve_unix_with(
                                 t.requests += summary.requests;
                                 t.ok += summary.ok;
                                 t.errors += summary.errors;
+                                drop(t);
+                                // End-of-batch summary: stderr only — the
+                                // response stream stays a pinned surface.
+                                eprintln!(
+                                    "astra serve: batch done ({} rows, {} ok, {} err) | {}",
+                                    summary.requests,
+                                    summary.ok,
+                                    summary.errors,
+                                    stats.summary_line(workers, &cache.summary()),
+                                );
                             }
                             Err(e) => eprintln!("astra serve: connection error: {e}"),
                         }
@@ -284,6 +301,44 @@ mod tests {
         assert_eq!(totals.errors, 2);
         // The second connection's repeat request hit the result cache.
         assert_eq!(cache.summary().result_hits, 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn stats_control_rows_work_over_the_socket() {
+        let dir =
+            std::env::temp_dir().join(format!("astra-serve-stats-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("astra.sock");
+        let cache = WarmCache::new();
+
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_unix(&path, 2, &cache, Some(1)).unwrap());
+            let mut stream = loop {
+                match UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            let batch = concat!(
+                r#"{"topology": "SW(4)@400", "all_reduce_mib": 32}"#,
+                "\n",
+                r#"{"stats": true}"#,
+                "\n",
+            );
+            stream.write_all(batch.as_bytes()).unwrap();
+            stream.shutdown(Shutdown::Write).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            let lines: Vec<&str> = response.lines().collect();
+            assert_eq!(lines.len(), 2);
+            assert!(lines[0].contains(r#""ok":true"#), "{}", lines[0]);
+            assert!(lines[1].contains(r#""stats":{"#), "{}", lines[1]);
+            assert!(lines[1].contains("\"uptime_us\":"), "{}", lines[1]);
+            assert!(lines[1].contains("\"workers\":2"), "{}", lines[1]);
+            server.join().unwrap()
+        });
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
     }

@@ -153,3 +153,60 @@ fn concurrent_batches_emit_identical_rows_for_every_worker_count() {
         "request order must not change response contents"
     );
 }
+
+/// Trace bytes are part of the determinism surface too: rendering the
+/// trace of a request against a cold cache, against caches pre-warmed by
+/// batches at different worker counts, and across sim-thread counts and
+/// queue backends must produce identical bytes.
+#[test]
+fn traced_runs_render_identical_bytes_across_cache_states_and_workers() {
+    use astra_core::TraceFormat;
+    use astra_serve::execute_traced;
+
+    // Small payload on the per-packet backend: telemetry records every
+    // link reservation, so trace size scales with packet count.
+    let line = r#"{"topology": "R(8)@100", "all_reduce_mib": 1,
+                   "network": "packet", "collectives": "backend", "chunks": 4}"#;
+    let render = |cache: &WarmCache| {
+        let (_, trace) = execute_traced(&request(line), cache).unwrap();
+        let trace = trace.expect("telemetry on yields a trace");
+        (
+            TraceFormat::Chrome.render(&trace),
+            TraceFormat::Jsonl.render(&trace),
+        )
+    };
+    let reference = render(&WarmCache::new());
+    let warmup: Vec<String> = vec![
+        line.to_owned(),
+        r#"{"topology": "R(8)@100", "all_reduce_mib": 4}"#.to_owned(),
+    ];
+    for workers in [1, 4, 8] {
+        let cache = WarmCache::new();
+        run_batch(&warmup, workers, &cache);
+        assert_eq!(
+            render(&cache),
+            reference,
+            "trace bytes differ after a {workers}-worker warmup batch"
+        );
+    }
+    for variant in [
+        r#", "queue": "calendar""#,
+        r#", "sim_threads": 2"#,
+        r#", "sim_threads": 8"#,
+    ] {
+        let varied = format!(
+            "{}{variant}}}",
+            &line.trim_end()[..line.trim_end().len() - 1]
+        );
+        let (_, trace) = execute_traced(&request(&varied), &WarmCache::new()).unwrap();
+        let trace = trace.expect("telemetry on yields a trace");
+        assert_eq!(
+            (
+                TraceFormat::Chrome.render(&trace),
+                TraceFormat::Jsonl.render(&trace),
+            ),
+            reference,
+            "trace bytes differ under{variant}"
+        );
+    }
+}

@@ -10,14 +10,17 @@ use astra_collectives::{
     SchedulerPolicy, SharedLoweringCache,
 };
 use astra_des::{
-    attribute_exclusive, DataSize, EventQueue, FifoResource, IntervalLog, QueueBackend, SimMode,
-    Time,
+    attribute_exclusive, attribute_exclusive_intervals, DataSize, EventQueue, FifoResource,
+    IntervalLog, QueueBackend, SimMode, Time,
 };
 use astra_garnet::{PacketNetwork, PacketSimConfig, TransportMode};
 use astra_memory::{LocalMemory, PoolArchitecture, RemoteMemory, TransferMode};
 use astra_network::{
     AnalyticalNetwork, AsyncMessageId, Completion, FlowNetwork, NetworkBackend, NetworkBackendKind,
     NetworkStats, P2pMode, SharedDelayMemo, SharedRouteTable,
+};
+use astra_telemetry::{
+    ChunkOpSpan, CollectiveSpan, DepEdge, Marker, MetricsReport, NpuTimeline, SimTrace, TraceSink,
 };
 use astra_topology::{
     BuildingBlock, Dimension, FaultError, FaultKind, FaultSchedule, FaultedGraph, LinkGraph,
@@ -105,6 +108,13 @@ pub struct SystemConfig {
     /// [`SimError::BudgetExceeded`] once the engine clock passes this
     /// horizon. `None` (default) means unlimited.
     pub max_sim_time: Option<Time>,
+    /// Records a simulated-time telemetry trace (NPU timelines, collective
+    /// and chunk-op spans, link grants) consumed by [`simulate_traced`].
+    /// `false` (default) keeps every recording site compiled out of the
+    /// hot path behind a single branch; the [`SimReport`] is bit-identical
+    /// either way — only [`SimReport::metrics`] (traced runs) and the
+    /// returned [`SimTrace`] differ.
+    pub telemetry: bool,
 }
 
 impl Default for SystemConfig {
@@ -123,6 +133,7 @@ impl Default for SystemConfig {
             faults: FaultSchedule::new(),
             max_events: None,
             max_sim_time: None,
+            telemetry: false,
         }
     }
 }
@@ -453,6 +464,13 @@ struct RunningCollective {
     endpoints: Vec<(NpuId, NpuId)>,
     /// Running maximum of op completions (incl. extra step latency).
     finish: Time,
+    /// Communicator group (for the telemetry span).
+    group: u32,
+    /// Rendezvous instant the program launched at.
+    start: Time,
+    /// Run-wide collective sequence number shared with the closed-form
+    /// path, keying this instance's telemetry spans and edges.
+    trace_id: u64,
 }
 
 struct GroupSpan {
@@ -516,6 +534,53 @@ pub fn simulate_with(
     config: &SystemConfig,
     warm: &WarmState,
 ) -> Result<SimReport, SimError> {
+    let (spans, impacts) = prepare(trace, topo, config)?;
+    Engine::new(trace, topo, config, warm, spans, impacts).run()
+}
+
+/// [`simulate`] plus the recorded [`SimTrace`] when
+/// [`SystemConfig::telemetry`] is set. With telemetry off this is exactly
+/// [`simulate`] — no sink exists, no recording branch is taken, and the
+/// trace slot is `None` — so the pair return shape costs nothing.
+///
+/// Traced runs additionally fill [`SimReport::metrics`] with the derived
+/// [`MetricsReport`]; everything else in the report is bit-identical to
+/// the untraced run. Validation errors return `(Err(..), None)`.
+pub fn simulate_traced(
+    trace: &ExecutionTrace,
+    topo: &Topology,
+    config: &SystemConfig,
+) -> (Result<SimReport, SimError>, Option<SimTrace>) {
+    simulate_traced_with(trace, topo, config, &WarmState::default())
+}
+
+/// [`simulate_traced`] with cross-run warm state (see [`simulate_with`]).
+/// The trace, like the report, is bit-identical warm vs cold.
+pub fn simulate_traced_with(
+    trace: &ExecutionTrace,
+    topo: &Topology,
+    config: &SystemConfig,
+    warm: &WarmState,
+) -> (Result<SimReport, SimError>, Option<SimTrace>) {
+    if !config.telemetry {
+        return (simulate_with(trace, topo, config, warm), None);
+    }
+    match prepare(trace, topo, config) {
+        Ok((spans, impacts)) => {
+            Engine::new(trace, topo, config, warm, spans, impacts).run_with_trace()
+        }
+        Err(e) => (Err(e), None),
+    }
+}
+
+/// Shared validation front half of every `simulate*` entry point: checks
+/// trace/platform consistency, validates the fault schedule, and
+/// pre-computes group spans and fault-impact rows.
+fn prepare(
+    trace: &ExecutionTrace,
+    topo: &Topology,
+    config: &SystemConfig,
+) -> Result<(Vec<GroupSpan>, Vec<FaultImpact>), SimError> {
     if trace.npus() != topo.npus() {
         return Err(SimError::NpuCountMismatch {
             trace: trace.npus(),
@@ -573,7 +638,7 @@ pub fn simulate_with(
     }
 
     let impacts = fault_impacts(topo, &config.faults);
-    Engine::new(trace, topo, config, warm, spans, impacts).run()
+    Ok((spans, impacts))
 }
 
 /// Folds a fault schedule's per-dimension degradation into a group span:
@@ -761,6 +826,15 @@ struct Engine<'a> {
     fault_impacts: Vec<FaultImpact>,
     /// Engine events popped so far, for [`SystemConfig::max_events`].
     events_popped: u64,
+    /// Telemetry sink, present iff [`SystemConfig::telemetry`]. Every
+    /// recording site is a single `if let` on this option, so untraced
+    /// runs pay one predictable branch.
+    sink: Option<TraceSink>,
+    /// Run-wide collective sequence number: assigned to every collective
+    /// (closed-form and backend-executed alike) in launch order, keying
+    /// telemetry spans. Always incremented so ids are independent of
+    /// whether a sink is installed.
+    trace_seq: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -834,6 +908,8 @@ impl<'a> Engine<'a> {
             stragglers,
             fault_impacts,
             events_popped: 0,
+            sink: config.telemetry.then(TraceSink::new),
+            trace_seq: 0,
         }
     }
 
@@ -881,18 +957,108 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    /// The shared async backend, built on first use.
+    /// The shared async backend, built on first use. A traced run turns
+    /// the backend's link-grant recording on at construction, before any
+    /// message reaches it.
     fn network_mut(&mut self) -> &mut dyn NetworkBackend {
-        if self.network.is_none() {
+        let first = self.network.is_none();
+        if first {
             self.net_stats.backend_setups += 1;
         }
+        let record = self.sink.is_some();
         let (topo, config, warm) = (self.topo, self.config, self.warm);
-        self.network
-            .get_or_insert_with(|| build_network_warm(topo, config, warm))
-            .as_mut()
+        let net = self
+            .network
+            .get_or_insert_with(|| build_network_warm(topo, config, warm));
+        if first && record {
+            net.set_telemetry(true);
+        }
+        net.as_mut()
     }
 
     fn run(mut self) -> Result<SimReport, SimError> {
+        self.run_inner()
+    }
+
+    /// [`Engine::run`] plus trace assembly: drives the simulation, then
+    /// turns the sink's records, the per-NPU interval logs, and the
+    /// backend's link grants into a canonical [`SimTrace`], attaching the
+    /// derived [`MetricsReport`] to a successful report. Budget-tripped
+    /// runs still yield the partial trace (with a `budget_exceeded`
+    /// marker) alongside the error.
+    fn run_with_trace(mut self) -> (Result<SimReport, SimError>, Option<SimTrace>) {
+        let mut result = self.run_inner();
+        let trace = self.sink.is_some().then(|| self.assemble_trace(&result));
+        if let (Ok(report), Some(trace)) = (&mut result, &trace) {
+            report.metrics = Some(MetricsReport::from_trace(trace, &report.per_npu_finish));
+        }
+        (result, trace)
+    }
+
+    /// Assembles the canonical [`SimTrace`] after the run: NPU timelines
+    /// from the same exclusive attribution that produced the report's
+    /// breakdown, link grants from the co-resident backend, spans and
+    /// edges from the sink, plus one instant marker per scheduled fault
+    /// (and one for a tripped budget).
+    fn assemble_trace(&mut self, result: &Result<SimReport, SimError>) -> SimTrace {
+        let horizon = match result {
+            Ok(report) => report.total_time,
+            // The report (and its horizon) never materialized: cover every
+            // recorded interval so attribution still sees the full run.
+            Err(_) => self
+                .logs
+                .iter()
+                .flat_map(|logs| logs.iter().map(IntervalLog::end))
+                .fold(self.queue.now(), Time::max),
+        };
+        let npu_timelines = self
+            .logs
+            .iter()
+            .map(|logs| {
+                let segments = attribute_exclusive_intervals(
+                    &[&logs[COMPUTE], &logs[COMM], &logs[REMOTE], &logs[LOCAL]],
+                    horizon,
+                );
+                let mut it = segments.into_iter();
+                let mut next = || it.next().unwrap_or_default();
+                NpuTimeline {
+                    spans: [next(), next(), next(), next(), next()],
+                }
+            })
+            .collect();
+        let links = self
+            .network
+            .as_ref()
+            .map_or_else(Vec::new, |net| net.link_traces());
+        let sink = self.sink.take().unwrap_or_default();
+        let mut markers = sink.markers;
+        for ev in self.config.faults.events() {
+            markers.push(Marker {
+                at: ev.at,
+                label: format!("fault:{}", ev.kind.label()),
+            });
+        }
+        if let Err(SimError::BudgetExceeded { sim_time, .. }) = result {
+            markers.push(Marker {
+                at: *sim_time,
+                label: "budget_exceeded".to_string(),
+            });
+        }
+        let mut trace = SimTrace {
+            npus: self.trace.npus(),
+            horizon,
+            npu_timelines,
+            collectives: sink.collectives,
+            chunk_ops: sink.chunk_ops,
+            dep_edges: sink.dep_edges,
+            links,
+            markers,
+        };
+        trace.canonicalize();
+        trace
+    }
+
+    fn run_inner(&mut self) -> Result<SimReport, SimError> {
         // Seed: every node with no dependencies is ready at t = 0.
         for npu in 0..self.trace.npus() {
             for idx in 0..self.trace.program(npu).len() {
@@ -990,7 +1156,7 @@ impl<'a> Engine<'a> {
         Ok(SimReport {
             total_time: horizon,
             breakdown,
-            per_npu_finish: self.finish,
+            per_npu_finish: self.finish.clone(),
             collectives: self.collectives,
             collective_ops: self.chunk_ops,
             p2p_messages: self.p2p_messages,
@@ -1002,7 +1168,8 @@ impl<'a> Engine<'a> {
                 lowering_misses: self.lowering_misses,
                 ..CacheStats::default()
             },
-            faults: self.fault_impacts,
+            faults: std::mem::take(&mut self.fault_impacts),
+            metrics: None,
         })
     }
 
@@ -1106,11 +1273,20 @@ impl<'a> Engine<'a> {
                 } => (collective, size),
                 _ => return Err(SimError::Internal("a meeting node is not a collective")),
             };
+        let trace_id = self.trace_seq;
+        self.trace_seq += 1;
         if self.config.collective_mode == CollectiveMode::Backend
             && !span.dims.is_empty()
             && size != DataSize::ZERO
         {
-            self.launch_backend_collective(group, collective, size, start, meeting.arrivals);
+            self.launch_backend_collective(
+                group,
+                collective,
+                size,
+                start,
+                meeting.arrivals,
+                trace_id,
+            );
             return Ok(());
         }
         let finish = if span.dims.is_empty() {
@@ -1155,6 +1331,14 @@ impl<'a> Engine<'a> {
             }
             outcome.finish
         };
+        if let Some(sink) = &mut self.sink {
+            sink.collectives.push(CollectiveSpan {
+                id: trace_id,
+                group,
+                start,
+                finish,
+            });
+        }
         for (npu, node, ready) in meeting.arrivals {
             if finish > ready {
                 self.logs[npu][COMM].push(ready, finish);
@@ -1176,6 +1360,7 @@ impl<'a> Engine<'a> {
         size: DataSize,
         start: Time,
         arrivals: Vec<(NpuId, u32, Time)>,
+        trace_id: u64,
     ) {
         let endpoints: Vec<(NpuId, NpuId)> = self.spans[group as usize]
             .dims
@@ -1252,6 +1437,9 @@ impl<'a> Engine<'a> {
                 remaining_ops: total,
                 endpoints,
                 finish: start,
+                group,
+                start,
+                trace_id,
             },
         );
         // The meeting completes at the engine's current instant, so root
@@ -1506,6 +1694,18 @@ impl<'a> Engine<'a> {
         rc.remaining_ops -= 1;
         let finished = rc.remaining_ops == 0;
         let coll = chunk.coll;
+        let trace_id = rc.trace_id;
+        if let Some(sink) = &mut self.sink {
+            sink.chunk_ops.push(ChunkOpSpan {
+                coll: trace_id,
+                op: chunk.op,
+                src: chunk.src,
+                dst: chunk.dst,
+                size: chunk.size,
+                ready: chunk.ready,
+                finish: done,
+            });
+        }
         // Dependents become ready `extra_latency` after the wire finish —
         // via a ChunkReady event, never by direct enqueue: closed-form
         // backends report `done` far ahead of the engine clock, and an op
@@ -1525,6 +1725,14 @@ impl<'a> Engine<'a> {
                 self.queue
                     .schedule_at(at, EngineEvent::ChunkReady { coll, op: d });
             }
+            if let Some(sink) = &mut self.sink {
+                sink.dep_edges.push(DepEdge {
+                    coll: trace_id,
+                    from: chunk.op,
+                    to: d,
+                    at: done,
+                });
+            }
         }
         self.release_nic(chunk.src, lane_free);
         if finished {
@@ -1533,6 +1741,14 @@ impl<'a> Engine<'a> {
                     "drained collective was already removed before its last op",
                 ));
             };
+            if let Some(sink) = &mut self.sink {
+                sink.collectives.push(CollectiveSpan {
+                    id: rc.trace_id,
+                    group: rc.group,
+                    start: rc.start,
+                    finish: rc.finish,
+                });
+            }
             for (npu, node, ready) in rc.arrivals {
                 if rc.finish > ready {
                     self.logs[npu][COMM].push(ready, rc.finish);

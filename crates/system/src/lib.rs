@@ -29,8 +29,19 @@
 mod engine;
 mod report;
 
-pub use engine::{simulate, simulate_with, SimError, SystemConfig, WarmState};
+pub use engine::{
+    simulate, simulate_traced, simulate_traced_with, simulate_with, SimError, SystemConfig,
+    WarmState,
+};
 pub use report::{Breakdown, CacheStats, FaultImpact, SimReport};
+
+// Re-exported so traced runs (`SystemConfig.telemetry` +
+// `simulate_traced`) can be consumed and rendered without a direct
+// `astra_telemetry` dependency.
+pub use astra_telemetry::{
+    ChunkOpSpan, CollectiveSpan, DepEdge, LinkMetrics, LinkTrace, Marker, MetricsReport,
+    NpuMetrics, NpuTimeline, PercentileSummary, SimTrace, TraceFormat,
+};
 
 // Re-exported so `SystemConfig.network_backend` / `SystemConfig.p2p_mode`
 // can be set (and `SimReport.network` read) without a direct

@@ -2,6 +2,7 @@
 
 use astra_des::Time;
 use astra_network::NetworkStats;
+use astra_telemetry::MetricsReport;
 use std::fmt;
 
 /// The paper's five-way runtime attribution (Fig. 9 / Fig. 11): every
@@ -170,13 +171,24 @@ pub struct SimReport {
     /// Per-fault impact attribution, one entry per schedule event; empty
     /// for fault-free runs (the overwhelmingly common case).
     pub faults: Vec<FaultImpact>,
+    /// Derived telemetry metrics (per-link utilization, per-NPU timeline
+    /// stats, finish/duration percentiles). `None` unless the run was
+    /// traced ([`crate::simulate_traced`] with
+    /// `SystemConfig::telemetry = true`) — plain runs are bit-identical
+    /// to pre-telemetry reports.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl SimReport {
     /// The earliest NPU finish time — the spread against
     /// [`SimReport::total_time`] indicates load imbalance (e.g. pipeline
-    /// bubbles).
+    /// bubbles). [`Time::ZERO`] when the report covers no NPUs, so the
+    /// spread degenerates to zero instead of underflowing to a
+    /// `Time::MAX` sentinel.
     pub fn min_finish(&self) -> Time {
+        if self.per_npu_finish.is_empty() {
+            return Time::ZERO;
+        }
         self.per_npu_finish
             .iter()
             .copied()
@@ -234,6 +246,28 @@ mod tests {
         for word in ["delay 3/4", "lowering 2/4", "trace 1/2", "result 5/6"] {
             assert!(text.contains(word), "{text} missing {word}");
         }
+    }
+
+    #[test]
+    fn min_finish_of_empty_report_is_zero() {
+        let empty = SimReport {
+            total_time: Time::ZERO,
+            breakdown: Breakdown::default(),
+            per_npu_finish: Vec::new(),
+            collectives: 0,
+            collective_ops: 0,
+            p2p_messages: 0,
+            network: NetworkStats::default(),
+            cache: CacheStats::default(),
+            faults: Vec::new(),
+            metrics: None,
+        };
+        assert_eq!(empty.min_finish(), Time::ZERO);
+        let populated = SimReport {
+            per_npu_finish: vec![Time::from_us(7), Time::from_us(3)],
+            ..empty
+        };
+        assert_eq!(populated.min_finish(), Time::from_us(3));
     }
 
     #[test]

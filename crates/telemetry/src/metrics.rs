@@ -1,0 +1,221 @@
+//! Reduction of a [`SimTrace`] into summary metrics.
+
+use astra_des::Time;
+
+use crate::SimTrace;
+
+/// Nearest-rank percentiles over a set of durations/instants. All fields
+/// are `Time::ZERO` for an empty input.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PercentileSummary {
+    /// 50th percentile (nearest rank).
+    pub p50: Time,
+    /// 99th percentile (nearest rank).
+    pub p99: Time,
+    /// Maximum.
+    pub max: Time,
+}
+
+impl PercentileSummary {
+    /// Computes the summary. The input need not be sorted.
+    pub fn of(values: &[Time]) -> PercentileSummary {
+        if values.is_empty() {
+            return PercentileSummary::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: u64| {
+            // Nearest-rank: ceil(p/100 * n), 1-indexed.
+            let n = sorted.len() as u64;
+            let r = (p * n).div_ceil(100).max(1) as usize;
+            sorted[r - 1]
+        };
+        PercentileSummary {
+            p50: rank(50),
+            p99: rank(99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Summary statistics for one network link.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Backend-assigned link index.
+    pub link: usize,
+    /// Total busy (serving) time.
+    pub busy: Time,
+    /// Busy time as a fraction of the run horizon, in permille (integer,
+    /// so serialized metrics stay bit-exact).
+    pub utilization_permille: u64,
+    /// Peak queue depth (requests queued or in service at one instant).
+    pub peak_queue: u64,
+    /// Number of granted reservations.
+    pub reservations: u64,
+}
+
+/// Summary statistics for one NPU's exclusive timeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NpuMetrics {
+    /// NPU index.
+    pub npu: usize,
+    /// Exclusive compute time.
+    pub compute: Time,
+    /// Exposed (non-hidden) communication time.
+    pub exposed_comm: Time,
+    /// Exposed remote-memory time.
+    pub exposed_remote_mem: Time,
+    /// Exposed local-memory time.
+    pub exposed_local_mem: Time,
+    /// Idle time up to the horizon.
+    pub idle: Time,
+    /// This NPU's finish time.
+    pub finish: Time,
+}
+
+/// Derived metrics attached to a `SimReport` when telemetry is enabled.
+///
+/// Every field is integral (picoseconds or counts), so two runs with equal
+/// traces serialize to byte-identical metrics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Per-link rows, sorted by link index; only links that recorded
+    /// traffic appear.
+    pub links: Vec<LinkMetrics>,
+    /// Per-NPU rows, one per NPU.
+    pub npus: Vec<NpuMetrics>,
+    /// Percentiles of per-NPU finish times.
+    pub npu_finish: PercentileSummary,
+    /// Percentiles of per-collective durations (finish - start).
+    pub collective_duration: PercentileSummary,
+}
+
+impl MetricsReport {
+    /// Reduces a trace (plus the report's per-NPU finish times) to metrics.
+    pub fn from_trace(trace: &SimTrace, per_npu_finish: &[Time]) -> MetricsReport {
+        let horizon = trace.horizon;
+        let links = trace
+            .links
+            .iter()
+            .map(|link| {
+                let busy: Time = link.reservations.iter().map(|r| r.end - r.start).sum();
+                let peak_queue = SimTrace::queue_depth_steps(link)
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .max()
+                    .unwrap_or(0);
+                let utilization_permille = if horizon > Time::ZERO {
+                    (busy.as_ps() as u128 * 1000 / horizon.as_ps() as u128) as u64
+                } else {
+                    0
+                };
+                LinkMetrics {
+                    link: link.link,
+                    busy,
+                    utilization_permille,
+                    peak_queue,
+                    reservations: link.reservations.len() as u64,
+                }
+            })
+            .collect();
+        let npus = trace
+            .npu_timelines
+            .iter()
+            .enumerate()
+            .map(|(npu, tl)| {
+                let cat = |c: usize| -> Time { tl.spans[c].iter().map(|&(s, e)| e - s).sum() };
+                NpuMetrics {
+                    npu,
+                    compute: cat(0),
+                    exposed_comm: cat(1),
+                    exposed_remote_mem: cat(2),
+                    exposed_local_mem: cat(3),
+                    idle: cat(4),
+                    finish: per_npu_finish.get(npu).copied().unwrap_or(Time::ZERO),
+                }
+            })
+            .collect();
+        let durations: Vec<Time> = trace
+            .collectives
+            .iter()
+            .map(|c| c.finish.saturating_sub(c.start))
+            .collect();
+        MetricsReport {
+            links,
+            npus,
+            npu_finish: PercentileSummary::of(per_npu_finish),
+            collective_duration: PercentileSummary::of(&durations),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectiveSpan, LinkTrace, NpuTimeline};
+    use astra_des::RecordedReservation;
+
+    fn us(v: u64) -> Time {
+        Time::from_us(v)
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let values: Vec<Time> = (1..=100).map(us).collect();
+        let p = PercentileSummary::of(&values);
+        assert_eq!(p.p50, us(50));
+        assert_eq!(p.p99, us(99));
+        assert_eq!(p.max, us(100));
+        assert_eq!(PercentileSummary::of(&[]), PercentileSummary::default());
+        let single = PercentileSummary::of(&[us(7)]);
+        assert_eq!((single.p50, single.p99, single.max), (us(7), us(7), us(7)));
+    }
+
+    #[test]
+    fn metrics_reduce_links_npus_and_collectives() {
+        let mut tl = NpuTimeline::default();
+        tl.spans[0].push((us(0), us(6)));
+        tl.spans[1].push((us(6), us(8)));
+        tl.spans[4].push((us(8), us(10)));
+        let trace = SimTrace {
+            npus: 1,
+            horizon: us(10),
+            npu_timelines: vec![tl],
+            collectives: vec![CollectiveSpan {
+                id: 0,
+                group: 0,
+                start: us(2),
+                finish: us(8),
+            }],
+            links: vec![LinkTrace {
+                link: 3,
+                reservations: vec![
+                    RecordedReservation {
+                        ready: us(0),
+                        start: us(0),
+                        end: us(4),
+                    },
+                    RecordedReservation {
+                        ready: us(1),
+                        start: us(4),
+                        end: us(5),
+                    },
+                ],
+            }],
+            ..SimTrace::default()
+        };
+        let m = MetricsReport::from_trace(&trace, &[us(8)]);
+        assert_eq!(m.links.len(), 1);
+        assert_eq!(m.links[0].link, 3);
+        assert_eq!(m.links[0].busy, us(5));
+        assert_eq!(m.links[0].utilization_permille, 500);
+        assert_eq!(m.links[0].peak_queue, 2);
+        assert_eq!(m.links[0].reservations, 2);
+        assert_eq!(m.npus[0].compute, us(6));
+        assert_eq!(m.npus[0].exposed_comm, us(2));
+        assert_eq!(m.npus[0].idle, us(2));
+        assert_eq!(m.npus[0].finish, us(8));
+        assert_eq!(m.npu_finish.max, us(8));
+        assert_eq!(m.collective_duration.p50, us(6));
+    }
+}

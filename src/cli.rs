@@ -6,7 +6,10 @@
 //! astra --topology "SW(16)@256_SW(16)@100" --workload moe --memory hiermem-opt --json
 //! ```
 
-use astra_core::{CollectiveMode, NetworkBackendKind, P2pMode, QueueBackend, SimReport};
+use astra_core::{
+    CollectiveMode, MetricsReport, NetworkBackendKind, P2pMode, QueueBackend, SimReport,
+    TraceFormat,
+};
 use astra_serve::SimRequest;
 use std::error::Error;
 use std::fmt;
@@ -49,6 +52,12 @@ pub struct CliOptions {
     pub sim_threads: Option<usize>,
     /// Path to a fault-schedule JSON file (array of fault objects).
     pub faults: Option<String>,
+    /// Write a simulated-time execution trace of the run to this path.
+    pub trace_out: Option<String>,
+    /// Trace encoding for `--trace-out` (default [`TraceFormat::Chrome`]).
+    pub trace_format: Option<TraceFormat>,
+    /// Attach derived telemetry metrics to the report output.
+    pub metrics: bool,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
 }
@@ -122,6 +131,22 @@ OPTIONS:
                             npu_slowdown (slowdown_pct), switch_down
                             (dim/group); applied identically on every
                             --network backend
+    --trace-out <PATH>      write a simulated-time execution trace to PATH:
+                            per-NPU attribution spans (matching the
+                            breakdown exactly), collective + chunk-op
+                            spans with dependency arrows, per-link busy
+                            intervals and queue depths, fault/budget
+                            markers; trace bytes are a pure function of
+                            the config (bit-identical across
+                            --sim-threads, --queue, and serve workers)
+    --trace-format <FMT>    trace encoding for --trace-out: chrome
+                            (default; open in Perfetto or
+                            chrome://tracing) | jsonl (one record per
+                            line, for scripting)
+    --metrics               attach derived telemetry metrics to the
+                            report (per-link utilization/queue stats,
+                            per-NPU timeline totals, finish and
+                            collective-duration percentiles)
     --json                  machine-readable output
     --help                  this text
 
@@ -132,10 +157,11 @@ SWEEP (throughput benchmark runner, writes BENCH_throughput.json-style JSON):
     --series <LIST>         comma-separated subset of
                             trace-gen,event-queue,packet-scale,engine-p2p,
                             collective-backend,parallel-des,serve-throughput,
-                            fault-injection,fig4,fig9a,fig9b,table4,fig11,
-                            table5 (default: the eight throughput series;
-                            fig4/fig9a/fig9b/table4/fig11/table5 fold the
-                            paper experiment runners into the JSON)
+                            fault-injection,trace-overhead,fig4,fig9a,fig9b,
+                            table4,fig11,table5 (default: the nine
+                            throughput series; fig4/fig9a/fig9b/table4/
+                            fig11/table5 fold the paper experiment runners
+                            into the JSON)
 
 SERVE (batch service: JSONL requests in, one JSON report row per line out):
     astra serve [--workers <N>] [--socket <PATH>] [--max-connections <N>]
@@ -176,6 +202,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         collectives: None,
         sim_threads: None,
         faults: None,
+        trace_out: None,
+        trace_format: None,
+        metrics: false,
         json: false,
     };
     let mut it = args.iter();
@@ -233,6 +262,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                 );
             }
             "--faults" => opts.faults = Some(value("--faults")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-format" => {
+                opts.trace_format = Some(value("--trace-format")?.parse().map_err(err)?);
+            }
+            "--metrics" => opts.metrics = true,
             "--fsdp" => opts.fsdp = true,
             "--themis" => opts.themis = true,
             "--json" => opts.json = true,
@@ -247,6 +281,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         return Err(err(format!(
             "one of --workload or --all-reduce-mib is required\n\n{USAGE}"
         )));
+    }
+    if opts.trace_format.is_some() && opts.trace_out.is_none() {
+        return Err(err("--trace-format requires --trace-out"));
     }
     if opts.collectives == Some(CollectiveMode::Backend) {
         if opts.p2p == Some(P2pMode::Blocking) {
@@ -293,10 +330,15 @@ pub fn to_request(opts: &CliOptions) -> SimRequest {
 
 /// Runs a parsed CLI invocation, returning the report.
 ///
+/// With `--trace-out` or `--metrics` the run is executed with telemetry
+/// recording on: the trace file is written here and the returned report
+/// carries [`SimReport::metrics`]. The report is otherwise bit-identical
+/// to an untraced run's.
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] on invalid notation, unknown workload/memory
-/// names, or simulation setup problems.
+/// names, simulation setup problems, or an unwritable `--trace-out` path.
 pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
     let mut req = to_request(opts);
     if let Some(path) = &opts.faults {
@@ -305,7 +347,17 @@ pub fn run(opts: &CliOptions) -> Result<SimReport, CliError> {
         req.faults =
             astra_serve::parse_faults_json(&text).map_err(|e| err(format!("--faults: {e}")))?;
     }
-    astra_serve::execute_once(&req).map_err(|e| err(e.message))
+    if opts.trace_out.is_none() && !opts.metrics {
+        return astra_serve::execute_once(&req).map_err(|e| err(e.message));
+    }
+    let (report, trace) = astra_serve::execute_traced(&req, &astra_serve::WarmCache::new())
+        .map_err(|e| err(e.message))?;
+    if let (Some(path), Some(trace)) = (&opts.trace_out, &trace) {
+        let format = opts.trace_format.unwrap_or_default();
+        std::fs::write(path, format.render(trace))
+            .map_err(|e| err(format!("--trace-out: failed to write {path}: {e}")))?;
+    }
+    Ok(report)
 }
 
 /// Options of the `astra sweep` subcommand, which drives the `astra-bench`
@@ -485,11 +537,80 @@ pub fn run_serve(opts: &ServeOptions) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Escapes a string for embedding in a JSON literal (quotes, backslashes,
+/// and control characters; fault labels and similar ASCII in practice).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `"metrics"` object of the JSON report (compact, one
+/// object): per-link rows, per-NPU timeline totals, and percentiles.
+fn metrics_json(m: &MetricsReport) -> String {
+    let links: Vec<String> = m
+        .links
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"link\": {}, \"busy_us\": {:.3}, \"utilization_permille\": {}, \
+                 \"peak_queue\": {}, \"reservations\": {}}}",
+                l.link,
+                l.busy.as_us_f64(),
+                l.utilization_permille,
+                l.peak_queue,
+                l.reservations
+            )
+        })
+        .collect();
+    let npus: Vec<String> = m
+        .npus
+        .iter()
+        .map(|n| {
+            format!(
+                "{{\"npu\": {}, \"compute_us\": {:.3}, \"exposed_comm_us\": {:.3}, \
+                 \"exposed_remote_mem_us\": {:.3}, \"exposed_local_mem_us\": {:.3}, \
+                 \"idle_us\": {:.3}, \"finish_us\": {:.3}}}",
+                n.npu,
+                n.compute.as_us_f64(),
+                n.exposed_comm.as_us_f64(),
+                n.exposed_remote_mem.as_us_f64(),
+                n.exposed_local_mem.as_us_f64(),
+                n.idle.as_us_f64(),
+                n.finish.as_us_f64()
+            )
+        })
+        .collect();
+    let pct = |p: &astra_core::PercentileSummary| {
+        format!(
+            "{{\"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}",
+            p.p50.as_us_f64(),
+            p.p99.as_us_f64(),
+            p.max.as_us_f64()
+        )
+    };
+    format!(
+        "{{\"links\": [{}], \"npus\": [{}], \"npu_finish_us\": {}, \
+         \"collective_duration_us\": {}}}",
+        links.join(", "),
+        npus.join(", "),
+        pct(&m.npu_finish),
+        pct(&m.collective_duration)
+    )
+}
+
 /// Renders a report as text or JSON per the options.
 pub fn render(opts: &CliOptions, report: &SimReport) -> String {
     if opts.json {
         let b = &report.breakdown;
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\n",
                 "  \"total_us\": {:.3},\n",
@@ -514,8 +635,7 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
                 "  \"cache_trace_hits\": {},\n",
                 "  \"cache_trace_misses\": {},\n",
                 "  \"cache_result_hits\": {},\n",
-                "  \"cache_result_misses\": {}\n",
-                "}}"
+                "  \"cache_result_misses\": {},\n",
             ),
             report.total_time.as_us_f64(),
             b.compute.as_us_f64(),
@@ -540,7 +660,29 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
             report.cache.trace_misses,
             report.cache.result_hits,
             report.cache.result_misses,
-        )
+        );
+        // Per-fault blast-radius rows — always present (empty array for
+        // the common fault-free run) so consumers need no key probing.
+        let faults: Vec<String> = report
+            .faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"event\": {}, \"kind\": \"{}\", \"affected\": {}, \
+                     \"extra_us\": {:.3}}}",
+                    f.event,
+                    json_escape(&f.kind),
+                    f.affected,
+                    f.extra_time.as_us_f64()
+                )
+            })
+            .collect();
+        out.push_str(&format!("  \"faults\": [{}]", faults.join(", ")));
+        if let Some(m) = &report.metrics {
+            out.push_str(&format!(",\n  \"metrics\": {}", metrics_json(m)));
+        }
+        out.push_str("\n}");
+        out
     } else {
         let mut text = format!(
             "total: {}\nbreakdown: {}\ncollectives: {}  p2p messages: {}",
@@ -581,6 +723,36 @@ pub fn render(opts: &CliOptions, report: &SimReport) -> String {
             // Per-cache hit/miss pairs; deterministic, so warm and cold
             // runs print identical counters.
             text.push_str(&format!("\ncaches: {c}"));
+        }
+        if !report.faults.is_empty() {
+            // Blast radius of each injected fault: what it touched and
+            // the simulated time attributed to it.
+            text.push_str("\nfaults:");
+            for f in &report.faults {
+                text.push_str(&format!(
+                    "\n  [{}] {}: {} affected, +{}",
+                    f.event, f.kind, f.affected, f.extra_time
+                ));
+            }
+        }
+        if let Some(m) = &report.metrics {
+            text.push_str(&format!(
+                "\ntelemetry: {} traced link(s)  npu finish p50 {} max {}  \
+                 collective p50 {} max {}",
+                m.links.len(),
+                m.npu_finish.p50,
+                m.npu_finish.max,
+                m.collective_duration.p50,
+                m.collective_duration.max
+            ));
+            if let Some(top) = m.links.iter().max_by_key(|l| l.utilization_permille) {
+                text.push_str(&format!(
+                    "  busiest link {} at {}.{}% util",
+                    top.link,
+                    top.utilization_permille / 10,
+                    top.utilization_permille % 10
+                ));
+            }
         }
         text
     }
@@ -947,6 +1119,10 @@ mod tests {
         ] {
             assert!(v[key].as_f64().is_some(), "missing {key}");
         }
+        // The blast-radius array is always present (empty without --faults).
+        assert_eq!(v["faults"].as_array().map(Vec::len), Some(0));
+        // ...but metrics appear only on traced runs.
+        assert!(v.get("metrics").is_none());
         // The analytical backend memoizes (src, dst, size) delays for p2p
         // traffic; a pipeline run's report carries the per-run pair.
         let opts = parse_args(&args(
@@ -958,6 +1134,121 @@ mod tests {
             serde_json::from_str(&render(&opts, &report)).expect("valid JSON");
         assert!(v["cache_delay_misses"].as_f64().unwrap() > 0.0);
         assert!(v["cache_delay_hits"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn trace_flags_parse_and_validate() {
+        let opts = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --trace-out /tmp/t.json --trace-format jsonl",
+        ))
+        .unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(opts.trace_format, Some(TraceFormat::Jsonl));
+        let opts = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --trace-out out.trace --metrics",
+        ))
+        .unwrap();
+        assert_eq!(opts.trace_format, None);
+        assert!(opts.metrics);
+        // Unknown formats and a format without an output path are rejected.
+        let e = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --trace-out t --trace-format perfetto",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("perfetto"));
+        let e = parse_args(&args(
+            "--topology SW(8)@400 --all-reduce-mib 64 --trace-format chrome",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("--trace-out"), "{e}");
+    }
+
+    #[test]
+    fn traced_run_writes_the_trace_and_attaches_metrics() {
+        let dir = std::env::temp_dir().join(format!("astra-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let chrome = dir.join("run.trace.json");
+        let jsonl = dir.join("run.trace.jsonl");
+        let base = format!(
+            "--topology SW(4)@400 --all-reduce-mib 16 --json --metrics --trace-out {}",
+            chrome.display()
+        );
+        let opts = parse_args(&args(&base)).unwrap();
+        // The report matches the untraced run apart from the metrics.
+        let mut stripped = run(&opts).unwrap();
+        stripped.metrics = None;
+        let plain = parse_args(&args("--topology SW(4)@400 --all-reduce-mib 16 --json")).unwrap();
+        assert_eq!(stripped, run(&plain).unwrap());
+        // Chrome export: a JSON object with a traceEvents array.
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid chrome trace");
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+        // JSONL export: every line is a standalone JSON record.
+        let opts = parse_args(&args(&format!(
+            "--topology SW(4)@400 --all-reduce-mib 16 --trace-out {} --trace-format jsonl",
+            jsonl.display()
+        )))
+        .unwrap();
+        run(&opts).unwrap();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(text.lines().count() > 0);
+        for line in text.lines() {
+            serde_json::from_str::<serde_json::Value>(line).expect("valid JSONL record");
+        }
+        // The JSON report gains a "metrics" object on traced runs.
+        let opts = parse_args(&args(
+            "--topology SW(4)@400 --all-reduce-mib 16 --json --metrics",
+        ))
+        .unwrap();
+        let report = run(&opts).unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&render(&opts, &report)).expect("valid JSON");
+        assert_eq!(v["metrics"]["npus"].as_array().map(Vec::len), Some(4));
+        assert!(v["metrics"]["npu_finish_us"]["max"].as_f64().unwrap() > 0.0);
+        // ...and the text report gains a telemetry line.
+        let text_opts =
+            parse_args(&args("--topology SW(4)@400 --all-reduce-mib 16 --metrics")).unwrap();
+        let text = render(&text_opts, &run(&text_opts).unwrap());
+        assert!(text.contains("telemetry:"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_impacts_surface_in_text_and_json_output() {
+        let dir = std::env::temp_dir().join(format!("astra-cli-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("faults.json");
+        std::fs::write(
+            &spec,
+            r#"[{"at_us": 0, "kind": "npu_slowdown", "npu": 0, "slowdown_pct": 150}]"#,
+        )
+        .unwrap();
+        let base = format!(
+            "--topology R(8)@100 --workload gpt3 --pipeline 4 --faults {}",
+            spec.display()
+        );
+        let opts = parse_args(&args(&base)).unwrap();
+        let report = run(&opts).unwrap();
+        assert!(!report.faults.is_empty());
+        let text = render(&opts, &report);
+        assert!(text.contains("faults:"), "{text}");
+        assert!(text.contains("npu_slowdown"), "{text}");
+        let json_opts = parse_args(&args(&format!("{base} --json"))).unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&render(&json_opts, &report)).expect("valid JSON");
+        let rows = v["faults"].as_array().unwrap();
+        assert_eq!(rows.len(), report.faults.len());
+        assert!(rows[0]["kind"].as_str().unwrap().contains("npu_slowdown"));
+        assert!(rows[0]["affected"].as_f64().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_documents_the_telemetry_flags() {
+        for flag in ["--trace-out", "--trace-format", "--metrics"] {
+            assert!(USAGE.contains(flag), "USAGE missing {flag}");
+        }
+        assert!(USAGE.contains("Perfetto"));
     }
 
     #[test]
